@@ -1,0 +1,86 @@
+//! End-to-end engine operation benchmarks: puts, gets, and one GC job per
+//! scheme, at miniature scale so `cargo bench` stays quick.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger_env::EnvRef;
+
+fn opts(mode: EngineMode) -> Options {
+    let env: EnvRef = MemEnv::shared();
+    let mut o = Options::new(env, "db", mode);
+    o.memtable_size = 64 * 1024;
+    o.base_level_bytes = 256 * 1024;
+    o
+}
+
+fn bench_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_put_4k");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(4096 * 64));
+    for mode in [EngineMode::Rocks, EngineMode::Terark, EngineMode::Scavenger] {
+        g.bench_function(mode.label(), |b| {
+            b.iter_batched(
+                || Db::open(opts(mode)).unwrap(),
+                |db| {
+                    for i in 0..64u64 {
+                        db.put(format!("k{i:05}"), vec![i as u8; 4096]).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_get_4k");
+    g.sample_size(20);
+    for mode in [EngineMode::Rocks, EngineMode::Terark, EngineMode::Scavenger] {
+        let db = Db::open(opts(mode)).unwrap();
+        for i in 0..512u64 {
+            db.put(format!("k{i:05}"), vec![i as u8; 4096]).unwrap();
+        }
+        db.flush().unwrap();
+        g.bench_function(mode.label(), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 31 + 7) % 512;
+                db.get(format!("k{i:05}")).unwrap().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gc_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_one_job");
+    g.sample_size(10);
+    for mode in [EngineMode::Titan, EngineMode::Terark, EngineMode::Scavenger] {
+        g.bench_function(mode.label(), |b| {
+            b.iter_batched(
+                || {
+                    let mut o = opts(mode);
+                    o.auto_gc = false;
+                    let db = Db::open(o).unwrap();
+                    // Load + churn so garbage exists and is exposed.
+                    for round in 0..3u64 {
+                        for i in 0..128u64 {
+                            db.put(format!("k{i:04}"), vec![(round + i) as u8; 4096])
+                                .unwrap();
+                        }
+                        db.flush().unwrap();
+                    }
+                    db.compact_all().unwrap();
+                    db
+                },
+                |db| db.run_gc_at(0.05).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_gc_job);
+criterion_main!(benches);

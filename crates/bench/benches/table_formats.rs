@@ -1,0 +1,184 @@
+//! Table-format ablations: BTable vs RTable vs DTable.
+//!
+//! These isolate the two I/O mechanisms behind the paper's GC wins:
+//! * RTable lazy index read vs BTable full scan (Lazy Read, §III-B1);
+//! * DTable KF-only lookups vs BTable mixed-block lookups (§III-B2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scavenger_env::{Env, EnvRef, IoClass, MemEnv};
+use scavenger_table::btable::{BTableBuilder, BTableReader, TableOptions};
+use scavenger_table::dtable::{DTableBuilder, DTableReader};
+use scavenger_table::rtable::{RTableBuilder, RTableReader};
+use scavenger_table::KeyCmp;
+use scavenger_util::ikey::{make_internal_key, ValueRef, ValueType};
+
+const N: usize = 512;
+const VSIZE: usize = 4096;
+
+fn opts() -> TableOptions {
+    TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    make_internal_key(format!("user{i:08}").as_bytes(), i as u64 + 1, ValueType::Value)
+}
+
+fn build_value_tables(env: &EnvRef) {
+    let f = env.new_writable("b.vsst", IoClass::Flush).unwrap();
+    let mut b = BTableBuilder::new(f, opts());
+    for i in 0..N {
+        b.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
+    }
+    b.finish().unwrap();
+
+    let f = env.new_writable("r.vsst", IoClass::Flush).unwrap();
+    let mut r = RTableBuilder::new(f, opts());
+    for i in 0..N {
+        r.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
+    }
+    r.finish().unwrap();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vsst_build");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((N * VSIZE) as u64));
+    g.bench_function("btable", |b| {
+        let env: EnvRef = MemEnv::shared();
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            let f = env.new_writable(&format!("b{n}.vsst"), IoClass::Flush).unwrap();
+            let mut t = BTableBuilder::new(f, opts());
+            for i in 0..N {
+                t.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
+            }
+            t.finish().unwrap()
+        })
+    });
+    g.bench_function("rtable", |b| {
+        let env: EnvRef = MemEnv::shared();
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            let f = env.new_writable(&format!("r{n}.vsst"), IoClass::Flush).unwrap();
+            let mut t = RTableBuilder::new(f, opts());
+            for i in 0..N {
+                t.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
+            }
+            t.finish().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_gc_read_paths(c: &mut Criterion) {
+    // The heart of Lazy Read: enumerating all keys of a value file.
+    let env: EnvRef = MemEnv::shared();
+    build_value_tables(&env);
+    let bfile = env.open_random_access("b.vsst", IoClass::GcRead).unwrap();
+    let breader = BTableReader::open(bfile, 1, None, KeyCmp::Internal).unwrap();
+    let rfile = env.open_random_access("r.vsst", IoClass::GcRead).unwrap();
+    let rreader = RTableReader::open(rfile, 2, None, KeyCmp::Internal).unwrap();
+
+    let mut g = c.benchmark_group("gc_key_enumeration");
+    g.sample_size(10);
+    g.bench_function("btable_full_scan", |b| {
+        b.iter(|| {
+            let mut it = breader.iter();
+            it.seek_to_first();
+            let mut n = 0;
+            while it.valid() {
+                n += 1;
+                it.next();
+            }
+            assert_eq!(n, N);
+        })
+    });
+    g.bench_function("rtable_lazy_index", |b| {
+        b.iter(|| {
+            let idx = rreader.read_index().unwrap();
+            assert_eq!(idx.len(), N);
+        })
+    });
+    g.finish();
+}
+
+fn bench_ksst_lookup(c: &mut Criterion) {
+    // DTable vs BTable point lookups on a mixed KV/KF file (the paper's
+    // GC-Lookup cache-efficiency argument).
+    let env: EnvRef = MemEnv::shared();
+    let mixed: Vec<(Vec<u8>, Vec<u8>)> = (0..2048usize)
+        .map(|i| {
+            if i % 2 == 0 {
+                (
+                    make_internal_key(
+                        format!("user{i:08}").as_bytes(),
+                        i as u64 + 1,
+                        ValueType::Value,
+                    ),
+                    vec![3u8; 300],
+                )
+            } else {
+                (
+                    make_internal_key(
+                        format!("user{i:08}").as_bytes(),
+                        i as u64 + 1,
+                        ValueType::ValueRef,
+                    ),
+                    ValueRef { file: 9, size: 16384, offset: 0 }.encode(),
+                )
+            }
+        })
+        .collect();
+    let f = env.new_writable("k.bsst", IoClass::Flush).unwrap();
+    let mut b = BTableBuilder::new(f, opts());
+    for (k, v) in &mixed {
+        b.add(k, v).unwrap();
+    }
+    b.finish().unwrap();
+    let f = env.new_writable("k.dsst", IoClass::Flush).unwrap();
+    let mut d = DTableBuilder::new(f, opts());
+    for (k, v) in &mixed {
+        d.add(k, v).unwrap();
+    }
+    d.finish().unwrap();
+
+    let bf = env.open_random_access("k.bsst", IoClass::FgIndexRead).unwrap();
+    let breader = BTableReader::open(bf, 3, None, KeyCmp::Internal).unwrap();
+    let df = env.open_random_access("k.dsst", IoClass::FgIndexRead).unwrap();
+    let dreader = DTableReader::open(df, 4, None).unwrap();
+
+    let mut g = c.benchmark_group("ksst_ref_lookup");
+    g.sample_size(20);
+    g.bench_function("btable", |b| {
+        let mut i = 1usize;
+        b.iter(|| {
+            i = (i + 2) % 2048;
+            let i = i | 1; // ref keys only
+            let t = make_internal_key(
+                format!("user{i:08}").as_bytes(),
+                u64::MAX >> 9,
+                ValueType::ValueRef,
+            );
+            breader.get(&t).unwrap().unwrap()
+        })
+    });
+    g.bench_function("dtable", |b| {
+        let mut i = 1usize;
+        b.iter(|| {
+            i = (i + 2) % 2048;
+            let i = i | 1;
+            let t = make_internal_key(
+                format!("user{i:08}").as_bytes(),
+                u64::MAX >> 9,
+                ValueType::ValueRef,
+            );
+            dreader.get(&t).unwrap().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_gc_read_paths, bench_ksst_lookup);
+criterion_main!(benches);

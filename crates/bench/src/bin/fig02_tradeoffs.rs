@@ -1,0 +1,59 @@
+//! Paper Figure 2: space-time trade-offs of existing solutions.
+//!
+//! Update throughput (a) and space amplification (b) for RocksDB, BlobDB,
+//! Titan, and TerarkDB under Fixed-{1K,4K,8K,16K} update workloads
+//! (Zipfian 0.9, GC threshold 0.2, no space limit).
+//!
+//! Paper shape: KV-separated engines beat RocksDB on throughput by
+//! 2.6–4.2x at 8K but pay 2.4–3.0x space; BlobDB's SA is worst (≈3.4x at
+//! 4K in the paper's Fig. 2b).
+
+use scavenger::EngineMode;
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn main() {
+    let scale = Scale::from_args();
+    let engines: Vec<EngineSpec> = [
+        EngineMode::Rocks,
+        EngineMode::BlobDb,
+        EngineMode::Titan,
+        EngineMode::Terark,
+    ]
+    .iter()
+    .map(|m| EngineSpec::mode(*m))
+    .collect();
+    let sizes = [1024usize, 4096, 8192, 16384];
+
+    let mut thpt_rows = Vec::new();
+    let mut sa_rows = Vec::new();
+    for spec in &engines {
+        let mut t = vec![spec.label.clone()];
+        let mut s = vec![spec.label.clone()];
+        for &vs in &sizes {
+            let out = run_experiment(
+                spec,
+                ValueGen::fixed(vs),
+                0.9,
+                &scale,
+                None,
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            t.push(f2(out.update_mbps()));
+            s.push(f2(out.space_amp()));
+        }
+        thpt_rows.push(t);
+        sa_rows.push(s);
+    }
+    print_table(
+        "Fig 2(a): update throughput (simulated MB/s)",
+        &["engine", "1K", "4K", "8K", "16K"],
+        &thpt_rows,
+    );
+    print_table(
+        "Fig 2(b): space amplification",
+        &["engine", "1K", "4K", "8K", "16K"],
+        &sa_rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Paper Figure 13: YCSB A-F under Mixed-8K and Pareto-1K, 1.5x limit.
+//!
+//! Paper shape: Scavenger leads write-intensive A/F by ~2-3.5x; E (scans)
+//! favours RocksDB's tighter ordering.
+
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+use scavenger_workload::ycsb::YcsbWorkload;
+
+fn main() {
+    let scale = Scale::from_args();
+    for (wname, mk) in [
+        ("Mixed-8K", ValueGen::mixed_8k as fn() -> ValueGen),
+        ("Pareto-1K", ValueGen::pareto_1k as fn() -> ValueGen),
+    ] {
+        let mut rows = Vec::new();
+        for spec in EngineSpec::all_modes() {
+            let mut row = vec![spec.label.clone()];
+            for w in YcsbWorkload::ALL {
+                let (ops, _rep, _sa) =
+                    run_ycsb(&spec, mk(), w, &scale, Some(1.5)).expect("ycsb");
+                row.push(f2(ops / 1e3));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Fig 13: YCSB throughput (simulated Kops/s) — {wname}, 1.5x limit"),
+            &["engine", "A", "B", "C", "D", "E", "F"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Paper Figure 15: YCSB-A without a space limit — throughput + SA.
+//!
+//! Paper shape: Scavenger best throughput with SA 1.56/1.47 vs 2.2-3.1x
+//! for the other separated engines.
+
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+use scavenger_workload::ycsb::YcsbWorkload;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for spec in EngineSpec::all_modes() {
+        let (ops_m, _r, sa_m) = run_ycsb(
+            &spec,
+            ValueGen::mixed_8k(),
+            YcsbWorkload::A,
+            &scale,
+            None,
+        )
+        .expect("mixed");
+        let (ops_p, _r, sa_p) = run_ycsb(
+            &spec,
+            ValueGen::pareto_1k(),
+            YcsbWorkload::A,
+            &scale,
+            None,
+        )
+        .expect("pareto");
+        rows.push(vec![
+            spec.label.clone(),
+            f2(ops_m / 1e3),
+            f2(sa_m),
+            f2(ops_p / 1e3),
+            f2(sa_p),
+        ]);
+    }
+    print_table(
+        "Fig 15: YCSB-A without space limit",
+        &["engine", "Mixed Kops/s", "Mixed SA", "Pareto Kops/s", "Pareto SA"],
+        &rows,
+    );
+}

@@ -1,0 +1,83 @@
+//! Paper Figure 16: feature ablations under a 1.5x space limit.
+//!
+//! (a) TerarkDB (TDB) vs TDB + compensated compaction (TDB-C) vs full
+//! Scavenger across fixed and variable-length workloads.
+//! (b) GC features stacked on TDB-C: +lazy Read (R), +hotness Write (W),
+//! +DTable GC-Lookup (L).
+//!
+//! Paper shape: compensation alone lifts fixed-length updates 1.6-2.6x;
+//! lazy read shines on large fixed values, L on variable-length.
+
+use scavenger::{EngineMode, Features, VFormat};
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn ablation_specs() -> Vec<EngineSpec> {
+    let tdb = Features::for_mode(EngineMode::Terark);
+    let c = Features::tdb_compensated();
+    vec![
+        EngineSpec::custom("TDB", EngineMode::Terark, tdb),
+        EngineSpec::custom("TDB-C", EngineMode::Terark, c),
+        EngineSpec::mode(EngineMode::Scavenger),
+    ]
+}
+
+fn gc_feature_specs() -> Vec<EngineSpec> {
+    let c = Features::tdb_compensated();
+    let cr = Features { vformat: VFormat::RTable, lazy_read: true, ..c };
+    let crw = Features { hotness: true, ..cr };
+    let crwl = Features { dtable_index: true, ..crw };
+    vec![
+        EngineSpec::custom("C", EngineMode::Terark, c),
+        EngineSpec::custom("CR", EngineMode::Terark, cr),
+        EngineSpec::custom("CRW", EngineMode::Terark, crw),
+        EngineSpec::custom("CRWL", EngineMode::Terark, crwl),
+    ]
+}
+
+fn workloads_a() -> Vec<(&'static str, ValueGen)> {
+    vec![
+        ("1K", ValueGen::fixed(1024)),
+        ("4K", ValueGen::fixed(4096)),
+        ("8K", ValueGen::fixed(8192)),
+        ("16K", ValueGen::fixed(16384)),
+        ("Mixed-8K", ValueGen::mixed_8k()),
+        ("Pareto-1K", ValueGen::pareto_1k()),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+
+    let mut rows = Vec::new();
+    for spec in ablation_specs() {
+        let mut row = vec![spec.label.clone()];
+        for (_, gen) in workloads_a() {
+            let out = run_experiment(&spec, gen, 0.9, &scale, Some(1.5), Phases::load_update())
+                .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 16(a): compaction & GC features, update MB/s, 1.5x limit",
+        &["config", "1K", "4K", "8K", "16K", "Mixed-8K", "Pareto-1K"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for spec in gc_feature_specs() {
+        let mut row = vec![spec.label.clone()];
+        for gen in [ValueGen::mixed_8k(), ValueGen::fixed(16384)] {
+            let out = run_experiment(&spec, gen, 0.9, &scale, Some(1.5), Phases::load_update())
+                .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 16(b): GC feature stack (C/CR/CRW/CRWL), update MB/s, 1.5x limit",
+        &["config", "Mixed-8K", "Fixed-16K"],
+        &rows,
+    );
+}

@@ -1,0 +1,68 @@
+//! Paper Figure 17: ablation space amplification WITHOUT a space limit.
+//!
+//! Paper shape: compensation alone trims SA by up to ~4%; adding
+//! I/O-efficient GC reaches up to ~30% reduction.
+
+use scavenger::{EngineMode, Features, VFormat};
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn main() {
+    let scale = Scale::from_args();
+    let tdb = Features::for_mode(EngineMode::Terark);
+    let c = Features::tdb_compensated();
+    let cr = Features { vformat: VFormat::RTable, lazy_read: true, ..c };
+    let crw = Features { hotness: true, ..cr };
+    let crwl = Features { dtable_index: true, ..crw };
+    let specs_a = vec![
+        EngineSpec::custom("TDB", EngineMode::Terark, tdb),
+        EngineSpec::custom("TDB-C", EngineMode::Terark, c),
+        EngineSpec::mode(EngineMode::Scavenger),
+    ];
+    let specs_b = vec![
+        EngineSpec::custom("C", EngineMode::Terark, c),
+        EngineSpec::custom("CR", EngineMode::Terark, cr),
+        EngineSpec::custom("CRW", EngineMode::Terark, crw),
+        EngineSpec::custom("CRWL", EngineMode::Terark, crwl),
+    ];
+    let workloads: Vec<(&str, fn() -> ValueGen)> = vec![
+        ("1K", || ValueGen::fixed(1024)),
+        ("4K", || ValueGen::fixed(4096)),
+        ("8K", || ValueGen::fixed(8192)),
+        ("16K", || ValueGen::fixed(16384)),
+        ("Mixed-8K", ValueGen::mixed_8k),
+        ("Pareto-1K", ValueGen::pareto_1k),
+    ];
+
+    let mut rows = Vec::new();
+    for spec in &specs_a {
+        let mut row = vec![spec.label.clone()];
+        for (_, mk) in &workloads {
+            let out = run_experiment(spec, mk(), 0.9, &scale, None, Phases::load_update())
+                .expect("experiment");
+            row.push(f2(out.space_amp()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 17(a): space amplification, no limit",
+        &["config", "1K", "4K", "8K", "16K", "Mixed-8K", "Pareto-1K"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for spec in &specs_b {
+        let mut row = vec![spec.label.clone()];
+        for mk in [ValueGen::mixed_8k as fn() -> ValueGen, || ValueGen::fixed(16384)] {
+            let out = run_experiment(spec, mk(), 0.9, &scale, None, Phases::load_update())
+                .expect("experiment");
+            row.push(f2(out.space_amp()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 17(b): GC feature stack, space amplification, no limit",
+        &["config", "Mixed-8K", "Fixed-16K"],
+        &rows,
+    );
+}

@@ -1,0 +1,115 @@
+//! Paper Figure 19: update throughput under varying workloads, 1.5x limit.
+//!
+//! (a) fixed value sizes 256B-16K (+ S-N: Scavenger with no limit);
+//! (b) Mixed small:large ratios 1:9..9:1;
+//! (c) Zipfian constants uniform..0.99.
+//!
+//! Paper shape: all KV-separated engines lose to RocksDB below ~2K values;
+//! Scavenger still beats the separated baselines 1.1-4.0x, and its
+//! advantage grows with skew (2.1-2.7x at zipf 0.99).
+
+use scavenger::EngineMode;
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn main() {
+    let scale = Scale::from_args();
+    let engines = EngineSpec::all_modes();
+
+    // (a) fixed sizes.
+    let sizes = [256usize, 512, 1024, 2048, 4096, 8192, 16384];
+    let mut rows = Vec::new();
+    for spec in &engines {
+        let mut row = vec![spec.label.clone()];
+        for &vs in &sizes {
+            let out = run_experiment(
+                spec,
+                ValueGen::fixed(vs),
+                0.9,
+                &scale,
+                Some(1.5),
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    // S-N: Scavenger without the space limit.
+    {
+        let spec = EngineSpec::custom(
+            "S-N",
+            EngineMode::Scavenger,
+            scavenger::Features::for_mode(EngineMode::Scavenger),
+        );
+        let mut row = vec![spec.label.clone()];
+        for &vs in &sizes {
+            let out = run_experiment(
+                &spec,
+                ValueGen::fixed(vs),
+                0.9,
+                &scale,
+                None,
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 19(a): update MB/s vs fixed value size (1.5x limit; S-N = no limit)",
+        &["engine", "256B", "512B", "1K", "2K", "4K", "8K", "16K"],
+        &rows,
+    );
+
+    // (b) mixed ratios.
+    let ratios = [(1u32, 9u32), (3, 7), (5, 5), (7, 3), (9, 1)];
+    let mut rows = Vec::new();
+    for spec in &engines {
+        let mut row = vec![spec.label.clone()];
+        for &(s, l) in &ratios {
+            let out = run_experiment(
+                spec,
+                ValueGen::mixed_ratio(s, l),
+                0.9,
+                &scale,
+                Some(1.5),
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 19(b): update MB/s vs Mixed small:large ratio (1.5x limit)",
+        &["engine", "1:9", "3:7", "5:5", "7:3", "9:1"],
+        &rows,
+    );
+
+    // (c) skew sweep (0.01 ~ uniform-ish via zipf floor; plus true uniform label).
+    let thetas = [0.01f64, 0.5, 0.7, 0.9, 0.99];
+    let mut rows = Vec::new();
+    for spec in &engines {
+        let mut row = vec![spec.label.clone()];
+        for &t in &thetas {
+            let out = run_experiment(
+                spec,
+                ValueGen::mixed_8k(),
+                t,
+                &scale,
+                Some(1.5),
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 19(c): update MB/s vs Zipfian constant (Mixed-8K, 1.5x limit)",
+        &["engine", "uniform", "zipf0.5", "zipf0.7", "zipf0.9", "zipf0.99"],
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Paper Figure 20: update throughput vs space limit (Mixed-8K).
+//!
+//! Paper shape: looser quotas favour KV separation; at 1.25x only
+//! Scavenger matches RocksDB among the separated engines; RocksDB is flat.
+
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn main() {
+    let scale = Scale::from_args();
+    let limits: [(&str, Option<f64>); 5] = [
+        ("no-limit", None),
+        ("2x", Some(2.0)),
+        ("1.75x", Some(1.75)),
+        ("1.5x", Some(1.5)),
+        ("1.25x", Some(1.25)),
+    ];
+    let mut rows = Vec::new();
+    for spec in EngineSpec::all_modes() {
+        let mut row = vec![spec.label.clone()];
+        for (_, lim) in limits {
+            let out = run_experiment(
+                &spec,
+                ValueGen::mixed_8k(),
+                0.9,
+                &scale,
+                lim,
+                Phases::load_update(),
+            )
+            .expect("experiment");
+            row.push(f2(out.update_mbps()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 20: update MB/s vs space limit (Mixed-8K)",
+        &["engine", "no-limit", "2x", "1.75x", "1.5x", "1.25x"],
+        &rows,
+    );
+}

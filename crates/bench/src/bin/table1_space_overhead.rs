@@ -1,0 +1,52 @@
+//! Paper Table I: insert-only space usage — TerarkDB vs Scavenger.
+//!
+//! Measures the RTable dense-index overhead: the paper reports +4.78% at
+//! 1K values shrinking to +0.04% at 16K.
+
+use scavenger::EngineMode;
+use scavenger_bench::*;
+use scavenger_workload::values::ValueGen;
+
+fn main() {
+    let scale = Scale::from_args();
+    let workloads: Vec<(&str, fn() -> ValueGen)> = vec![
+        ("1K", || ValueGen::fixed(1024)),
+        ("4K", || ValueGen::fixed(4096)),
+        ("16K", || ValueGen::fixed(16384)),
+        ("Mixed-8K", ValueGen::mixed_8k),
+        ("Pareto-1K", ValueGen::pareto_1k),
+    ];
+    let mut terark = vec!["TerarkDB".to_string()];
+    let mut scav = vec!["Scavenger".to_string()];
+    let mut ratio = vec!["Ratio".to_string()];
+    for (_, mk) in &workloads {
+        let insert_only = Phases { update: false, read: false, scan: false };
+        let t = run_experiment(
+            &EngineSpec::mode(EngineMode::Terark),
+            mk(),
+            0.9,
+            &scale,
+            None,
+            insert_only,
+        )
+        .expect("terark");
+        let s = run_experiment(
+            &EngineSpec::mode(EngineMode::Scavenger),
+            mk(),
+            0.9,
+            &scale,
+            None,
+            insert_only,
+        )
+        .expect("scavenger");
+        terark.push(mb(t.space_total));
+        scav.push(mb(s.space_total));
+        let r = (s.space_total as f64 / t.space_total as f64 - 1.0) * 100.0;
+        ratio.push(format!("{r:+.2}%"));
+    }
+    print_table(
+        "Table I: space usage for insert-only load (MB)",
+        &["config", "1K", "4K", "16K", "Mixed-8K", "Pareto-1K"],
+        &[terark, scav, ratio],
+    );
+}

@@ -1,0 +1,899 @@
+//! The public engine facade: opens the index LSM-tree, value store, GC
+//! runner, and throttle as one database.
+
+use crate::dropcache::DropCache;
+use crate::gc::{GcOutcome, GcRunner};
+use crate::hook::{EngineHook, HookConfig};
+use crate::options::{EngineMode, GcScheme, Options};
+use crate::stats::{DbStats, GcStats, SpaceBreakdown};
+use crate::throttle::{Throttle, MAX_THROTTLE_ROUNDS};
+use crate::vstore::ValueStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scavenger_lsm::filename::{parse_path, FileKind};
+use scavenger_lsm::{Lsm, LsmReadResult, ValueEditBundle, WriteBatch};
+use scavenger_table::btable::BlockCache;
+use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
+use scavenger_util::{Error, Result};
+use std::sync::Arc;
+
+/// One entry produced by a range scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanEntry {
+    /// User key.
+    pub key: Vec<u8>,
+    /// Value (resolved through the value store if separated).
+    pub value: Bytes,
+}
+
+struct DbInner {
+    opts: Options,
+    lsm: Lsm,
+    vstore: Arc<ValueStore>,
+    dropcache: Arc<DropCache>,
+    gc: Option<GcRunner>,
+    gc_stats: Arc<GcStats>,
+    throttle: Throttle,
+    /// Serializes GC jobs and exhausted-file reaping.
+    gc_lock: Mutex<()>,
+    /// Byte credits for paced auto-GC (see `Options::gc_bandwidth_factor`).
+    gc_credits: Mutex<i64>,
+    cache: Arc<BlockCache>,
+}
+
+/// A Scavenger database handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Open (or recover) a database.
+    pub fn open(opts: Options) -> Result<Db> {
+        let cache = Arc::new(BlockCache::with_capacity(opts.block_cache_bytes.max(4096)));
+        let vstore = Arc::new(ValueStore::new(
+            opts.env.clone(),
+            opts.dir.clone(),
+            cache.clone(),
+        ));
+        let dropcache = Arc::new(DropCache::new(opts.dropcache_keys));
+        let gc_stats = Arc::new(GcStats::default());
+
+        let mut lsm_opts = opts.lsm_options();
+        lsm_opts.block_cache = Some(cache.clone());
+        let hook = if opts.features.separate {
+            let h = Arc::new(EngineHook::new(
+                HookConfig {
+                    env: opts.env.clone(),
+                    dir: opts.dir.clone(),
+                    features: opts.features,
+                    sep_threshold: opts.sep_threshold,
+                    vsst_target: opts.vsst_target_size,
+                    table_opts: lsm_opts.table_options(),
+                },
+                vstore.clone(),
+                dropcache.clone(),
+                gc_stats.clone(),
+            ));
+            lsm_opts.value_hook = Some(h.clone());
+            Some(h)
+        } else {
+            None
+        };
+
+        let (lsm, replay) = Lsm::open(lsm_opts)?;
+
+        // Restore the value store: manifest history first, then anything
+        // committed during WAL recovery (buffered by the hook).
+        let apply = |bundle: &ValueEditBundle| {
+            let removed = vstore.apply_bundle(bundle);
+            for (file, format) in removed {
+                vstore.delete_file(file, format);
+            }
+        };
+        for bundle in &replay {
+            apply(bundle);
+        }
+        if let Some(h) = &hook {
+            for bundle in h.go_live() {
+                apply(&bundle);
+            }
+        }
+        vstore.delete_orphans()?;
+
+        let gc = if opts.features.separate {
+            Some(GcRunner::new(
+                opts.env.clone(),
+                opts.dir.clone(),
+                opts.features,
+                opts.vsst_target_size,
+                opts.gc_batch_files,
+                opts.lsm_options().table_options(),
+                vstore.clone(),
+                dropcache.clone(),
+                gc_stats.clone(),
+            ))
+        } else {
+            None
+        };
+        let throttle = Throttle::new(opts.space_limit, opts.throttle_gc_factor);
+
+        Ok(Db {
+            inner: Arc::new(DbInner {
+                opts,
+                lsm,
+                vstore,
+                dropcache,
+                gc,
+                gc_stats,
+                throttle,
+                gc_lock: Mutex::new(()),
+                gc_credits: Mutex::new(0),
+                cache,
+            }),
+        })
+    }
+
+    // ---------------- writes ----------------
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.put(key.as_ref(), value.into());
+        self.write(b)
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key.as_ref());
+        self.write(b)
+    }
+
+    /// Apply a batch atomically.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.enforce_space_limit()?;
+        let credit =
+            (batch.byte_size() as f64 * self.inner.opts.gc_bandwidth_factor) as i64;
+        self.inner.lsm.write(batch)?;
+        {
+            let mut c = self.inner.gc_credits.lock();
+            // Cap the accumulator so an idle period cannot bank unbounded
+            // GC bandwidth.
+            *c = (*c + credit).min(64 * 1024 * 1024);
+        }
+        self.post_write_maintenance()
+    }
+
+    /// Space-aware throttling (paper §III-D): before admitting a write,
+    /// reclaim aggressively while over the limit.
+    fn enforce_space_limit(&self) -> Result<()> {
+        let inner = &self.inner;
+        if inner.throttle.limit().is_none() {
+            return Ok(());
+        }
+        if !inner.throttle.over_limit(self.space().total()) {
+            return Ok(());
+        }
+        inner.throttle.note_activation();
+        let aggressive = inner
+            .throttle
+            .aggressive_threshold(inner.opts.gc_threshold);
+        for _ in 0..MAX_THROTTLE_ROUNDS {
+            if !inner.throttle.over_limit(self.space().total()) {
+                return Ok(());
+            }
+            let mut progressed = false;
+            if let Some(gc) = &inner.gc {
+                let _g = inner.gc_lock.lock();
+                if gc.run_once(&inner.lsm, aggressive)?.is_some() {
+                    inner
+                        .throttle
+                        .gc_rounds
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    progressed = true;
+                }
+            }
+            self.reap_exhausted()?;
+            if !progressed {
+                // No GC candidate yet: force compaction to expose hidden
+                // garbage, then try again.
+                if inner.lsm.force_compact_once()? {
+                    inner
+                        .throttle
+                        .forced_compactions
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    break;
+                }
+            }
+        }
+        if inner.throttle.over_limit(self.space().total()) {
+            inner
+                .throttle
+                .unresolved
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn post_write_maintenance(&self) -> Result<()> {
+        self.reap_exhausted()?;
+        if self.inner.opts.auto_gc {
+            self.run_paced_gc()?;
+        }
+        Ok(())
+    }
+
+    /// Auto-GC under the bandwidth budget: run jobs while candidates exist
+    /// and credits remain, charging each job's GC read+write bytes.
+    fn run_paced_gc(&self) -> Result<()> {
+        let inner = &self.inner;
+        let Some(gc) = &inner.gc else { return Ok(()) };
+        loop {
+            if *inner.gc_credits.lock() <= 0 {
+                return Ok(());
+            }
+            let before = inner.opts.env.io_stats().snapshot();
+            let ran = {
+                let _g = inner.gc_lock.lock();
+                gc.run_once(&inner.lsm, inner.opts.gc_threshold)?
+            };
+            if ran.is_none() {
+                return Ok(());
+            }
+            let d = inner.opts.env.io_stats().snapshot().delta(&before);
+            let cost = d.class(scavenger_env::IoClass::GcRead).read_bytes
+                + d.class(scavenger_env::IoClass::GcWrite).write_bytes;
+            *inner.gc_credits.lock() -= cost as i64;
+        }
+    }
+
+    /// BlobDB reclamation: delete blob files whose every record has been
+    /// exposed ("exhausted through compaction", §II-C).
+    fn reap_exhausted(&self) -> Result<()> {
+        let inner = &self.inner;
+        if inner.opts.features.gc != GcScheme::CompactionTriggered {
+            return Ok(());
+        }
+        let _g = inner.gc_lock.lock();
+        let exhausted = inner.vstore.exhausted_files();
+        if exhausted.is_empty() {
+            return Ok(());
+        }
+        let bundle = ValueEditBundle {
+            deleted_files: exhausted,
+            ..Default::default()
+        };
+        inner.lsm.apply_value_edit(bundle.clone())?;
+        let removed = inner.vstore.apply_bundle(&bundle);
+        for (file, format) in removed {
+            inner.vstore.delete_file(file, format);
+        }
+        Ok(())
+    }
+
+    // ---------------- reads ----------------
+
+    /// Latest value of `key`, or `None` if absent/deleted.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
+        let key = key.as_ref();
+        // A concurrent GC may retire the value of a version that was
+        // overwritten after we read its index entry. Re-reading the index
+        // observes the newer version — still a consistent read. Reads at a
+        // *registered* snapshot never need this: GC preserves their
+        // versions.
+        let mut last_err = None;
+        for _ in 0..3 {
+            match self.resolve_read(key, self.inner.lsm.get(key)?) {
+                Err(Error::Corruption(msg)) if msg.starts_with("dangling value") => {
+                    last_err = Some(Error::Corruption(msg));
+                }
+                other => return other,
+            }
+        }
+        Err(last_err.unwrap())
+    }
+
+    /// Value of `key` at a specific sequence (snapshot read).
+    pub fn get_at(&self, key: impl AsRef<[u8]>, seq: SeqNo) -> Result<Option<Bytes>> {
+        let key = key.as_ref();
+        self.resolve_read(key, self.inner.lsm.get_at(key, seq)?)
+    }
+
+    /// Take a snapshot; use with [`get_at`](Db::get_at) /
+    /// [`scan_at`](Db::scan_at).
+    pub fn snapshot(&self) -> scavenger_lsm::Snapshot {
+        self.inner.lsm.snapshot()
+    }
+
+    fn resolve_read(&self, key: &[u8], r: LsmReadResult) -> Result<Option<Bytes>> {
+        match r {
+            LsmReadResult::NotFound | LsmReadResult::Deleted => Ok(None),
+            LsmReadResult::Found { vtype: ValueType::Value, value, .. } => Ok(Some(value)),
+            LsmReadResult::Found { vtype: ValueType::ValueRef, seq, value } => {
+                let vref = ValueRef::decode(&value)?;
+                Ok(Some(self.inner.vstore.read_ref(key, seq, &vref)?))
+            }
+            LsmReadResult::Found { vtype: ValueType::Deletion, .. } => Err(Error::internal(
+                "tombstone escaped the read path".to_string(),
+            )),
+        }
+    }
+
+    /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`),
+    /// resolving separated values.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        Ok(DbScanIter {
+            inner: self.inner.lsm.scan(lo, hi)?,
+            db: self.inner.clone(),
+        })
+    }
+
+    /// Range scan at a snapshot sequence.
+    pub fn scan_at(&self, lo: &[u8], hi: Option<&[u8]>, seq: SeqNo) -> Result<DbScanIter> {
+        Ok(DbScanIter {
+            inner: self.inner.lsm.scan_at(lo, hi, seq)?,
+            db: self.inner.clone(),
+        })
+    }
+
+    // ---------------- maintenance ----------------
+
+    /// Flush the memtable and drain background work.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.lsm.flush()?;
+        self.post_write_maintenance()
+    }
+
+    /// Compact until every level score is under 1.
+    pub fn compact_all(&self) -> Result<()> {
+        self.inner.lsm.compact_until_stable()?;
+        self.post_write_maintenance()
+    }
+
+    /// Run one GC job at the configured threshold.
+    pub fn run_gc(&self) -> Result<Option<GcOutcome>> {
+        self.run_gc_at(self.inner.opts.gc_threshold)
+    }
+
+    /// Run one GC job at an explicit threshold.
+    pub fn run_gc_at(&self, threshold: f64) -> Result<Option<GcOutcome>> {
+        let inner = &self.inner;
+        match &inner.gc {
+            Some(gc) => {
+                let _g = inner.gc_lock.lock();
+                gc.run_once(&inner.lsm, threshold)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Run GC jobs until no candidate crosses the threshold.
+    pub fn run_gc_until_clean(&self) -> Result<usize> {
+        let mut jobs = 0;
+        while self.run_gc()?.is_some() {
+            jobs += 1;
+            if jobs > 1024 {
+                return Err(Error::internal("runaway GC loop"));
+            }
+        }
+        Ok(jobs)
+    }
+
+    // ---------------- introspection ----------------
+
+    /// The engine options.
+    pub fn options(&self) -> &Options {
+        &self.inner.opts
+    }
+
+    /// The engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.inner.opts.mode
+    }
+
+    /// On-disk space breakdown.
+    pub fn space(&self) -> SpaceBreakdown {
+        let inner = &self.inner;
+        let mut s = SpaceBreakdown::default();
+        let prefix = format!("{}/", inner.opts.dir);
+        if let Ok(files) = inner.opts.env.list_prefix(&prefix) {
+            for p in files {
+                let size = inner.opts.env.file_size(&p).unwrap_or(0);
+                match parse_path(&inner.opts.dir, &p) {
+                    Some((FileKind::Table, _)) => s.ksst_bytes += size,
+                    Some((FileKind::ValueTable | FileKind::BlobLog, _)) => {
+                        s.value_bytes += size
+                    }
+                    Some((FileKind::Wal, _)) => s.wal_bytes += size,
+                    Some((FileKind::Manifest | FileKind::Current, _)) => {
+                        s.manifest_bytes += size
+                    }
+                    None => s.other_bytes += size,
+                }
+            }
+        }
+        s
+    }
+
+    /// Aggregate statistics snapshot.
+    pub fn stats(&self) -> DbStats {
+        let inner = &self.inner;
+        let version = inner.lsm.current_version();
+        let counters = inner.lsm.counters();
+        DbStats {
+            io: inner.opts.env.io_stats().snapshot(),
+            gc: inner.gc_stats.snapshot(),
+            space: self.space(),
+            index_space_amp: version.index_space_amp(),
+            exposed_garbage_bytes: inner.vstore.total_exposed_bytes(),
+            value_store_bytes: inner.vstore.total_bytes(),
+            value_files: inner.vstore.all_files().len() as u64,
+            cache_hit_ratio: inner.cache.hit_ratio(),
+            flushes: counters.flushes.load(std::sync::atomic::Ordering::Relaxed),
+            compactions: counters
+                .compactions
+                .load(std::sync::atomic::Ordering::Relaxed),
+            merge_drops: counters
+                .merge_drops
+                .load(std::sync::atomic::Ordering::Relaxed),
+            throttle_stalls: inner.throttle.activation_count(),
+        }
+    }
+
+    /// The underlying index LSM-tree (exposed for experiments/tests).
+    pub fn lsm(&self) -> &Lsm {
+        &self.inner.lsm
+    }
+
+    /// The value store (exposed for experiments/tests).
+    pub fn value_store(&self) -> &Arc<ValueStore> {
+        &self.inner.vstore
+    }
+
+    /// The DropCache (exposed for experiments/tests).
+    pub fn drop_cache(&self) -> &Arc<DropCache> {
+        &self.inner.dropcache
+    }
+}
+
+/// Scan iterator resolving separated values.
+pub struct DbScanIter {
+    inner: scavenger_lsm::db::ScanIter,
+    db: Arc<DbInner>,
+}
+
+impl DbScanIter {
+    /// Next entry, or `None` at the end of the range.
+    pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
+        match self.inner.next_entry()? {
+            Some(e) => {
+                let value = match e.vtype {
+                    ValueType::Value => e.value,
+                    ValueType::ValueRef => {
+                        let vref = ValueRef::decode(&e.value)?;
+                        self.db.vstore.read_ref(&e.user_key, e.seq, &vref)?
+                    }
+                    ValueType::Deletion => {
+                        return Err(Error::internal("tombstone in scan output"))
+                    }
+                };
+                Ok(Some(ScanEntry { key: e.user_key, value }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Collect up to `limit` entries.
+    pub fn collect_n(&mut self, limit: usize) -> Result<Vec<ScanEntry>> {
+        let mut out = Vec::new();
+        while out.len() < limit {
+            match self.next_entry()? {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scavenger_env::MemEnv;
+
+    fn small_opts(mode: EngineMode) -> Options {
+        let mut o = Options::new(MemEnv::shared(), "db", mode);
+        o.memtable_size = 8 * 1024;
+        o.vsst_target_size = 32 * 1024;
+        o.base_level_bytes = 64 * 1024;
+        o.ksst_target_size = 16 * 1024;
+        o.block_cache_bytes = 256 * 1024;
+        o
+    }
+
+    fn value(i: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![(i % 251) as u8; len];
+        v[0] = (i >> 8) as u8;
+        v
+    }
+
+    #[test]
+    fn roundtrip_small_and_large_all_modes() {
+        for mode in EngineMode::ALL {
+            let db = Db::open(small_opts(mode)).unwrap();
+            // Small values stay inline; large get separated (except Rocks).
+            for i in 0..50 {
+                db.put(format!("small{i:03}"), value(i, 100)).unwrap();
+                db.put(format!("large{i:03}"), value(i, 2048)).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..50 {
+                assert_eq!(
+                    db.get(format!("small{i:03}")).unwrap().unwrap(),
+                    Bytes::from(value(i, 100)),
+                    "{mode:?} small{i}"
+                );
+                assert_eq!(
+                    db.get(format!("large{i:03}")).unwrap().unwrap(),
+                    Bytes::from(value(i, 2048)),
+                    "{mode:?} large{i}"
+                );
+            }
+            assert!(db.get("absent").unwrap().is_none());
+            // Separated modes must have created value files.
+            let has_vfiles = !db.value_store().all_files().is_empty();
+            assert_eq!(has_vfiles, mode != EngineMode::Rocks, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn deletes_and_overwrites_resolve_correctly() {
+        for mode in EngineMode::ALL {
+            let db = Db::open(small_opts(mode)).unwrap();
+            db.put("k", value(1, 4096)).unwrap();
+            db.put("k", value(2, 4096)).unwrap();
+            db.flush().unwrap();
+            assert_eq!(db.get("k").unwrap().unwrap(), Bytes::from(value(2, 4096)));
+            db.delete("k").unwrap();
+            assert!(db.get("k").unwrap().is_none(), "{mode:?}");
+            db.flush().unwrap();
+            assert!(db.get("k").unwrap().is_none(), "{mode:?} after flush");
+        }
+    }
+
+    #[test]
+    fn scan_resolves_separated_values_in_order() {
+        for mode in [EngineMode::Scavenger, EngineMode::Terark, EngineMode::Titan] {
+            let db = Db::open(small_opts(mode)).unwrap();
+            for i in 0..40 {
+                db.put(format!("key{i:03}"), value(i, 1500)).unwrap();
+            }
+            db.flush().unwrap();
+            let mut it = db.scan(b"key010", Some(b"key020")).unwrap();
+            let entries = it.collect_n(usize::MAX).unwrap();
+            assert_eq!(entries.len(), 10, "{mode:?}");
+            for (j, e) in entries.iter().enumerate() {
+                assert_eq!(e.key, format!("key{:03}", j + 10).into_bytes());
+                assert_eq!(e.value, Bytes::from(value(j + 10, 1500)));
+            }
+        }
+    }
+
+    #[test]
+    fn updates_generate_garbage_and_gc_reclaims() {
+        for mode in [EngineMode::Scavenger, EngineMode::Terark] {
+            let mut o = small_opts(mode);
+            o.auto_gc = false; // drive GC manually
+            let db = Db::open(o).unwrap();
+            // Load then update everything several times.
+            for round in 0..4 {
+                for i in 0..60 {
+                    db.put(format!("key{i:03}"), value(round * 100 + i, 2048)).unwrap();
+                }
+                db.flush().unwrap();
+            }
+            db.compact_all().unwrap();
+            let before = db.stats();
+            assert!(
+                before.exposed_garbage_bytes > 0,
+                "{mode:?}: compaction must expose garbage"
+            );
+            let jobs = db.run_gc_until_clean().unwrap();
+            assert!(jobs > 0, "{mode:?}: GC should run");
+            let after = db.stats();
+            assert!(
+                after.space.value_bytes < before.space.value_bytes,
+                "{mode:?}: GC must shrink the value store ({} -> {})",
+                before.space.value_bytes,
+                after.space.value_bytes
+            );
+            // All data still readable after GC (refs resolve through
+            // inheritance).
+            for i in 0..60 {
+                assert_eq!(
+                    db.get(format!("key{i:03}")).unwrap().unwrap(),
+                    Bytes::from(value(300 + i, 2048)),
+                    "{mode:?} key{i} after GC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn titan_gc_rewrites_index_entries() {
+        let mut o = small_opts(EngineMode::Titan);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        for round in 0..4 {
+            for i in 0..40 {
+                db.put(format!("key{i:03}"), value(round * 64 + i, 2048)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact_all().unwrap();
+        let jobs = db.run_gc_until_clean().unwrap();
+        assert!(jobs > 0);
+        let gc = db.stats().gc;
+        assert!(gc.write_index_ns > 0, "Titan pays the Write-Index step");
+        for i in 0..40 {
+            assert_eq!(
+                db.get(format!("key{i:03}")).unwrap().unwrap(),
+                Bytes::from(value(192 + i, 2048))
+            );
+        }
+    }
+
+    #[test]
+    fn blobdb_reclaims_only_exhausted_files() {
+        let mut o = small_opts(EngineMode::BlobDb);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        for round in 0..6 {
+            for i in 0..40 {
+                db.put(format!("key{i:03}"), value(round * 64 + i, 2048)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Standalone GC does nothing in BlobDB mode.
+        assert!(db.run_gc().unwrap().is_none());
+        db.compact_all().unwrap();
+        for i in 0..40 {
+            assert_eq!(
+                db.get(format!("key{i:03}")).unwrap().unwrap(),
+                Bytes::from(value(320 + i, 2048))
+            );
+        }
+    }
+
+    #[test]
+    fn scavenger_gc_does_lazy_read() {
+        let mut o = small_opts(EngineMode::Scavenger);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        for round in 0..4 {
+            for i in 0..50 {
+                db.put(format!("key{i:03}"), value(round + i, 4096)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact_all().unwrap();
+
+        let io_before = db.options().env.io_stats().snapshot();
+        let outcome = db.run_gc().unwrap();
+        let io_after = db.options().env.io_stats().snapshot();
+        if let Some(out) = outcome {
+            assert!(out.files_collected > 0);
+            let d = io_after.delta(&io_before);
+            let gc_read = d.class(scavenger_env::IoClass::GcRead).read_bytes;
+            // Lazy read: GC read bytes must be far below the bytes of the
+            // collected files (which are mostly garbage values we skip).
+            assert!(gc_read > 0);
+            assert!(
+                gc_read < out.bytes_reclaimed + out.records_rewritten * 4096,
+                "gc_read {gc_read} should not re-read entire files"
+            );
+        }
+    }
+
+    #[test]
+    fn space_limit_throttles_and_reclaims() {
+        let mut o = small_opts(EngineMode::Scavenger);
+        o.auto_gc = false; // force the throttle to do the reclamation
+        o.space_limit = Some(600 * 1024); // ~600 KiB quota
+        let db = Db::open(o).unwrap();
+        // Write ~1.5 MiB of updates over a small key set: garbage galore.
+        for round in 0..16 {
+            for i in 0..48 {
+                db.put(format!("key{i:02}"), value(round + i, 2048)).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert!(stats.throttle_stalls > 0, "throttle must have activated");
+        // All data remains correct under throttling.
+        for i in 0..48 {
+            assert_eq!(
+                db.get(format!("key{i:02}")).unwrap().unwrap(),
+                Bytes::from(value(15 + i, 2048))
+            );
+        }
+        // Space should be near the quota (allow transient overshoot of one
+        // memtable + one vSST).
+        let total = db.space().total();
+        assert!(
+            total < (600 + 512) * 1024,
+            "space {total} should be pulled back toward the 600 KiB quota"
+        );
+    }
+
+    #[test]
+    fn stats_report_space_breakdown() {
+        let db = Db::open(small_opts(EngineMode::Scavenger)).unwrap();
+        for i in 0..80 {
+            db.put(format!("key{i:03}"), value(i, 3000)).unwrap();
+        }
+        db.flush().unwrap();
+        let s = db.stats();
+        assert!(s.space.ksst_bytes > 0, "index files exist");
+        assert!(s.space.value_bytes > 0, "value files exist");
+        assert!(s.space.manifest_bytes > 0);
+        assert!(s.space.total() >= s.space.ksst_bytes + s.space.value_bytes);
+        assert!(s.index_space_amp >= 1.0);
+        assert!(s.value_files > 0);
+    }
+
+    #[test]
+    fn recovery_restores_separated_values() {
+        let env = MemEnv::shared();
+        for mode in [EngineMode::Scavenger, EngineMode::Terark, EngineMode::Titan] {
+            let dir = format!("db-{mode:?}");
+            {
+                let mut o = small_opts(mode);
+                o.env = env.clone();
+                o.dir = dir.clone();
+                let db = Db::open(o).unwrap();
+                for i in 0..60 {
+                    db.put(format!("key{i:03}"), value(i, 2048)).unwrap();
+                }
+                db.flush().unwrap();
+                // A few unflushed writes live only in the WAL.
+                for i in 0..10 {
+                    db.put(format!("fresh{i:02}"), value(i, 2048)).unwrap();
+                }
+            }
+            {
+                let mut o = small_opts(mode);
+                o.env = env.clone();
+                o.dir = dir.clone();
+                let db = Db::open(o).unwrap();
+                for i in 0..60 {
+                    assert_eq!(
+                        db.get(format!("key{i:03}")).unwrap().unwrap(),
+                        Bytes::from(value(i, 2048)),
+                        "{mode:?} key{i}"
+                    );
+                }
+                for i in 0..10 {
+                    assert_eq!(
+                        db.get(format!("fresh{i:02}")).unwrap().unwrap(),
+                        Bytes::from(value(i, 2048)),
+                        "{mode:?} fresh{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_after_gc_preserves_inheritance() {
+        let env = MemEnv::shared();
+        {
+            let mut o = small_opts(EngineMode::Scavenger);
+            o.env = env.clone();
+            o.auto_gc = false;
+            let db = Db::open(o).unwrap();
+            for round in 0..4 {
+                for i in 0..50 {
+                    db.put(format!("key{i:03}"), value(round + i, 2048)).unwrap();
+                }
+                db.flush().unwrap();
+            }
+            db.compact_all().unwrap();
+            db.run_gc_until_clean().unwrap();
+        }
+        {
+            let mut o = small_opts(EngineMode::Scavenger);
+            o.env = env.clone();
+            let db = Db::open(o).unwrap();
+            for i in 0..50 {
+                assert_eq!(
+                    db.get(format!("key{i:03}")).unwrap().unwrap(),
+                    Bytes::from(value(3 + i, 2048)),
+                    "key{i} readable after GC + reopen"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_gc_in_no_writeback_modes() {
+        let mut o = small_opts(EngineMode::Scavenger);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        db.put("k", value(1, 4096)).unwrap();
+        db.flush().unwrap();
+        let snap = db.snapshot();
+        // Overwrite enough to make the old vSST collectible.
+        for round in 0..4 {
+            db.put("k", value(100 + round, 4096)).unwrap();
+            for i in 0..30 {
+                db.put(format!("fill{i:02}"), value(i, 2048)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact_all().unwrap();
+        db.run_gc_until_clean().unwrap();
+        // The snapshot's version was rewritten by GC but must remain
+        // reachable through inheritance.
+        assert_eq!(
+            db.get_at("k", snap.sequence()).unwrap().unwrap(),
+            Bytes::from(value(1, 4096))
+        );
+        assert_eq!(db.get("k").unwrap().unwrap(), Bytes::from(value(103, 4096)));
+        drop(snap);
+    }
+
+    #[test]
+    fn hot_cold_separation_marks_files() {
+        let mut o = small_opts(EngineMode::Scavenger);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        // Hot keys: overwritten repeatedly; cold keys written once.
+        for i in 0..20 {
+            db.put(format!("cold{i:02}"), value(i, 2048)).unwrap();
+        }
+        for round in 0..6 {
+            for i in 0..8 {
+                db.put(format!("hot{i:02}"), value(round * 10 + i, 2048)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        db.compact_all().unwrap();
+        db.flush().unwrap();
+        // After drops have been observed, hot keys should be in the cache.
+        let hot_in_cache = (0..8)
+            .filter(|i| db.drop_cache().contains(format!("hot{i:02}").as_bytes()))
+            .count();
+        assert!(hot_in_cache >= 6, "hot keys detected: {hot_in_cache}/8");
+        // And subsequent flushes should produce hot-marked files.
+        for round in 0..2 {
+            for i in 0..8 {
+                db.put(format!("hot{i:02}"), value(round * 7 + i, 2048)).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        let any_hot = db.value_store().all_files().iter().any(|m| m.hot);
+        assert!(any_hot, "hot vSSTs should exist");
+    }
+
+    #[test]
+    fn rocks_mode_never_creates_value_files() {
+        let db = Db::open(small_opts(EngineMode::Rocks)).unwrap();
+        for i in 0..100 {
+            db.put(format!("key{i:03}"), value(i, 8192)).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        assert!(db.value_store().all_files().is_empty());
+        assert_eq!(db.space().value_bytes, 0);
+        assert!(db.run_gc().unwrap().is_none());
+        for i in (0..100).step_by(7) {
+            assert_eq!(
+                db.get(format!("key{i:03}")).unwrap().unwrap(),
+                Bytes::from(value(i, 8192))
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! DropCache: the hotness detector behind hot/cold value separation
+//! (paper §III-B3).
+//!
+//! Compaction (and flush deduplication) drops a key's older versions
+//! exactly when the key was overwritten or deleted — i.e. when the key is
+//! *hot-write* data. The DropCache records those keys in an LRU, and the
+//! flush/GC write paths consult it to route values into hot vs. cold value
+//! SSTs. Over time hot files accumulate garbage faster, so the
+//! ratio-triggered GC preferentially collects them — reclaiming more space
+//! per byte of GC I/O while leaving cold data untouched.
+//!
+//! The cache stores only keys (~32 B/key per the paper) and serves no
+//! foreground requests. For larger deployments the paper suggests a
+//! CuckooFilter; [`CuckooDropFilter`] provides that variant.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// LRU set of recently-dropped (hot-write) user keys.
+pub struct DropCache {
+    inner: Mutex<DropCacheInner>,
+    capacity: usize,
+}
+
+struct DropCacheInner {
+    // Key -> generation stamp; the queue holds (key, stamp) pairs and lazy
+    // expiration skips stale entries, avoiding a doubly-linked list.
+    map: HashMap<Vec<u8>, u64>,
+    queue: VecDeque<(Vec<u8>, u64)>,
+    next_stamp: u64,
+}
+
+impl DropCache {
+    /// Create a DropCache remembering up to `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        DropCache {
+            inner: Mutex::new(DropCacheInner {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                next_stamp: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record a dropped key (refreshes recency).
+    pub fn insert(&self, key: &[u8]) {
+        let mut g = self.inner.lock();
+        let stamp = g.next_stamp;
+        g.next_stamp += 1;
+        g.map.insert(key.to_vec(), stamp);
+        g.queue.push_back((key.to_vec(), stamp));
+        // Evict while over capacity, skipping stale queue entries.
+        while g.map.len() > self.capacity {
+            match g.queue.pop_front() {
+                Some((k, s)) => {
+                    if g.map.get(&k) == Some(&s) {
+                        g.map.remove(&k);
+                    }
+                }
+                None => break,
+            }
+        }
+        // Bound queue growth from refreshed duplicates.
+        while g.queue.len() > self.capacity * 4 {
+            match g.queue.pop_front() {
+                Some((k, s)) => {
+                    if g.map.get(&k) == Some(&s) {
+                        // Still live: re-enqueue at the back to preserve it.
+                        g.queue.push_back((k, s));
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Is `key` a recent hot-write key?
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Number of remembered keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if no keys are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+}
+
+/// A space-efficient probabilistic alternative to [`DropCache`]: a small
+/// cuckoo filter over key fingerprints (paper §III-B3 suggests this for
+/// large datasets). False positives cause harmless extra "hot"
+/// classifications; false negatives do not occur for resident items.
+pub struct CuckooDropFilter {
+    buckets: Mutex<Vec<[u16; 4]>>,
+    num_buckets: usize,
+}
+
+impl CuckooDropFilter {
+    /// Create a filter sized for roughly `capacity` keys.
+    pub fn new(capacity: usize) -> Self {
+        let num_buckets = (capacity / 4 + 1).next_power_of_two();
+        CuckooDropFilter {
+            buckets: Mutex::new(vec![[0u16; 4]; num_buckets]),
+            num_buckets,
+        }
+    }
+
+    fn fingerprint_and_buckets(&self, key: &[u8]) -> (u16, usize, usize) {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let hv = h.finish();
+        let fp = ((hv >> 48) as u16).max(1); // 0 means empty slot
+        let b1 = (hv as usize) & (self.num_buckets - 1);
+        let mut h2 = DefaultHasher::new();
+        fp.hash(&mut h2);
+        let b2 = (b1 ^ (h2.finish() as usize)) & (self.num_buckets - 1);
+        (fp, b1, b2)
+    }
+
+    /// Insert a key's fingerprint (evicting a random victim on overflow,
+    /// which only ages out old entries — acceptable for a hotness hint).
+    pub fn insert(&self, key: &[u8]) {
+        let (fp, b1, b2) = self.fingerprint_and_buckets(key);
+        let mut buckets = self.buckets.lock();
+        for b in [b1, b2] {
+            for slot in buckets[b].iter_mut() {
+                if *slot == 0 || *slot == fp {
+                    *slot = fp;
+                    return;
+                }
+            }
+        }
+        // Both buckets full: displace a pseudo-random victim from b1.
+        let victim = (fp as usize) % 4;
+        buckets[b1][victim] = fp;
+    }
+
+    /// May the filter contain this key?
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (fp, b1, b2) = self.fingerprint_and_buckets(key);
+        let buckets = self.buckets.lock();
+        buckets[b1].contains(&fp) || buckets[b2].contains(&fp)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_buckets * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let c = DropCache::new(100);
+        c.insert(b"hot-key");
+        assert!(c.contains(b"hot-key"));
+        assert!(!c.contains(b"cold-key"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let c = DropCache::new(3);
+        for k in ["a", "b", "c", "d"] {
+            c.insert(k.as_bytes());
+        }
+        assert_eq!(c.len(), 3);
+        assert!(!c.contains(b"a"), "oldest evicted");
+        assert!(c.contains(b"b") && c.contains(b"c") && c.contains(b"d"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let c = DropCache::new(3);
+        c.insert(b"a");
+        c.insert(b"b");
+        c.insert(b"c");
+        c.insert(b"a"); // refresh a
+        c.insert(b"d"); // evicts b, not a
+        assert!(c.contains(b"a"));
+        assert!(!c.contains(b"b"));
+    }
+
+    #[test]
+    fn heavy_reinsertion_stays_bounded() {
+        let c = DropCache::new(8);
+        for i in 0..10_000u64 {
+            c.insert(format!("k{}", i % 4).as_bytes());
+        }
+        assert!(c.len() <= 8);
+        for i in 0..4u64 {
+            assert!(c.contains(format!("k{i}").as_bytes()));
+        }
+        let g = c.inner.lock();
+        assert!(g.queue.len() <= 8 * 4 + 1, "queue bounded, got {}", g.queue.len());
+    }
+
+    #[test]
+    fn cuckoo_no_false_negatives_when_resident() {
+        let f = CuckooDropFilter::new(1000);
+        for i in 0..500u64 {
+            f.insert(format!("key-{i}").as_bytes());
+        }
+        let present = (0..500u64)
+            .filter(|i| f.contains(format!("key-{i}").as_bytes()))
+            .count();
+        // A few insertions may have displaced fingerprints; nearly all stay.
+        assert!(present >= 490, "present: {present}");
+    }
+
+    #[test]
+    fn cuckoo_low_false_positive_rate() {
+        let f = CuckooDropFilter::new(4096);
+        for i in 0..2000u64 {
+            f.insert(format!("key-{i}").as_bytes());
+        }
+        let fp = (10_000..20_000u64)
+            .filter(|i| f.contains(format!("key-{i}").as_bytes()))
+            .count();
+        let rate = fp as f64 / 10_000.0;
+        assert!(rate < 0.05, "fp rate {rate}");
+    }
+
+    #[test]
+    fn cuckoo_memory_is_compact() {
+        let f = CuckooDropFilter::new(64 * 1024);
+        // 2 bytes per slot, 4 slots per bucket: far below 32 B/key.
+        assert!(f.memory_bytes() <= 64 * 1024 * 4);
+        assert!(f.memory_bytes() < 64 * 1024 * 32);
+    }
+}

@@ -1,0 +1,518 @@
+//! Garbage collection strategies.
+//!
+//! Three schemes, mirroring the systems the paper studies (§II):
+//!
+//! * [`GcScheme::NoWriteback`] — TerarkDB/Scavenger. Valid records are
+//!   moved to new value files and the old→new **inheritance** edge is
+//!   recorded; index entries are never rewritten. Scavenger additionally
+//!   enables **Lazy Read** (only the RTable's dense index is read before
+//!   validation, and only *valid* values are fetched — paper Fig. 8) and
+//!   **hot/cold routing** of rewritten values.
+//! * [`GcScheme::Writeback`] — Titan. The whole blob file is scanned,
+//!   valid values are rewritten, and the new addresses are written back
+//!   through the LSM write path (the *Write-Index* step of Fig. 3),
+//!   guarded against concurrent user writes.
+//! * [`GcScheme::CompactionTriggered`] — BlobDB. No standalone GC: value
+//!   relocation happens inside compaction (see [`crate::hook`]), and a
+//!   blob file is deleted only once every record in it has been exposed
+//!   as garbage ([`exhausted`](crate::vstore::VsstMeta::is_exhausted)).
+//!
+//! Every phase is wall-clock timed into [`GcStats`], reproducing the
+//! paper's Figure 3 latency breakdown, and all I/O is charged to
+//! `IoClass::GcRead` / `IoClass::GcWrite` for Figure 12(c).
+
+use crate::dropcache::DropCache;
+use crate::options::{Features, GcScheme, VFormat};
+use crate::stats::GcStats;
+use crate::vstore::vtable::{parse_record_key, VReader, VWriter};
+use crate::vstore::{new_value_file_record, ValueStore};
+use bytes::Bytes;
+use scavenger_env::{EnvRef, IoClass};
+use scavenger_lsm::{GuardedWrite, Lsm, LsmReadResult, ValueEditBundle};
+use scavenger_table::btable::TableOptions;
+use scavenger_table::handle::BlockHandle;
+use scavenger_table::KeyCmp;
+use scavenger_util::ikey::{cmp_internal, SeqNo, ValueRef, ValueType};
+use scavenger_util::Result;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of one GC job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Value files collected (deleted).
+    pub files_collected: usize,
+    /// Valid records rewritten.
+    pub records_rewritten: u64,
+    /// Bytes freed: deleted file sizes minus new file sizes.
+    pub bytes_reclaimed: u64,
+}
+
+/// Drives GC jobs for one engine.
+pub struct GcRunner {
+    env: EnvRef,
+    dir: String,
+    features: Features,
+    vsst_target: u64,
+    gc_batch_files: usize,
+    table_opts: TableOptions,
+    vstore: Arc<ValueStore>,
+    dropcache: Arc<DropCache>,
+    stats: Arc<GcStats>,
+}
+
+/// A record awaiting validation.
+struct Pending {
+    ikey: Vec<u8>,
+    source: u64,
+    loc: Loc,
+}
+
+enum Loc {
+    /// Value already in memory (full-file scan, TerarkDB-style Read).
+    Inline(Bytes),
+    /// Only the record handle is known (Lazy Read); the value is fetched
+    /// after validation.
+    Handle(BlockHandle),
+}
+
+impl GcRunner {
+    /// Create a runner.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        env: EnvRef,
+        dir: impl Into<String>,
+        features: Features,
+        vsst_target: u64,
+        gc_batch_files: usize,
+        table_opts: TableOptions,
+        vstore: Arc<ValueStore>,
+        dropcache: Arc<DropCache>,
+        stats: Arc<GcStats>,
+    ) -> Self {
+        GcRunner {
+            env,
+            dir: dir.into(),
+            features,
+            vsst_target,
+            gc_batch_files,
+            table_opts: TableOptions { cmp: KeyCmp::Internal, ..table_opts },
+            vstore,
+            dropcache,
+            stats,
+        }
+    }
+
+    /// Run one GC job if any file crosses `threshold`. Returns `None` when
+    /// there is nothing to collect (or the scheme has no standalone GC).
+    pub fn run_once(&self, lsm: &Lsm, threshold: f64) -> Result<Option<GcOutcome>> {
+        match self.features.gc {
+            GcScheme::CompactionTriggered => Ok(None),
+            GcScheme::NoWriteback => self.gc_no_writeback(lsm, threshold),
+            GcScheme::Writeback => self.gc_writeback(lsm, threshold),
+        }
+    }
+
+    /// Read points for validity: the latest sequence plus all snapshots.
+    fn read_points(&self, lsm: &Lsm) -> Vec<SeqNo> {
+        let mut pts = lsm.snapshot_sequences();
+        pts.push(lsm.last_sequence());
+        pts.dedup();
+        pts
+    }
+
+    /// Is the record `(ukey, seq)` in `source` still referenced from any
+    /// read point? `check_ref` receives the live reference.
+    ///
+    /// `require_seq_match` is true for keyed (no-writeback) schemes, where
+    /// record identity is `(user_key, seq)`. Address-based write-back GC
+    /// (Titan) must NOT match sequences: its write-back re-inserts index
+    /// entries under fresh sequence numbers while the relocated blob
+    /// record keeps the original one — there, `(file, offset)` is the
+    /// record's identity.
+    fn is_valid(
+        &self,
+        lsm: &Lsm,
+        read_points: &[SeqNo],
+        ukey: &[u8],
+        seq: SeqNo,
+        require_seq_match: bool,
+        check_ref: impl Fn(&ValueRef) -> bool,
+    ) -> Result<bool> {
+        for &pt in read_points {
+            if let LsmReadResult::Found { seq: s, vtype: ValueType::ValueRef, value } =
+                lsm.get_at(ukey, pt)?
+            {
+                if !require_seq_match || s == seq {
+                    if let Ok(r) = ValueRef::decode(&value) {
+                        if check_ref(&r) {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ---------------- TerarkDB / Scavenger ----------------
+
+    fn gc_no_writeback(&self, lsm: &Lsm, threshold: f64) -> Result<Option<GcOutcome>> {
+        let candidates: Vec<_> = self
+            .vstore
+            .gc_candidates(threshold)
+            .into_iter()
+            .take(self.gc_batch_files.max(1))
+            .collect();
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let candidate_files: Vec<u64> = candidates.iter().map(|m| m.file).collect();
+        let deleted_bytes: u64 = candidates.iter().map(|m| m.size).sum();
+
+        // ---- Read (paper Fig. 8 step ① / §II-C "Read") ----
+        let t_read = Instant::now();
+        let mut readers: HashMap<u64, VReader> = HashMap::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        for meta in &candidates {
+            let reader = self.vstore.gc_reader(meta.file)?;
+            if self.features.lazy_read && meta.format == VFormat::RTable {
+                for (ikey, handle) in reader.read_lazy_index()? {
+                    pending.push(Pending {
+                        ikey,
+                        source: meta.file,
+                        loc: Loc::Handle(handle),
+                    });
+                }
+            } else {
+                for rec in reader.scan_all()? {
+                    pending.push(Pending {
+                        ikey: rec.ikey,
+                        source: meta.file,
+                        loc: Loc::Inline(rec.value),
+                    });
+                }
+            }
+            readers.insert(meta.file, reader);
+        }
+        self.stats
+            .read_ns
+            .fetch_add(t_read.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats
+            .records_scanned
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+
+        // ---- GC-Lookup (Fig. 8 step ② / Fig. 10) ----
+        let t_lookup = Instant::now();
+        let read_points = self.read_points(lsm);
+        let mut valid: Vec<Pending> = Vec::new();
+        for rec in pending {
+            let (ukey, seq) = {
+                let (u, s) = parse_record_key(&rec.ikey)?;
+                (u.to_vec(), s)
+            };
+            let source = rec.source;
+            if self.is_valid(lsm, &read_points, &ukey, seq, true, |r| {
+                self.vstore.resolves_to(r.file, source)
+            })? {
+                valid.push(rec);
+            }
+        }
+        self.stats
+            .lookup_ns
+            .fetch_add(t_lookup.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats
+            .records_valid
+            .fetch_add(valid.len() as u64, Ordering::Relaxed);
+
+        // ---- Fetch valid values (the lazy part of Lazy Read, step ③) ----
+        let t_fetch = Instant::now();
+        valid.sort_by(|a, b| cmp_internal(&a.ikey, &b.ikey));
+        let mut materialized: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(valid.len());
+        {
+            // Group handle-fetches per source file for coalescing.
+            let mut by_file: HashMap<u64, Vec<(usize, BlockHandle)>> = HashMap::new();
+            for (i, rec) in valid.iter().enumerate() {
+                match &rec.loc {
+                    Loc::Inline(v) => materialized.push((rec.ikey.clone(), v.clone())),
+                    Loc::Handle(h) => {
+                        by_file.entry(rec.source).or_default().push((i, *h));
+                        materialized.push((rec.ikey.clone(), Bytes::new()));
+                    }
+                }
+            }
+            for (file, mut handles) in by_file {
+                handles.sort_by_key(|(_, h)| h.offset);
+                let reader = &readers[&file];
+                match reader {
+                    VReader::R(r) => {
+                        let hs: Vec<BlockHandle> = handles.iter().map(|(_, h)| *h).collect();
+                        let recs = r.read_records(&hs, self.features.gc_readahead)?;
+                        for ((idx, _), (_, value)) in handles.iter().zip(recs) {
+                            materialized[*idx].1 = value;
+                        }
+                    }
+                    _ => {
+                        for (idx, h) in handles {
+                            let (_, value) = reader.read_record(h)?;
+                            materialized[idx].1 = value;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats
+            .read_ns
+            .fetch_add(t_fetch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // ---- Write (Fig. 8 step ④), hot/cold routed ----
+        let t_write = Instant::now();
+        let mut writers: [Option<(u64, VWriter)>; 2] = [None, None];
+        let mut outputs: Vec<scavenger_lsm::NewValueFile> = Vec::new();
+        let alloc = lsm.file_alloc();
+        for (ikey, value) in &materialized {
+            let (ukey, seq) = parse_record_key(ikey)?;
+            let route = usize::from(self.features.hotness && self.dropcache.contains(ukey));
+            if writers[route].is_none() {
+                let file = alloc.next_file_number();
+                writers[route] = Some((
+                    file,
+                    VWriter::create(
+                        &self.env,
+                        &self.dir,
+                        file,
+                        self.features.vformat,
+                        self.table_opts.clone(),
+                        IoClass::GcWrite,
+                    )?,
+                ));
+            }
+            let (_, w) = writers[route].as_mut().unwrap();
+            w.add(ukey, seq, value)?;
+            if w.estimated_size() >= self.vsst_target {
+                let (file, w) = writers[route].take().unwrap();
+                let info = w.finish()?;
+                outputs.push(new_value_file_record(
+                    file,
+                    info,
+                    route == 1,
+                    self.features.vformat,
+                ));
+            }
+        }
+        for (route, slot) in writers.into_iter().enumerate() {
+            if let Some((file, w)) = slot {
+                if w.num_entries() == 0 {
+                    let _ = self.env.remove_file(&crate::vstore::vtable::vfile_path(
+                        &self.dir,
+                        file,
+                        self.features.vformat,
+                    ));
+                    continue;
+                }
+                let info = w.finish()?;
+                outputs.push(new_value_file_record(
+                    file,
+                    info,
+                    route == 1,
+                    self.features.vformat,
+                ));
+            }
+        }
+        self.stats
+            .write_ns
+            .fetch_add(t_write.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // ---- Commit: inheritance instead of index rewrites (§II-B) ----
+        let mut bundle = ValueEditBundle {
+            new_files: outputs,
+            deleted_files: candidate_files.clone(),
+            inherits: Vec::new(),
+            garbage: Vec::new(),
+        };
+        for old in &candidate_files {
+            for nf in &bundle.new_files {
+                bundle.inherits.push((*old, nf.file));
+            }
+        }
+        let new_bytes: u64 = bundle.new_files.iter().map(|f| f.size).sum();
+        lsm.apply_value_edit(bundle.clone())?;
+        let removed = self.vstore.apply_bundle(&bundle);
+        for (file, format) in removed {
+            self.vstore.delete_file(file, format);
+        }
+
+        self.stats.runs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .files_collected
+            .fetch_add(candidate_files.len() as u64, Ordering::Relaxed);
+        self.stats
+            .reclaimed_bytes
+            .fetch_add(deleted_bytes.saturating_sub(new_bytes), Ordering::Relaxed);
+        Ok(Some(GcOutcome {
+            files_collected: candidate_files.len(),
+            records_rewritten: materialized.len() as u64,
+            bytes_reclaimed: deleted_bytes.saturating_sub(new_bytes),
+        }))
+    }
+
+    // ---------------- Titan ----------------
+
+    fn gc_writeback(&self, lsm: &Lsm, threshold: f64) -> Result<Option<GcOutcome>> {
+        // Titan gates blob deletion on the oldest snapshot; we take the
+        // conservative equivalent and defer GC while snapshots exist.
+        if !lsm.snapshot_sequences().is_empty() {
+            return Ok(None);
+        }
+        let candidates: Vec<_> = self
+            .vstore
+            .gc_candidates(threshold)
+            .into_iter()
+            .take(self.gc_batch_files.max(1))
+            .collect();
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let candidate_files: Vec<u64> = candidates.iter().map(|m| m.file).collect();
+        let deleted_bytes: u64 = candidates.iter().map(|m| m.size).sum();
+
+        // ---- Read: full sequential scan of each blob file ----
+        let t_read = Instant::now();
+        let mut records: Vec<(u64, crate::vstore::vtable::BlobRecord)> = Vec::new();
+        for meta in &candidates {
+            let reader = self.vstore.gc_reader(meta.file)?;
+            for rec in reader.scan_all()? {
+                records.push((meta.file, rec));
+            }
+        }
+        self.stats
+            .read_ns
+            .fetch_add(t_read.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats
+            .records_scanned
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+
+        // ---- GC-Lookup: point-query the index for each key ----
+        let t_lookup = Instant::now();
+        let read_points = self.read_points(lsm);
+        let mut valid: Vec<(u64, crate::vstore::vtable::BlobRecord)> = Vec::new();
+        for (source, rec) in records {
+            let (ukey, seq) = {
+                let (u, s) = parse_record_key(&rec.ikey)?;
+                (u.to_vec(), s)
+            };
+            let offset = rec.value_offset;
+            if self.is_valid(lsm, &read_points, &ukey, seq, false, |r| {
+                r.file == source && r.offset == offset
+            })? {
+                valid.push((source, rec));
+            }
+        }
+        self.stats
+            .lookup_ns
+            .fetch_add(t_lookup.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats
+            .records_valid
+            .fetch_add(valid.len() as u64, Ordering::Relaxed);
+
+        // ---- Write: rewrite valid values into a fresh blob file ----
+        let t_write = Instant::now();
+        let alloc = lsm.file_alloc();
+        let mut new_files = Vec::new();
+        let mut guarded: Vec<GuardedWrite> = Vec::new();
+        if !valid.is_empty() {
+            let mut file = alloc.next_file_number();
+            let mut w = VWriter::create(
+                &self.env,
+                &self.dir,
+                file,
+                VFormat::BlobLog,
+                self.table_opts.clone(),
+                IoClass::GcWrite,
+            )?;
+            for (source, rec) in &valid {
+                let (ukey, seq) = parse_record_key(&rec.ikey)?;
+                let written = w.add(ukey, seq, &rec.value)?;
+                guarded.push(GuardedWrite {
+                    key: ukey.to_vec(),
+                    expected: ValueRef {
+                        file: *source,
+                        size: rec.value.len() as u32,
+                        offset: rec.value_offset,
+                    },
+                    replacement: ValueRef {
+                        file,
+                        size: written.size,
+                        offset: written.offset,
+                    },
+                });
+                if w.estimated_size() >= self.vsst_target {
+                    let info = w.finish()?;
+                    new_files.push(new_value_file_record(file, info, false, VFormat::BlobLog));
+                    file = alloc.next_file_number();
+                    w = VWriter::create(
+                        &self.env,
+                        &self.dir,
+                        file,
+                        VFormat::BlobLog,
+                        self.table_opts.clone(),
+                        IoClass::GcWrite,
+                    )?;
+                }
+            }
+            if w.num_entries() > 0 {
+                let info = w.finish()?;
+                new_files.push(new_value_file_record(file, info, false, VFormat::BlobLog));
+            } else {
+                let _ = self.env.remove_file(&crate::vstore::vtable::vfile_path(
+                    &self.dir,
+                    file,
+                    VFormat::BlobLog,
+                ));
+            }
+        }
+        self.stats
+            .write_ns
+            .fetch_add(t_write.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // ---- Write-Index: push the new addresses through the write path
+        // (Titan's extra step, ~38% of GC time in the paper's Fig. 3) ----
+        let t_wi = Instant::now();
+        let rewritten = guarded.len() as u64;
+        if !guarded.is_empty() {
+            lsm.write_guarded(&guarded)?;
+        }
+        self.stats
+            .write_index_ns
+            .fetch_add(t_wi.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // ---- Commit ----
+        let bundle = ValueEditBundle {
+            new_files,
+            deleted_files: candidate_files.clone(),
+            inherits: Vec::new(),
+            garbage: Vec::new(),
+        };
+        let new_bytes: u64 = bundle.new_files.iter().map(|f| f.size).sum();
+        lsm.apply_value_edit(bundle.clone())?;
+        let removed = self.vstore.apply_bundle(&bundle);
+        for (file, format) in removed {
+            self.vstore.delete_file(file, format);
+        }
+
+        self.stats.runs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .files_collected
+            .fetch_add(candidate_files.len() as u64, Ordering::Relaxed);
+        self.stats
+            .reclaimed_bytes
+            .fetch_add(deleted_bytes.saturating_sub(new_bytes), Ordering::Relaxed);
+        Ok(Some(GcOutcome {
+            files_collected: candidate_files.len(),
+            records_rewritten: rewritten,
+            bytes_reclaimed: deleted_bytes.saturating_sub(new_bytes),
+        }))
+    }
+}

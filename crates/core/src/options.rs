@@ -1,0 +1,336 @@
+//! Engine configuration: modes, feature toggles, and tuning knobs.
+
+use scavenger_env::EnvRef;
+use scavenger_lsm::KTableFormat;
+
+/// The five engine designs the paper compares (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// Vanilla leveled LSM-tree, values inline (RocksDB baseline).
+    Rocks,
+    /// KV separation with compaction-triggered relocation; blob files are
+    /// reclaimed only once fully exhausted (BlobDB baseline, §II-C).
+    BlobDb,
+    /// KV separation with standalone GC that rewrites valid values and
+    /// writes the new address back through the write path (Titan baseline).
+    Titan,
+    /// KV separation with no-writeback GC via file-number inheritance
+    /// (TerarkDB baseline, §II-B).
+    Terark,
+    /// TerarkDB plus every contribution of the paper (§III).
+    Scavenger,
+}
+
+impl EngineMode {
+    /// All modes, in the paper's presentation order.
+    pub const ALL: [EngineMode; 5] = [
+        EngineMode::Rocks,
+        EngineMode::BlobDb,
+        EngineMode::Titan,
+        EngineMode::Terark,
+        EngineMode::Scavenger,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineMode::Rocks => "RocksDB",
+            EngineMode::BlobDb => "BlobDB",
+            EngineMode::Titan => "Titan",
+            EngineMode::Terark => "TerarkDB",
+            EngineMode::Scavenger => "Scavenger",
+        }
+    }
+}
+
+/// On-disk format of value files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VFormat {
+    /// Sorted value SST with a sparse index (TerarkDB's vSST).
+    BTable,
+    /// RecordBasedTable with a dense partitioned index (paper §III-B1).
+    RTable,
+    /// Append-ordered blob log, address-based (BlobDB/Titan).
+    BlobLog,
+}
+
+/// Garbage-collection scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcScheme {
+    /// No standalone GC; values relocate during index compaction and a
+    /// file dies only when fully exhausted (BlobDB).
+    CompactionTriggered,
+    /// Standalone GC; valid values are rewritten and the new address is
+    /// written back through the LSM write path (Titan).
+    Writeback,
+    /// Standalone GC with no index write-back: the new file inherits the
+    /// old file's identity (TerarkDB / Scavenger).
+    NoWriteback,
+}
+
+/// Individual design features; ablation experiments (paper Fig. 16/17)
+/// toggle these directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Separate values ≥ `sep_threshold` into the value store at flush.
+    pub separate: bool,
+    /// Value-file format.
+    pub vformat: VFormat,
+    /// GC scheme (ignored when `separate` is false).
+    pub gc: GcScheme,
+    /// **R**: Lazy Read — GC reads the RTable's dense index first and
+    /// fetches only valid values (§III-B1). Requires `VFormat::RTable`.
+    pub lazy_read: bool,
+    /// **L**: Index-record separation — key SSTs are DTables, so
+    /// GC-Lookups touch only high-priority-cached KF blocks (§III-B2).
+    pub dtable_index: bool,
+    /// **W**: Hotness-aware writing — DropCache-guided hot/cold vSST
+    /// routing at flush and GC (§III-B3).
+    pub hotness: bool,
+    /// **C**: Space-aware compaction by compensated size (§III-C).
+    pub compensated: bool,
+    /// Readahead (coalesced record fetches) during GC value reads — the
+    /// paper's S-RH variant. Disabled by default for fairness (§IV-A).
+    pub gc_readahead: bool,
+}
+
+impl Features {
+    /// The feature set of a baseline mode.
+    pub fn for_mode(mode: EngineMode) -> Features {
+        match mode {
+            EngineMode::Rocks => Features {
+                separate: false,
+                vformat: VFormat::BTable,
+                gc: GcScheme::NoWriteback,
+                lazy_read: false,
+                dtable_index: false,
+                hotness: false,
+                compensated: false,
+                gc_readahead: false,
+            },
+            EngineMode::BlobDb => Features {
+                separate: true,
+                vformat: VFormat::BlobLog,
+                gc: GcScheme::CompactionTriggered,
+                lazy_read: false,
+                dtable_index: false,
+                hotness: false,
+                compensated: false,
+                gc_readahead: false,
+            },
+            EngineMode::Titan => Features {
+                separate: true,
+                vformat: VFormat::BlobLog,
+                gc: GcScheme::Writeback,
+                lazy_read: false,
+                dtable_index: false,
+                hotness: false,
+                compensated: false,
+                gc_readahead: false,
+            },
+            EngineMode::Terark => Features {
+                separate: true,
+                vformat: VFormat::BTable,
+                gc: GcScheme::NoWriteback,
+                lazy_read: false,
+                dtable_index: false,
+                hotness: false,
+                compensated: false,
+                gc_readahead: false,
+            },
+            EngineMode::Scavenger => Features {
+                separate: true,
+                vformat: VFormat::RTable,
+                gc: GcScheme::NoWriteback,
+                lazy_read: true,
+                dtable_index: true,
+                hotness: true,
+                compensated: true,
+                gc_readahead: false,
+            },
+        }
+    }
+
+    /// TerarkDB + compensated compaction only — the paper's **TDB-C**
+    /// ablation (Fig. 16a).
+    pub fn tdb_compensated() -> Features {
+        Features {
+            compensated: true,
+            ..Features::for_mode(EngineMode::Terark)
+        }
+    }
+}
+
+/// Options for opening a [`Db`](crate::db::Db).
+#[derive(Clone)]
+pub struct Options {
+    /// Storage environment.
+    pub env: EnvRef,
+    /// Directory prefix for all files.
+    pub dir: String,
+    /// Base engine design.
+    pub mode: EngineMode,
+    /// Feature toggles (defaults to `Features::for_mode(mode)`).
+    pub features: Features,
+    /// KV-separation threshold in bytes (paper: 512 B).
+    pub sep_threshold: usize,
+    /// Target value-SST size (paper: 256 MB; scaled default 1 MiB).
+    pub vsst_target_size: u64,
+    /// Garbage-ratio threshold that triggers GC (paper: 0.2).
+    pub gc_threshold: f64,
+    /// Max candidate files merged per GC job.
+    pub gc_batch_files: usize,
+    /// Run GC automatically on the write path when candidates exist.
+    pub auto_gc: bool,
+    /// Auto-GC bandwidth budget as a multiple of foreground write bytes
+    /// (GC shares the device with foreground traffic; the paper's
+    /// baselines fall behind garbage generation exactly because their GC
+    /// needs many I/O bytes per reclaimed byte). Manual `run_gc` and
+    /// throttle-driven GC are not paced.
+    pub gc_bandwidth_factor: f64,
+    /// DropCache capacity in keys (paper: ~32 B/key; §III-B3).
+    pub dropcache_keys: usize,
+    /// Space limit in bytes; `None` disables space-aware throttling.
+    pub space_limit: Option<u64>,
+    /// When throttling, GC threshold is multiplied by this factor
+    /// (aggressive reclamation, §III-D).
+    pub throttle_gc_factor: f64,
+    /// Memtable size.
+    pub memtable_size: usize,
+    /// L0 file-count compaction trigger.
+    pub l0_trigger: usize,
+    /// Base level target bytes (compensated units in Scavenger mode).
+    pub base_level_bytes: u64,
+    /// Inter-level multiplier (paper: 10).
+    pub level_multiplier: u64,
+    /// Key-SST target size.
+    pub ksst_target_size: u64,
+    /// Block size.
+    pub block_size: usize,
+    /// Bloom bits per key (paper: 10).
+    pub bloom_bits_per_key: usize,
+    /// Block cache capacity (paper: 1% of dataset).
+    pub block_cache_bytes: usize,
+    /// Write WAL records.
+    pub wal: bool,
+    /// Run background work inline (deterministic) or on threads.
+    pub inline_background: bool,
+}
+
+impl Options {
+    /// Scaled defaults (DESIGN.md §6) for the given mode.
+    pub fn new(env: EnvRef, dir: impl Into<String>, mode: EngineMode) -> Options {
+        Options {
+            env,
+            dir: dir.into(),
+            mode,
+            features: Features::for_mode(mode),
+            sep_threshold: 512,
+            vsst_target_size: 1024 * 1024,
+            gc_threshold: 0.2,
+            gc_batch_files: 4,
+            auto_gc: true,
+            gc_bandwidth_factor: 1.0,
+            dropcache_keys: 64 * 1024,
+            space_limit: None,
+            throttle_gc_factor: 0.25,
+            memtable_size: 256 * 1024,
+            l0_trigger: 4,
+            base_level_bytes: 4 * 1024 * 1024,
+            level_multiplier: 10,
+            ksst_target_size: 256 * 1024,
+            block_size: 4096,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 1024 * 1024,
+            wal: true,
+            inline_background: true,
+        }
+    }
+
+    /// Derive the index-LSM options (the value hook is attached by
+    /// [`Db::open`](crate::db::Db::open)).
+    pub(crate) fn lsm_options(&self) -> scavenger_lsm::LsmOptions {
+        let mut o = scavenger_lsm::LsmOptions::new(self.env.clone(), self.dir.clone());
+        o.memtable_size = self.memtable_size;
+        o.l0_trigger = self.l0_trigger;
+        o.base_level_bytes = self.base_level_bytes;
+        o.level_multiplier = self.level_multiplier;
+        o.target_file_size = self.ksst_target_size;
+        o.block_size = self.block_size;
+        o.bloom_bits_per_key = self.bloom_bits_per_key;
+        o.block_cache_bytes = self.block_cache_bytes;
+        o.wal = self.wal;
+        o.compensated = self.features.compensated;
+        o.ktable_format = if self.features.dtable_index {
+            KTableFormat::DTable
+        } else {
+            KTableFormat::BTable
+        };
+        o.background = if self.inline_background {
+            scavenger_lsm::BackgroundMode::Inline
+        } else {
+            scavenger_lsm::BackgroundMode::Threaded
+        };
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scavenger_env::MemEnv;
+
+    #[test]
+    fn mode_feature_matrix_matches_paper() {
+        let r = Features::for_mode(EngineMode::Rocks);
+        assert!(!r.separate);
+
+        let b = Features::for_mode(EngineMode::BlobDb);
+        assert!(b.separate);
+        assert_eq!(b.vformat, VFormat::BlobLog);
+        assert_eq!(b.gc, GcScheme::CompactionTriggered);
+
+        let t = Features::for_mode(EngineMode::Titan);
+        assert_eq!(t.gc, GcScheme::Writeback);
+
+        let k = Features::for_mode(EngineMode::Terark);
+        assert_eq!(k.vformat, VFormat::BTable);
+        assert_eq!(k.gc, GcScheme::NoWriteback);
+        assert!(!k.compensated);
+
+        let s = Features::for_mode(EngineMode::Scavenger);
+        assert_eq!(s.vformat, VFormat::RTable);
+        assert!(s.lazy_read && s.dtable_index && s.hotness && s.compensated);
+        assert!(!s.gc_readahead, "readahead off by default for fairness");
+    }
+
+    #[test]
+    fn tdb_c_is_terark_plus_compensation_only() {
+        let f = Features::tdb_compensated();
+        assert!(f.compensated);
+        assert!(!f.lazy_read && !f.dtable_index && !f.hotness);
+        assert_eq!(f.vformat, VFormat::BTable);
+    }
+
+    #[test]
+    fn paper_constants_are_defaults() {
+        let o = Options::new(MemEnv::shared(), "db", EngineMode::Scavenger);
+        assert_eq!(o.sep_threshold, 512);
+        assert!((o.gc_threshold - 0.2).abs() < 1e-9);
+        assert_eq!(o.level_multiplier, 10);
+        assert_eq!(o.bloom_bits_per_key, 10);
+        assert!(o.space_limit.is_none());
+    }
+
+    #[test]
+    fn lsm_options_inherit_format_and_scoring() {
+        let o = Options::new(MemEnv::shared(), "db", EngineMode::Scavenger);
+        let l = o.lsm_options();
+        assert!(l.compensated);
+        assert_eq!(l.ktable_format, KTableFormat::DTable);
+        let o = Options::new(MemEnv::shared(), "db", EngineMode::Terark);
+        let l = o.lsm_options();
+        assert!(!l.compensated);
+        assert_eq!(l.ktable_format, KTableFormat::BTable);
+    }
+}

@@ -1,0 +1,221 @@
+//! Engine statistics: GC step breakdown (paper Fig. 3), space breakdown,
+//! and the aggregate snapshot the experiment harness consumes.
+
+use scavenger_env::IoStatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulated per-step GC cost. The four steps are exactly the paper's
+/// (§II-C): Read, GC-Lookup, Write, Write-Index.
+#[derive(Debug, Default)]
+pub struct GcStats {
+    /// Wall nanoseconds in the Read step.
+    pub read_ns: AtomicU64,
+    /// Wall nanoseconds in the GC-Lookup step.
+    pub lookup_ns: AtomicU64,
+    /// Wall nanoseconds in the Write step.
+    pub write_ns: AtomicU64,
+    /// Wall nanoseconds in the Write-Index step (Titan only).
+    pub write_index_ns: AtomicU64,
+    /// GC jobs run.
+    pub runs: AtomicU64,
+    /// Value files collected.
+    pub files_collected: AtomicU64,
+    /// Records examined.
+    pub records_scanned: AtomicU64,
+    /// Records found valid and rewritten.
+    pub records_valid: AtomicU64,
+    /// Bytes of garbage reclaimed (file bytes deleted minus bytes
+    /// rewritten).
+    pub reclaimed_bytes: AtomicU64,
+}
+
+impl GcStats {
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> GcStepTimes {
+        GcStepTimes {
+            read_ns: self.read_ns.load(Ordering::Relaxed),
+            lookup_ns: self.lookup_ns.load(Ordering::Relaxed),
+            write_ns: self.write_ns.load(Ordering::Relaxed),
+            write_index_ns: self.write_index_ns.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            files_collected: self.files_collected.load(Ordering::Relaxed),
+            records_scanned: self.records_scanned.load(Ordering::Relaxed),
+            records_valid: self.records_valid.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`GcStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStepTimes {
+    /// Read-step nanoseconds.
+    pub read_ns: u64,
+    /// GC-Lookup-step nanoseconds.
+    pub lookup_ns: u64,
+    /// Write-step nanoseconds.
+    pub write_ns: u64,
+    /// Write-Index-step nanoseconds.
+    pub write_index_ns: u64,
+    /// GC jobs run.
+    pub runs: u64,
+    /// Files collected.
+    pub files_collected: u64,
+    /// Records examined.
+    pub records_scanned: u64,
+    /// Records rewritten.
+    pub records_valid: u64,
+    /// Garbage bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+impl GcStepTimes {
+    /// Total nanoseconds across all steps.
+    pub fn total_ns(&self) -> u64 {
+        self.read_ns + self.lookup_ns + self.write_ns + self.write_index_ns
+    }
+
+    /// Per-step share of GC time as `(read, lookup, write, write_index)`
+    /// percentages — the paper's Figure 3 latency breakdown.
+    pub fn percentages(&self) -> (f64, f64, f64, f64) {
+        let t = self.total_ns() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.read_ns as f64 / t,
+            100.0 * self.lookup_ns as f64 / t,
+            100.0 * self.write_ns as f64 / t,
+            100.0 * self.write_index_ns as f64 / t,
+        )
+    }
+
+    /// `self - earlier`, saturating.
+    pub fn delta(&self, earlier: &GcStepTimes) -> GcStepTimes {
+        GcStepTimes {
+            read_ns: self.read_ns.saturating_sub(earlier.read_ns),
+            lookup_ns: self.lookup_ns.saturating_sub(earlier.lookup_ns),
+            write_ns: self.write_ns.saturating_sub(earlier.write_ns),
+            write_index_ns: self.write_index_ns.saturating_sub(earlier.write_index_ns),
+            runs: self.runs.saturating_sub(earlier.runs),
+            files_collected: self.files_collected.saturating_sub(earlier.files_collected),
+            records_scanned: self.records_scanned.saturating_sub(earlier.records_scanned),
+            records_valid: self.records_valid.saturating_sub(earlier.records_valid),
+            reclaimed_bytes: self.reclaimed_bytes.saturating_sub(earlier.reclaimed_bytes),
+        }
+    }
+}
+
+/// Where the engine's bytes live on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceBreakdown {
+    /// Key SSTs (the index LSM-tree).
+    pub ksst_bytes: u64,
+    /// Value SSTs / blob logs.
+    pub value_bytes: u64,
+    /// Write-ahead logs.
+    pub wal_bytes: u64,
+    /// Manifest + CURRENT.
+    pub manifest_bytes: u64,
+    /// Anything else.
+    pub other_bytes: u64,
+}
+
+impl SpaceBreakdown {
+    /// Total engine footprint.
+    pub fn total(&self) -> u64 {
+        self.ksst_bytes
+            + self.value_bytes
+            + self.wal_bytes
+            + self.manifest_bytes
+            + self.other_bytes
+    }
+}
+
+/// Aggregate engine statistics for the harness.
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Per-class I/O counters.
+    pub io: IoStatsSnapshot,
+    /// GC step breakdown.
+    pub gc: GcStepTimes,
+    /// On-disk space breakdown.
+    pub space: SpaceBreakdown,
+    /// Index LSM-tree space amplification (paper Eq. 1).
+    pub index_space_amp: f64,
+    /// Total exposed garbage bytes in the value store.
+    pub exposed_garbage_bytes: u64,
+    /// Total value bytes in live value files.
+    pub value_store_bytes: u64,
+    /// Live value files.
+    pub value_files: u64,
+    /// Block cache hit ratio.
+    pub cache_hit_ratio: f64,
+    /// Flushes.
+    pub flushes: u64,
+    /// Compactions.
+    pub compactions: u64,
+    /// Entries dropped by merges.
+    pub merge_drops: u64,
+    /// Write-path throttle activations (space-aware throttling, §III-D).
+    pub throttle_stalls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let t = GcStepTimes {
+            read_ns: 500,
+            lookup_ns: 300,
+            write_ns: 150,
+            write_index_ns: 50,
+            ..Default::default()
+        };
+        let (r, l, w, wi) = t.percentages();
+        assert!((r + l + w + wi - 100.0).abs() < 1e-9);
+        assert!((r - 50.0).abs() < 1e-9);
+        assert!((wi - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        let t = GcStepTimes::default();
+        assert_eq!(t.percentages(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(t.total_ns(), 0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = GcStepTimes { read_ns: 100, runs: 2, ..Default::default() };
+        let b = GcStepTimes { read_ns: 250, runs: 5, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.read_ns, 150);
+        assert_eq!(d.runs, 3);
+    }
+
+    #[test]
+    fn space_total_sums_components() {
+        let s = SpaceBreakdown {
+            ksst_bytes: 1,
+            value_bytes: 2,
+            wal_bytes: 3,
+            manifest_bytes: 4,
+            other_bytes: 5,
+        };
+        assert_eq!(s.total(), 15);
+    }
+
+    #[test]
+    fn gc_stats_atomics_accumulate() {
+        let g = GcStats::default();
+        g.read_ns.fetch_add(10, Ordering::Relaxed);
+        g.read_ns.fetch_add(5, Ordering::Relaxed);
+        g.runs.fetch_add(1, Ordering::Relaxed);
+        let s = g.snapshot();
+        assert_eq!(s.read_ns, 15);
+        assert_eq!(s.runs, 1);
+    }
+}

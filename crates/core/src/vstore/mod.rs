@@ -1,0 +1,537 @@
+//! The value store: value-file registry, garbage accounting, inheritance,
+//! and reference resolution.
+//!
+//! This is where the paper's space-amplification bookkeeping lives
+//! (§II-D): every value file tracks its **exposed garbage** — bytes whose
+//! index entries have already been merged away by compaction. The
+//! ratio-triggered GC consumes this accounting; the experiment harness
+//! reads it to reproduce Figures 5 and 18.
+
+pub mod inherit;
+pub mod vtable;
+
+use crate::options::VFormat;
+use bytes::Bytes;
+use inherit::InheritForest;
+use parking_lot::RwLock;
+use scavenger_env::{EnvRef, IoClass};
+use scavenger_lsm::{NewValueFile, ValueEditBundle};
+use scavenger_table::btable::BlockCache;
+use scavenger_table::props::TableType;
+use scavenger_util::ikey::{SeqNo, ValueRef};
+use scavenger_util::{Error, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vtable::{vfile_path, VReader};
+
+/// Metadata for one value file.
+#[derive(Debug)]
+pub struct VsstMeta {
+    /// File number.
+    pub file: u64,
+    /// On-disk size.
+    pub size: u64,
+    /// Number of records.
+    pub entries: u64,
+    /// Total value bytes stored.
+    pub value_bytes: u64,
+    /// Hot-classified file (paper §III-B3).
+    pub hot: bool,
+    /// On-disk format.
+    pub format: VFormat,
+    /// Exposed garbage, bytes.
+    pub exposed_bytes: AtomicU64,
+    /// Exposed garbage, entries.
+    pub exposed_entries: AtomicU64,
+}
+
+impl VsstMeta {
+    /// Exposed-garbage ratio in `[0, 1]` — the GC trigger metric.
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.value_bytes == 0 {
+            return if self.entries > 0 { 1.0 } else { 0.0 };
+        }
+        (self.exposed_bytes.load(Ordering::Relaxed) as f64 / self.value_bytes as f64)
+            .min(1.0)
+    }
+
+    /// True once every record has been exposed as garbage (BlobDB's
+    /// deletion condition: the file "exhausted its data through
+    /// compaction", §II-C).
+    pub fn is_exhausted(&self) -> bool {
+        self.entries > 0 && self.exposed_entries.load(Ordering::Relaxed) >= self.entries
+    }
+
+    /// Estimated live value bytes remaining.
+    pub fn live_bytes(&self) -> u64 {
+        self.value_bytes
+            .saturating_sub(self.exposed_bytes.load(Ordering::Relaxed))
+    }
+}
+
+fn format_tag(format: VFormat) -> u8 {
+    match format {
+        VFormat::BTable => TableType::BTable as u8,
+        VFormat::RTable => TableType::RTable as u8,
+        VFormat::BlobLog => TableType::BlobLog as u8,
+    }
+}
+
+fn tag_format(tag: u8) -> Result<VFormat> {
+    match tag {
+        t if t == TableType::BTable as u8 => Ok(VFormat::BTable),
+        t if t == TableType::RTable as u8 => Ok(VFormat::RTable),
+        t if t == TableType::BlobLog as u8 => Ok(VFormat::BlobLog),
+        other => Err(Error::corruption(format!("bad value-file format tag {other}"))),
+    }
+}
+
+/// Build the manifest record for a new value file.
+pub fn new_value_file_record(
+    file: u64,
+    info: vtable::VFileInfo,
+    hot: bool,
+    format: VFormat,
+) -> NewValueFile {
+    NewValueFile {
+        file,
+        size: info.size,
+        entries: info.entries,
+        value_bytes: info.value_bytes,
+        hot,
+        format: format_tag(format),
+    }
+}
+
+/// The value store.
+pub struct ValueStore {
+    env: EnvRef,
+    dir: String,
+    cache: Arc<BlockCache>,
+    files: RwLock<HashMap<u64, Arc<VsstMeta>>>,
+    forest: RwLock<InheritForest>,
+    readers: RwLock<HashMap<u64, Arc<VReader>>>,
+}
+
+impl ValueStore {
+    /// Create an empty value store rooted at `dir`.
+    pub fn new(env: EnvRef, dir: impl Into<String>, cache: Arc<BlockCache>) -> Self {
+        ValueStore {
+            env,
+            dir: dir.into(),
+            cache,
+            files: RwLock::new(HashMap::new()),
+            forest: RwLock::new(InheritForest::new()),
+            readers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Apply a committed bundle to in-memory state. Returns the `(file,
+    /// format)` pairs removed, whose disk files the caller should delete.
+    pub fn apply_bundle(&self, bundle: &ValueEditBundle) -> Vec<(u64, VFormat)> {
+        for nf in &bundle.new_files {
+            if let Ok(format) = tag_format(nf.format) {
+                self.files.write().insert(
+                    nf.file,
+                    Arc::new(VsstMeta {
+                        file: nf.file,
+                        size: nf.size,
+                        entries: nf.entries,
+                        value_bytes: nf.value_bytes,
+                        hot: nf.hot,
+                        format,
+                        exposed_bytes: AtomicU64::new(0),
+                        exposed_entries: AtomicU64::new(0),
+                    }),
+                );
+            }
+        }
+        {
+            let mut forest = self.forest.write();
+            for (old, new) in &bundle.inherits {
+                forest.add_edge(*old, *new);
+            }
+        }
+        for (file, bytes, entries) in &bundle.garbage {
+            self.add_garbage(*file, *bytes, *entries);
+        }
+        let mut removed = Vec::new();
+        for file in &bundle.deleted_files {
+            if let Some(meta) = self.files.write().remove(file) {
+                self.readers.write().remove(file);
+                removed.push((*file, meta.format));
+            }
+        }
+        removed
+    }
+
+    /// Charge exposed garbage to `file`, resolving through the inheritance
+    /// forest if the file was already collected. (Resolution at charge
+    /// time may pick among several leaves; the first live one is charged —
+    /// an approximation that only shifts *which* descendant is collected
+    /// first, never the total.)
+    pub fn add_garbage(&self, file: u64, bytes: u64, entries: u64) {
+        let files = self.files.read();
+        if let Some(meta) = files.get(&file) {
+            meta.exposed_bytes.fetch_add(bytes, Ordering::Relaxed);
+            meta.exposed_entries.fetch_add(entries, Ordering::Relaxed);
+            return;
+        }
+        let leaves = self.forest.read().leaves(file);
+        for leaf in leaves {
+            if let Some(meta) = files.get(&leaf) {
+                meta.exposed_bytes.fetch_add(bytes, Ordering::Relaxed);
+                meta.exposed_entries.fetch_add(entries, Ordering::Relaxed);
+                return;
+            }
+        }
+        // The entire lineage is gone; nothing to charge.
+    }
+
+    /// Metadata of a live file.
+    pub fn meta(&self, file: u64) -> Option<Arc<VsstMeta>> {
+        self.files.read().get(&file).cloned()
+    }
+
+    /// All live files.
+    pub fn all_files(&self) -> Vec<Arc<VsstMeta>> {
+        self.files.read().values().cloned().collect()
+    }
+
+    /// Live file numbers.
+    pub fn live_file_numbers(&self) -> Vec<u64> {
+        self.files.read().keys().copied().collect()
+    }
+
+    /// GC candidates: live files with `garbage_ratio >= threshold`,
+    /// hottest-garbage first (paper: "prioritizes files with higher
+    /// garbage ratios").
+    pub fn gc_candidates(&self, threshold: f64) -> Vec<Arc<VsstMeta>> {
+        let mut v: Vec<Arc<VsstMeta>> = self
+            .files
+            .read()
+            .values()
+            .filter(|m| m.garbage_ratio() >= threshold)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| {
+            b.garbage_ratio()
+                .partial_cmp(&a.garbage_ratio())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    /// Files whose every record is exposed garbage (BlobDB reclamation).
+    pub fn exhausted_files(&self) -> Vec<u64> {
+        self.files
+            .read()
+            .values()
+            .filter(|m| m.is_exhausted())
+            .map(|m| m.file)
+            .collect()
+    }
+
+    /// Total bytes across live value files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.read().values().map(|m| m.size).sum()
+    }
+
+    /// Total exposed garbage bytes (the numerator of the paper's
+    /// Exposed/Valid ratio, Fig. 5b / 18b).
+    pub fn total_exposed_bytes(&self) -> u64 {
+        self.files
+            .read()
+            .values()
+            .map(|m| m.exposed_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total value bytes across live files.
+    pub fn total_value_bytes(&self) -> u64 {
+        self.files.read().values().map(|m| m.value_bytes).sum()
+    }
+
+    /// Current holders of whatever survived from `file`.
+    pub fn resolve_leaves(&self, file: u64) -> Vec<u64> {
+        self.forest.read().leaves(file)
+    }
+
+    /// GC validity: does `candidate` descend from `file`?
+    pub fn resolves_to(&self, file: u64, candidate: u64) -> bool {
+        self.forest.read().resolves_to(file, candidate)
+    }
+
+    /// Cached foreground reader for `file`.
+    pub fn reader(&self, file: u64) -> Result<Arc<VReader>> {
+        if let Some(r) = self.readers.read().get(&file) {
+            return Ok(r.clone());
+        }
+        let meta = self
+            .meta(file)
+            .ok_or_else(|| Error::not_found(format!("value file {file}")))?;
+        let reader = Arc::new(VReader::open(
+            &self.env,
+            &self.dir,
+            file,
+            meta.format,
+            Some(self.cache.clone()),
+            IoClass::FgValueRead,
+        )?);
+        self.readers.write().insert(file, reader.clone());
+        Ok(reader)
+    }
+
+    /// Open a *GC-class* reader (separate from the foreground reader so
+    /// I/O is accounted as GC read).
+    pub fn gc_reader(&self, file: u64) -> Result<VReader> {
+        let meta = self
+            .meta(file)
+            .ok_or_else(|| Error::not_found(format!("value file {file}")))?;
+        VReader::open(
+            &self.env,
+            &self.dir,
+            file,
+            meta.format,
+            Some(self.cache.clone()),
+            IoClass::GcRead,
+        )
+    }
+
+    /// Resolve and read the value behind a reference.
+    ///
+    /// * Address-based formats (blob logs) read `(offset, size)` directly.
+    /// * Keyed formats resolve the stored file through the inheritance
+    ///   forest and probe each leaf (bloom-guarded) for the exact
+    ///   `(user_key, seq)` version.
+    pub fn read_ref(&self, user_key: &[u8], seq: SeqNo, vref: &ValueRef) -> Result<Bytes> {
+        // A concurrent GC can retire a file between our resolution and the
+        // read; on that narrow race, re-resolve once (the inheritance
+        // forest already knows the file's heirs).
+        match self.read_ref_once(user_key, seq, vref) {
+            Err(Error::NotFound(_)) => self.read_ref_once(user_key, seq, vref),
+            other => other,
+        }
+    }
+
+    fn read_ref_once(&self, user_key: &[u8], seq: SeqNo, vref: &ValueRef) -> Result<Bytes> {
+        // Fast path: the file is live (no GC touched it).
+        if let Some(meta) = self.meta(vref.file) {
+            if meta.format == VFormat::BlobLog {
+                return self.reader(vref.file)?.read_at(vref.offset, vref.size);
+            }
+            if let Some(v) = self.reader(vref.file)?.get_exact(user_key, seq)? {
+                return Ok(v);
+            }
+            // Keyed file is live but lacks the record — fall through to
+            // resolution (the file may predate a merged-GC output).
+        }
+        for leaf in self.resolve_leaves(vref.file) {
+            if self.meta(leaf).is_none() {
+                continue;
+            }
+            let reader = self.reader(leaf)?;
+            if !reader.may_contain(user_key) {
+                continue;
+            }
+            if let Some(v) = reader.get_exact(user_key, seq)? {
+                return Ok(v);
+            }
+        }
+        Err(Error::corruption(format!(
+            "dangling value reference: file {} (user key {} bytes, seq {seq})",
+            vref.file,
+            user_key.len()
+        )))
+    }
+
+    /// Delete the disk file behind a removed value file.
+    pub fn delete_file(&self, file: u64, format: VFormat) {
+        let _ = self.env.remove_file(&vfile_path(&self.dir, file, format));
+    }
+
+    /// Remove on-disk value files not present in the registry (crash
+    /// leftovers). Returns how many were removed.
+    pub fn delete_orphans(&self) -> Result<usize> {
+        use scavenger_lsm::filename::{parse_path, FileKind};
+        let live: std::collections::HashSet<u64> =
+            self.live_file_numbers().into_iter().collect();
+        let mut removed = 0;
+        for p in self.env.list_prefix(&format!("{}/", self.dir))? {
+            if let Some((kind, n)) = parse_path(&self.dir, &p) {
+                if matches!(kind, FileKind::ValueTable | FileKind::BlobLog)
+                    && !live.contains(&n)
+                {
+                    let _ = self.env.remove_file(&p);
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Environment handle.
+    pub fn env(&self) -> &EnvRef {
+        &self.env
+    }
+
+    /// Directory prefix.
+    pub fn dir(&self) -> &str {
+        &self.dir
+    }
+
+    /// Shared block cache.
+    pub fn cache(&self) -> Arc<BlockCache> {
+        self.cache.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vtable::{VFileInfo, VWriter};
+    use super::*;
+    use scavenger_env::MemEnv;
+    use scavenger_table::btable::TableOptions;
+    use scavenger_table::KeyCmp;
+
+    fn store() -> ValueStore {
+        let env: EnvRef = MemEnv::shared();
+        ValueStore::new(env, "db", Arc::new(BlockCache::with_capacity(1 << 20)))
+    }
+
+    fn nf(file: u64, entries: u64, value_bytes: u64) -> NewValueFile {
+        new_value_file_record(
+            file,
+            VFileInfo { size: value_bytes + 100, entries, value_bytes },
+            false,
+            VFormat::RTable,
+        )
+    }
+
+    #[test]
+    fn register_and_garbage_ratio() {
+        let vs = store();
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![nf(1, 10, 1000)],
+            ..Default::default()
+        });
+        let m = vs.meta(1).unwrap();
+        assert_eq!(m.garbage_ratio(), 0.0);
+        vs.add_garbage(1, 250, 2);
+        assert!((m.garbage_ratio() - 0.25).abs() < 1e-9);
+        assert_eq!(m.live_bytes(), 750);
+        assert!(!m.is_exhausted());
+        vs.add_garbage(1, 750, 8);
+        assert!(m.is_exhausted());
+        assert_eq!(vs.exhausted_files(), vec![1]);
+    }
+
+    #[test]
+    fn candidates_sorted_by_ratio() {
+        let vs = store();
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![nf(1, 10, 1000), nf(2, 10, 1000), nf(3, 10, 1000)],
+            ..Default::default()
+        });
+        vs.add_garbage(1, 300, 3);
+        vs.add_garbage(2, 800, 8);
+        vs.add_garbage(3, 100, 1);
+        let c = vs.gc_candidates(0.2);
+        let order: Vec<u64> = c.iter().map(|m| m.file).collect();
+        assert_eq!(order, vec![2, 1], "ratio-desc, file 3 below threshold");
+    }
+
+    #[test]
+    fn garbage_follows_inheritance_to_leaves() {
+        let vs = store();
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![nf(1, 10, 1000)],
+            ..Default::default()
+        });
+        // GC moved file 1 into file 2.
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![nf(2, 8, 800)],
+            deleted_files: vec![1],
+            inherits: vec![(1, 2)],
+            ..Default::default()
+        });
+        assert!(vs.meta(1).is_none());
+        // Late-arriving garbage for dead file 1 lands on its heir.
+        vs.add_garbage(1, 400, 4);
+        assert!((vs.meta(2).unwrap().garbage_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_track_live_files_only() {
+        let vs = store();
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![nf(1, 10, 1000), nf(2, 10, 2000)],
+            ..Default::default()
+        });
+        vs.add_garbage(1, 100, 1);
+        assert_eq!(vs.total_value_bytes(), 3000);
+        assert_eq!(vs.total_exposed_bytes(), 100);
+        vs.apply_bundle(&ValueEditBundle {
+            deleted_files: vec![1],
+            ..Default::default()
+        });
+        assert_eq!(vs.total_value_bytes(), 2000);
+        assert_eq!(vs.total_exposed_bytes(), 0);
+    }
+
+    #[test]
+    fn read_ref_resolves_through_gc_moves() {
+        let env: EnvRef = MemEnv::shared();
+        let vs = ValueStore::new(env.clone(), "db", Arc::new(BlockCache::with_capacity(1 << 20)));
+        let topts = TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() };
+
+        // Original file 5 holds k@7.
+        let mut w =
+            VWriter::create(&env, "db", 5, VFormat::RTable, topts.clone(), IoClass::Flush)
+                .unwrap();
+        let rec = w.add(b"k", 7, b"the-value").unwrap();
+        let info = w.finish().unwrap();
+        vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![new_value_file_record(5, info, false, VFormat::RTable)],
+            ..Default::default()
+        });
+        let vref = ValueRef { file: 5, size: rec.size, offset: rec.offset };
+        assert_eq!(&vs.read_ref(b"k", 7, &vref).unwrap()[..], b"the-value");
+
+        // GC moves contents to file 9; the stale ref still resolves.
+        let mut w =
+            VWriter::create(&env, "db", 9, VFormat::RTable, topts, IoClass::GcWrite).unwrap();
+        w.add(b"k", 7, b"the-value").unwrap();
+        let info = w.finish().unwrap();
+        let removed = vs.apply_bundle(&ValueEditBundle {
+            new_files: vec![new_value_file_record(9, info, false, VFormat::RTable)],
+            deleted_files: vec![5],
+            inherits: vec![(5, 9)],
+            ..Default::default()
+        });
+        assert_eq!(removed, vec![(5, VFormat::RTable)]);
+        for (f, fmt) in removed {
+            vs.delete_file(f, fmt);
+        }
+        assert_eq!(&vs.read_ref(b"k", 7, &vref).unwrap()[..], b"the-value");
+        // A key that never existed: dangling.
+        let bad = ValueRef { file: 5, size: 3, offset: 0 };
+        assert!(vs.read_ref(b"zz", 1, &bad).is_err());
+    }
+
+    #[test]
+    fn orphan_cleanup_removes_unregistered_files() {
+        let env = MemEnv::shared();
+        let eref: EnvRef = env.clone();
+        let vs = ValueStore::new(eref.clone(), "db", Arc::new(BlockCache::with_capacity(1024)));
+        let topts = TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() };
+        let mut w =
+            VWriter::create(&eref, "db", 3, VFormat::RTable, topts, IoClass::Flush).unwrap();
+        w.add(b"k", 1, b"v").unwrap();
+        w.finish().unwrap();
+        assert!(eref.file_exists("db/000003.vsst"));
+        assert_eq!(vs.delete_orphans().unwrap(), 1);
+        assert!(!eref.file_exists("db/000003.vsst"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-class I/O accounting.
+//!
+//! Every file handle is opened under an [`IoClass`]; all bytes and
+//! operations through that handle are charged to the class. The classes
+//! mirror the paper's instrumentation: foreground reads, WAL, flush,
+//! compaction (read/write), and — the stars of Figure 12(c) — GC read and
+//! GC write.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a piece of I/O was performed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum IoClass {
+    /// Write-ahead-log appends.
+    Wal = 0,
+    /// Memtable flush writes (kSST and vSST creation at flush time).
+    Flush = 1,
+    /// Index LSM-tree compaction reads and writes.
+    Compaction = 2,
+    /// Garbage-collection reads (vSST scans / lazy index reads / value fetch).
+    GcRead = 3,
+    /// Garbage-collection writes (rewriting valid values).
+    GcWrite = 4,
+    /// Foreground point/range reads of index SSTs.
+    FgIndexRead = 5,
+    /// Foreground value fetches from the value store.
+    FgValueRead = 6,
+    /// Manifest / CURRENT maintenance.
+    Manifest = 7,
+    /// Anything else.
+    Other = 8,
+}
+
+/// Number of I/O classes.
+pub const NUM_IO_CLASSES: usize = 9;
+
+/// All classes, in index order.
+pub const ALL_IO_CLASSES: [IoClass; NUM_IO_CLASSES] = [
+    IoClass::Wal,
+    IoClass::Flush,
+    IoClass::Compaction,
+    IoClass::GcRead,
+    IoClass::GcWrite,
+    IoClass::FgIndexRead,
+    IoClass::FgValueRead,
+    IoClass::Manifest,
+    IoClass::Other,
+];
+
+impl IoClass {
+    /// Short human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoClass::Wal => "wal",
+            IoClass::Flush => "flush",
+            IoClass::Compaction => "compaction",
+            IoClass::GcRead => "gc-read",
+            IoClass::GcWrite => "gc-write",
+            IoClass::FgIndexRead => "fg-index-read",
+            IoClass::FgValueRead => "fg-value-read",
+            IoClass::Manifest => "manifest",
+            IoClass::Other => "other",
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClassCounters {
+    read_bytes: AtomicU64,
+    read_ops: AtomicU64,
+    write_bytes: AtomicU64,
+    write_ops: AtomicU64,
+}
+
+/// Thread-safe I/O counters, one set per [`IoClass`].
+#[derive(Default)]
+pub struct IoStats {
+    classes: [ClassCounters; NUM_IO_CLASSES],
+}
+
+impl IoStats {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge a read of `bytes` to `class`.
+    pub fn record_read(&self, class: IoClass, bytes: u64) {
+        let c = &self.classes[class as usize];
+        c.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge a write of `bytes` to `class`.
+    pub fn record_write(&self, class: IoClass, bytes: u64) {
+        let c = &self.classes[class as usize];
+        c.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let mut snap = IoStatsSnapshot::default();
+        for (i, c) in self.classes.iter().enumerate() {
+            snap.classes[i] = ClassSnapshot {
+                read_bytes: c.read_bytes.load(Ordering::Relaxed),
+                read_ops: c.read_ops.load(Ordering::Relaxed),
+                write_bytes: c.write_bytes.load(Ordering::Relaxed),
+                write_ops: c.write_ops.load(Ordering::Relaxed),
+            };
+        }
+        snap
+    }
+}
+
+/// Counters for one class at a point in time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSnapshot {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Read operations.
+    pub read_ops: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Write operations.
+    pub write_ops: u64,
+}
+
+/// A point-in-time copy of [`IoStats`], supporting deltas and totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Per-class counters, indexed by `IoClass as usize`.
+    pub classes: [ClassSnapshot; NUM_IO_CLASSES],
+}
+
+impl IoStatsSnapshot {
+    /// Counters for one class.
+    pub fn class(&self, c: IoClass) -> ClassSnapshot {
+        self.classes[c as usize]
+    }
+
+    /// `self - earlier`, per class (saturating).
+    pub fn delta(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        let mut out = IoStatsSnapshot::default();
+        for i in 0..NUM_IO_CLASSES {
+            out.classes[i] = ClassSnapshot {
+                read_bytes: self.classes[i]
+                    .read_bytes
+                    .saturating_sub(earlier.classes[i].read_bytes),
+                read_ops: self.classes[i]
+                    .read_ops
+                    .saturating_sub(earlier.classes[i].read_ops),
+                write_bytes: self.classes[i]
+                    .write_bytes
+                    .saturating_sub(earlier.classes[i].write_bytes),
+                write_ops: self.classes[i]
+                    .write_ops
+                    .saturating_sub(earlier.classes[i].write_ops),
+            };
+        }
+        out
+    }
+
+    /// Total bytes read across all classes.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.read_bytes).sum()
+    }
+
+    /// Total bytes written across all classes.
+    pub fn total_write_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.write_bytes).sum()
+    }
+
+    /// Total read operations across all classes.
+    pub fn total_read_ops(&self) -> u64 {
+        self.classes.iter().map(|c| c.read_ops).sum()
+    }
+
+    /// Total write operations across all classes.
+    pub fn total_write_ops(&self) -> u64 {
+        self.classes.iter().map(|c| c.write_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_class() {
+        let s = IoStats::new();
+        s.record_read(IoClass::GcRead, 100);
+        s.record_read(IoClass::GcRead, 50);
+        s.record_write(IoClass::GcWrite, 70);
+        let snap = s.snapshot();
+        assert_eq!(snap.class(IoClass::GcRead).read_bytes, 150);
+        assert_eq!(snap.class(IoClass::GcRead).read_ops, 2);
+        assert_eq!(snap.class(IoClass::GcWrite).write_bytes, 70);
+        assert_eq!(snap.class(IoClass::GcWrite).write_ops, 1);
+        assert_eq!(snap.class(IoClass::Flush).write_bytes, 0);
+    }
+
+    #[test]
+    fn totals_sum_all_classes() {
+        let s = IoStats::new();
+        s.record_read(IoClass::Compaction, 10);
+        s.record_read(IoClass::FgIndexRead, 5);
+        s.record_write(IoClass::Wal, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_read_bytes(), 15);
+        assert_eq!(snap.total_write_bytes(), 7);
+        assert_eq!(snap.total_read_ops(), 2);
+        assert_eq!(snap.total_write_ops(), 1);
+    }
+
+    #[test]
+    fn delta_subtracts_baseline() {
+        let s = IoStats::new();
+        s.record_write(IoClass::Flush, 100);
+        let before = s.snapshot();
+        s.record_write(IoClass::Flush, 25);
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.class(IoClass::Flush).write_bytes, 25);
+        assert_eq!(d.class(IoClass::Flush).write_ops, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let s = std::sync::Arc::new(IoStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s2 = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s2.record_read(IoClass::FgValueRead, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().class(IoClass::FgValueRead).read_ops, 8000);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_IO_CLASSES {
+            assert!(seen.insert(c.label()));
+        }
+    }
+}

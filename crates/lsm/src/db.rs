@@ -1,0 +1,1343 @@
+//! The index LSM-tree engine: write path, read path, snapshots, flush,
+//! compaction scheduling, WAL recovery, and obsolete-file cleanup.
+
+use crate::batch::WriteBatch;
+use crate::compaction::{pick_compaction, run_output_job, Compaction, PickerState};
+use crate::filename::{parse_path, table_path, wal_path, FileKind};
+use crate::hooks::{FileNumAlloc, JobKind, PassthroughSession, ValueSession};
+use crate::iter::{DbIter, InternalIterator, MergingIter, TableEntryIter, UserEntry, VecIter};
+use crate::memtable::{MemGet, Memtable};
+use crate::options::{BackgroundMode, LsmOptions};
+use crate::tcache::{open_ktable, TableCache};
+use crate::version::{Version, VersionEdit, VersionSet};
+use crate::wal::{read_all_records, LogWriter};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use scavenger_env::IoClass;
+use scavenger_table::btable::BlockCache;
+use scavenger_util::ikey::{make_internal_key, parse_internal_key, SeqNo, ValueRef, ValueType};
+use scavenger_util::{Error, Result};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result of a point lookup against the index LSM-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmReadResult {
+    /// No visible version.
+    NotFound,
+    /// Visible version is a tombstone.
+    Deleted,
+    /// Visible version found.
+    Found {
+        /// Sequence of the version.
+        seq: SeqNo,
+        /// `Value` (inline) or `ValueRef` (separated).
+        vtype: ValueType,
+        /// Payload.
+        value: Bytes,
+    },
+}
+
+/// A conditional put used by Titan-style GC write-back: the new reference
+/// is installed only if the key still points at the expected old location.
+#[derive(Debug, Clone)]
+pub struct GuardedWrite {
+    /// User key.
+    pub key: Vec<u8>,
+    /// The reference the GC read the value through.
+    pub expected: ValueRef,
+    /// The reference to the relocated value.
+    pub replacement: ValueRef,
+}
+
+/// A read snapshot. Dropping it unregisters the sequence.
+pub struct Snapshot {
+    seq: SeqNo,
+    list: Arc<Mutex<Vec<SeqNo>>>,
+}
+
+impl Snapshot {
+    /// The snapshot's sequence number.
+    pub fn sequence(&self) -> SeqNo {
+        self.seq
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut l = self.list.lock();
+        if let Some(pos) = l.iter().position(|&s| s == self.seq) {
+            l.remove(pos);
+        }
+    }
+}
+
+struct WriterState {
+    wal: Option<LogWriter>,
+    wal_number: u64,
+}
+
+struct ImmEntry {
+    mem: Arc<Memtable>,
+    wal_number: u64,
+}
+
+#[derive(Default)]
+struct BgSignal {
+    work_pending: bool,
+    shutdown: bool,
+}
+
+/// Engine counters.
+#[derive(Debug, Default)]
+pub struct LsmCounters {
+    /// Memtable flushes completed.
+    pub flushes: AtomicU64,
+    /// Compactions completed (excluding trivial moves).
+    pub compactions: AtomicU64,
+    /// Trivial moves applied.
+    pub trivial_moves: AtomicU64,
+    /// Writer stalls (threaded mode).
+    pub stalls: AtomicU64,
+    /// Entries dropped by merges (exposed garbage events).
+    pub merge_drops: AtomicU64,
+}
+
+struct Inner {
+    opts: LsmOptions,
+    tcache: Arc<TableCache>,
+    writer: Mutex<WriterState>,
+    mem: RwLock<Arc<Memtable>>,
+    imms: RwLock<Vec<ImmEntry>>,
+    vset: Mutex<VersionSet>,
+    seq: Arc<AtomicU64>,
+    file_counter: Arc<AtomicU64>,
+    picker: Mutex<PickerState>,
+    snapshots: Arc<Mutex<Vec<SeqNo>>>,
+    counters: LsmCounters,
+    bg_signal: Mutex<BgSignal>,
+    bg_cv: Condvar,
+    stall_lock: Mutex<()>,
+    stall_cv: Condvar,
+    bg_error: Mutex<Option<Error>>,
+    /// Key-SST files replaced by compactions, awaiting deletion once no
+    /// in-flight reader's version references them.
+    pending_deletions: Mutex<Vec<u64>>,
+    closed: AtomicBool,
+}
+
+/// Allocates file numbers from the shared counter.
+struct CounterAlloc(Arc<AtomicU64>);
+
+impl FileNumAlloc for CounterAlloc {
+    fn next_file_number(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// The index LSM-tree.
+pub struct Lsm {
+    inner: Arc<Inner>,
+    bg_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Lsm {
+    /// Open (or create) the tree, recovering manifest and WALs. Returns the
+    /// engine and the value-store edit history for replay by the layer
+    /// above.
+    pub fn open(opts: LsmOptions) -> Result<(Lsm, Vec<crate::hooks::ValueEditBundle>)> {
+        let env = opts.env.clone();
+        env.create_dir_all(&opts.dir)?;
+        let recovered = VersionSet::open(env.clone(), &opts.dir, opts.num_levels)?;
+        let vset = recovered.vset;
+        let value_replay = recovered.value_replay;
+        let seq = vset.seq_counter();
+        let file_counter = vset.file_counter();
+        let block_cache = opts
+            .block_cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(BlockCache::with_capacity(opts.block_cache_bytes)));
+        let tcache = Arc::new(TableCache::new(&opts, block_cache));
+
+        let inner = Arc::new(Inner {
+            tcache,
+            writer: Mutex::new(WriterState { wal: None, wal_number: 0 }),
+            mem: RwLock::new(Arc::new(Memtable::new())),
+            imms: RwLock::new(Vec::new()),
+            seq,
+            file_counter,
+            picker: Mutex::new(PickerState::new(opts.num_levels)),
+            snapshots: Arc::new(Mutex::new(Vec::new())),
+            counters: LsmCounters::default(),
+            bg_signal: Mutex::new(BgSignal::default()),
+            bg_cv: Condvar::new(),
+            stall_lock: Mutex::new(()),
+            stall_cv: Condvar::new(),
+            bg_error: Mutex::new(None),
+            pending_deletions: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            vset: Mutex::new(vset),
+            opts,
+        });
+
+        let db = Lsm { inner, bg_thread: Mutex::new(None) };
+        db.recover_wals()?;
+        db.start_fresh_wal()?;
+        db.delete_obsolete_files()?;
+        if db.inner.opts.background == BackgroundMode::Threaded {
+            db.spawn_bg_thread();
+        }
+        Ok((db, value_replay))
+    }
+
+    /// The engine options.
+    pub fn options(&self) -> &LsmOptions {
+        &self.inner.opts
+    }
+
+    /// Shared block cache.
+    pub fn block_cache(&self) -> Arc<BlockCache> {
+        self.inner.tcache.block_cache()
+    }
+
+    /// A file-number allocator backed by the engine's global counter.
+    pub fn file_alloc(&self) -> Arc<dyn FileNumAlloc> {
+        Arc::new(CounterAlloc(self.inner.file_counter.clone()))
+    }
+
+    /// Engine counters.
+    pub fn counters(&self) -> &LsmCounters {
+        &self.inner.counters
+    }
+
+    /// Last committed sequence number.
+    pub fn last_sequence(&self) -> SeqNo {
+        self.inner.seq.load(Ordering::SeqCst)
+    }
+
+    /// The live version (file layout).
+    pub fn current_version(&self) -> Arc<Version> {
+        self.inner.vset.lock().current()
+    }
+
+    // ---------------- write path ----------------
+
+    /// Apply a batch atomically. Returns the last sequence it received.
+    pub fn write(&self, batch: WriteBatch) -> Result<SeqNo> {
+        if batch.is_empty() {
+            return Ok(self.last_sequence());
+        }
+        self.check_bg_error()?;
+        self.maybe_stall();
+        {
+            let mut ws = self.inner.writer.lock();
+            self.apply_locked(&mut ws, &batch)?;
+        }
+        self.after_write()?;
+        Ok(self.last_sequence())
+    }
+
+    /// Titan-style conditional write-back (paper §II-B): each entry is
+    /// applied only if the key's newest version is still a reference to
+    /// `expected`. Returns how many entries were applied.
+    pub fn write_guarded(&self, writes: &[GuardedWrite]) -> Result<usize> {
+        self.check_bg_error()?;
+        self.maybe_stall();
+        let applied;
+        {
+            let mut ws = self.inner.writer.lock();
+            let mut batch = WriteBatch::new();
+            for w in writes {
+                if let LsmReadResult::Found { vtype: ValueType::ValueRef, value, .. } =
+                    self.get(&w.key)?
+                {
+                    if let Ok(cur) = ValueRef::decode(&value) {
+                        if cur.file == w.expected.file && cur.offset == w.expected.offset {
+                            batch.put_ref(&w.key, w.replacement);
+                        }
+                    }
+                }
+            }
+            applied = batch.count();
+            if applied > 0 {
+                self.apply_locked(&mut ws, &batch)?;
+            }
+        }
+        if applied > 0 {
+            self.after_write()?;
+        }
+        Ok(applied)
+    }
+
+    fn apply_locked(&self, ws: &mut WriterState, batch: &WriteBatch) -> Result<()> {
+        let base = self.inner.seq.load(Ordering::SeqCst) + 1;
+        if self.inner.opts.wal {
+            if let Some(wal) = ws.wal.as_mut() {
+                wal.add_record(&batch.encode(base))?;
+                wal.sync()?;
+            }
+        }
+        let mem = self.inner.mem.read().clone();
+        for (i, e) in batch.entries().iter().enumerate() {
+            mem.insert(&e.key, base + i as u64, e.vtype, e.value.clone());
+        }
+        self.inner
+            .seq
+            .store(base + batch.count() as u64 - 1, Ordering::SeqCst);
+        if mem.approx_size() >= self.inner.opts.memtable_size {
+            self.rotate_memtable(ws)?;
+        }
+        Ok(())
+    }
+
+    fn after_write(&self) -> Result<()> {
+        match self.inner.opts.background {
+            BackgroundMode::Inline => self.run_background_work(),
+            BackgroundMode::Threaded => {
+                let mut sig = self.inner.bg_signal.lock();
+                sig.work_pending = true;
+                self.inner.bg_cv.notify_all();
+                Ok(())
+            }
+        }
+    }
+
+    fn rotate_memtable(&self, ws: &mut WriterState) -> Result<()> {
+        let old = {
+            let mut m = self.inner.mem.write();
+            if m.is_empty() {
+                return Ok(());
+            }
+            std::mem::replace(&mut *m, Arc::new(Memtable::new()))
+        };
+        self.inner.imms.write().push(ImmEntry {
+            mem: old,
+            wal_number: ws.wal_number,
+        });
+        if self.inner.opts.wal {
+            let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
+            let f = self
+                .inner
+                .opts
+                .env
+                .new_writable(&wal_path(&self.inner.opts.dir, n), IoClass::Wal)?;
+            ws.wal = Some(LogWriter::new(f));
+            ws.wal_number = n;
+        }
+        Ok(())
+    }
+
+    fn maybe_stall(&self) {
+        if self.inner.opts.background != BackgroundMode::Threaded {
+            return;
+        }
+        let mut guard = self.inner.stall_lock.lock();
+        let mut stalled = false;
+        while self.inner.imms.read().len() > self.inner.opts.max_imm_memtables
+            && !self.inner.closed.load(Ordering::SeqCst)
+        {
+            if !stalled {
+                stalled = true;
+                self.inner.counters.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            // Timed wait: the imm list is guarded by its own lock, so a
+            // flush completing between our check and the wait could
+            // otherwise be a lost wakeup.
+            let _ = self.inner.stall_cv.wait_for(
+                &mut guard,
+                std::time::Duration::from_millis(20),
+            );
+        }
+    }
+
+    fn check_bg_error(&self) -> Result<()> {
+        match self.inner.bg_error.lock().clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // ---------------- read path ----------------
+
+    /// Latest visible version of `key`.
+    pub fn get(&self, key: &[u8]) -> Result<LsmReadResult> {
+        self.get_at(key, self.last_sequence())
+    }
+
+    /// Version of `key` visible at `read_seq`.
+    pub fn get_at(&self, key: &[u8], read_seq: SeqNo) -> Result<LsmReadResult> {
+        // Memtable.
+        match self.inner.mem.read().get(key, read_seq) {
+            MemGet::Found { seq, vtype, value } => {
+                return Ok(LsmReadResult::Found { seq, vtype, value });
+            }
+            MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
+            MemGet::NotFound => {}
+        }
+        // Immutable memtables, newest first.
+        {
+            let imms = self.inner.imms.read();
+            for imm in imms.iter().rev() {
+                match imm.mem.get(key, read_seq) {
+                    MemGet::Found { seq, vtype, value } => {
+                        return Ok(LsmReadResult::Found { seq, vtype, value });
+                    }
+                    MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
+                    MemGet::NotFound => {}
+                }
+            }
+        }
+        // SSTs.
+        let version = self.current_version();
+        let target = make_internal_key(key, read_seq, ValueType::ValueRef);
+        // L0: newest file first.
+        for f in &version.levels[0] {
+            if !f.user_range_contains(key) {
+                continue;
+            }
+            if let Some(r) = self.table_get(f.file_number, &target, key)? {
+                return Ok(r);
+            }
+        }
+        for level in 1..version.levels.len() {
+            let files = &version.levels[level];
+            if files.is_empty() {
+                continue;
+            }
+            let idx = files.partition_point(|f| {
+                scavenger_util::ikey::extract_user_key(&f.largest) < key
+            });
+            if idx < files.len() && files[idx].user_range_contains(key) {
+                if let Some(r) = self.table_get(files[idx].file_number, &target, key)? {
+                    return Ok(r);
+                }
+            }
+        }
+        Ok(LsmReadResult::NotFound)
+    }
+
+    fn table_get(
+        &self,
+        file_number: u64,
+        target: &[u8],
+        key: &[u8],
+    ) -> Result<Option<LsmReadResult>> {
+        let table = self.inner.tcache.get(file_number)?;
+        if let Some((ikey, value)) = table.get(target)? {
+            let parsed = parse_internal_key(&ikey)?;
+            if parsed.user_key == key {
+                return Ok(Some(match parsed.vtype {
+                    ValueType::Deletion => LsmReadResult::Deleted,
+                    t => LsmReadResult::Found { seq: parsed.seq, vtype: t, value },
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Take a read snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.last_sequence();
+        let list = self.inner.snapshots.clone();
+        list.lock().push(seq);
+        Snapshot { seq, list }
+    }
+
+    fn snapshot_seqs(&self) -> Vec<SeqNo> {
+        let mut v = self.inner.snapshots.lock().clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sequences of all live snapshots (ascending). The GC uses these as
+    /// extra read points for validity checks.
+    pub fn snapshot_sequences(&self) -> Vec<SeqNo> {
+        self.snapshot_seqs()
+    }
+
+    /// Range scan of visible entries with `lo <= user_key < hi`
+    /// (`hi = None` is unbounded), at the latest sequence.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ScanIter> {
+        self.scan_at(lo, hi, self.last_sequence())
+    }
+
+    /// Range scan at a specific read sequence.
+    pub fn scan_at(&self, lo: &[u8], hi: Option<&[u8]>, read_seq: SeqNo) -> Result<ScanIter> {
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(VecIter::new(
+            self.inner.mem.read().snapshot_range(lo, hi),
+        )));
+        {
+            let imms = self.inner.imms.read();
+            for imm in imms.iter().rev() {
+                children.push(Box::new(VecIter::new(imm.mem.snapshot_range(lo, hi))));
+            }
+        }
+        let version = self.current_version();
+        for f in &version.levels[0] {
+            if f.user_range_overlaps(Some(lo), hi) {
+                children.push(Box::new(TableEntryIter::new(
+                    self.inner.tcache.get(f.file_number)?,
+                )));
+            }
+        }
+        for level in 1..version.levels.len() {
+            let files = version.overlapping_files(level, Some(lo), hi);
+            if !files.is_empty() {
+                children.push(Box::new(crate::iter::LevelIter::new(
+                    files,
+                    self.inner.tcache.clone(),
+                )));
+            }
+        }
+        let mut it = DbIter::new(MergingIter::new(children), read_seq);
+        it.seek(lo);
+        Ok(ScanIter {
+            inner: it,
+            hi: hi.map(|h| h.to_vec()),
+        })
+    }
+
+    // ---------------- background work ----------------
+
+    /// Run flushes and compactions until no work remains (inline mode);
+    /// also callable directly by tests/harnesses.
+    pub fn run_background_work(&self) -> Result<()> {
+        loop {
+            let flushed = self.flush_one_imm()?;
+            let compacted = self.maybe_compact_once()?;
+            if !flushed && !compacted {
+                // All job-held version handles are gone now; retired files
+                // queued during the loop can be removed.
+                self.purge_unreferenced_tables();
+                return Ok(());
+            }
+        }
+    }
+
+    /// Force-flush the active memtable and wait until the tree is quiet.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut ws = self.inner.writer.lock();
+            self.rotate_memtable(&mut ws)?;
+        }
+        match self.inner.opts.background {
+            BackgroundMode::Inline => self.run_background_work(),
+            BackgroundMode::Threaded => {
+                {
+                    let mut sig = self.inner.bg_signal.lock();
+                    sig.work_pending = true;
+                    self.inner.bg_cv.notify_all();
+                }
+                // Wait for the background thread to drain.
+                while !self.inner.imms.read().is_empty() {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    self.check_bg_error()?;
+                    // Re-signal in case the drain raced with our rotate.
+                    let mut sig = self.inner.bg_signal.lock();
+                    sig.work_pending = true;
+                    self.inner.bg_cv.notify_all();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Run compactions until every level score is below 1.
+    pub fn compact_until_stable(&self) -> Result<()> {
+        while self.maybe_compact_once()? {}
+        Ok(())
+    }
+
+    /// Force one compaction even when all scores are below 1 — used by
+    /// space-aware throttling (paper §III-D) to convert hidden garbage
+    /// into exposed garbage when space runs out. Picks L0 if non-empty,
+    /// otherwise the upper level carrying the most (compensated) bytes.
+    /// Returns false if only the bottommost level holds data.
+    pub fn force_compact_once(&self) -> Result<bool> {
+        let version = self.current_version();
+        let targets =
+            crate::compaction::compute_targets(&version, &self.inner.opts);
+        let last = self.inner.opts.num_levels - 1;
+        let pick = if version.num_files(0) > 0 {
+            let inputs_lo = version.levels[0].clone();
+            let output_level = targets.base_level;
+            let mut lo: Option<Vec<u8>> = None;
+            let mut hi: Option<Vec<u8>> = None;
+            for f in &inputs_lo {
+                let s = scavenger_util::ikey::extract_user_key(&f.smallest).to_vec();
+                let l = scavenger_util::ikey::extract_user_key(&f.largest).to_vec();
+                lo = Some(match lo { Some(c) if c <= s => c, _ => s });
+                hi = Some(match hi { Some(c) if c >= l => c, _ => l });
+            }
+            let inputs_hi = version.overlapping_files(
+                output_level,
+                lo.as_deref(),
+                hi.as_deref(),
+            );
+            let bottommost = (output_level + 1..self.inner.opts.num_levels)
+                .all(|l| version.levels[l].is_empty());
+            Some(Compaction {
+                level: 0,
+                output_level,
+                inputs_lo,
+                inputs_hi,
+                bottommost,
+                score: 0.0,
+            })
+        } else {
+            // Densest non-bottom level.
+            let source = (1..last)
+                .filter(|&l| !version.levels[l].is_empty())
+                .max_by_key(|&l| {
+                    if self.inner.opts.compensated {
+                        version.level_compensated(l)
+                    } else {
+                        version.level_bytes(l)
+                    }
+                });
+            source.map(|level| {
+                let victim = version.levels[level]
+                    .iter()
+                    .max_by_key(|f| f.compensated_size())
+                    .cloned()
+                    .unwrap();
+                let output_level = level + 1;
+                let lo = scavenger_util::ikey::extract_user_key(&victim.smallest).to_vec();
+                let hi = scavenger_util::ikey::extract_user_key(&victim.largest).to_vec();
+                let inputs_hi =
+                    version.overlapping_files(output_level, Some(&lo), Some(&hi));
+                let bottommost = (output_level + 1..self.inner.opts.num_levels)
+                    .all(|l| version.levels[l].is_empty());
+                Compaction {
+                    level,
+                    output_level,
+                    inputs_lo: vec![victim],
+                    inputs_hi,
+                    bottommost,
+                    score: 0.0,
+                }
+            })
+        };
+        match pick {
+            Some(c) if c.is_trivial_move() => {
+                let f = &c.inputs_lo[0];
+                let mut edit = VersionEdit::default();
+                edit.deleted.push((c.level, f.file_number));
+                edit.added.push((c.output_level, (**f).clone()));
+                self.inner.vset.lock().log_and_apply(edit)?;
+                self.inner.counters.trivial_moves.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Some(c) => {
+                self.run_compaction(&version, &c)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn session_for(&self, kind: JobKind) -> Result<Box<dyn ValueSession>> {
+        match &self.inner.opts.value_hook {
+            Some(h) => h.session(kind, Arc::new(CounterAlloc(self.inner.file_counter.clone()))),
+            None => Ok(Box::new(PassthroughSession)),
+        }
+    }
+
+    fn flush_one_imm(&self) -> Result<bool> {
+        let (imm, wal_number) = {
+            let imms = self.inner.imms.read();
+            match imms.first() {
+                Some(e) => (e.mem.clone(), e.wal_number),
+                None => return Ok(false),
+            }
+        };
+        let version = self.current_version();
+        let bottommost = version.total_files() == 0;
+        let session = self.session_for(JobKind::Flush)?;
+        let snapshots = self.snapshot_seqs();
+        let counter = self.inner.file_counter.clone();
+        let alloc = move || counter.fetch_add(1, Ordering::SeqCst);
+        let mut input = VecIter::new(imm.snapshot());
+        let out = run_output_job(
+            &self.inner.opts,
+            &mut input,
+            &snapshots,
+            bottommost,
+            &|_| false,
+            session,
+            &alloc,
+            IoClass::Flush,
+        )?;
+        self.inner
+            .counters
+            .merge_drops
+            .fetch_add(out.stats.entries_dropped, Ordering::Relaxed);
+
+        let mut edit = VersionEdit::default();
+        for f in &out.files {
+            edit.added.push((0, f.clone()));
+        }
+        edit.value = out.bundle.clone();
+        // WALs strictly below the *next* imm's WAL (or the live WAL) are
+        // obsolete once this flush commits. Lock order is writer -> imms
+        // everywhere, so the imms guard must drop before the writer lock
+        // is taken.
+        let next_imm_wal = { self.inner.imms.read().get(1).map(|e| e.wal_number) };
+        let next_needed = match next_imm_wal {
+            Some(n) => n,
+            None => self.inner.writer.lock().wal_number,
+        };
+        edit.log_number = Some(next_needed);
+        self.inner.vset.lock().log_and_apply(edit)?;
+        if let Some(h) = &self.inner.opts.value_hook {
+            h.on_committed(&out.bundle);
+        }
+        {
+            let mut imms = self.inner.imms.write();
+            let pos = imms
+                .iter()
+                .position(|e| Arc::ptr_eq(&e.mem, &imm))
+                .expect("flushed imm still registered");
+            imms.remove(pos);
+        }
+        let _ = wal_number;
+        self.delete_obsolete_wals()?;
+        self.inner.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        self.inner.stall_cv.notify_all();
+        Ok(true)
+    }
+
+    fn maybe_compact_once(&self) -> Result<bool> {
+        let version = self.current_version();
+        let pick = {
+            let mut picker = self.inner.picker.lock();
+            pick_compaction(&version, &self.inner.opts, &mut picker)
+        };
+        let Some(c) = pick else {
+            self.purge_unreferenced_tables();
+            return Ok(false);
+        };
+        if c.is_trivial_move() {
+            drop(version);
+            let f = &c.inputs_lo[0];
+            let mut edit = VersionEdit::default();
+            edit.deleted.push((c.level, f.file_number));
+            edit.added.push((c.output_level, (**f).clone()));
+            self.inner.vset.lock().log_and_apply(edit)?;
+            self.inner
+                .counters
+                .trivial_moves
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(true);
+        }
+        self.run_compaction(&version, &c)?;
+        drop(version);
+        self.purge_unreferenced_tables();
+        Ok(true)
+    }
+
+    fn run_compaction(&self, version: &Arc<Version>, c: &Compaction) -> Result<()> {
+        // Open compaction-class readers (bypassing the table cache so
+        // foreground I/O accounting stays clean; compaction reads do not
+        // pollute the block cache, like RocksDB's fill_cache=false).
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        for f in c.inputs_lo.iter().chain(c.inputs_hi.iter()) {
+            let t = Arc::new(open_ktable(
+                &self.inner.opts.env,
+                &self.inner.opts.dir,
+                f.file_number,
+                None,
+                IoClass::Compaction,
+            )?);
+            children.push(Box::new(TableEntryIter::new(t)));
+        }
+        let mut input = MergingIter::new(children);
+        let session = self.session_for(JobKind::Compaction {
+            output_level: c.output_level,
+            bottommost: c.bottommost,
+        })?;
+        let snapshots = self.snapshot_seqs();
+        let counter = self.inner.file_counter.clone();
+        let alloc = move || counter.fetch_add(1, Ordering::SeqCst);
+        let ver = version.clone();
+        let output_level = c.output_level;
+        let may_exist_below = move |ukey: &[u8]| ver.key_may_exist_below(output_level, ukey);
+        let out = run_output_job(
+            &self.inner.opts,
+            &mut input,
+            &snapshots,
+            c.bottommost,
+            &may_exist_below,
+            session,
+            &alloc,
+            IoClass::Compaction,
+        )?;
+        self.inner
+            .counters
+            .merge_drops
+            .fetch_add(out.stats.entries_dropped, Ordering::Relaxed);
+
+        let mut edit = VersionEdit::default();
+        for f in c.inputs_lo.iter() {
+            edit.deleted.push((c.level, f.file_number));
+        }
+        for f in c.inputs_hi.iter() {
+            edit.deleted.push((c.output_level, f.file_number));
+        }
+        for f in &out.files {
+            edit.added.push((c.output_level, f.clone()));
+        }
+        edit.value = out.bundle.clone();
+        self.inner.vset.lock().log_and_apply(edit)?;
+        if let Some(h) = &self.inner.opts.value_hook {
+            h.on_committed(&out.bundle);
+        }
+        // Queue input files for deletion; they are removed once no
+        // in-flight reader's version can still see them.
+        {
+            let mut pending = self.inner.pending_deletions.lock();
+            pending.extend(
+                c.inputs_lo
+                    .iter()
+                    .chain(c.inputs_hi.iter())
+                    .map(|f| f.file_number),
+            );
+        }
+        self.purge_unreferenced_tables();
+        self.inner
+            .counters
+            .compactions
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete queued obsolete key SSTs that no live version references.
+    fn purge_unreferenced_tables(&self) {
+        let referenced = self.inner.vset.lock().referenced_files();
+        let mut pending = self.inner.pending_deletions.lock();
+        pending.retain(|n| {
+            if referenced.contains(n) {
+                true
+            } else {
+                self.inner.tcache.evict(*n);
+                let _ = self
+                    .inner
+                    .opts
+                    .env
+                    .remove_file(&table_path(&self.inner.opts.dir, *n));
+                false
+            }
+        });
+    }
+
+    /// Log a value-store-only edit (used by the GC, which changes value
+    /// files without touching the index layout).
+    pub fn apply_value_edit(&self, bundle: crate::hooks::ValueEditBundle) -> Result<()> {
+        let edit = VersionEdit { value: bundle, ..VersionEdit::default() };
+        self.inner.vset.lock().log_and_apply(edit)?;
+        Ok(())
+    }
+
+    // ---------------- recovery & cleanup ----------------
+
+    fn recover_wals(&self) -> Result<()> {
+        let opts = &self.inner.opts;
+        let min_log = self.inner.vset.lock().log_number;
+        let mut wals: Vec<u64> = opts
+            .env
+            .list_prefix(&format!("{}/", opts.dir))?
+            .iter()
+            .filter_map(|p| parse_path(&opts.dir, p))
+            .filter(|(k, n)| *k == FileKind::Wal && *n >= min_log)
+            .map(|(_, n)| n)
+            .collect();
+        wals.sort_unstable();
+        for n in &wals {
+            let data = opts.env.read_file(&wal_path(&opts.dir, *n), IoClass::Wal)?;
+            let (records, _torn) = read_all_records(data);
+            let mem = Memtable::new();
+            let mut max_seq = self.inner.seq.load(Ordering::SeqCst);
+            for rec in records {
+                let (base, batch) = WriteBatch::decode(&rec)?;
+                for (i, e) in batch.entries().iter().enumerate() {
+                    mem.insert(&e.key, base + i as u64, e.vtype, e.value.clone());
+                }
+                max_seq = max_seq.max(base + batch.count() as u64 - 1);
+            }
+            self.inner.seq.store(max_seq, Ordering::SeqCst);
+            if !mem.is_empty() {
+                self.inner.imms.write().push(ImmEntry {
+                    mem: Arc::new(mem),
+                    wal_number: *n,
+                });
+                // Flush synchronously so recovery is complete when open
+                // returns.
+                self.flush_one_imm()?;
+            }
+        }
+        // All recovered WALs are obsolete now.
+        for n in wals {
+            let _ = opts.env.remove_file(&wal_path(&opts.dir, n));
+        }
+        Ok(())
+    }
+
+    fn start_fresh_wal(&self) -> Result<()> {
+        if !self.inner.opts.wal {
+            return Ok(());
+        }
+        let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
+        let f = self
+            .inner
+            .opts
+            .env
+            .new_writable(&wal_path(&self.inner.opts.dir, n), IoClass::Wal)?;
+        let mut ws = self.inner.writer.lock();
+        ws.wal = Some(LogWriter::new(f));
+        ws.wal_number = n;
+        // Record in the manifest that older WALs are obsolete.
+        let edit = VersionEdit { log_number: Some(n), ..VersionEdit::default() };
+        self.inner.vset.lock().log_and_apply(edit)?;
+        Ok(())
+    }
+
+    fn delete_obsolete_wals(&self) -> Result<()> {
+        let opts = &self.inner.opts;
+        let min_log = self.inner.vset.lock().log_number;
+        for p in opts.env.list_prefix(&format!("{}/", opts.dir))? {
+            if let Some((FileKind::Wal, n)) = parse_path(&opts.dir, &p) {
+                if n < min_log {
+                    let _ = opts.env.remove_file(&p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete key SSTs on disk that are not referenced by the live version
+    /// (left over from a crash mid-compaction).
+    pub fn delete_obsolete_files(&self) -> Result<()> {
+        self.purge_unreferenced_tables();
+        let opts = &self.inner.opts;
+        let version = self.current_version();
+        let live: HashSet<u64> = version
+            .levels
+            .iter()
+            .flatten()
+            .map(|f| f.file_number)
+            .collect();
+        for p in opts.env.list_prefix(&format!("{}/", opts.dir))? {
+            if let Some((FileKind::Table, n)) = parse_path(&opts.dir, &p) {
+                if !live.contains(&n) {
+                    self.inner.tcache.evict(n);
+                    let _ = opts.env.remove_file(&p);
+                }
+            }
+        }
+        self.delete_obsolete_wals()
+    }
+
+    // ---------------- threaded background ----------------
+
+    fn spawn_bg_thread(&self) {
+        let inner = self.inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("scavenger-bg".into())
+            .spawn(move || {
+                let db = Lsm { inner, bg_thread: Mutex::new(None) };
+                loop {
+                    {
+                        let mut sig = db.inner.bg_signal.lock();
+                        while !sig.work_pending && !sig.shutdown {
+                            db.inner.bg_cv.wait(&mut sig);
+                        }
+                        if sig.shutdown {
+                            return;
+                        }
+                        sig.work_pending = false;
+                    }
+                    if let Err(e) = db.run_background_work() {
+                        *db.inner.bg_error.lock() = Some(e);
+                        db.inner.stall_cv.notify_all();
+                        return;
+                    }
+                }
+            })
+            .expect("spawn background thread");
+        *self.bg_thread.lock() = Some(handle);
+    }
+}
+
+impl Drop for Lsm {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        {
+            let mut sig = self.inner.bg_signal.lock();
+            sig.shutdown = true;
+            self.inner.bg_cv.notify_all();
+        }
+        self.inner.stall_cv.notify_all();
+        if let Some(h) = self.bg_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// User-facing scan iterator with an exclusive upper bound.
+pub struct ScanIter {
+    inner: DbIter,
+    hi: Option<Vec<u8>>,
+}
+
+impl ScanIter {
+    /// Next visible entry, or `None` past the bound / end of data.
+    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
+        match self.inner.next_entry()? {
+            Some(e) => {
+                if let Some(h) = &self.hi {
+                    if e.user_key.as_slice() >= h.as_slice() {
+                        return Ok(None);
+                    }
+                }
+                Ok(Some(e))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scavenger_env::{Env, MemEnv};
+
+    fn test_opts(dir: &str) -> LsmOptions {
+        let mut o = LsmOptions::new(MemEnv::shared(), dir);
+        o.memtable_size = 4 * 1024;
+        o.base_level_bytes = 16 * 1024;
+        o.target_file_size = 8 * 1024;
+        o.block_size = 1024;
+        o
+    }
+
+    fn open(o: LsmOptions) -> Lsm {
+        Lsm::open(o).unwrap().0
+    }
+
+    fn put(db: &Lsm, k: &str, v: &str) {
+        let mut b = WriteBatch::new();
+        b.put(k.as_bytes(), Bytes::copy_from_slice(v.as_bytes()));
+        db.write(b).unwrap();
+    }
+
+    fn del(db: &Lsm, k: &str) {
+        let mut b = WriteBatch::new();
+        b.delete(k.as_bytes());
+        db.write(b).unwrap();
+    }
+
+    fn get_str(db: &Lsm, k: &str) -> Option<String> {
+        match db.get(k.as_bytes()).unwrap() {
+            LsmReadResult::Found { value, .. } => {
+                Some(String::from_utf8(value.to_vec()).unwrap())
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_within_memtable() {
+        let db = open(test_opts("db"));
+        put(&db, "k1", "v1");
+        assert_eq!(get_str(&db, "k1"), Some("v1".into()));
+        del(&db, "k1");
+        assert_eq!(get_str(&db, "k1"), None);
+        assert_eq!(db.get(b"k1").unwrap(), LsmReadResult::Deleted);
+        assert_eq!(db.get(b"nope").unwrap(), LsmReadResult::NotFound);
+    }
+
+    #[test]
+    fn data_survives_flush_and_compaction() {
+        let db = open(test_opts("db"));
+        for i in 0..500 {
+            put(&db, &format!("key{i:04}"), &format!("val{i}").repeat(10));
+        }
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        for i in 0..500 {
+            assert_eq!(
+                get_str(&db, &format!("key{i:04}")),
+                Some(format!("val{i}").repeat(10)),
+                "key{i}"
+            );
+        }
+        assert!(db.counters().flushes.load(Ordering::Relaxed) > 0);
+        assert!(db.current_version().total_files() > 0);
+    }
+
+    #[test]
+    fn updates_shadow_older_versions_across_levels() {
+        let db = open(test_opts("db"));
+        for round in 0..5 {
+            for i in 0..200 {
+                put(&db, &format!("key{i:03}"), &format!("r{round}-{i}"));
+            }
+        }
+        db.flush().unwrap();
+        for i in 0..200 {
+            assert_eq!(get_str(&db, &format!("key{i:03}")), Some(format!("r4-{i}")));
+        }
+    }
+
+    #[test]
+    fn deletes_survive_flush() {
+        let db = open(test_opts("db"));
+        for i in 0..100 {
+            put(&db, &format!("key{i:03}"), "value");
+        }
+        db.flush().unwrap();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                del(&db, &format!("key{i:03}"));
+            }
+        }
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        for i in 0..100 {
+            let got = get_str(&db, &format!("key{i:03}"));
+            if i % 2 == 0 {
+                assert_eq!(got, None, "key{i} must stay deleted");
+            } else {
+                assert_eq!(got, Some("value".into()));
+            }
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_sources_in_order() {
+        let db = open(test_opts("db"));
+        for i in (0..100).step_by(2) {
+            put(&db, &format!("key{i:03}"), &format!("flushed{i}"));
+        }
+        db.flush().unwrap();
+        for i in (1..100).step_by(2) {
+            put(&db, &format!("key{i:03}"), &format!("fresh{i}"));
+        }
+        let mut it = db.scan(b"key000", Some(b"key050")).unwrap();
+        let mut seen = Vec::new();
+        while let Some(e) = it.next_entry().unwrap() {
+            seen.push(String::from_utf8(e.user_key).unwrap());
+        }
+        let expected: Vec<String> = (0..50).map(|i| format!("key{i:03}")).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let db = open(test_opts("db"));
+        for i in 0..20 {
+            put(&db, &format!("k{i:02}"), "v");
+        }
+        db.flush().unwrap();
+        del(&db, "k05");
+        del(&db, "k10");
+        let mut it = db.scan(b"k", None).unwrap();
+        let mut n = 0;
+        while let Some(e) = it.next_entry().unwrap() {
+            assert_ne!(e.user_key, b"k05");
+            assert_ne!(e.user_key, b"k10");
+            n += 1;
+        }
+        assert_eq!(n, 18);
+    }
+
+    #[test]
+    fn snapshot_reads_see_frozen_state() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "old");
+        let snap = db.snapshot();
+        put(&db, "k", "new");
+        del(&db, "k");
+        assert_eq!(db.get(b"k").unwrap(), LsmReadResult::Deleted);
+        match db.get_at(b"k", snap.sequence()).unwrap() {
+            LsmReadResult::Found { value, .. } => assert_eq!(&value[..], b"old"),
+            other => panic!("{other:?}"),
+        }
+        // Flush + compact with the snapshot alive: old version must survive.
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        match db.get_at(b"k", snap.sequence()).unwrap() {
+            LsmReadResult::Found { value, .. } => assert_eq!(&value[..], b"old"),
+            other => panic!("{other:?}"),
+        }
+        drop(snap);
+    }
+
+    #[test]
+    fn wal_recovery_restores_unflushed_writes() {
+        let env = MemEnv::shared();
+        {
+            let mut o = LsmOptions::new(env.clone(), "db");
+            o.memtable_size = 1 << 20; // never flush
+            let db = open(o);
+            put(&db, "durable", "yes");
+            put(&db, "also", "this");
+            // No flush: data only in WAL + memtable. Drop = crash.
+        }
+        {
+            let o = LsmOptions::new(env.clone(), "db");
+            let db = open(o);
+            assert_eq!(get_str(&db, "durable"), Some("yes".into()));
+            assert_eq!(get_str(&db, "also"), Some("this".into()));
+        }
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_prefix() {
+        let env = MemEnv::shared();
+        {
+            let mut o = LsmOptions::new(env.clone(), "db");
+            o.memtable_size = 1 << 20;
+            let db = open(o);
+            put(&db, "a", "1");
+            put(&db, "b", "2");
+        }
+        // Tear the tail of the newest WAL.
+        let wals: Vec<String> = env
+            .list_prefix("db/")
+            .unwrap()
+            .into_iter()
+            .filter(|p| p.ends_with(".log"))
+            .collect();
+        let last = wals.last().unwrap();
+        let len = env.file_size(last).unwrap();
+        env.truncate_file(last, len - 3).unwrap();
+        let db = open(LsmOptions::new(env.clone(), "db"));
+        // First write survives; the torn one is gone.
+        assert_eq!(get_str(&db, "a"), Some("1".into()));
+        assert_eq!(get_str(&db, "b"), None);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_reopen() {
+        let env = MemEnv::shared();
+        let seq1;
+        {
+            let db = open(LsmOptions::new(env.clone(), "db"));
+            put(&db, "x", "1");
+            put(&db, "x", "2");
+            seq1 = db.last_sequence();
+            db.flush().unwrap();
+        }
+        let db = open(LsmOptions::new(env.clone(), "db"));
+        assert!(db.last_sequence() >= seq1);
+        put(&db, "y", "3");
+        assert!(db.last_sequence() > seq1);
+    }
+
+    #[test]
+    fn compaction_reduces_l0_files() {
+        let mut o = test_opts("db");
+        o.l0_trigger = 2;
+        let db = open(o);
+        for round in 0..6 {
+            for i in 0..100 {
+                put(&db, &format!("key{i:03}"), &format!("round{round}"));
+            }
+            db.flush().unwrap();
+        }
+        let v = db.current_version();
+        assert!(
+            v.num_files(0) < 2,
+            "L0 should be drained by compaction, has {}",
+            v.num_files(0)
+        );
+        assert!(db.counters().compactions.load(Ordering::Relaxed) > 0);
+        // Data still correct.
+        for i in 0..100 {
+            assert_eq!(get_str(&db, &format!("key{i:03}")), Some("round5".into()));
+        }
+    }
+
+    #[test]
+    fn guarded_write_applies_only_when_ref_matches() {
+        let db = open(test_opts("db"));
+        let old_ref = ValueRef { file: 7, size: 100, offset: 40 };
+        let new_ref = ValueRef { file: 9, size: 100, offset: 0 };
+        let mut b = WriteBatch::new();
+        b.put_ref(b"k1", old_ref);
+        b.put_ref(b"k2", old_ref);
+        db.write(b).unwrap();
+        // k2 gets overwritten by the user before GC write-back.
+        put(&db, "k2", "user-update");
+        let applied = db
+            .write_guarded(&[
+                GuardedWrite { key: b"k1".to_vec(), expected: old_ref, replacement: new_ref },
+                GuardedWrite { key: b"k2".to_vec(), expected: old_ref, replacement: new_ref },
+            ])
+            .unwrap();
+        assert_eq!(applied, 1, "only k1 still points at the old ref");
+        match db.get(b"k1").unwrap() {
+            LsmReadResult::Found { vtype: ValueType::ValueRef, value, .. } => {
+                assert_eq!(ValueRef::decode(&value).unwrap().file, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(get_str(&db, "k2"), Some("user-update".into()));
+    }
+
+    #[test]
+    fn threaded_mode_round_trip() {
+        let mut o = test_opts("db");
+        o.background = BackgroundMode::Threaded;
+        let db = open(o);
+        for i in 0..2000 {
+            put(&db, &format!("key{i:05}"), &format!("value-{i}"));
+        }
+        db.flush().unwrap();
+        for i in (0..2000).step_by(97) {
+            assert_eq!(get_str(&db, &format!("key{i:05}")), Some(format!("value-{i}")));
+        }
+    }
+
+    #[test]
+    fn obsolete_files_deleted_after_compaction() {
+        let mut o = test_opts("db");
+        o.l0_trigger = 2;
+        let env = o.env.clone();
+        let db = open(o);
+        for round in 0..8 {
+            for i in 0..100 {
+                put(&db, &format!("key{i:03}"), &format!("r{round}"));
+            }
+            db.flush().unwrap();
+        }
+        // On-disk .sst files must match the live version exactly.
+        let version = db.current_version();
+        let live: HashSet<u64> = version
+            .levels
+            .iter()
+            .flatten()
+            .map(|f| f.file_number)
+            .collect();
+        let on_disk: HashSet<u64> = env
+            .list_prefix("db/")
+            .unwrap()
+            .iter()
+            .filter_map(|p| parse_path("db", p))
+            .filter(|(k, _)| *k == FileKind::Table)
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(live, on_disk);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let db = open(test_opts("db"));
+        let before = db.last_sequence();
+        db.write(WriteBatch::new()).unwrap();
+        assert_eq!(db.last_sequence(), before);
+    }
+}

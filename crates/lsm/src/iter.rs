@@ -1,0 +1,521 @@
+//! Internal iterators: memtable/vector iterators, per-level concatenation,
+//! N-way merging, and the user-facing visibility iterator.
+
+use crate::tcache::{KTableIter, TableCache};
+use crate::version::FileMetaData;
+use bytes::Bytes;
+use scavenger_util::ikey::{
+    cmp_internal, extract_user_key, make_internal_key, parse_internal_key, SeqNo, ValueType,
+};
+use scavenger_util::{Error, Result};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Common interface for iterators over `(internal key, value)` entries in
+/// internal-key order.
+pub trait InternalIterator: Send {
+    /// True if positioned on an entry.
+    fn valid(&self) -> bool;
+    /// Position on the first entry.
+    fn seek_to_first(&mut self);
+    /// Position on the first entry `>= target` (internal-key order).
+    fn seek(&mut self, target: &[u8]);
+    /// Advance to the next entry.
+    fn next(&mut self);
+    /// Current internal key.
+    fn key(&self) -> &[u8];
+    /// Current value.
+    fn value(&self) -> Bytes;
+    /// Deferred error, if any.
+    fn status(&self) -> Result<()>;
+}
+
+/// Iterator over an owned, sorted vector of entries (memtable snapshots).
+pub struct VecIter {
+    entries: Arc<Vec<(Vec<u8>, Bytes)>>,
+    pos: usize,
+}
+
+impl VecIter {
+    /// Wrap a sorted entry vector.
+    pub fn new(entries: Vec<(Vec<u8>, Bytes)>) -> Self {
+        VecIter { entries: Arc::new(entries), pos: usize::MAX }
+    }
+
+    /// Wrap an already-shared sorted entry vector.
+    pub fn from_shared(entries: Arc<Vec<(Vec<u8>, Bytes)>>) -> Self {
+        VecIter { entries, pos: usize::MAX }
+    }
+}
+
+impl InternalIterator for VecIter {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+
+    fn seek_to_first(&mut self) {
+        self.pos = 0;
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.pos = self
+            .entries
+            .partition_point(|(k, _)| cmp_internal(k, target) == Ordering::Less);
+    }
+
+    fn next(&mut self) {
+        if self.valid() {
+            self.pos += 1;
+        }
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.entries[self.pos].0
+    }
+
+    fn value(&self) -> Bytes {
+        self.entries[self.pos].1.clone()
+    }
+
+    fn status(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Adapter: a [`KTableIter`] plus the `Arc` of its reader (kept alive).
+pub struct TableEntryIter {
+    _table: Arc<crate::tcache::KTable>,
+    iter: KTableIter,
+}
+
+impl TableEntryIter {
+    /// Create from a cached table reader.
+    pub fn new(table: Arc<crate::tcache::KTable>) -> Self {
+        let iter = table.iter();
+        TableEntryIter { _table: table, iter }
+    }
+}
+
+impl InternalIterator for TableEntryIter {
+    fn valid(&self) -> bool {
+        self.iter.valid()
+    }
+    fn seek_to_first(&mut self) {
+        self.iter.seek_to_first();
+    }
+    fn seek(&mut self, target: &[u8]) {
+        self.iter.seek(target);
+    }
+    fn next(&mut self) {
+        self.iter.next();
+    }
+    fn key(&self) -> &[u8] {
+        self.iter.key()
+    }
+    fn value(&self) -> Bytes {
+        self.iter.value()
+    }
+    fn status(&self) -> Result<()> {
+        self.iter.status()
+    }
+}
+
+/// Concatenating iterator over the (disjoint, sorted) files of one level.
+pub struct LevelIter {
+    files: Vec<Arc<FileMetaData>>,
+    tcache: Arc<TableCache>,
+    file_idx: usize,
+    cur: Option<TableEntryIter>,
+    error: Option<Error>,
+}
+
+impl LevelIter {
+    /// Iterate over `files`, which must be sorted by smallest key and
+    /// non-overlapping (levels ≥ 1).
+    pub fn new(files: Vec<Arc<FileMetaData>>, tcache: Arc<TableCache>) -> Self {
+        LevelIter { files, tcache, file_idx: 0, cur: None, error: None }
+    }
+
+    fn open_file(&mut self, idx: usize) {
+        self.cur = None;
+        self.file_idx = idx;
+        if idx >= self.files.len() {
+            return;
+        }
+        match self.tcache.get(self.files[idx].file_number) {
+            Ok(t) => self.cur = Some(TableEntryIter::new(t)),
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn skip_exhausted(&mut self) {
+        while self.error.is_none() {
+            match &self.cur {
+                Some(c) if c.valid() => return,
+                _ => {
+                    if self.file_idx + 1 >= self.files.len() {
+                        self.cur = None;
+                        return;
+                    }
+                    let next = self.file_idx + 1;
+                    self.open_file(next);
+                    if let Some(c) = self.cur.as_mut() {
+                        c.seek_to_first();
+                    }
+                }
+            }
+        }
+        self.cur = None;
+    }
+}
+
+impl InternalIterator for LevelIter {
+    fn valid(&self) -> bool {
+        self.cur.as_ref().map(|c| c.valid()).unwrap_or(false)
+    }
+
+    fn seek_to_first(&mut self) {
+        if self.files.is_empty() {
+            self.cur = None;
+            return;
+        }
+        self.open_file(0);
+        if let Some(c) = self.cur.as_mut() {
+            c.seek_to_first();
+        }
+        self.skip_exhausted();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        // Find the first file whose largest key is >= target.
+        let idx = self
+            .files
+            .partition_point(|f| cmp_internal(&f.largest, target) == Ordering::Less);
+        if idx >= self.files.len() {
+            self.cur = None;
+            self.file_idx = self.files.len();
+            return;
+        }
+        self.open_file(idx);
+        if let Some(c) = self.cur.as_mut() {
+            c.seek(target);
+        }
+        self.skip_exhausted();
+    }
+
+    fn next(&mut self) {
+        if let Some(c) = self.cur.as_mut() {
+            c.next();
+        }
+        self.skip_exhausted();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.cur.as_ref().unwrap().key()
+    }
+
+    fn value(&self) -> Bytes {
+        self.cur.as_ref().unwrap().value()
+    }
+
+    fn status(&self) -> Result<()> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        if let Some(c) = &self.cur {
+            c.status()?;
+        }
+        Ok(())
+    }
+}
+
+/// N-way merge of internal iterators. With the small fan-in of an LSM read
+/// (memtables + L0 files + one iterator per level), a linear minimum scan
+/// beats heap bookkeeping.
+pub struct MergingIter {
+    children: Vec<Box<dyn InternalIterator>>,
+    current: Option<usize>,
+}
+
+impl MergingIter {
+    /// Merge `children` (each yielding internal-key order).
+    pub fn new(children: Vec<Box<dyn InternalIterator>>) -> Self {
+        MergingIter { children, current: None }
+    }
+
+    fn find_smallest(&mut self) {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.children.iter().enumerate() {
+            if !c.valid() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    // Ties broken by child order: earlier children are
+                    // newer sources (memtable before L0 before levels).
+                    if cmp_internal(c.key(), self.children[b].key()) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        self.current = best;
+    }
+}
+
+impl InternalIterator for MergingIter {
+    fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn seek_to_first(&mut self) {
+        for c in &mut self.children {
+            c.seek_to_first();
+        }
+        self.find_smallest();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        for c in &mut self.children {
+            c.seek(target);
+        }
+        self.find_smallest();
+    }
+
+    fn next(&mut self) {
+        if let Some(i) = self.current {
+            self.children[i].next();
+            self.find_smallest();
+        }
+    }
+
+    fn key(&self) -> &[u8] {
+        self.children[self.current.unwrap()].key()
+    }
+
+    fn value(&self) -> Bytes {
+        self.children[self.current.unwrap()].value()
+    }
+
+    fn status(&self) -> Result<()> {
+        for c in &self.children {
+            c.status()?;
+        }
+        Ok(())
+    }
+}
+
+/// A user-visible entry produced by [`DbIter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserEntry {
+    /// The user key.
+    pub user_key: Vec<u8>,
+    /// Sequence of the visible version.
+    pub seq: SeqNo,
+    /// `Value` or `ValueRef` (tombstones are skipped).
+    pub vtype: ValueType,
+    /// Value payload (encoded [`scavenger_util::ikey::ValueRef`] for refs).
+    pub value: Bytes,
+}
+
+/// Applies snapshot visibility and tombstone suppression over a merged
+/// internal iterator, yielding at most one entry per user key.
+pub struct DbIter {
+    inner: MergingIter,
+    read_seq: SeqNo,
+}
+
+impl DbIter {
+    /// Wrap a merged iterator; only versions with `seq <= read_seq` are
+    /// visible.
+    pub fn new(inner: MergingIter, read_seq: SeqNo) -> Self {
+        DbIter { inner, read_seq }
+    }
+
+    /// Position at the first visible entry with `user_key >= target`.
+    pub fn seek(&mut self, target_user_key: &[u8]) {
+        self.inner.seek(&make_internal_key(
+            target_user_key,
+            self.read_seq,
+            ValueType::ValueRef,
+        ));
+    }
+
+    /// Position at the first visible entry overall.
+    pub fn seek_to_first(&mut self) {
+        self.inner.seek_to_first();
+    }
+
+    /// Produce the next visible user entry, advancing past shadowed
+    /// versions and tombstones.
+    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
+        while self.inner.valid() {
+            let parsed = parse_internal_key(self.inner.key())?;
+            if parsed.seq > self.read_seq {
+                // Not visible at this snapshot; try an older version.
+                self.inner.next();
+                continue;
+            }
+            let ukey = parsed.user_key.to_vec();
+            let vtype = parsed.vtype;
+            let seq = parsed.seq;
+            let value = self.inner.value();
+            // Skip all remaining (older) versions of this user key.
+            self.skip_user_key(&ukey)?;
+            match vtype {
+                ValueType::Deletion => continue,
+                t => {
+                    return Ok(Some(UserEntry { user_key: ukey, seq, vtype: t, value }));
+                }
+            }
+        }
+        self.inner.status()?;
+        Ok(None)
+    }
+
+    fn skip_user_key(&mut self, ukey: &[u8]) -> Result<()> {
+        while self.inner.valid() {
+            let parsed = parse_internal_key(self.inner.key())?;
+            if parsed.user_key != ukey {
+                break;
+            }
+            self.inner.next();
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: the user-key portion of the current merged position.
+pub fn current_user_key(it: &dyn InternalIterator) -> &[u8] {
+    extract_user_key(it.key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scavenger_util::ikey::make_internal_key;
+
+    fn e(k: &str, seq: SeqNo, t: ValueType, v: &str) -> (Vec<u8>, Bytes) {
+        (
+            make_internal_key(k.as_bytes(), seq, t),
+            Bytes::copy_from_slice(v.as_bytes()),
+        )
+    }
+
+    #[test]
+    fn vec_iter_seek_and_walk() {
+        let entries = vec![
+            e("a", 5, ValueType::Value, "va"),
+            e("b", 9, ValueType::Value, "vb9"),
+            e("b", 2, ValueType::Value, "vb2"),
+            e("c", 1, ValueType::Value, "vc"),
+        ];
+        let mut it = VecIter::new(entries);
+        it.seek_to_first();
+        assert!(it.valid());
+        assert_eq!(extract_user_key(it.key()), b"a");
+        it.seek(&make_internal_key(b"b", 100, ValueType::ValueRef));
+        assert_eq!(parse_internal_key(it.key()).unwrap().seq, 9);
+        it.seek(&make_internal_key(b"b", 5, ValueType::ValueRef));
+        assert_eq!(parse_internal_key(it.key()).unwrap().seq, 2);
+        it.seek(&make_internal_key(b"zz", 1, ValueType::Value));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn merging_iter_interleaves_and_orders_versions() {
+        let newer = VecIter::new(vec![
+            e("a", 10, ValueType::Value, "a10"),
+            e("c", 12, ValueType::Value, "c12"),
+        ]);
+        let older = VecIter::new(vec![
+            e("a", 3, ValueType::Value, "a3"),
+            e("b", 4, ValueType::Value, "b4"),
+        ]);
+        let mut m = MergingIter::new(vec![Box::new(newer), Box::new(older)]);
+        m.seek_to_first();
+        let mut seen = Vec::new();
+        while m.valid() {
+            let p = parse_internal_key(m.key()).unwrap();
+            seen.push((p.user_key.to_vec(), p.seq));
+            m.next();
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (b"a".to_vec(), 10),
+                (b"a".to_vec(), 3),
+                (b"b".to_vec(), 4),
+                (b"c".to_vec(), 12)
+            ]
+        );
+    }
+
+    #[test]
+    fn db_iter_visibility_and_tombstones() {
+        let data = VecIter::new(vec![
+            e("a", 10, ValueType::Deletion, ""),
+            e("a", 5, ValueType::Value, "a5"),
+            e("b", 7, ValueType::Value, "b7"),
+            e("c", 20, ValueType::Value, "c20"),
+            e("c", 2, ValueType::Value, "c2"),
+        ]);
+        // Latest view: a deleted, b=b7, c=c20.
+        let mut it = DbIter::new(MergingIter::new(vec![Box::new(data)]), 1000);
+        it.seek_to_first();
+        let x = it.next_entry().unwrap().unwrap();
+        assert_eq!(x.user_key, b"b");
+        assert_eq!(&x.value[..], b"b7");
+        let x = it.next_entry().unwrap().unwrap();
+        assert_eq!(x.user_key, b"c");
+        assert_eq!(x.seq, 20);
+        assert!(it.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn db_iter_snapshot_reads_past() {
+        let data = VecIter::new(vec![
+            e("a", 10, ValueType::Deletion, ""),
+            e("a", 5, ValueType::Value, "a5"),
+            e("c", 20, ValueType::Value, "c20"),
+            e("c", 2, ValueType::Value, "c2"),
+        ]);
+        // Snapshot at seq 6: tombstone a@10 invisible -> a5 visible; c2 visible.
+        let mut it = DbIter::new(MergingIter::new(vec![Box::new(data)]), 6);
+        it.seek_to_first();
+        let x = it.next_entry().unwrap().unwrap();
+        assert_eq!(x.user_key, b"a");
+        assert_eq!(&x.value[..], b"a5");
+        let x = it.next_entry().unwrap().unwrap();
+        assert_eq!(x.user_key, b"c");
+        assert_eq!(x.seq, 2);
+        assert!(it.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn db_iter_seek_bounds() {
+        let data = VecIter::new(vec![
+            e("apple", 1, ValueType::Value, "1"),
+            e("banana", 2, ValueType::Value, "2"),
+            e("cherry", 3, ValueType::Value, "3"),
+        ]);
+        let mut it = DbIter::new(MergingIter::new(vec![Box::new(data)]), 1000);
+        it.seek(b"b");
+        let x = it.next_entry().unwrap().unwrap();
+        assert_eq!(x.user_key, b"banana");
+    }
+
+    #[test]
+    fn ties_prefer_earlier_children() {
+        // Same internal key in two children (shouldn't normally happen,
+        // but newest-source-wins is the safe behaviour).
+        let c1 = VecIter::new(vec![e("k", 5, ValueType::Value, "from-new")]);
+        let c2 = VecIter::new(vec![e("k", 5, ValueType::Value, "from-old")]);
+        let mut m = MergingIter::new(vec![Box::new(c1), Box::new(c2)]);
+        m.seek_to_first();
+        assert_eq!(&m.value()[..], b"from-new");
+    }
+}

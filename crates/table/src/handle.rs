@@ -1,0 +1,144 @@
+//! Block handles and the fixed-size table footer.
+
+use scavenger_util::coding::{get_varint64, put_varint64};
+use scavenger_util::{Error, Result};
+
+/// Location of a block (or record) within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockHandle {
+    /// Byte offset of the block payload.
+    pub offset: u64,
+    /// Payload size in bytes (excluding the 5-byte checksum trailer).
+    pub size: u64,
+}
+
+impl BlockHandle {
+    /// Create a handle.
+    pub fn new(offset: u64, size: u64) -> Self {
+        BlockHandle { offset, size }
+    }
+
+    /// Append the varint encoding to `dst`.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint64(dst, self.offset);
+        put_varint64(dst, self.size);
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(20);
+        self.encode_to(&mut v);
+        v
+    }
+
+    /// Decode from the front of `src`, advancing it.
+    pub fn decode_from(src: &mut &[u8]) -> Result<BlockHandle> {
+        let offset = get_varint64(src)?;
+        let size = get_varint64(src)?;
+        Ok(BlockHandle { offset, size })
+    }
+
+    /// Decode from a slice that must contain exactly one handle.
+    pub fn decode_exact(mut src: &[u8]) -> Result<BlockHandle> {
+        let h = Self::decode_from(&mut src)?;
+        if !src.is_empty() {
+            return Err(Error::corruption("trailing bytes after BlockHandle"));
+        }
+        Ok(h)
+    }
+}
+
+/// Magic number identifying Scavenger tables ("SCVNGR01" as hex-ish).
+pub const TABLE_MAGIC: u64 = 0x5343_564e_4752_3031;
+
+/// Fixed footer length: two max-length handles (2 × 20) + magic.
+pub const FOOTER_LEN: usize = 48;
+
+/// The fixed-size footer at the end of every table file.
+///
+/// Holds handles to the metaindex block (filter, properties, auxiliary
+/// indexes) and the top-level index block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Handle of the metaindex block.
+    pub metaindex: BlockHandle,
+    /// Handle of the (top-level) index block.
+    pub index: BlockHandle,
+}
+
+impl Footer {
+    /// Encode to exactly [`FOOTER_LEN`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(FOOTER_LEN);
+        self.metaindex.encode_to(&mut v);
+        self.index.encode_to(&mut v);
+        v.resize(FOOTER_LEN - 8, 0);
+        v.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        v
+    }
+
+    /// Decode from the last [`FOOTER_LEN`] bytes of a file.
+    pub fn decode(src: &[u8]) -> Result<Footer> {
+        if src.len() != FOOTER_LEN {
+            return Err(Error::corruption(format!(
+                "footer must be {FOOTER_LEN} bytes, got {}",
+                src.len()
+            )));
+        }
+        let magic = u64::from_le_bytes(src[FOOTER_LEN - 8..].try_into().unwrap());
+        if magic != TABLE_MAGIC {
+            return Err(Error::corruption("bad table magic number"));
+        }
+        let mut cur = &src[..FOOTER_LEN - 8];
+        let metaindex = BlockHandle::decode_from(&mut cur)?;
+        let index = BlockHandle::decode_from(&mut cur)?;
+        Ok(Footer { metaindex, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip() {
+        let h = BlockHandle::new(1 << 40, 4096);
+        assert_eq!(BlockHandle::decode_exact(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn handle_rejects_trailing_garbage() {
+        let mut enc = BlockHandle::new(1, 2).encode();
+        enc.push(7);
+        assert!(BlockHandle::decode_exact(&enc).is_err());
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let f = Footer {
+            metaindex: BlockHandle::new(100, 64),
+            index: BlockHandle::new(164, 1 << 20),
+        };
+        let enc = f.encode();
+        assert_eq!(enc.len(), FOOTER_LEN);
+        assert_eq!(Footer::decode(&enc).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_rejects_bad_magic() {
+        let f = Footer {
+            metaindex: BlockHandle::new(0, 0),
+            index: BlockHandle::new(0, 0),
+        };
+        let mut enc = f.encode();
+        let n = enc.len();
+        enc[n - 1] ^= 1;
+        assert!(Footer::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_wrong_length() {
+        assert!(Footer::decode(&[0u8; 47]).is_err());
+        assert!(Footer::decode(&[0u8; 49]).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Integer and length-prefixed-slice codecs shared by every on-disk format.
+//!
+//! The encodings are the LevelDB classics:
+//!
+//! * fixed-width little-endian `u32` / `u64`;
+//! * LEB128-style varints (`u32` up to 5 bytes, `u64` up to 10 bytes);
+//! * length-prefixed byte slices (`varint32 len ++ bytes`).
+//!
+//! Decoding functions take a `&mut &[u8]` cursor and advance it past the
+//! consumed bytes, which keeps multi-field record parsers compact and makes
+//! partial-input failures explicit [`Error::Corruption`] values instead of
+//! panics.
+
+use crate::error::{Error, Result};
+
+/// Append a little-endian `u32`.
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a little-endian `u32` from the front of `src`, advancing it.
+pub fn get_fixed32(src: &mut &[u8]) -> Result<u32> {
+    if src.len() < 4 {
+        return Err(Error::corruption("truncated fixed32"));
+    }
+    let (head, tail) = src.split_at(4);
+    *src = tail;
+    Ok(u32::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Decode a little-endian `u64` from the front of `src`, advancing it.
+pub fn get_fixed64(src: &mut &[u8]) -> Result<u64> {
+    if src.len() < 8 {
+        return Err(Error::corruption("truncated fixed64"));
+    }
+    let (head, tail) = src.split_at(8);
+    *src = tail;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+/// Append a varint-encoded `u32` (1–5 bytes).
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64);
+}
+
+/// Append a varint-encoded `u64` (1–10 bytes).
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Decode a varint `u64` from the front of `src`, advancing it.
+pub fn get_varint64(src: &mut &[u8]) -> Result<u64> {
+    let mut result: u64 = 0;
+    for (i, &byte) in src.iter().enumerate().take(10) {
+        result |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            *src = &src[i + 1..];
+            return Ok(result);
+        }
+    }
+    Err(Error::corruption("malformed or truncated varint64"))
+}
+
+/// Decode a varint `u32` from the front of `src`, advancing it.
+pub fn get_varint32(src: &mut &[u8]) -> Result<u32> {
+    let v = get_varint64(src)?;
+    u32::try_from(v).map_err(|_| Error::corruption("varint32 overflow"))
+}
+
+/// Number of bytes `put_varint64` would emit for `v`.
+pub fn varint64_len(v: u64) -> usize {
+    // 1 + floor(bits/7); bits==0 still takes one byte.
+    let bits = 64 - v.max(1).leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+/// Append a varint length prefix followed by the slice bytes.
+pub fn put_length_prefixed_slice(dst: &mut Vec<u8>, s: &[u8]) {
+    put_varint32(dst, s.len() as u32);
+    dst.extend_from_slice(s);
+}
+
+/// Decode a length-prefixed slice from the front of `src`, advancing it.
+/// Returns a sub-slice borrowing from the original input.
+pub fn get_length_prefixed_slice<'a>(src: &mut &'a [u8]) -> Result<&'a [u8]> {
+    let len = get_varint32(src)? as usize;
+    if src.len() < len {
+        return Err(Error::corruption("truncated length-prefixed slice"));
+    }
+    let (head, tail) = src.split_at(len);
+    *src = tail;
+    Ok(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdead_beef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        let mut s = buf.as_slice();
+        assert_eq!(get_fixed32(&mut s).unwrap(), 0xdead_beef);
+        assert_eq!(get_fixed64(&mut s).unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        // Each 7-bit boundary changes the encoded length.
+        for (v, len) in [
+            (0u64, 1usize),
+            (127, 1),
+            (128, 2),
+            (16383, 2),
+            (16384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), len, "value {v}");
+            assert_eq!(varint64_len(v), len, "varint64_len for {v}");
+            let mut s = buf.as_slice();
+            assert_eq!(get_varint64(&mut s).unwrap(), v);
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_corruption() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert!(get_varint64(&mut s).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn varint32_rejects_overflow() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut s = buf.as_slice();
+        assert!(get_varint32(&mut s).is_err());
+    }
+
+    #[test]
+    fn length_prefixed_slice_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        put_length_prefixed_slice(&mut buf, b"");
+        put_length_prefixed_slice(&mut buf, &[0u8; 300]);
+        let mut s = buf.as_slice();
+        assert_eq!(get_length_prefixed_slice(&mut s).unwrap(), b"hello");
+        assert_eq!(get_length_prefixed_slice(&mut s).unwrap(), b"");
+        assert_eq!(get_length_prefixed_slice(&mut s).unwrap(), &[0u8; 300]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn length_prefixed_slice_truncated_is_corruption() {
+        let mut buf = Vec::new();
+        put_length_prefixed_slice(&mut buf, b"hello");
+        let mut s = &buf[..3];
+        assert!(get_length_prefixed_slice(&mut s).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint64_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            prop_assert_eq!(buf.len(), varint64_len(v));
+            let mut s = buf.as_slice();
+            prop_assert_eq!(get_varint64(&mut s).unwrap(), v);
+            prop_assert!(s.is_empty());
+        }
+
+        #[test]
+        fn prop_varint_sequences_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut buf = Vec::new();
+            for &v in &vals {
+                put_varint64(&mut buf, v);
+            }
+            let mut s = buf.as_slice();
+            for &v in &vals {
+                prop_assert_eq!(get_varint64(&mut s).unwrap(), v);
+            }
+            prop_assert!(s.is_empty());
+        }
+
+        #[test]
+        fn prop_slices_roundtrip(slices in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 0..16)) {
+            let mut buf = Vec::new();
+            for s in &slices {
+                put_length_prefixed_slice(&mut buf, s);
+            }
+            let mut cur = buf.as_slice();
+            for s in &slices {
+                prop_assert_eq!(get_length_prefixed_slice(&mut cur).unwrap(), s.as_slice());
+            }
+            prop_assert!(cur.is_empty());
+        }
+    }
+}

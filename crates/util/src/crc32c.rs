@@ -1,0 +1,117 @@
+//! Software CRC-32C (Castagnoli polynomial, reflected), slice-by-4.
+//!
+//! Every persistent record in the engine — WAL fragments, table blocks,
+//! manifest edits — carries a CRC-32C. We also apply LevelDB's *masking* to
+//! checksums that are themselves stored inside checksummed payloads, so a
+//! CRC of data containing an embedded CRC does not degenerate.
+
+const POLY: u32 = 0x82f6_3b78; // reflected 0x1EDC6F41
+
+/// 4 tables of 256 entries for slice-by-4 processing.
+static TABLES: [[u32; 256]; 4] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Extend a running CRC with `data`. Start from `0` for a fresh checksum.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        let word = u32::from_le_bytes(c.try_into().unwrap()) ^ crc;
+        crc = TABLES[3][(word & 0xff) as usize]
+            ^ TABLES[2][((word >> 8) & 0xff) as usize]
+            ^ TABLES[1][((word >> 16) & 0xff) as usize]
+            ^ TABLES[0][(word >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// CRC-32C of `data`.
+pub fn value(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Mask a CRC so it is safe to store inside data that is itself
+/// CRC-protected (LevelDB's trick: rotate and add a constant).
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Invert [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / LevelDB test vectors.
+        assert_eq!(value(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(value(&[0xffu8; 32]), 0x62a8_ab43);
+        let inc: Vec<u8> = (0u8..32).collect();
+        assert_eq!(value(&inc), 0x46dd_794e);
+        let dec: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(value(&dec), 0x113f_db5c);
+    }
+
+    #[test]
+    fn crc_of_abc() {
+        assert_eq!(value(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn extend_matches_whole() {
+        let data = b"hello world, this is scavenger";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(extend(extend(0, a), b), value(data));
+        }
+    }
+
+    #[test]
+    fn values_differ_by_content() {
+        assert_ne!(value(b"a"), value(b"foo"));
+        assert_ne!(value(b"foo"), value(b"bar"));
+    }
+
+    #[test]
+    fn mask_roundtrip_and_differs() {
+        let crc = value(b"foo");
+        assert_ne!(mask(crc), crc);
+        assert_ne!(mask(mask(crc)), crc);
+        assert_eq!(unmask(mask(crc)), crc);
+        assert_eq!(unmask(unmask(mask(mask(crc)))), crc);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared error type for the Scavenger workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage engine.
+///
+/// The variants mirror the classic LevelDB status taxonomy: they are coarse
+/// on purpose — callers branch on *category* (corruption vs. not-found vs.
+/// environment failure), while the message carries the detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The requested key (or file) does not exist.
+    NotFound(String),
+    /// A persistent structure failed validation (bad CRC, truncated block,
+    /// malformed varint, unknown magic number, ...).
+    Corruption(String),
+    /// The environment rejected an operation (missing file, I/O failure,
+    /// injected fault, ...).
+    Io(String),
+    /// The caller asked for something the engine cannot do (bad options,
+    /// misuse of an API).
+    InvalidArgument(String),
+    /// An internal invariant was violated. Seeing this is a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Corruption`].
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::InvalidArgument`].
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// True if this error is [`Error::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            Error::NotFound(e.to_string())
+        } else {
+            Error::Io(e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(
+            Error::corruption("bad crc").to_string(),
+            "corruption: bad crc"
+        );
+        assert_eq!(Error::not_found("k1").to_string(), "not found: k1");
+    }
+
+    #[test]
+    fn io_error_conversion_maps_not_found() {
+        let e: Error =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.is_not_found());
+        let e: Error =
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Exponential-bucket histogram for latency / size distributions.
+//!
+//! Used by the GC instrumentation to reproduce the paper's Figure 3 latency
+//! breakdown (average per-step latencies) and by the bench harness for
+//! operation latency reporting. Buckets grow geometrically so the histogram
+//! covers nanoseconds through seconds in 64 buckets with bounded error.
+
+/// Number of buckets. Bucket `i` covers `[base^(i), base^(i+1))` roughly;
+/// we use powers of two for cheap indexing via `leading_zeros`.
+const NUM_BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        // 0 -> bucket 0, otherwise floor(log2(v)) + 1 capped at the top.
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate value at percentile `p` in `[0, 100]`, interpolated
+    /// within the containing power-of-two bucket.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let threshold = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if next as f64 >= threshold {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 1u64 } else { (1u64 << i).saturating_sub(0) };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (threshold - cumulative as f64) / c as f64
+                };
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            cumulative = next;
+        }
+        self.max as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+    }
+
+    #[test]
+    fn percentile_monotonic() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Power-of-two buckets: p50 of uniform 1..=1000 lies within a factor
+        // of 2 of the true median.
+        assert!(p50 >= 250.0 && p50 <= 1100.0, "p50={p50}");
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+        assert_eq!(a.sum(), 505);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_bucket_index() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

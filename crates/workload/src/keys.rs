@@ -1,0 +1,47 @@
+//! Key encoding: constant 24-byte keys (paper §IV-A).
+
+/// Key length used across all experiments.
+pub const KEY_LEN: usize = 24;
+
+/// Encode key id `i` as a 24-byte key: a 4-byte prefix plus a 20-digit
+/// zero-padded decimal. Lexicographic order equals numeric order.
+pub fn encode_key(i: u64) -> Vec<u8> {
+    format!("user{i:020}").into_bytes()
+}
+
+/// Decode a key produced by [`encode_key`].
+pub fn decode_key(key: &[u8]) -> Option<u64> {
+    let s = std::str::from_utf8(key).ok()?;
+    s.strip_prefix("user")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_24_bytes() {
+        assert_eq!(encode_key(0).len(), KEY_LEN);
+        assert_eq!(encode_key(u64::MAX).len(), KEY_LEN);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for i in [0u64, 1, 999, 123_456_789, u64::MAX] {
+            assert_eq!(decode_key(&encode_key(i)), Some(i));
+        }
+        assert_eq!(decode_key(b"junk"), None);
+    }
+
+    #[test]
+    fn lexicographic_equals_numeric() {
+        let mut keys: Vec<Vec<u8>> = (0..1000).map(|i| encode_key(i * 7919)).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        keys.sort_by_key(|k| decode_key(k).unwrap());
+        assert_eq!(keys, sorted);
+    }
+}

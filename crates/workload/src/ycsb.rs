@@ -1,0 +1,166 @@
+//! YCSB core workloads A–F (Cooper et al., SoCC'10), as used in paper §IV-C.
+
+use crate::dist::KeyDist;
+use rand::Rng;
+
+/// YCSB operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbOp {
+    /// Point read.
+    Read,
+    /// Overwrite an existing key.
+    Update,
+    /// Insert a new key (grows the keyspace).
+    Insert,
+    /// Short range scan.
+    Scan,
+    /// Read-modify-write.
+    ReadModifyWrite,
+}
+
+/// A YCSB core workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest.
+    D,
+    /// 95% scan / 5% insert, zipfian.
+    E,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All six, in order.
+    pub const ALL: [YcsbWorkload; 6] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// `(read, update, insert, scan, rmw)` proportions.
+    pub fn mix(&self) -> (f64, f64, f64, f64, f64) {
+        match self {
+            YcsbWorkload::A => (0.5, 0.5, 0.0, 0.0, 0.0),
+            YcsbWorkload::B => (0.95, 0.05, 0.0, 0.0, 0.0),
+            YcsbWorkload::C => (1.0, 0.0, 0.0, 0.0, 0.0),
+            YcsbWorkload::D => (0.95, 0.0, 0.05, 0.0, 0.0),
+            YcsbWorkload::E => (0.0, 0.0, 0.05, 0.95, 0.0),
+            YcsbWorkload::F => (0.5, 0.0, 0.0, 0.0, 0.5),
+        }
+    }
+
+    /// Request distribution for this workload over `n` keys.
+    pub fn key_dist(&self, n: u64, theta: f64) -> KeyDist {
+        match self {
+            YcsbWorkload::D => KeyDist::latest(n, theta),
+            _ => KeyDist::zipfian(n, theta),
+        }
+    }
+
+    /// Draw the next operation kind.
+    pub fn next_op(&self, rng: &mut impl Rng) -> YcsbOp {
+        let (r, u, i, s, _f) = self.mix();
+        let x: f64 = rng.gen();
+        if x < r {
+            YcsbOp::Read
+        } else if x < r + u {
+            YcsbOp::Update
+        } else if x < r + u + i {
+            YcsbOp::Insert
+        } else if x < r + u + i + s {
+            YcsbOp::Scan
+        } else {
+            YcsbOp::ReadModifyWrite
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(w: YcsbWorkload, n: usize) -> std::collections::HashMap<YcsbOp, usize> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut h = std::collections::HashMap::new();
+        for _ in 0..n {
+            *h.entry(w.next_op(&mut rng)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn workload_a_is_half_reads_half_updates() {
+        let h = histogram(YcsbWorkload::A, 100_000);
+        let r = h[&YcsbOp::Read] as f64 / 100_000.0;
+        let u = h[&YcsbOp::Update] as f64 / 100_000.0;
+        assert!((r - 0.5).abs() < 0.02, "reads {r}");
+        assert!((u - 0.5).abs() < 0.02, "updates {u}");
+        assert!(!h.contains_key(&YcsbOp::Scan));
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let h = histogram(YcsbWorkload::C, 10_000);
+        assert_eq!(h[&YcsbOp::Read], 10_000);
+    }
+
+    #[test]
+    fn workload_e_is_scan_heavy() {
+        let h = histogram(YcsbWorkload::E, 100_000);
+        let s = h[&YcsbOp::Scan] as f64 / 100_000.0;
+        let i = h[&YcsbOp::Insert] as f64 / 100_000.0;
+        assert!((s - 0.95).abs() < 0.01);
+        assert!((i - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn workload_f_has_rmw() {
+        let h = histogram(YcsbWorkload::F, 100_000);
+        let f = h[&YcsbOp::ReadModifyWrite] as f64 / 100_000.0;
+        assert!((f - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn mixes_sum_to_one() {
+        for w in YcsbWorkload::ALL {
+            let (r, u, i, s, f) = w.mix();
+            assert!((r + u + i + s + f - 1.0).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn d_uses_latest_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = YcsbWorkload::D.key_dist(10_000, 0.99);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if d.next(&mut rng, 10_000) >= 9_000 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 5_000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Run the six YCSB core workloads against a Scavenger database (paper
+//! §IV-C) and report per-workload throughput.
+//!
+//! Run with: `cargo run --release --example ycsb_tour`
+
+use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger_env::EnvRef;
+
+// The workload crate drives any KvStore; examples implement the adapter
+// inline to show the full integration surface.
+use scavenger_workload::runner::Runner;
+use scavenger_workload::values::ValueGen;
+use scavenger_workload::ycsb::YcsbWorkload;
+use scavenger_workload::KvStore;
+
+struct Adapter<'a>(&'a Db);
+
+impl KvStore for Adapter<'_> {
+    fn put(&self, key: &[u8], value: &[u8]) -> scavenger::Result<()> {
+        self.0.put(key, value.to_vec())
+    }
+    fn get(&self, key: &[u8]) -> scavenger::Result<Option<Vec<u8>>> {
+        Ok(self.0.get(key)?.map(|b| b.to_vec()))
+    }
+    fn delete(&self, key: &[u8]) -> scavenger::Result<()> {
+        self.0.delete(key)
+    }
+    fn scan(&self, start: &[u8], limit: usize) -> scavenger::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut it = self.0.scan(start, None)?;
+        Ok(it
+            .collect_n(limit)?
+            .into_iter()
+            .map(|e| (e.key, e.value.to_vec()))
+            .collect())
+    }
+}
+
+fn main() -> scavenger::Result<()> {
+    let env: EnvRef = MemEnv::shared();
+    let mut opts = Options::new(env, "db", EngineMode::Scavenger);
+    opts.memtable_size = 128 * 1024;
+    opts.base_level_bytes = 512 * 1024;
+    let db = Db::open(opts)?;
+    let store = Adapter(&db);
+
+    let n = 1_000u64;
+    let mut runner = Runner::new(n * 2, ValueGen::mixed_8k(), 7).with_verification();
+    println!("loading {n} keys (Mixed-8K values)...");
+    runner.load(&store, n)?;
+    db.flush()?;
+
+    println!("\n{:>9}  {:>8}  {:>12}  {:>13}", "workload", "ops", "wall ops/s", "notes");
+    for w in YcsbWorkload::ALL {
+        let rep = runner.ycsb(&store, w, 0.99, 2_000, 50)?;
+        let notes = match w {
+            YcsbWorkload::A => "50r/50u zipf",
+            YcsbWorkload::B => "95r/5u zipf",
+            YcsbWorkload::C => "100r zipf",
+            YcsbWorkload::D => "95r/5i latest",
+            YcsbWorkload::E => "95scan/5i",
+            YcsbWorkload::F => "50r/50rmw",
+        };
+        println!(
+            "{:>9}  {:>8}  {:>12.0}  {:>13}",
+            w.label(),
+            rep.ops,
+            rep.ops as f64 / rep.wall_secs.max(1e-9),
+            notes
+        );
+    }
+
+    let stats = db.stats();
+    println!(
+        "\nfinal space: {} KiB across {} value files (index SA {:.2})",
+        stats.space.total() / 1024,
+        stats.value_files,
+        stats.index_space_amp
+    );
+    Ok(())
+}
