@@ -1,0 +1,170 @@
+//! GC-Lookup microbenchmark: validate an N-record value file against the
+//! index under each [`GcValidateMode`] (paper Fig. 10 — the phase that
+//! dominates GC latency under point lookups).
+//!
+//! Run with `cargo bench --bench gc_validate`. Writes a machine-readable
+//! baseline to `<workspace>/BENCH_gc_validate.json` (override the path
+//! with `GC_VALIDATE_JSON`), so future PRs have a perf trajectory.
+
+use criterion::{black_box, Bencher, Criterion, Throughput};
+use scavenger::{Db, EngineMode, GcValidateMode, MemEnv, Options};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Build a DB whose first value file holds exactly `n` records, a third
+/// of them dead (overwritten into a second file), with a leveled index.
+fn build_db(n: usize) -> (Db, u64) {
+    let mut o = Options::new(MemEnv::shared(), "bench-db", EngineMode::Scavenger);
+    o.auto_gc = false;
+    o.wal = false;
+    o.memtable_size = 512 << 20; // flush only when asked:
+    o.vsst_target_size = 1 << 30; // one flush -> one value file
+    o.ksst_target_size = 512 * 1024;
+    o.base_level_bytes = 8 << 20;
+    o.block_cache_bytes = 64 << 20;
+    o.gc_threads = 4;
+    let db = Db::open(o).unwrap();
+    let value = vec![0xabu8; 600];
+    for i in 0..n {
+        db.put(format!("key{i:08}"), value.clone()).unwrap();
+    }
+    db.flush().unwrap();
+    let file = db
+        .value_store()
+        .all_files()
+        .iter()
+        .max_by_key(|m| m.entries)
+        .expect("value file exists")
+        .file;
+    // Kill a third of the records so validation sees a realistic mix.
+    for i in (0..n).step_by(3) {
+        db.put(format!("key{i:08}"), value.clone()).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_all().unwrap();
+    (db, file)
+}
+
+fn mode_label(mode: GcValidateMode) -> &'static str {
+    match mode {
+        GcValidateMode::Point => "point",
+        GcValidateMode::Merge => "merge",
+        GcValidateMode::Parallel => "parallel-4",
+        GcValidateMode::Auto => "auto",
+    }
+}
+
+/// One measured result.
+struct Sample {
+    batch: usize,
+    mode: GcValidateMode,
+    mean_ns: f64,
+    valid: u64,
+}
+
+fn bench_one(b: &mut Bencher, db: &Db, file: u64, mode: GcValidateMode) {
+    b.iter(|| {
+        let report = db.gc_validate_file(file, Some(mode)).unwrap();
+        black_box(report.valid)
+    });
+}
+
+fn measure_direct(db: &Db, file: u64, mode: GcValidateMode, iters: u32) -> (f64, u64) {
+    // Warmup.
+    let report = db.gc_validate_file(file, Some(mode)).unwrap();
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(db.gc_validate_file(file, Some(mode)).unwrap());
+    }
+    (t.elapsed().as_nanos() as f64 / iters as f64, report.valid)
+}
+
+fn run(c: &mut Criterion) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let n_large: usize = std::env::var("GC_VALIDATE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    for n in [10_000usize, n_large] {
+        let (db, file) = build_db(n);
+        let mut g = c.benchmark_group(format!("gc_validate_{n}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(n as u64));
+        for mode in [
+            GcValidateMode::Point,
+            GcValidateMode::Merge,
+            GcValidateMode::Parallel,
+        ] {
+            g.bench_function(mode_label(mode), |b| bench_one(b, &db, file, mode));
+            // Direct measurement for the recorded baseline (criterion's
+            // adaptive iteration counts vary; this is a fixed-iter mean).
+            let iters = if n >= 50_000 { 3 } else { 10 };
+            let (mean_ns, valid) = measure_direct(&db, file, mode, iters);
+            samples.push(Sample {
+                batch: n,
+                mode,
+                mean_ns,
+                valid,
+            });
+        }
+        g.finish();
+    }
+    samples
+}
+
+fn mean_of(samples: &[Sample], batch: usize, mode: GcValidateMode) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.batch == batch && s.mode == mode)
+        .map(|s| s.mean_ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn write_baseline(samples: &[Sample]) {
+    let path = std::env::var("GC_VALIDATE_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_gc_validate.json")
+    });
+    let mut out = String::from("{\n  \"bench\": \"gc_validate\",\n  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"batch\": {}, \"mode\": \"{}\", \"mean_ns\": {:.0}, \"ns_per_record\": {:.1}, \"valid_records\": {}}}{}\n",
+            s.batch,
+            mode_label(s.mode),
+            s.mean_ns,
+            s.mean_ns / s.batch as f64,
+            s.valid,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedup_vs_point\": {\n");
+    let batches: Vec<usize> = {
+        let mut b: Vec<usize> = samples.iter().map(|s| s.batch).collect();
+        b.dedup();
+        b
+    };
+    for (bi, &batch) in batches.iter().enumerate() {
+        let point = mean_of(samples, batch, GcValidateMode::Point);
+        let merge = point / mean_of(samples, batch, GcValidateMode::Merge);
+        let par = point / mean_of(samples, batch, GcValidateMode::Parallel);
+        out.push_str(&format!(
+            "    \"{batch}\": {{\"merge\": {merge:.2}, \"parallel-4\": {par:.2}}}{}\n",
+            if bi + 1 < batches.len() { "," } else { "" }
+        ));
+        println!("gc_validate[{batch}]: merge {merge:.2}x, parallel-4 {par:.2}x vs point");
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("gc_validate: baseline written to {path}"),
+        Err(e) => eprintln!("gc_validate: failed to write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let samples = run(&mut c);
+    write_baseline(&samples);
+    criterion::write_json_if_requested();
+}

@@ -89,7 +89,11 @@ fn bench_cache(c: &mut Criterion) {
     let cache: LruCache<u64> = LruCache::with_capacity(1 << 20);
     for i in 0..4096u64 {
         cache.insert(
-            CacheKey { file: 1, offset: i, kind: 0 },
+            CacheKey {
+                file: 1,
+                offset: i,
+                kind: 0,
+            },
             i,
             256,
             CachePriority::Low,
@@ -99,7 +103,11 @@ fn bench_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 4096;
-            cache.get(&CacheKey { file: 1, offset: i, kind: 0 })
+            cache.get(&CacheKey {
+                file: 1,
+                offset: i,
+                kind: 0,
+            })
         })
     });
     g.bench_function("insert_evict", |b| {
@@ -107,7 +115,11 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             cache.insert(
-                CacheKey { file: 2, offset: i, kind: 0 },
+                CacheKey {
+                    file: 2,
+                    offset: i,
+                    kind: 0,
+                },
                 i,
                 256,
                 CachePriority::Low,

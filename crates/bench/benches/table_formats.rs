@@ -5,7 +5,7 @@
 //! * DTable KF-only lookups vs BTable mixed-block lookups (§III-B2).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use scavenger_env::{Env, EnvRef, IoClass, MemEnv};
+use scavenger_env::{EnvRef, IoClass, MemEnv};
 use scavenger_table::btable::{BTableBuilder, BTableReader, TableOptions};
 use scavenger_table::dtable::{DTableBuilder, DTableReader};
 use scavenger_table::rtable::{RTableBuilder, RTableReader};
@@ -16,11 +16,18 @@ const N: usize = 512;
 const VSIZE: usize = 4096;
 
 fn opts() -> TableOptions {
-    TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() }
+    TableOptions {
+        cmp: KeyCmp::Internal,
+        ..TableOptions::default()
+    }
 }
 
 fn key(i: usize) -> Vec<u8> {
-    make_internal_key(format!("user{i:08}").as_bytes(), i as u64 + 1, ValueType::Value)
+    make_internal_key(
+        format!("user{i:08}").as_bytes(),
+        i as u64 + 1,
+        ValueType::Value,
+    )
 }
 
 fn build_value_tables(env: &EnvRef) {
@@ -48,7 +55,9 @@ fn bench_build(c: &mut Criterion) {
         let mut n = 0u32;
         b.iter(|| {
             n += 1;
-            let f = env.new_writable(&format!("b{n}.vsst"), IoClass::Flush).unwrap();
+            let f = env
+                .new_writable(&format!("b{n}.vsst"), IoClass::Flush)
+                .unwrap();
             let mut t = BTableBuilder::new(f, opts());
             for i in 0..N {
                 t.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
@@ -61,7 +70,9 @@ fn bench_build(c: &mut Criterion) {
         let mut n = 0u32;
         b.iter(|| {
             n += 1;
-            let f = env.new_writable(&format!("r{n}.vsst"), IoClass::Flush).unwrap();
+            let f = env
+                .new_writable(&format!("r{n}.vsst"), IoClass::Flush)
+                .unwrap();
             let mut t = RTableBuilder::new(f, opts());
             for i in 0..N {
                 t.add(&key(i), &vec![i as u8; VSIZE]).unwrap();
@@ -126,7 +137,12 @@ fn bench_ksst_lookup(c: &mut Criterion) {
                         i as u64 + 1,
                         ValueType::ValueRef,
                     ),
-                    ValueRef { file: 9, size: 16384, offset: 0 }.encode(),
+                    ValueRef {
+                        file: 9,
+                        size: 16384,
+                        offset: 0,
+                    }
+                    .encode(),
                 )
             }
         })
@@ -144,9 +160,13 @@ fn bench_ksst_lookup(c: &mut Criterion) {
     }
     d.finish().unwrap();
 
-    let bf = env.open_random_access("k.bsst", IoClass::FgIndexRead).unwrap();
+    let bf = env
+        .open_random_access("k.bsst", IoClass::FgIndexRead)
+        .unwrap();
     let breader = BTableReader::open(bf, 3, None, KeyCmp::Internal).unwrap();
-    let df = env.open_random_access("k.dsst", IoClass::FgIndexRead).unwrap();
+    let df = env
+        .open_random_access("k.dsst", IoClass::FgIndexRead)
+        .unwrap();
     let dreader = DTableReader::open(df, 4, None).unwrap();
 
     let mut g = c.benchmark_group("ksst_ref_lookup");

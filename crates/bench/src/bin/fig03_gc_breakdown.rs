@@ -43,7 +43,15 @@ fn main() {
         }
         print_table(
             &format!("Fig 3: GC latency breakdown — {}", spec.label),
-            &["workload", "read%", "lookup%", "write%", "write-index%", "gc-runs", "index MB"],
+            &[
+                "workload",
+                "read%",
+                "lookup%",
+                "write%",
+                "write-index%",
+                "gc-runs",
+                "index MB",
+            ],
             &rows,
         );
     }

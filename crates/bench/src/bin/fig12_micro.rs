@@ -40,7 +40,14 @@ fn main() {
         }
         print_table(
             &format!("Fig 12(a/b): {wname}, 1.5x space limit"),
-            &["engine", "insert MB/s", "update MB/s", "read Kops/s", "scan MB/s", "stalls"],
+            &[
+                "engine",
+                "insert MB/s",
+                "update MB/s",
+                "read Kops/s",
+                "scan MB/s",
+                "stalls",
+            ],
             &rows,
         );
         if wname == "Mixed-8K" {

@@ -17,8 +17,7 @@ fn main() {
         for spec in EngineSpec::all_modes() {
             let mut row = vec![spec.label.clone()];
             for w in YcsbWorkload::ALL {
-                let (ops, _rep, _sa) =
-                    run_ycsb(&spec, mk(), w, &scale, Some(1.5)).expect("ycsb");
+                let (ops, _rep, _sa) = run_ycsb(&spec, mk(), w, &scale, Some(1.5)).expect("ycsb");
                 row.push(f2(ops / 1e3));
             }
             rows.push(row);

@@ -40,7 +40,13 @@ fn main() {
     }
     print_table(
         "Fig 14: no space limit — update throughput and space amplification",
-        &["engine", "Mixed MB/s", "Mixed SA", "Pareto MB/s", "Pareto SA"],
+        &[
+            "engine",
+            "Mixed MB/s",
+            "Mixed SA",
+            "Pareto MB/s",
+            "Pareto SA",
+        ],
         &rows,
     );
 }

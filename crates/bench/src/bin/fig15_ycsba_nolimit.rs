@@ -11,22 +11,10 @@ fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
     for spec in EngineSpec::all_modes() {
-        let (ops_m, _r, sa_m) = run_ycsb(
-            &spec,
-            ValueGen::mixed_8k(),
-            YcsbWorkload::A,
-            &scale,
-            None,
-        )
-        .expect("mixed");
-        let (ops_p, _r, sa_p) = run_ycsb(
-            &spec,
-            ValueGen::pareto_1k(),
-            YcsbWorkload::A,
-            &scale,
-            None,
-        )
-        .expect("pareto");
+        let (ops_m, _r, sa_m) =
+            run_ycsb(&spec, ValueGen::mixed_8k(), YcsbWorkload::A, &scale, None).expect("mixed");
+        let (ops_p, _r, sa_p) =
+            run_ycsb(&spec, ValueGen::pareto_1k(), YcsbWorkload::A, &scale, None).expect("pareto");
         rows.push(vec![
             spec.label.clone(),
             f2(ops_m / 1e3),
@@ -37,7 +25,13 @@ fn main() {
     }
     print_table(
         "Fig 15: YCSB-A without space limit",
-        &["engine", "Mixed Kops/s", "Mixed SA", "Pareto Kops/s", "Pareto SA"],
+        &[
+            "engine",
+            "Mixed Kops/s",
+            "Mixed SA",
+            "Pareto Kops/s",
+            "Pareto SA",
+        ],
         &rows,
     );
 }

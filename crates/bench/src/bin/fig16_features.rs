@@ -24,9 +24,19 @@ fn ablation_specs() -> Vec<EngineSpec> {
 
 fn gc_feature_specs() -> Vec<EngineSpec> {
     let c = Features::tdb_compensated();
-    let cr = Features { vformat: VFormat::RTable, lazy_read: true, ..c };
-    let crw = Features { hotness: true, ..cr };
-    let crwl = Features { dtable_index: true, ..crw };
+    let cr = Features {
+        vformat: VFormat::RTable,
+        lazy_read: true,
+        ..c
+    };
+    let crw = Features {
+        hotness: true,
+        ..cr
+    };
+    let crwl = Features {
+        dtable_index: true,
+        ..crw
+    };
     vec![
         EngineSpec::custom("C", EngineMode::Terark, c),
         EngineSpec::custom("CR", EngineMode::Terark, cr),

@@ -11,9 +11,19 @@ fn main() {
     let scale = Scale::from_args();
     let tdb = Features::for_mode(EngineMode::Terark);
     let c = Features::tdb_compensated();
-    let cr = Features { vformat: VFormat::RTable, lazy_read: true, ..c };
-    let crw = Features { hotness: true, ..cr };
-    let crwl = Features { dtable_index: true, ..crw };
+    let cr = Features {
+        vformat: VFormat::RTable,
+        lazy_read: true,
+        ..c
+    };
+    let crw = Features {
+        hotness: true,
+        ..cr
+    };
+    let crwl = Features {
+        dtable_index: true,
+        ..crw
+    };
     let specs_a = vec![
         EngineSpec::custom("TDB", EngineMode::Terark, tdb),
         EngineSpec::custom("TDB-C", EngineMode::Terark, c),
@@ -25,7 +35,8 @@ fn main() {
         EngineSpec::custom("CRW", EngineMode::Terark, crw),
         EngineSpec::custom("CRWL", EngineMode::Terark, crwl),
     ];
-    let workloads: Vec<(&str, fn() -> ValueGen)> = vec![
+    type WorkloadRow = (&'static str, fn() -> ValueGen);
+    let workloads: Vec<WorkloadRow> = vec![
         ("1K", || ValueGen::fixed(1024)),
         ("4K", || ValueGen::fixed(4096)),
         ("8K", || ValueGen::fixed(8192)),
@@ -53,7 +64,9 @@ fn main() {
     let mut rows = Vec::new();
     for spec in &specs_b {
         let mut row = vec![spec.label.clone()];
-        for mk in [ValueGen::mixed_8k as fn() -> ValueGen, || ValueGen::fixed(16384)] {
+        for mk in [ValueGen::mixed_8k as fn() -> ValueGen, || {
+            ValueGen::fixed(16384)
+        }] {
             let out = run_experiment(spec, mk(), 0.9, &scale, None, Phases::load_update())
                 .expect("experiment");
             row.push(f2(out.space_amp()));

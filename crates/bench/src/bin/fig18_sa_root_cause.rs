@@ -14,7 +14,11 @@ fn main() {
     let scale = Scale::from_args();
     let specs = vec![
         EngineSpec::mode(EngineMode::Rocks),
-        EngineSpec::custom("TDB", EngineMode::Terark, Features::for_mode(EngineMode::Terark)),
+        EngineSpec::custom(
+            "TDB",
+            EngineMode::Terark,
+            Features::for_mode(EngineMode::Terark),
+        ),
         EngineSpec::custom("TDB-C", EngineMode::Terark, Features::tdb_compensated()),
         EngineSpec::mode(EngineMode::Scavenger),
     ];

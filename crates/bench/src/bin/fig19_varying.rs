@@ -109,7 +109,9 @@ fn main() {
     }
     print_table(
         "Fig 19(c): update MB/s vs Zipfian constant (Mixed-8K, 1.5x limit)",
-        &["engine", "uniform", "zipf0.5", "zipf0.7", "zipf0.9", "zipf0.99"],
+        &[
+            "engine", "uniform", "zipf0.5", "zipf0.7", "zipf0.9", "zipf0.99",
+        ],
         &rows,
     );
 }

@@ -9,7 +9,8 @@ use scavenger_workload::values::ValueGen;
 
 fn main() {
     let scale = Scale::from_args();
-    let workloads: Vec<(&str, fn() -> ValueGen)> = vec![
+    type WorkloadRow = (&'static str, fn() -> ValueGen);
+    let workloads: Vec<WorkloadRow> = vec![
         ("1K", || ValueGen::fixed(1024)),
         ("4K", || ValueGen::fixed(4096)),
         ("16K", || ValueGen::fixed(16384)),
@@ -20,7 +21,11 @@ fn main() {
     let mut scav = vec!["Scavenger".to_string()];
     let mut ratio = vec!["Ratio".to_string()];
     for (_, mk) in &workloads {
-        let insert_only = Phases { update: false, read: false, scan: false };
+        let insert_only = Phases {
+            update: false,
+            read: false,
+            scan: false,
+        };
         let t = run_experiment(
             &EngineSpec::mode(EngineMode::Terark),
             mk(),

@@ -71,12 +71,19 @@ impl EngineSpec {
 
     /// A custom feature set with a label (ablations, S-RH, …).
     pub fn custom(label: &str, mode: EngineMode, features: Features) -> Self {
-        EngineSpec { label: label.to_string(), mode, features }
+        EngineSpec {
+            label: label.to_string(),
+            mode,
+            features,
+        }
     }
 
     /// All five paper baselines.
     pub fn all_modes() -> Vec<EngineSpec> {
-        EngineMode::ALL.iter().map(|m| EngineSpec::mode(*m)).collect()
+        EngineMode::ALL
+            .iter()
+            .map(|m| EngineSpec::mode(*m))
+            .collect()
     }
 }
 
@@ -280,12 +287,20 @@ pub struct Phases {
 impl Phases {
     /// Load + update only (most figures).
     pub fn load_update() -> Self {
-        Phases { update: true, read: false, scan: false }
+        Phases {
+            update: true,
+            read: false,
+            scan: false,
+        }
     }
 
     /// The full microbenchmark suite (Fig. 12).
     pub fn all() -> Self {
-        Phases { update: true, read: true, scan: true }
+        Phases {
+            update: true,
+            read: true,
+            scan: true,
+        }
     }
 }
 
@@ -392,7 +407,11 @@ pub fn run_ycsb(
     let io1 = env.io_stats().snapshot();
     let d = io1.delta(&io0);
     let secs = DeviceModel::nvme().simulated_seconds(&d);
-    let ops_per_sec = if secs <= 0.0 { 0.0 } else { rep.ops as f64 / secs };
+    let ops_per_sec = if secs <= 0.0 {
+        0.0
+    } else {
+        rep.ops as f64 / secs
+    };
     let logical = runner.logical_bytes().max(1);
     let space_amp = db.stats().space.total() as f64 / logical as f64;
     Ok((ops_per_sec, rep, space_amp))
@@ -419,7 +438,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("  {}", head.join("  "));
     println!(
         "  {}",
-        widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
     );
     for row in rows {
         let cells: Vec<String> = row
@@ -480,7 +503,12 @@ mod tests {
                 Phases::all(),
             )
             .unwrap();
-            assert!(out.space_amp() >= 0.9, "{}: SA {}", out.label, out.space_amp());
+            assert!(
+                out.space_amp() >= 0.9,
+                "{}: SA {}",
+                out.label,
+                out.space_amp()
+            );
             assert!(out.update.ops > 0);
             assert!(out.read.unwrap().ops == 50);
         }
@@ -542,7 +570,9 @@ mod titan_repro {
         runner.read(&store, &dist, n * 2).unwrap();
         let logical = runner.logical_bytes();
         let total = db.stats().space.total();
-        assert!(total as f64 >= logical as f64 * 0.98,
-            "SA<1: total {total} logical {logical}");
+        assert!(
+            total as f64 >= logical as f64 * 0.98,
+            "SA<1: total {total} logical {logical}"
+        );
     }
 }

@@ -106,8 +106,12 @@ impl Db {
                 opts.env.clone(),
                 opts.dir.clone(),
                 opts.features,
-                opts.vsst_target_size,
-                opts.gc_batch_files,
+                crate::gc::GcConfig {
+                    vsst_target: opts.vsst_target_size,
+                    batch_files: opts.gc_batch_files,
+                    validate_mode: opts.gc_validate_mode,
+                    threads: opts.gc_threads,
+                },
                 opts.lsm_options().table_options(),
                 vstore.clone(),
                 dropcache.clone(),
@@ -153,8 +157,7 @@ impl Db {
     /// Apply a batch atomically.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
         self.enforce_space_limit()?;
-        let credit =
-            (batch.byte_size() as f64 * self.inner.opts.gc_bandwidth_factor) as i64;
+        let credit = (batch.byte_size() as f64 * self.inner.opts.gc_bandwidth_factor) as i64;
         self.inner.lsm.write(batch)?;
         {
             let mut c = self.inner.gc_credits.lock();
@@ -176,9 +179,7 @@ impl Db {
             return Ok(());
         }
         inner.throttle.note_activation();
-        let aggressive = inner
-            .throttle
-            .aggressive_threshold(inner.opts.gc_threshold);
+        let aggressive = inner.throttle.aggressive_threshold(inner.opts.gc_threshold);
         for _ in 0..MAX_THROTTLE_ROUNDS {
             if !inner.throttle.over_limit(self.space().total()) {
                 return Ok(());
@@ -310,12 +311,23 @@ impl Db {
     fn resolve_read(&self, key: &[u8], r: LsmReadResult) -> Result<Option<Bytes>> {
         match r {
             LsmReadResult::NotFound | LsmReadResult::Deleted => Ok(None),
-            LsmReadResult::Found { vtype: ValueType::Value, value, .. } => Ok(Some(value)),
-            LsmReadResult::Found { vtype: ValueType::ValueRef, seq, value } => {
+            LsmReadResult::Found {
+                vtype: ValueType::Value,
+                value,
+                ..
+            } => Ok(Some(value)),
+            LsmReadResult::Found {
+                vtype: ValueType::ValueRef,
+                seq,
+                value,
+            } => {
                 let vref = ValueRef::decode(&value)?;
                 Ok(Some(self.inner.vstore.read_ref(key, seq, &vref)?))
             }
-            LsmReadResult::Found { vtype: ValueType::Deletion, .. } => Err(Error::internal(
+            LsmReadResult::Found {
+                vtype: ValueType::Deletion,
+                ..
+            } => Err(Error::internal(
                 "tombstone escaped the read path".to_string(),
             )),
         }
@@ -369,6 +381,27 @@ impl Db {
         }
     }
 
+    /// Dry-run the GC-Lookup validation phase over one value file without
+    /// moving data: reports how many of its records are still live.
+    /// `mode` overrides the configured [`crate::GcValidateMode`] (useful
+    /// for diagnostics and benchmarking the modes against each other).
+    pub fn gc_validate_file(
+        &self,
+        file: u64,
+        mode: Option<crate::GcValidateMode>,
+    ) -> Result<crate::GcValidationReport> {
+        let inner = &self.inner;
+        match &inner.gc {
+            Some(gc) => {
+                let _g = inner.gc_lock.lock();
+                gc.validate_file(&inner.lsm, file, mode)
+            }
+            None => Err(Error::internal(
+                "engine mode has no value separation to validate".to_string(),
+            )),
+        }
+    }
+
     /// Run GC jobs until no candidate crosses the threshold.
     pub fn run_gc_until_clean(&self) -> Result<usize> {
         let mut jobs = 0;
@@ -403,13 +436,9 @@ impl Db {
                 let size = inner.opts.env.file_size(&p).unwrap_or(0);
                 match parse_path(&inner.opts.dir, &p) {
                     Some((FileKind::Table, _)) => s.ksst_bytes += size,
-                    Some((FileKind::ValueTable | FileKind::BlobLog, _)) => {
-                        s.value_bytes += size
-                    }
+                    Some((FileKind::ValueTable | FileKind::BlobLog, _)) => s.value_bytes += size,
                     Some((FileKind::Wal, _)) => s.wal_bytes += size,
-                    Some((FileKind::Manifest | FileKind::Current, _)) => {
-                        s.manifest_bytes += size
-                    }
+                    Some((FileKind::Manifest | FileKind::Current, _)) => s.manifest_bytes += size,
                     None => s.other_bytes += size,
                 }
             }
@@ -475,11 +504,12 @@ impl DbScanIter {
                         let vref = ValueRef::decode(&e.value)?;
                         self.db.vstore.read_ref(&e.user_key, e.seq, &vref)?
                     }
-                    ValueType::Deletion => {
-                        return Err(Error::internal("tombstone in scan output"))
-                    }
+                    ValueType::Deletion => return Err(Error::internal("tombstone in scan output")),
                 };
-                Ok(Some(ScanEntry { key: e.user_key, value }))
+                Ok(Some(ScanEntry {
+                    key: e.user_key,
+                    value,
+                }))
             }
             None => Ok(None),
         }
@@ -590,7 +620,8 @@ mod tests {
             // Load then update everything several times.
             for round in 0..4 {
                 for i in 0..60 {
-                    db.put(format!("key{i:03}"), value(round * 100 + i, 2048)).unwrap();
+                    db.put(format!("key{i:03}"), value(round * 100 + i, 2048))
+                        .unwrap();
                 }
                 db.flush().unwrap();
             }
@@ -628,7 +659,8 @@ mod tests {
         let db = Db::open(o).unwrap();
         for round in 0..4 {
             for i in 0..40 {
-                db.put(format!("key{i:03}"), value(round * 64 + i, 2048)).unwrap();
+                db.put(format!("key{i:03}"), value(round * 64 + i, 2048))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -652,7 +684,8 @@ mod tests {
         let db = Db::open(o).unwrap();
         for round in 0..6 {
             for i in 0..40 {
-                db.put(format!("key{i:03}"), value(round * 64 + i, 2048)).unwrap();
+                db.put(format!("key{i:03}"), value(round * 64 + i, 2048))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -674,7 +707,8 @@ mod tests {
         let db = Db::open(o).unwrap();
         for round in 0..4 {
             for i in 0..50 {
-                db.put(format!("key{i:03}"), value(round + i, 4096)).unwrap();
+                db.put(format!("key{i:03}"), value(round + i, 4096))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -706,7 +740,8 @@ mod tests {
         // Write ~1.5 MiB of updates over a small key set: garbage galore.
         for round in 0..16 {
             for i in 0..48 {
-                db.put(format!("key{i:02}"), value(round + i, 2048)).unwrap();
+                db.put(format!("key{i:02}"), value(round + i, 2048))
+                    .unwrap();
             }
         }
         db.flush().unwrap();
@@ -796,7 +831,8 @@ mod tests {
             let db = Db::open(o).unwrap();
             for round in 0..4 {
                 for i in 0..50 {
-                    db.put(format!("key{i:03}"), value(round + i, 2048)).unwrap();
+                    db.put(format!("key{i:03}"), value(round + i, 2048))
+                        .unwrap();
                 }
                 db.flush().unwrap();
             }
@@ -856,7 +892,8 @@ mod tests {
         }
         for round in 0..6 {
             for i in 0..8 {
-                db.put(format!("hot{i:02}"), value(round * 10 + i, 2048)).unwrap();
+                db.put(format!("hot{i:02}"), value(round * 10 + i, 2048))
+                    .unwrap();
             }
             db.flush().unwrap();
         }
@@ -870,7 +907,8 @@ mod tests {
         // And subsequent flushes should produce hot-marked files.
         for round in 0..2 {
             for i in 0..8 {
-                db.put(format!("hot{i:02}"), value(round * 7 + i, 2048)).unwrap();
+                db.put(format!("hot{i:02}"), value(round * 7 + i, 2048))
+                    .unwrap();
             }
         }
         db.flush().unwrap();

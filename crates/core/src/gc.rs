@@ -20,9 +20,47 @@
 //! Every phase is wall-clock timed into [`GcStats`], reproducing the
 //! paper's Figure 3 latency breakdown, and all I/O is charged to
 //! `IoClass::GcRead` / `IoClass::GcWrite` for Figure 12(c).
+//!
+//! # The validation pipeline (GC-Lookup, Fig. 8 step ② / Fig. 10)
+//!
+//! A GC job moves through four phases, named after the paper's Fig. 8:
+//!
+//! | phase | Fig. 8 | what happens here |
+//! |---|---|---|
+//! | **Read**   | step ① | value-file keys (Lazy Read) or whole records are loaded into the pending batch |
+//! | **GC-Lookup** | step ② | every pending record is validated against the index LSM-tree at each read point |
+//! | **Fetch/Write** | steps ③–④ | surviving values are fetched (lazy) and rewritten hot/cold-routed |
+//! | **Write-Index** | Titan only | new addresses are pushed back through the write path |
+//!
+//! The paper's Fig. 10 profiles GC-Lookup — historically one serial
+//! `get_at` point query per record per read point — as the dominant GC
+//! cost. This module therefore runs the phase through a batched
+//! validation engine with three interchangeable modes
+//! ([`GcValidateMode`]):
+//!
+//! * **Point** — the baseline: serial point lookups, exactly the paper's
+//!   profiled behaviour.
+//! * **Merge** (*merge-validate*) — the batch is sorted by user key (the
+//!   fetch phase wants that order anyway) and resolved with **one
+//!   co-sequential sweep of a pinned LSM iterator per read point**
+//!   ([`scavenger_lsm::BatchSweep`]), turning `O(N · cost(get))` into a
+//!   single merged forward pass that amortizes version pinning,
+//!   table-handle lookups, and block-cache accesses.
+//! * **Parallel** — the sorted batch is partitioned into contiguous key
+//!   ranges across a pool of `gc_threads` scoped worker threads, each
+//!   resolving its range with private sweeps over one shared pinned view
+//!   (concurrent lookups without per-key version-mutex or table-cache
+//!   contention).
+//!
+//! `Auto` picks per batch. All three modes are observationally
+//! equivalent (asserted by `tests/integration_gc_validation.rs`) and
+//! feed per-mode counters into [`GcStats`].
 
 use crate::dropcache::DropCache;
-use crate::options::{Features, GcScheme, VFormat};
+use crate::options::{
+    Features, GcScheme, GcValidateMode, VFormat, AUTO_MERGE_VALIDATE_MIN,
+    AUTO_PARALLEL_VALIDATE_MIN,
+};
 use crate::stats::GcStats;
 use crate::vstore::vtable::{parse_record_key, VReader, VWriter};
 use crate::vstore::{new_value_file_record, ValueStore};
@@ -33,11 +71,22 @@ use scavenger_table::btable::TableOptions;
 use scavenger_table::handle::BlockHandle;
 use scavenger_table::KeyCmp;
 use scavenger_util::ikey::{cmp_internal, SeqNo, ValueRef, ValueType};
-use scavenger_util::Result;
+use scavenger_util::{Error, Result};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Outcome of a dry-run [`GcRunner::validate_file`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcValidationReport {
+    /// Records examined.
+    pub records: u64,
+    /// Records still referenced from some read point.
+    pub valid: u64,
+    /// The concrete validation mode that ran.
+    pub mode: GcValidateMode,
+}
 
 /// Result of one GC job.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,13 +99,25 @@ pub struct GcOutcome {
     pub bytes_reclaimed: u64,
 }
 
+/// Tuning knobs for the GC runner.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Target size of rewritten value files.
+    pub vsst_target: u64,
+    /// Max candidate files merged per GC job.
+    pub batch_files: usize,
+    /// How GC-Lookup validates candidate records.
+    pub validate_mode: GcValidateMode,
+    /// Worker threads for parallel validation.
+    pub threads: usize,
+}
+
 /// Drives GC jobs for one engine.
 pub struct GcRunner {
     env: EnvRef,
     dir: String,
     features: Features,
-    vsst_target: u64,
-    gc_batch_files: usize,
+    cfg: GcConfig,
     table_opts: TableOptions,
     vstore: Arc<ValueStore>,
     dropcache: Arc<DropCache>,
@@ -78,6 +139,12 @@ enum Loc {
     Handle(BlockHandle),
 }
 
+/// One record's identity inside a validation batch.
+struct ValItem {
+    ukey: Vec<u8>,
+    seq: SeqNo,
+}
+
 impl GcRunner {
     /// Create a runner.
     #[allow(clippy::too_many_arguments)]
@@ -85,8 +152,7 @@ impl GcRunner {
         env: EnvRef,
         dir: impl Into<String>,
         features: Features,
-        vsst_target: u64,
-        gc_batch_files: usize,
+        cfg: GcConfig,
         table_opts: TableOptions,
         vstore: Arc<ValueStore>,
         dropcache: Arc<DropCache>,
@@ -96,9 +162,11 @@ impl GcRunner {
             env,
             dir: dir.into(),
             features,
-            vsst_target,
-            gc_batch_files,
-            table_opts: TableOptions { cmp: KeyCmp::Internal, ..table_opts },
+            cfg,
+            table_opts: TableOptions {
+                cmp: KeyCmp::Internal,
+                ..table_opts
+            },
             vstore,
             dropcache,
             stats,
@@ -123,8 +191,24 @@ impl GcRunner {
         pts
     }
 
-    /// Is the record `(ukey, seq)` in `source` still referenced from any
-    /// read point? `check_ref` receives the live reference.
+    /// Resolve `Auto` to a concrete mode for a batch of `n` records.
+    fn resolve_mode(&self, n: usize) -> GcValidateMode {
+        match self.cfg.validate_mode {
+            GcValidateMode::Auto => {
+                if n >= AUTO_MERGE_VALIDATE_MIN {
+                    GcValidateMode::Merge
+                } else if self.cfg.threads > 1 && n >= AUTO_PARALLEL_VALIDATE_MIN {
+                    GcValidateMode::Parallel
+                } else {
+                    GcValidateMode::Point
+                }
+            }
+            m => m,
+        }
+    }
+
+    /// Does `result` (the visible version of item `i` at one read point)
+    /// keep the item alive?
     ///
     /// `require_seq_match` is true for keyed (no-writeback) schemes, where
     /// record identity is `(user_key, seq)`. Address-based write-back GC
@@ -132,29 +216,267 @@ impl GcRunner {
     /// entries under fresh sequence numbers while the relocated blob
     /// record keeps the original one — there, `(file, offset)` is the
     /// record's identity.
-    fn is_valid(
-        &self,
-        lsm: &Lsm,
-        read_points: &[SeqNo],
-        ukey: &[u8],
-        seq: SeqNo,
+    fn verdict(
+        result: &LsmReadResult,
+        item: &ValItem,
+        i: usize,
         require_seq_match: bool,
-        check_ref: impl Fn(&ValueRef) -> bool,
-    ) -> Result<bool> {
-        for &pt in read_points {
-            if let LsmReadResult::Found { seq: s, vtype: ValueType::ValueRef, value } =
-                lsm.get_at(ukey, pt)?
-            {
-                if !require_seq_match || s == seq {
-                    if let Ok(r) = ValueRef::decode(&value) {
-                        if check_ref(&r) {
-                            return Ok(true);
-                        }
-                    }
+        check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
+    ) -> bool {
+        if let LsmReadResult::Found {
+            seq: s,
+            vtype: ValueType::ValueRef,
+            value,
+        } = result
+        {
+            if !require_seq_match || *s == item.seq {
+                if let Ok(r) = ValueRef::decode(value) {
+                    return check_ref(i, &r);
                 }
             }
         }
-        Ok(false)
+        false
+    }
+
+    /// The GC-Lookup phase: decide for every pending record whether any
+    /// read point still references it. Dispatches to the configured
+    /// validation mode (see the module docs); all modes return identical
+    /// verdicts.
+    ///
+    /// Returns one bool per item, in input order.
+    fn validate_items(
+        &self,
+        lsm: &Lsm,
+        read_points: &[SeqNo],
+        items: &[ValItem],
+        require_seq_match: bool,
+        check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
+        mode: GcValidateMode,
+    ) -> Result<Vec<bool>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.validate_batches.fetch_add(1, Ordering::Relaxed);
+        match mode {
+            GcValidateMode::Auto => unreachable!("resolve_mode() produces concrete modes"),
+            GcValidateMode::Point => {
+                self.validate_point(lsm, read_points, items, require_seq_match, check_ref)
+            }
+            GcValidateMode::Merge => {
+                self.validate_merge(lsm, read_points, items, require_seq_match, check_ref)
+            }
+            GcValidateMode::Parallel => {
+                self.validate_parallel(lsm, read_points, items, require_seq_match, check_ref)
+            }
+        }
+    }
+
+    /// Baseline: one serial point lookup per record per read point.
+    fn validate_point(
+        &self,
+        lsm: &Lsm,
+        read_points: &[SeqNo],
+        items: &[ValItem],
+        require_seq_match: bool,
+        check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
+    ) -> Result<Vec<bool>> {
+        let mut valid = vec![false; items.len()];
+        let mut lookups = 0u64;
+        for (i, item) in items.iter().enumerate() {
+            for &pt in read_points {
+                lookups += 1;
+                let r = lsm.get_at(&item.ukey, pt)?;
+                if Self::verdict(&r, item, i, require_seq_match, check_ref) {
+                    valid[i] = true;
+                    break;
+                }
+            }
+        }
+        self.stats
+            .validate_point_lookups
+            .fetch_add(lookups, Ordering::Relaxed);
+        Ok(valid)
+    }
+
+    /// Merge-validate: sort the batch by user key and resolve it with one
+    /// co-sequential sweep of a pinned LSM view per read point.
+    fn validate_merge(
+        &self,
+        lsm: &Lsm,
+        read_points: &[SeqNo],
+        items: &[ValItem],
+        require_seq_match: bool,
+        check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
+    ) -> Result<Vec<bool>> {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| items[a].ukey.cmp(&items[b].ukey));
+        let reader = lsm.batch_reader();
+        let mut valid = vec![false; items.len()];
+        for &pt in read_points {
+            let mut sweep = reader.sweep(pt)?;
+            for &i in &order {
+                if valid[i] {
+                    continue;
+                }
+                let item = &items[i];
+                let r = sweep.next_visible(&item.ukey)?;
+                if Self::verdict(&r, item, i, require_seq_match, check_ref) {
+                    valid[i] = true;
+                }
+            }
+            let s = sweep.stats();
+            self.stats.validate_sweeps.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .validate_sweep_steps
+                .fetch_add(s.steps, Ordering::Relaxed);
+            self.stats
+                .validate_sweep_seeks
+                .fetch_add(s.seeks, Ordering::Relaxed);
+        }
+        Ok(valid)
+    }
+
+    /// Worker-pool validation: sort the batch, partition it into
+    /// contiguous key ranges across `gc_threads` scoped threads, and have
+    /// each worker resolve its range with per-worker co-sequential sweeps
+    /// over one shared pinned view (one sweep per read point per worker).
+    ///
+    /// Each lookup is a seek-or-step on a private iterator, so workers
+    /// never contend on the version mutex or table-cache lock the way
+    /// concurrent `get_at` calls do. Per-worker counters are merged into
+    /// [`GcStats`] after the join.
+    fn validate_parallel(
+        &self,
+        lsm: &Lsm,
+        read_points: &[SeqNo],
+        items: &[ValItem],
+        require_seq_match: bool,
+        check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
+    ) -> Result<Vec<bool>> {
+        let threads = self.cfg.threads.clamp(1, items.len());
+        if threads == 1 {
+            return self.validate_merge(lsm, read_points, items, require_seq_match, check_ref);
+        }
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| items[a].ukey.cmp(&items[b].ukey));
+        let reader = lsm.batch_reader();
+        let chunk = order.len().div_ceil(threads);
+        type WorkerOut = Result<(Vec<(usize, bool)>, scavenger_lsm::SweepStats)>;
+        let worker_results: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let reader = &reader;
+            let handles: Vec<_> = order
+                .chunks(chunk)
+                .map(|range| {
+                    scope.spawn(move || -> WorkerOut {
+                        let mut local: Vec<(usize, bool)> =
+                            range.iter().map(|&i| (i, false)).collect();
+                        let mut stats = scavenger_lsm::SweepStats::default();
+                        for &pt in read_points {
+                            let mut sweep = reader.sweep(pt)?;
+                            for slot in local.iter_mut() {
+                                if slot.1 {
+                                    continue;
+                                }
+                                let item = &items[slot.0];
+                                let r = sweep.next_visible(&item.ukey)?;
+                                if Self::verdict(&r, item, slot.0, require_seq_match, check_ref) {
+                                    slot.1 = true;
+                                }
+                            }
+                            let s = sweep.stats();
+                            stats.steps += s.steps;
+                            stats.seeks += s.seeks;
+                        }
+                        Ok((local, stats))
+                    })
+                })
+                .collect();
+            self.stats
+                .validate_parallel_jobs
+                .fetch_add(handles.len() as u64, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::internal("GC validation worker panicked")))
+                })
+                .collect()
+        });
+        let mut valid = vec![false; items.len()];
+        for res in worker_results {
+            let (local, s) = res?;
+            for (i, ok) in local {
+                valid[i] = ok;
+            }
+            self.stats
+                .validate_sweeps
+                .fetch_add(read_points.len() as u64, Ordering::Relaxed);
+            self.stats
+                .validate_sweep_steps
+                .fetch_add(s.steps, Ordering::Relaxed);
+            self.stats
+                .validate_sweep_seeks
+                .fetch_add(s.seeks, Ordering::Relaxed);
+        }
+        Ok(valid)
+    }
+
+    /// Dry-run the GC-Lookup phase over every record of value file `file`
+    /// without moving any data: how many records are still live? Used by
+    /// diagnostics and the `gc_validate` microbenchmark to exercise one
+    /// validation mode in isolation.
+    pub fn validate_file(
+        &self,
+        lsm: &Lsm,
+        file: u64,
+        mode: Option<GcValidateMode>,
+    ) -> Result<GcValidationReport> {
+        let meta = self
+            .vstore
+            .meta(file)
+            .ok_or_else(|| Error::not_found(format!("value file {file}")))?;
+        let reader = self.vstore.gc_reader(file)?;
+        let mut items: Vec<ValItem> = Vec::new();
+        let mut offsets: Vec<u64> = Vec::new();
+        // Write-back identity is `(file, offset)`, so its records must be
+        // materialized via `scan_all` (the lazy index carries no offsets).
+        let need_addresses = self.features.gc == GcScheme::Writeback;
+        if !need_addresses && self.features.lazy_read && meta.format == VFormat::RTable {
+            for (ikey, _) in reader.read_lazy_index()? {
+                let (u, s) = parse_record_key(&ikey)?;
+                items.push(ValItem {
+                    ukey: u.to_vec(),
+                    seq: s,
+                });
+            }
+        } else {
+            for rec in reader.scan_all()? {
+                let (u, s) = parse_record_key(&rec.ikey)?;
+                items.push(ValItem {
+                    ukey: u.to_vec(),
+                    seq: s,
+                });
+                offsets.push(rec.value_offset);
+            }
+        }
+        let read_points = self.read_points(lsm);
+        let mode = mode.unwrap_or_else(|| self.resolve_mode(items.len()));
+        // Record identity must mirror the scheme's own GC (see
+        // `verdict()`): keyed for no-writeback, `(file, offset)` for
+        // write-back, where rewritten index entries carry fresh seqs.
+        let keyed = |_i: usize, r: &ValueRef| self.vstore.resolves_to(r.file, file);
+        let addressed = |i: usize, r: &ValueRef| r.file == file && r.offset == offsets[i];
+        let verdicts = match self.features.gc {
+            GcScheme::Writeback => {
+                self.validate_items(lsm, &read_points, &items, false, &addressed, mode)?
+            }
+            _ => self.validate_items(lsm, &read_points, &items, true, &keyed, mode)?,
+        };
+        Ok(GcValidationReport {
+            records: items.len() as u64,
+            valid: verdicts.iter().filter(|&&v| v).count() as u64,
+            mode,
+        })
     }
 
     // ---------------- TerarkDB / Scavenger ----------------
@@ -164,7 +486,7 @@ impl GcRunner {
             .vstore
             .gc_candidates(threshold)
             .into_iter()
-            .take(self.gc_batch_files.max(1))
+            .take(self.cfg.batch_files.max(1))
             .collect();
         if candidates.is_empty() {
             return Ok(None);
@@ -204,22 +526,34 @@ impl GcRunner {
             .records_scanned
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
-        // ---- GC-Lookup (Fig. 8 step ② / Fig. 10) ----
+        // ---- GC-Lookup (Fig. 8 step ② / Fig. 10), batched ----
         let t_lookup = Instant::now();
         let read_points = self.read_points(lsm);
-        let mut valid: Vec<Pending> = Vec::new();
-        for rec in pending {
-            let (ukey, seq) = {
-                let (u, s) = parse_record_key(&rec.ikey)?;
-                (u.to_vec(), s)
-            };
-            let source = rec.source;
-            if self.is_valid(lsm, &read_points, &ukey, seq, true, |r| {
-                self.vstore.resolves_to(r.file, source)
-            })? {
-                valid.push(rec);
-            }
+        let mut items = Vec::with_capacity(pending.len());
+        for rec in &pending {
+            let (u, s) = parse_record_key(&rec.ikey)?;
+            items.push(ValItem {
+                ukey: u.to_vec(),
+                seq: s,
+            });
         }
+        let sources: Vec<u64> = pending.iter().map(|r| r.source).collect();
+        // Keyed identity: alive if some read point's visible reference
+        // resolves (through inheritance) to the record's source file.
+        let check = |i: usize, r: &ValueRef| self.vstore.resolves_to(r.file, sources[i]);
+        let verdicts = self.validate_items(
+            lsm,
+            &read_points,
+            &items,
+            true,
+            &check,
+            self.resolve_mode(items.len()),
+        )?;
+        let mut valid: Vec<Pending> = pending
+            .into_iter()
+            .zip(&verdicts)
+            .filter_map(|(rec, &ok)| ok.then_some(rec))
+            .collect();
         self.stats
             .lookup_ns
             .fetch_add(t_lookup.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -291,7 +625,7 @@ impl GcRunner {
             }
             let (_, w) = writers[route].as_mut().unwrap();
             w.add(ukey, seq, value)?;
-            if w.estimated_size() >= self.vsst_target {
+            if w.estimated_size() >= self.cfg.vsst_target {
                 let (file, w) = writers[route].take().unwrap();
                 let info = w.finish()?;
                 outputs.push(new_value_file_record(
@@ -370,7 +704,7 @@ impl GcRunner {
             .vstore
             .gc_candidates(threshold)
             .into_iter()
-            .take(self.gc_batch_files.max(1))
+            .take(self.cfg.batch_files.max(1))
             .collect();
         if candidates.is_empty() {
             return Ok(None);
@@ -394,22 +728,37 @@ impl GcRunner {
             .records_scanned
             .fetch_add(records.len() as u64, Ordering::Relaxed);
 
-        // ---- GC-Lookup: point-query the index for each key ----
+        // ---- GC-Lookup: validate the batch against the index ----
         let t_lookup = Instant::now();
         let read_points = self.read_points(lsm);
-        let mut valid: Vec<(u64, crate::vstore::vtable::BlobRecord)> = Vec::new();
-        for (source, rec) in records {
-            let (ukey, seq) = {
-                let (u, s) = parse_record_key(&rec.ikey)?;
-                (u.to_vec(), s)
-            };
-            let offset = rec.value_offset;
-            if self.is_valid(lsm, &read_points, &ukey, seq, false, |r| {
-                r.file == source && r.offset == offset
-            })? {
-                valid.push((source, rec));
-            }
+        let mut items = Vec::with_capacity(records.len());
+        for (_, rec) in &records {
+            let (u, s) = parse_record_key(&rec.ikey)?;
+            items.push(ValItem {
+                ukey: u.to_vec(),
+                seq: s,
+            });
         }
+        let addrs: Vec<(u64, u64)> = records
+            .iter()
+            .map(|(source, rec)| (*source, rec.value_offset))
+            .collect();
+        // Address identity (Titan): alive if some read point's visible
+        // reference still points at this exact `(file, offset)`.
+        let check = |i: usize, r: &ValueRef| r.file == addrs[i].0 && r.offset == addrs[i].1;
+        let verdicts = self.validate_items(
+            lsm,
+            &read_points,
+            &items,
+            false,
+            &check,
+            self.resolve_mode(items.len()),
+        )?;
+        let valid: Vec<(u64, crate::vstore::vtable::BlobRecord)> = records
+            .into_iter()
+            .zip(&verdicts)
+            .filter_map(|(rec, &ok)| ok.then_some(rec))
+            .collect();
         self.stats
             .lookup_ns
             .fetch_add(t_lookup.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -448,7 +797,7 @@ impl GcRunner {
                         offset: written.offset,
                     },
                 });
-                if w.estimated_size() >= self.vsst_target {
+                if w.estimated_size() >= self.cfg.vsst_target {
                     let info = w.finish()?;
                     new_files.push(new_value_file_record(file, info, false, VFormat::BlobLog));
                     file = alloc.next_file_number();

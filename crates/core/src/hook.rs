@@ -24,9 +24,7 @@ use crate::vstore::{new_value_file_record, ValueStore};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scavenger_env::{EnvRef, IoClass};
-use scavenger_lsm::{
-    DropCause, FileNumAlloc, JobKind, ValueEditBundle, ValueHook, ValueSession,
-};
+use scavenger_lsm::{DropCause, FileNumAlloc, JobKind, ValueEditBundle, ValueHook, ValueSession};
 use scavenger_table::btable::TableOptions;
 use scavenger_table::KeyCmp;
 use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
@@ -292,7 +290,11 @@ impl ValueSession for SeparationSession {
                     COLD
                 };
                 let (file, rec) = self.write_value(route, user_key, seq, &value)?;
-                let vref = ValueRef { file, size: rec.size, offset: rec.offset };
+                let vref = ValueRef {
+                    file,
+                    size: rec.size,
+                    offset: rec.offset,
+                };
                 Ok((ValueType::ValueRef, Bytes::from(vref.encode())))
             }
             ValueType::ValueRef
@@ -310,7 +312,7 @@ impl ValueSession for SeparationSession {
                     scavenger_table::filter::bloom_hash(user_key) as u64
                         ^ self.relocation_salt.wrapping_mul(0x9e3779b97f4a7c15),
                 );
-                if h % BLOBDB_RELOCATION_SAMPLE != 0 {
+                if !h.is_multiple_of(BLOBDB_RELOCATION_SAMPLE) {
                     return Ok((vtype, value));
                 }
                 // Relocate: read the old value (GC read), append to a new
@@ -320,8 +322,7 @@ impl ValueSession for SeparationSession {
                     self.relocation_readers
                         .insert(old.file, self.vstore.gc_reader(old.file)?);
                 }
-                let old_value = self.relocation_readers[&old.file]
-                    .read_at(old.offset, old.size)?;
+                let old_value = self.relocation_readers[&old.file].read_at(old.offset, old.size)?;
                 self.gc_stats
                     .read_ns
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -331,7 +332,11 @@ impl ValueSession for SeparationSession {
                     .write_ns
                     .fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 self.charge_garbage(&old);
-                let vref = ValueRef { file, size: rec.size, offset: rec.offset };
+                let vref = ValueRef {
+                    file,
+                    size: rec.size,
+                    offset: rec.offset,
+                };
                 Ok((ValueType::ValueRef, Bytes::from(vref.encode())))
             }
             _ => Ok((vtype, value)),
@@ -346,9 +351,7 @@ impl ValueSession for SeparationSession {
         value: &[u8],
         cause: DropCause,
     ) {
-        if matches!(cause, DropCause::Shadowed | DropCause::Tombstoned)
-            && self.features.hotness
-        {
+        if matches!(cause, DropCause::Shadowed | DropCause::Tombstoned) && self.features.hotness {
             self.dropcache.insert(user_key);
         }
         if vtype == ValueType::ValueRef {
@@ -451,8 +454,15 @@ mod tests {
         dropcache.insert(b"hotkey");
         let alloc = Arc::new(SeqAlloc(AtomicU64::new(10)));
         let mut s = hook.session(JobKind::Flush, alloc).unwrap();
-        s.entry(b"coldkey", 1, ValueType::Value, Bytes::from(vec![0u8; 2048])).unwrap();
-        s.entry(b"hotkey", 2, ValueType::Value, Bytes::from(vec![1u8; 2048])).unwrap();
+        s.entry(
+            b"coldkey",
+            1,
+            ValueType::Value,
+            Bytes::from(vec![0u8; 2048]),
+        )
+        .unwrap();
+        s.entry(b"hotkey", 2, ValueType::Value, Bytes::from(vec![1u8; 2048]))
+            .unwrap();
         let bundle = s.finish().unwrap();
         assert_eq!(bundle.new_files.len(), 2, "hot and cold outputs");
         let hot: Vec<bool> = bundle.new_files.iter().map(|f| f.hot).collect();
@@ -461,13 +471,19 @@ mod tests {
 
     #[test]
     fn hotness_disabled_uses_single_route() {
-        let (hook, _, dropcache) =
-            setup(Features::for_mode(crate::options::EngineMode::Terark));
+        let (hook, _, dropcache) = setup(Features::for_mode(crate::options::EngineMode::Terark));
         dropcache.insert(b"hotkey"); // present but unused
         let alloc = Arc::new(SeqAlloc(AtomicU64::new(10)));
         let mut s = hook.session(JobKind::Flush, alloc).unwrap();
-        s.entry(b"coldkey", 1, ValueType::Value, Bytes::from(vec![0u8; 2048])).unwrap();
-        s.entry(b"hotkey", 2, ValueType::Value, Bytes::from(vec![1u8; 2048])).unwrap();
+        s.entry(
+            b"coldkey",
+            1,
+            ValueType::Value,
+            Bytes::from(vec![0u8; 2048]),
+        )
+        .unwrap();
+        s.entry(b"hotkey", 2, ValueType::Value, Bytes::from(vec![1u8; 2048]))
+            .unwrap();
         let bundle = s.finish().unwrap();
         assert_eq!(bundle.new_files.len(), 1);
     }
@@ -489,9 +505,25 @@ mod tests {
         });
         let alloc = Arc::new(SeqAlloc(AtomicU64::new(50)));
         let mut s = hook.session(JobKind::Flush, alloc).unwrap();
-        let vref = ValueRef { file: 7, size: 900, offset: 0 };
-        s.drop_entry(b"k1", 3, ValueType::ValueRef, &vref.encode(), DropCause::Shadowed);
-        s.drop_entry(b"k2", 4, ValueType::ValueRef, &vref.encode(), DropCause::Tombstoned);
+        let vref = ValueRef {
+            file: 7,
+            size: 900,
+            offset: 0,
+        };
+        s.drop_entry(
+            b"k1",
+            3,
+            ValueType::ValueRef,
+            &vref.encode(),
+            DropCause::Shadowed,
+        );
+        s.drop_entry(
+            b"k2",
+            4,
+            ValueType::ValueRef,
+            &vref.encode(),
+            DropCause::Tombstoned,
+        );
         let bundle = s.finish().unwrap();
         assert_eq!(bundle.garbage, vec![(7, 1800, 2)]);
         // Hot-write keys recorded.
@@ -510,8 +542,13 @@ mod tests {
         // vsst_target is 1 MiB; write ~3 MiB of values.
         for i in 0..300 {
             let key = format!("key{i:04}");
-            s.entry(key.as_bytes(), i, ValueType::Value, Bytes::from(vec![7u8; 10_240]))
-                .unwrap();
+            s.entry(
+                key.as_bytes(),
+                i,
+                ValueType::Value,
+                Bytes::from(vec![7u8; 10_240]),
+            )
+            .unwrap();
         }
         let bundle = s.finish().unwrap();
         assert!(
@@ -535,7 +572,12 @@ mod tests {
         for i in 0..32u64 {
             let key = format!("key{i:02}");
             let (t, enc) = s
-                .entry(key.as_bytes(), i, ValueType::Value, Bytes::from(vec![3u8; 2000]))
+                .entry(
+                    key.as_bytes(),
+                    i,
+                    ValueType::Value,
+                    Bytes::from(vec![3u8; 2000]),
+                )
                 .unwrap();
             assert_eq!(t, ValueType::ValueRef);
             refs.push((key, i, ValueRef::decode(&enc).unwrap()));
@@ -549,12 +591,23 @@ mod tests {
         // only a per-session sample of its entries relocates (partial
         // draining; see BLOBDB_RELOCATION_SAMPLE).
         let mut s = hook
-            .session(JobKind::Compaction { output_level: 6, bottommost: true }, alloc)
+            .session(
+                JobKind::Compaction {
+                    output_level: 6,
+                    bottommost: true,
+                },
+                alloc,
+            )
             .unwrap();
         let mut relocated = 0;
         for (key, seq, old_ref) in &refs {
             let (t, enc2) = s
-                .entry(key.as_bytes(), *seq, ValueType::ValueRef, Bytes::from(old_ref.encode()))
+                .entry(
+                    key.as_bytes(),
+                    *seq,
+                    ValueType::ValueRef,
+                    Bytes::from(old_ref.encode()),
+                )
                 .unwrap();
             assert_eq!(t, ValueType::ValueRef);
             if ValueRef::decode(&enc2).unwrap().file != old_ref.file {
@@ -566,7 +619,11 @@ mod tests {
         let bundle = s.finish().unwrap();
         assert_eq!(bundle.new_files.len(), 1);
         // Relocated slots exposed as garbage on the old file.
-        let g = bundle.garbage.iter().find(|(f, _, _)| *f == old_file).unwrap();
+        let g = bundle
+            .garbage
+            .iter()
+            .find(|(f, _, _)| *f == old_file)
+            .unwrap();
         assert_eq!(g.1, relocated as u64 * 2000);
         hook.on_committed(&bundle);
         assert!(!vstore.meta(old_file).unwrap().is_exhausted());

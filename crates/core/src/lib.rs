@@ -44,7 +44,8 @@ pub mod vstore;
 
 pub use db::{Db, ScanEntry};
 pub use dropcache::DropCache;
-pub use options::{EngineMode, Features, GcScheme, Options, VFormat};
+pub use gc::{GcOutcome, GcValidationReport};
+pub use options::{EngineMode, Features, GcScheme, GcValidateMode, Options, VFormat};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
 
 // Re-export the substrate types users commonly need.

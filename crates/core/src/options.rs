@@ -161,6 +161,35 @@ impl Features {
     }
 }
 
+/// How the GC validates candidate records against the index LSM-tree
+/// (the *GC-Lookup* phase, paper Fig. 8 step ② / Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcValidateMode {
+    /// Pick per batch: merge-validate for large batches, the parallel
+    /// worker pool for smaller ones (when `gc_threads > 1`), point
+    /// lookups otherwise.
+    Auto,
+    /// One serial point lookup per record per read point — the baseline
+    /// the paper profiles as the dominant GC cost.
+    Point,
+    /// Sort the batch by key and resolve it with one co-sequential sweep
+    /// of a pinned LSM iterator per read point, amortizing version
+    /// pinning, table-handle, and block-cache accesses.
+    Merge,
+    /// Partition the sorted batch into contiguous key ranges across a
+    /// pool of `gc_threads` scoped worker threads, each sweeping its
+    /// range over a shared pinned view of the tree.
+    Parallel,
+}
+
+/// Batch size at or above which [`GcValidateMode::Auto`] switches from the
+/// worker pool to merge-validate.
+pub const AUTO_MERGE_VALIDATE_MIN: usize = 256;
+
+/// Batch size at or above which [`GcValidateMode::Auto`] engages the
+/// parallel worker pool instead of serial point lookups.
+pub const AUTO_PARALLEL_VALIDATE_MIN: usize = 32;
+
 /// Options for opening a [`Db`](crate::db::Db).
 #[derive(Clone)]
 pub struct Options {
@@ -188,6 +217,11 @@ pub struct Options {
     /// needs many I/O bytes per reclaimed byte). Manual `run_gc` and
     /// throttle-driven GC are not paced.
     pub gc_bandwidth_factor: f64,
+    /// How GC-Lookup validates candidate records (see [`GcValidateMode`]).
+    pub gc_validate_mode: GcValidateMode,
+    /// Worker threads for [`GcValidateMode::Parallel`] validation (and the
+    /// `Auto` mode's small-batch path). `1` disables the pool.
+    pub gc_threads: usize,
     /// DropCache capacity in keys (paper: ~32 B/key; §III-B3).
     pub dropcache_keys: usize,
     /// Space limit in bytes; `None` disables space-aware throttling.
@@ -231,6 +265,8 @@ impl Options {
             gc_batch_files: 4,
             auto_gc: true,
             gc_bandwidth_factor: 1.0,
+            gc_validate_mode: GcValidateMode::Auto,
+            gc_threads: 4,
             dropcache_keys: 64 * 1024,
             space_limit: None,
             throttle_gc_factor: 0.25,
@@ -320,6 +356,8 @@ mod tests {
         assert_eq!(o.level_multiplier, 10);
         assert_eq!(o.bloom_bits_per_key, 10);
         assert!(o.space_limit.is_none());
+        assert_eq!(o.gc_validate_mode, GcValidateMode::Auto);
+        assert!(o.gc_threads >= 1);
     }
 
     #[test]

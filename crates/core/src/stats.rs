@@ -27,6 +27,18 @@ pub struct GcStats {
     /// Bytes of garbage reclaimed (file bytes deleted minus bytes
     /// rewritten).
     pub reclaimed_bytes: AtomicU64,
+    /// Validation batches executed (one per GC job phase).
+    pub validate_batches: AtomicU64,
+    /// Serial or parallel point lookups issued during validation.
+    pub validate_point_lookups: AtomicU64,
+    /// Co-sequential merge sweeps run (batches × read points).
+    pub validate_sweeps: AtomicU64,
+    /// Forward iterator steps taken by merge sweeps.
+    pub validate_sweep_steps: AtomicU64,
+    /// Full merged re-seeks taken by merge sweeps.
+    pub validate_sweep_seeks: AtomicU64,
+    /// Worker tasks dispatched by parallel validation.
+    pub validate_parallel_jobs: AtomicU64,
 }
 
 impl GcStats {
@@ -42,6 +54,12 @@ impl GcStats {
             records_scanned: self.records_scanned.load(Ordering::Relaxed),
             records_valid: self.records_valid.load(Ordering::Relaxed),
             reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+            validate_batches: self.validate_batches.load(Ordering::Relaxed),
+            validate_point_lookups: self.validate_point_lookups.load(Ordering::Relaxed),
+            validate_sweeps: self.validate_sweeps.load(Ordering::Relaxed),
+            validate_sweep_steps: self.validate_sweep_steps.load(Ordering::Relaxed),
+            validate_sweep_seeks: self.validate_sweep_seeks.load(Ordering::Relaxed),
+            validate_parallel_jobs: self.validate_parallel_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -67,6 +85,18 @@ pub struct GcStepTimes {
     pub records_valid: u64,
     /// Garbage bytes reclaimed.
     pub reclaimed_bytes: u64,
+    /// Validation batches executed.
+    pub validate_batches: u64,
+    /// Point lookups issued during validation (serial + parallel).
+    pub validate_point_lookups: u64,
+    /// Co-sequential merge sweeps run.
+    pub validate_sweeps: u64,
+    /// Forward iterator steps taken by merge sweeps.
+    pub validate_sweep_steps: u64,
+    /// Full merged re-seeks taken by merge sweeps.
+    pub validate_sweep_seeks: u64,
+    /// Worker tasks dispatched by parallel validation.
+    pub validate_parallel_jobs: u64,
 }
 
 impl GcStepTimes {
@@ -102,6 +132,22 @@ impl GcStepTimes {
             records_scanned: self.records_scanned.saturating_sub(earlier.records_scanned),
             records_valid: self.records_valid.saturating_sub(earlier.records_valid),
             reclaimed_bytes: self.reclaimed_bytes.saturating_sub(earlier.reclaimed_bytes),
+            validate_batches: self
+                .validate_batches
+                .saturating_sub(earlier.validate_batches),
+            validate_point_lookups: self
+                .validate_point_lookups
+                .saturating_sub(earlier.validate_point_lookups),
+            validate_sweeps: self.validate_sweeps.saturating_sub(earlier.validate_sweeps),
+            validate_sweep_steps: self
+                .validate_sweep_steps
+                .saturating_sub(earlier.validate_sweep_steps),
+            validate_sweep_seeks: self
+                .validate_sweep_seeks
+                .saturating_sub(earlier.validate_sweep_seeks),
+            validate_parallel_jobs: self
+                .validate_parallel_jobs
+                .saturating_sub(earlier.validate_parallel_jobs),
         }
     }
 }
@@ -124,11 +170,7 @@ pub struct SpaceBreakdown {
 impl SpaceBreakdown {
     /// Total engine footprint.
     pub fn total(&self) -> u64 {
-        self.ksst_bytes
-            + self.value_bytes
-            + self.wal_bytes
-            + self.manifest_bytes
-            + self.other_bytes
+        self.ksst_bytes + self.value_bytes + self.wal_bytes + self.manifest_bytes + self.other_bytes
     }
 }
 
@@ -189,8 +231,16 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = GcStepTimes { read_ns: 100, runs: 2, ..Default::default() };
-        let b = GcStepTimes { read_ns: 250, runs: 5, ..Default::default() };
+        let a = GcStepTimes {
+            read_ns: 100,
+            runs: 2,
+            ..Default::default()
+        };
+        let b = GcStepTimes {
+            read_ns: 250,
+            runs: 5,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.read_ns, 150);
         assert_eq!(d.runs, 3);

@@ -52,8 +52,7 @@ impl VsstMeta {
         if self.value_bytes == 0 {
             return if self.entries > 0 { 1.0 } else { 0.0 };
         }
-        (self.exposed_bytes.load(Ordering::Relaxed) as f64 / self.value_bytes as f64)
-            .min(1.0)
+        (self.exposed_bytes.load(Ordering::Relaxed) as f64 / self.value_bytes as f64).min(1.0)
     }
 
     /// True once every record has been exposed as garbage (BlobDB's
@@ -83,7 +82,9 @@ fn tag_format(tag: u8) -> Result<VFormat> {
         t if t == TableType::BTable as u8 => Ok(VFormat::BTable),
         t if t == TableType::RTable as u8 => Ok(VFormat::RTable),
         t if t == TableType::BlobLog as u8 => Ok(VFormat::BlobLog),
-        other => Err(Error::corruption(format!("bad value-file format tag {other}"))),
+        other => Err(Error::corruption(format!(
+            "bad value-file format tag {other}"
+        ))),
     }
 }
 
@@ -206,7 +207,9 @@ impl ValueStore {
 
     /// GC candidates: live files with `garbage_ratio >= threshold`,
     /// hottest-garbage first (paper: "prioritizes files with higher
-    /// garbage ratios").
+    /// garbage ratios"). Equal ratios break by file number so candidate
+    /// selection — and therefore the whole GC job sequence — is
+    /// deterministic rather than following `HashMap` iteration order.
     pub fn gc_candidates(&self, threshold: f64) -> Vec<Arc<VsstMeta>> {
         let mut v: Vec<Arc<VsstMeta>> = self
             .files
@@ -219,18 +222,23 @@ impl ValueStore {
             b.garbage_ratio()
                 .partial_cmp(&a.garbage_ratio())
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.file.cmp(&b.file))
         });
         v
     }
 
-    /// Files whose every record is exposed garbage (BlobDB reclamation).
+    /// Files whose every record is exposed garbage (BlobDB reclamation),
+    /// in file-number order (deterministic).
     pub fn exhausted_files(&self) -> Vec<u64> {
-        self.files
+        let mut v: Vec<u64> = self
+            .files
             .read()
             .values()
             .filter(|m| m.is_exhausted())
             .map(|m| m.file)
-            .collect()
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Total bytes across live value files.
@@ -355,14 +363,11 @@ impl ValueStore {
     /// leftovers). Returns how many were removed.
     pub fn delete_orphans(&self) -> Result<usize> {
         use scavenger_lsm::filename::{parse_path, FileKind};
-        let live: std::collections::HashSet<u64> =
-            self.live_file_numbers().into_iter().collect();
+        let live: std::collections::HashSet<u64> = self.live_file_numbers().into_iter().collect();
         let mut removed = 0;
         for p in self.env.list_prefix(&format!("{}/", self.dir))? {
             if let Some((kind, n)) = parse_path(&self.dir, &p) {
-                if matches!(kind, FileKind::ValueTable | FileKind::BlobLog)
-                    && !live.contains(&n)
-                {
+                if matches!(kind, FileKind::ValueTable | FileKind::BlobLog) && !live.contains(&n) {
                     let _ = self.env.remove_file(&p);
                     removed += 1;
                 }
@@ -403,7 +408,11 @@ mod tests {
     fn nf(file: u64, entries: u64, value_bytes: u64) -> NewValueFile {
         new_value_file_record(
             file,
-            VFileInfo { size: value_bytes + 100, entries, value_bytes },
+            VFileInfo {
+                size: value_bytes + 100,
+                entries,
+                value_bytes,
+            },
             false,
             VFormat::RTable,
         )
@@ -483,20 +492,37 @@ mod tests {
     #[test]
     fn read_ref_resolves_through_gc_moves() {
         let env: EnvRef = MemEnv::shared();
-        let vs = ValueStore::new(env.clone(), "db", Arc::new(BlockCache::with_capacity(1 << 20)));
-        let topts = TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() };
+        let vs = ValueStore::new(
+            env.clone(),
+            "db",
+            Arc::new(BlockCache::with_capacity(1 << 20)),
+        );
+        let topts = TableOptions {
+            cmp: KeyCmp::Internal,
+            ..TableOptions::default()
+        };
 
         // Original file 5 holds k@7.
-        let mut w =
-            VWriter::create(&env, "db", 5, VFormat::RTable, topts.clone(), IoClass::Flush)
-                .unwrap();
+        let mut w = VWriter::create(
+            &env,
+            "db",
+            5,
+            VFormat::RTable,
+            topts.clone(),
+            IoClass::Flush,
+        )
+        .unwrap();
         let rec = w.add(b"k", 7, b"the-value").unwrap();
         let info = w.finish().unwrap();
         vs.apply_bundle(&ValueEditBundle {
             new_files: vec![new_value_file_record(5, info, false, VFormat::RTable)],
             ..Default::default()
         });
-        let vref = ValueRef { file: 5, size: rec.size, offset: rec.offset };
+        let vref = ValueRef {
+            file: 5,
+            size: rec.size,
+            offset: rec.offset,
+        };
         assert_eq!(&vs.read_ref(b"k", 7, &vref).unwrap()[..], b"the-value");
 
         // GC moves contents to file 9; the stale ref still resolves.
@@ -516,7 +542,11 @@ mod tests {
         }
         assert_eq!(&vs.read_ref(b"k", 7, &vref).unwrap()[..], b"the-value");
         // A key that never existed: dangling.
-        let bad = ValueRef { file: 5, size: 3, offset: 0 };
+        let bad = ValueRef {
+            file: 5,
+            size: 3,
+            offset: 0,
+        };
         assert!(vs.read_ref(b"zz", 1, &bad).is_err());
     }
 
@@ -524,8 +554,15 @@ mod tests {
     fn orphan_cleanup_removes_unregistered_files() {
         let env = MemEnv::shared();
         let eref: EnvRef = env.clone();
-        let vs = ValueStore::new(eref.clone(), "db", Arc::new(BlockCache::with_capacity(1024)));
-        let topts = TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() };
+        let vs = ValueStore::new(
+            eref.clone(),
+            "db",
+            Arc::new(BlockCache::with_capacity(1024)),
+        );
+        let topts = TableOptions {
+            cmp: KeyCmp::Internal,
+            ..TableOptions::default()
+        };
         let mut w =
             VWriter::create(&eref, "db", 3, VFormat::RTable, topts, IoClass::Flush).unwrap();
         w.add(b"k", 1, b"v").unwrap();

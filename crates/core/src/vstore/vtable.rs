@@ -92,12 +92,18 @@ impl VWriter {
         match self {
             VWriter::R(b) => {
                 let h = b.add(&ikey, value)?;
-                Ok(WrittenRecord { offset: h.offset, size: value.len() as u32 })
+                Ok(WrittenRecord {
+                    offset: h.offset,
+                    size: value.len() as u32,
+                })
             }
             VWriter::B(b) => {
                 let offset = b.estimated_size();
                 b.add(&ikey, value)?;
-                Ok(WrittenRecord { offset, size: value.len() as u32 })
+                Ok(WrittenRecord {
+                    offset,
+                    size: value.len() as u32,
+                })
             }
             VWriter::Blob(b) => b.add(&ikey, value),
         }
@@ -157,7 +163,11 @@ pub struct BlobLogWriter {
 impl BlobLogWriter {
     /// Wrap a fresh writable file.
     pub fn new(file: Box<dyn WritableFile>) -> Self {
-        BlobLogWriter { file, entries: 0, value_bytes: 0 }
+        BlobLogWriter {
+            file,
+            entries: 0,
+            value_bytes: 0,
+        }
     }
 
     /// Append a record; returns the value's address.
@@ -173,7 +183,10 @@ impl BlobLogWriter {
         self.file.append(&crc.to_le_bytes())?;
         self.entries += 1;
         self.value_bytes += value.len() as u64;
-        Ok(WrittenRecord { offset: value_offset, size: value.len() as u32 })
+        Ok(WrittenRecord {
+            offset: value_offset,
+            size: value.len() as u32,
+        })
     }
 
     /// Bytes written so far.
@@ -232,12 +245,8 @@ impl VReader {
         let path = vfile_path(dir, file, format);
         let f = env.open_random_access(&path, class)?;
         Ok(match format {
-            VFormat::RTable => {
-                VReader::R(RTableReader::open(f, file, cache, KeyCmp::Internal)?)
-            }
-            VFormat::BTable => {
-                VReader::B(BTableReader::open(f, file, cache, KeyCmp::Internal)?)
-            }
+            VFormat::RTable => VReader::R(RTableReader::open(f, file, cache, KeyCmp::Internal)?),
+            VFormat::BTable => VReader::B(BTableReader::open(f, file, cache, KeyCmp::Internal)?),
             VFormat::BlobLog => VReader::Blob(BlobLogReader::new(f)),
         })
     }
@@ -257,9 +266,7 @@ impl VReader {
         let got = match self {
             VReader::R(r) => r.get(&target)?,
             VReader::B(r) => r.get(&target)?,
-            VReader::Blob(_) => {
-                return Err(Error::invalid_argument("keyed lookup on a blob log"))
-            }
+            VReader::Blob(_) => return Err(Error::invalid_argument("keyed lookup on a blob log")),
         };
         match got {
             Some((k, v)) if k == target => Ok(Some(v)),
@@ -378,8 +385,7 @@ impl BlobLogReader {
             let ikey = cur[..klen].to_vec();
             let value_off = consumed + header + klen;
             let value = data.slice(value_off..value_off + vlen);
-            let stored =
-                u32::from_le_bytes(cur[klen + vlen..klen + vlen + 4].try_into().unwrap());
+            let stored = u32::from_le_bytes(cur[klen + vlen..klen + vlen + 4].try_into().unwrap());
             let actual = crc32c::extend(crc32c::value(&ikey), &value);
             if stored != actual {
                 return Err(Error::corruption("blob record checksum mismatch"));
@@ -413,13 +419,15 @@ mod tests {
     use scavenger_env::MemEnv;
 
     fn table_opts() -> TableOptions {
-        TableOptions { cmp: KeyCmp::Internal, ..TableOptions::default() }
+        TableOptions {
+            cmp: KeyCmp::Internal,
+            ..TableOptions::default()
+        }
     }
 
     fn roundtrip(format: VFormat) {
         let env: EnvRef = MemEnv::shared();
-        let mut w =
-            VWriter::create(&env, "db", 9, format, table_opts(), IoClass::Flush).unwrap();
+        let mut w = VWriter::create(&env, "db", 9, format, table_opts(), IoClass::Flush).unwrap();
         let mut recs = Vec::new();
         for i in 0..100u64 {
             let key = format!("key{i:04}");
@@ -477,18 +485,22 @@ mod tests {
     #[test]
     fn bloblog_scan_offsets_are_addressable() {
         let env: EnvRef = MemEnv::shared();
-        let mut w =
-            VWriter::create(&env, "db", 3, VFormat::BlobLog, table_opts(), IoClass::Flush)
-                .unwrap();
+        let mut w = VWriter::create(
+            &env,
+            "db",
+            3,
+            VFormat::BlobLog,
+            table_opts(),
+            IoClass::Flush,
+        )
+        .unwrap();
         w.add(b"a", 1, b"valueA").unwrap();
         w.add(b"b", 2, b"valueB").unwrap();
         w.finish().unwrap();
         let r = VReader::open(&env, "db", 3, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
         let recs = r.scan_all().unwrap();
         for rec in recs {
-            let direct = r
-                .read_at(rec.value_offset, rec.value.len() as u32)
-                .unwrap();
+            let direct = r.read_at(rec.value_offset, rec.value.len() as u32).unwrap();
             assert_eq!(direct, rec.value);
         }
     }
@@ -497,14 +509,19 @@ mod tests {
     fn bloblog_corruption_detected_on_scan() {
         let env = MemEnv::shared();
         let eref: EnvRef = env.clone();
-        let mut w =
-            VWriter::create(&eref, "db", 4, VFormat::BlobLog, table_opts(), IoClass::Flush)
-                .unwrap();
+        let mut w = VWriter::create(
+            &eref,
+            "db",
+            4,
+            VFormat::BlobLog,
+            table_opts(),
+            IoClass::Flush,
+        )
+        .unwrap();
         w.add(b"k", 5, &vec![9u8; 500]).unwrap();
         w.finish().unwrap();
         env.corrupt_byte("db/000004.blob", 50).unwrap();
-        let r =
-            VReader::open(&eref, "db", 4, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
+        let r = VReader::open(&eref, "db", 4, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
         assert!(r.scan_all().is_err());
     }
 
@@ -513,8 +530,7 @@ mod tests {
         let env: EnvRef = MemEnv::shared();
         for (file, format) in [(1u64, VFormat::BTable), (2, VFormat::RTable)] {
             let mut w =
-                VWriter::create(&env, "db", file, format, table_opts(), IoClass::Flush)
-                    .unwrap();
+                VWriter::create(&env, "db", file, format, table_opts(), IoClass::Flush).unwrap();
             w.add(b"k", 1, &vec![1u8; 4096]).unwrap();
             w.finish().unwrap();
         }

@@ -111,11 +111,7 @@ impl Env for FsEnv {
         }))
     }
 
-    fn open_random_access(
-        &self,
-        path: &str,
-        class: IoClass,
-    ) -> Result<Arc<dyn RandomAccessFile>> {
+    fn open_random_access(&self, path: &str, class: IoClass) -> Result<Arc<dyn RandomAccessFile>> {
         let full = self.resolve(path);
         let file = fs::File::open(&full)?;
         let len = file.metadata()?.len();
@@ -223,7 +219,9 @@ mod tests {
         w.append(b"0123456789").unwrap();
         w.sync().unwrap();
         drop(w);
-        let r = e.open_random_access("db/file.sst", IoClass::FgIndexRead).unwrap();
+        let r = e
+            .open_random_access("db/file.sst", IoClass::FgIndexRead)
+            .unwrap();
         assert_eq!(&r.read_at(2, 4).unwrap()[..], b"2345");
         assert_eq!(r.len(), 10);
         let _ = fs::remove_dir_all(dir);
@@ -239,7 +237,11 @@ mod tests {
         let files = e.list_prefix("db/").unwrap();
         assert_eq!(
             files,
-            vec!["db/a.sst".to_string(), "db/b.sst".into(), "db/sub/c.sst".into()]
+            vec![
+                "db/a.sst".to_string(),
+                "db/b.sst".into(),
+                "db/sub/c.sst".into()
+            ]
         );
         assert_eq!(e.total_file_bytes("db/").unwrap(), 3);
         let _ = fs::remove_dir_all(dir);

@@ -52,6 +52,10 @@ pub trait RandomAccessFile: Send + Sync {
     fn read_at(&self, offset: u64, len: usize) -> Result<Bytes>;
     /// Total file length in bytes.
     fn len(&self) -> u64;
+    /// True if the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The storage environment.
@@ -61,8 +65,7 @@ pub trait Env: Send + Sync {
     fn new_writable(&self, path: &str, class: IoClass) -> Result<Box<dyn WritableFile>>;
 
     /// Open an existing file for positional reads, accounted to `class`.
-    fn open_random_access(&self, path: &str, class: IoClass)
-        -> Result<Arc<dyn RandomAccessFile>>;
+    fn open_random_access(&self, path: &str, class: IoClass) -> Result<Arc<dyn RandomAccessFile>>;
 
     /// Read an entire file into memory (used for WAL/manifest recovery).
     fn read_file(&self, path: &str, class: IoClass) -> Result<Bytes>;

@@ -171,11 +171,7 @@ impl Env for MemEnv {
         }))
     }
 
-    fn open_random_access(
-        &self,
-        path: &str,
-        class: IoClass,
-    ) -> Result<Arc<dyn RandomAccessFile>> {
+    fn open_random_access(&self, path: &str, class: IoClass) -> Result<Arc<dyn RandomAccessFile>> {
         let file = self.get(path)?;
         Ok(Arc::new(MemReadable {
             file,
@@ -281,7 +277,9 @@ mod tests {
         assert_eq!(w.len(), 11);
         drop(w);
 
-        let r = e.open_random_access("dir/a.sst", IoClass::FgIndexRead).unwrap();
+        let r = e
+            .open_random_access("dir/a.sst", IoClass::FgIndexRead)
+            .unwrap();
         assert_eq!(r.len(), 11);
         assert_eq!(&r.read_at(0, 5).unwrap()[..], b"hello");
         assert_eq!(&r.read_at(6, 5).unwrap()[..], b"world");
@@ -314,12 +312,19 @@ mod tests {
     #[test]
     fn list_prefix_and_total_bytes() {
         let e = env();
-        for (name, len) in [("db/000001.sst", 10usize), ("db/000002.vsst", 20), ("other/x", 5)] {
+        for (name, len) in [
+            ("db/000001.sst", 10usize),
+            ("db/000002.vsst", 20),
+            ("other/x", 5),
+        ] {
             let mut w = e.new_writable(name, IoClass::Other).unwrap();
             w.append(&vec![0u8; len]).unwrap();
         }
         let listed = e.list_prefix("db/").unwrap();
-        assert_eq!(listed, vec!["db/000001.sst".to_string(), "db/000002.vsst".to_string()]);
+        assert_eq!(
+            listed,
+            vec!["db/000001.sst".to_string(), "db/000002.vsst".to_string()]
+        );
         assert_eq!(e.total_file_bytes("db/").unwrap(), 30);
         assert_eq!(e.total_file_bytes("other/").unwrap(), 5);
     }
@@ -332,7 +337,10 @@ mod tests {
         drop(w);
         e.rename("tmp", "CURRENT").unwrap();
         assert!(!e.file_exists("tmp"));
-        assert_eq!(&e.read_file("CURRENT", IoClass::Manifest).unwrap()[..], b"MANIFEST-1");
+        assert_eq!(
+            &e.read_file("CURRENT", IoClass::Manifest).unwrap()[..],
+            b"MANIFEST-1"
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl WriteBatch {
         let key = key.as_ref().to_vec();
         let value = value.into();
         self.byte_size += key.len() + value.len() + 16;
-        self.entries.push(BatchEntry { vtype: ValueType::Value, key, value });
+        self.entries.push(BatchEntry {
+            vtype: ValueType::Value,
+            key,
+            value,
+        });
     }
 
     /// Queue a put of a value reference (used by KV-separated engines for
@@ -56,7 +60,11 @@ impl WriteBatch {
         let key = key.as_ref().to_vec();
         let value = Bytes::from(vref.encode());
         self.byte_size += key.len() + value.len() + 16;
-        self.entries.push(BatchEntry { vtype: ValueType::ValueRef, key, value });
+        self.entries.push(BatchEntry {
+            vtype: ValueType::ValueRef,
+            key,
+            value,
+        });
     }
 
     /// Queue a deletion.
@@ -141,7 +149,14 @@ mod tests {
         let mut b = WriteBatch::new();
         b.put(b"alpha", Bytes::from_static(b"one"));
         b.delete(b"beta");
-        b.put_ref(b"gamma", ValueRef { file: 42, size: 16384, offset: 7 });
+        b.put_ref(
+            b"gamma",
+            ValueRef {
+                file: 42,
+                size: 16384,
+                offset: 7,
+            },
+        );
         let enc = b.encode(1000);
         let (seq, d) = WriteBatch::decode(&enc).unwrap();
         assert_eq!(seq, 1000);

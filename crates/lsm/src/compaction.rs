@@ -63,7 +63,10 @@ pub fn compute_targets(version: &Version, opts: &LsmOptions) -> LevelTargets {
         targets[base_level - 1] = targets[base_level] / mult;
         base_level -= 1;
     }
-    LevelTargets { base_level, targets }
+    LevelTargets {
+        base_level,
+        targets,
+    }
 }
 
 /// A picked compaction.
@@ -178,8 +181,7 @@ pub fn pick_compaction(
         let output_level = targets.base_level;
         let (lo, hi) = user_range_of(&inputs_lo);
         let inputs_hi = version.overlapping_files(output_level, Some(&lo), Some(&hi));
-        let bottommost = (output_level + 1..opts.num_levels)
-            .all(|l| version.levels[l].is_empty());
+        let bottommost = (output_level + 1..opts.num_levels).all(|l| version.levels[l].is_empty());
         return Some(Compaction {
             level: 0,
             output_level,
@@ -214,8 +216,7 @@ pub fn pick_compaction(
     let output_level = (level + 1).min(last);
     let (lo, hi) = user_range_of(std::slice::from_ref(&victim));
     let inputs_hi = version.overlapping_files(output_level, Some(&lo), Some(&hi));
-    let bottommost =
-        (output_level + 1..opts.num_levels).all(|l| version.levels[l].is_empty());
+    let bottommost = (output_level + 1..opts.num_levels).all(|l| version.levels[l].is_empty());
     Some(Compaction {
         level,
         output_level,
@@ -226,6 +227,8 @@ pub fn pick_compaction(
     })
 }
 
+// One live builder per output job; the size gap between formats is fine.
+#[allow(clippy::large_enum_variant)]
 enum AnyBuilder {
     B(BTableBuilder),
     D(DTableBuilder),
@@ -402,10 +405,10 @@ pub fn run_output_job(
     let mut group_key: Vec<u8> = Vec::new();
 
     let flush_group = |ukey: &[u8],
-                           group: &mut Vec<(SeqNo, ValueType, Bytes)>,
-                           writer: &mut OutputWriter,
-                           session: &mut Box<dyn ValueSession>,
-                           stats: &mut JobStats|
+                       group: &mut Vec<(SeqNo, ValueType, Bytes)>,
+                       writer: &mut OutputWriter,
+                       session: &mut Box<dyn ValueSession>,
+                       stats: &mut JobStats|
      -> Result<()> {
         if group.is_empty() {
             return Ok(());
@@ -461,7 +464,13 @@ pub fn run_output_job(
         let parsed = parse_internal_key(input.key())?;
         stats.entries_in += 1;
         if parsed.user_key != group_key.as_slice() {
-            flush_group(&group_key, &mut group, &mut writer, &mut session, &mut stats)?;
+            flush_group(
+                &group_key,
+                &mut group,
+                &mut writer,
+                &mut session,
+                &mut stats,
+            )?;
             group_key.clear();
             group_key.extend_from_slice(parsed.user_key);
         }
@@ -469,11 +478,21 @@ pub fn run_output_job(
         input.next();
     }
     input.status()?;
-    flush_group(&group_key, &mut group, &mut writer, &mut session, &mut stats)?;
+    flush_group(
+        &group_key,
+        &mut group,
+        &mut writer,
+        &mut session,
+        &mut stats,
+    )?;
 
     let files = writer.finish()?;
     let bundle = session.finish()?;
-    Ok(JobOutput { files, bundle, stats })
+    Ok(JobOutput {
+        files,
+        bundle,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -629,23 +648,14 @@ mod tests {
         let mut o = opts();
         o.target_file_size = 2048;
         let entries: Vec<(Vec<u8>, Bytes)> = (0..200)
-            .map(|i| {
-                e(
-                    &format!("key{i:04}"),
-                    1,
-                    ValueType::Value,
-                    &"x".repeat(100),
-                )
-            })
+            .map(|i| e(&format!("key{i:04}"), 1, ValueType::Value, &"x".repeat(100)))
             .collect();
         let out = run(&o, entries, &[], false);
         assert!(out.files.len() > 1, "expected multiple output files");
         // Ranges must be disjoint and ordered.
         for w in out.files.windows(2) {
             use scavenger_util::ikey::extract_user_key;
-            assert!(
-                extract_user_key(&w[0].largest) < extract_user_key(&w[1].smallest)
-            );
+            assert!(extract_user_key(&w[0].largest) < extract_user_key(&w[1].smallest));
         }
         let total: u64 = out.files.iter().map(|f| f.num_entries).sum();
         assert_eq!(total, 200);
@@ -654,6 +664,7 @@ mod tests {
     #[test]
     fn session_drop_callbacks_fire() {
         struct Recorder {
+            #[allow(clippy::type_complexity)]
             drops: std::sync::Arc<parking_lot::Mutex<Vec<(Vec<u8>, DropCause)>>>,
         }
         impl ValueSession for Recorder {
@@ -696,7 +707,9 @@ mod tests {
             &[],
             true,
             &|_| false,
-            Box::new(Recorder { drops: drops.clone() }),
+            Box::new(Recorder {
+                drops: drops.clone(),
+            }),
             &alloc,
             IoClass::Compaction,
         )
@@ -724,8 +737,10 @@ mod tests {
     }
 
     fn version_with(files: Vec<(usize, FileMetaData)>, levels: usize) -> Version {
-        let mut edit = VersionEdit::default();
-        edit.added = files;
+        let edit = VersionEdit {
+            added: files,
+            ..VersionEdit::default()
+        };
         Version::empty(levels).apply(&edit).unwrap()
     }
 
@@ -741,8 +756,8 @@ mod tests {
     fn targets_grow_base_level_upward() {
         let mut o = opts();
         o.base_level_bytes = 1 << 20; // 1 MiB
-        // Last level 200 MiB -> L5 target 20 MiB -> L4 target 2 MiB -> L3
-        // would be 0.2 MiB < base, so base_level = 4.
+                                      // Last level 200 MiB -> L5 target 20 MiB -> L4 target 2 MiB -> L3
+                                      // would be 0.2 MiB < base, so base_level = 4.
         let v = version_with(vec![(6, meta_sized(1, b"a", b"z", 200 << 20, 0))], 7);
         let t = compute_targets(&v, &o);
         assert_eq!(t.base_level, 4);
@@ -787,10 +802,7 @@ mod tests {
 
     #[test]
     fn picker_quiet_below_trigger() {
-        let v = version_with(
-            vec![(0, meta_sized(1, b"a", b"z", 1 << 10, 0))],
-            7,
-        );
+        let v = version_with(vec![(0, meta_sized(1, b"a", b"z", 1 << 10, 0))], 7);
         let o = opts();
         let mut st = PickerState::new(7);
         assert!(pick_compaction(&v, &o, &mut st).is_none());

@@ -5,7 +5,10 @@ use crate::batch::WriteBatch;
 use crate::compaction::{pick_compaction, run_output_job, Compaction, PickerState};
 use crate::filename::{parse_path, table_path, wal_path, FileKind};
 use crate::hooks::{FileNumAlloc, JobKind, PassthroughSession, ValueSession};
-use crate::iter::{DbIter, InternalIterator, MergingIter, TableEntryIter, UserEntry, VecIter};
+use crate::iter::{
+    BatchSweep, DbIter, InternalIterator, LevelIter, MergingIter, TableEntryIter, UserEntry,
+    VecIter,
+};
 use crate::memtable::{MemGet, Memtable};
 use crate::options::{BackgroundMode, LsmOptions};
 use crate::tcache::{open_ktable, TableCache};
@@ -142,6 +145,15 @@ pub struct Lsm {
     bg_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
+// The GC's parallel validation mode shares `&Lsm` across scoped worker
+// threads; keep the engine `Sync` or that pipeline silently loses its
+// worker pool.
+#[allow(dead_code)]
+fn _assert_lsm_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Lsm>();
+}
+
 impl Lsm {
     /// Open (or create) the tree, recovering manifest and WALs. Returns the
     /// engine and the value-store edit history for replay by the layer
@@ -162,7 +174,10 @@ impl Lsm {
 
         let inner = Arc::new(Inner {
             tcache,
-            writer: Mutex::new(WriterState { wal: None, wal_number: 0 }),
+            writer: Mutex::new(WriterState {
+                wal: None,
+                wal_number: 0,
+            }),
             mem: RwLock::new(Arc::new(Memtable::new())),
             imms: RwLock::new(Vec::new()),
             seq,
@@ -181,7 +196,10 @@ impl Lsm {
             opts,
         });
 
-        let db = Lsm { inner, bg_thread: Mutex::new(None) };
+        let db = Lsm {
+            inner,
+            bg_thread: Mutex::new(None),
+        };
         db.recover_wals()?;
         db.start_fresh_wal()?;
         db.delete_obsolete_files()?;
@@ -249,8 +267,11 @@ impl Lsm {
             let mut ws = self.inner.writer.lock();
             let mut batch = WriteBatch::new();
             for w in writes {
-                if let LsmReadResult::Found { vtype: ValueType::ValueRef, value, .. } =
-                    self.get(&w.key)?
+                if let LsmReadResult::Found {
+                    vtype: ValueType::ValueRef,
+                    value,
+                    ..
+                } = self.get(&w.key)?
                 {
                     if let Ok(cur) = ValueRef::decode(&value) {
                         if cur.file == w.expected.file && cur.offset == w.expected.offset {
@@ -304,17 +325,24 @@ impl Lsm {
     }
 
     fn rotate_memtable(&self, ws: &mut WriterState) -> Result<()> {
-        let old = {
-            let mut m = self.inner.mem.write();
-            if m.is_empty() {
-                return Ok(());
-            }
-            std::mem::replace(&mut *m, Arc::new(Memtable::new()))
-        };
+        // Register the active memtable as immutable BEFORE swapping it
+        // out. Swapping first opens a window where its entries are in
+        // neither `mem` nor `imms`: a concurrent reader then resolves an
+        // older version from deeper sources — one whose value file a
+        // concurrent GC may have already deleted as dead (it validated
+        // against the newer, now-hidden version). During the overlap the
+        // entries are visible twice, which is harmless: both copies carry
+        // identical versions. The writer lock (`ws`) is held, so no
+        // inserts land between the clone and the swap.
+        let cur = self.inner.mem.read().clone();
+        if cur.is_empty() {
+            return Ok(());
+        }
         self.inner.imms.write().push(ImmEntry {
-            mem: old,
+            mem: cur,
             wal_number: ws.wal_number,
         });
+        *self.inner.mem.write() = Arc::new(Memtable::new());
         if self.inner.opts.wal {
             let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
             let f = self
@@ -344,10 +372,10 @@ impl Lsm {
             // Timed wait: the imm list is guarded by its own lock, so a
             // flush completing between our check and the wait could
             // otherwise be a lost wakeup.
-            let _ = self.inner.stall_cv.wait_for(
-                &mut guard,
-                std::time::Duration::from_millis(20),
-            );
+            let _ = self
+                .inner
+                .stall_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(20));
         }
     }
 
@@ -405,9 +433,8 @@ impl Lsm {
             if files.is_empty() {
                 continue;
             }
-            let idx = files.partition_point(|f| {
-                scavenger_util::ikey::extract_user_key(&f.largest) < key
-            });
+            let idx =
+                files.partition_point(|f| scavenger_util::ikey::extract_user_key(&f.largest) < key);
             if idx < files.len() && files[idx].user_range_contains(key) {
                 if let Some(r) = self.table_get(files[idx].file_number, &target, key)? {
                     return Ok(r);
@@ -429,11 +456,64 @@ impl Lsm {
             if parsed.user_key == key {
                 return Ok(Some(match parsed.vtype {
                     ValueType::Deletion => LsmReadResult::Deleted,
-                    t => LsmReadResult::Found { seq: parsed.seq, vtype: t, value },
+                    t => LsmReadResult::Found {
+                        seq: parsed.seq,
+                        vtype: t,
+                        value,
+                    },
                 }));
             }
         }
         Ok(None)
+    }
+
+    /// Pin the current memtables and file layout into a reusable
+    /// [`BatchReader`] for batched, co-sequential point lookups (the GC's
+    /// merge-validate path). The pinned view is immutable: concurrent
+    /// writes after this call are not observed, which is exactly the
+    /// consistency a GC validation batch wants.
+    pub fn batch_reader(&self) -> BatchReader {
+        let mem = Arc::new(self.inner.mem.read().snapshot());
+        let imms: Vec<PinnedMemtable> = self
+            .inner
+            .imms
+            .read()
+            .iter()
+            .rev()
+            .map(|e| Arc::new(e.mem.snapshot()))
+            .collect();
+        BatchReader {
+            mem,
+            imms,
+            version: self.current_version(),
+            tcache: self.inner.tcache.clone(),
+        }
+    }
+
+    /// Batched point lookups: the visible version of every key in
+    /// `sorted_ukeys` (which MUST be in ascending user-key order) at each
+    /// sequence in `read_points`, via one co-sequential sweep per read
+    /// point. Returns one row per read point, each with one
+    /// [`LsmReadResult`] per key. Equivalent to calling
+    /// [`get_at`](Lsm::get_at) for every `(key, point)` pair, but
+    /// amortizes version pinning, iterator construction, and block
+    /// accesses across the whole batch.
+    pub fn validate_batch(
+        &self,
+        sorted_ukeys: &[&[u8]],
+        read_points: &[SeqNo],
+    ) -> Result<Vec<Vec<LsmReadResult>>> {
+        let reader = self.batch_reader();
+        let mut out = Vec::with_capacity(read_points.len());
+        for &pt in read_points {
+            let mut sweep = reader.sweep(pt)?;
+            let mut row = Vec::with_capacity(sorted_ukeys.len());
+            for &k in sorted_ukeys {
+                row.push(sweep.next_visible(k)?);
+            }
+            out.push(row);
+        }
+        Ok(out)
     }
 
     /// Take a read snapshot.
@@ -557,8 +637,7 @@ impl Lsm {
     /// Returns false if only the bottommost level holds data.
     pub fn force_compact_once(&self) -> Result<bool> {
         let version = self.current_version();
-        let targets =
-            crate::compaction::compute_targets(&version, &self.inner.opts);
+        let targets = crate::compaction::compute_targets(&version, &self.inner.opts);
         let last = self.inner.opts.num_levels - 1;
         let pick = if version.num_files(0) > 0 {
             let inputs_lo = version.levels[0].clone();
@@ -568,14 +647,16 @@ impl Lsm {
             for f in &inputs_lo {
                 let s = scavenger_util::ikey::extract_user_key(&f.smallest).to_vec();
                 let l = scavenger_util::ikey::extract_user_key(&f.largest).to_vec();
-                lo = Some(match lo { Some(c) if c <= s => c, _ => s });
-                hi = Some(match hi { Some(c) if c >= l => c, _ => l });
+                lo = Some(match lo {
+                    Some(c) if c <= s => c,
+                    _ => s,
+                });
+                hi = Some(match hi {
+                    Some(c) if c >= l => c,
+                    _ => l,
+                });
             }
-            let inputs_hi = version.overlapping_files(
-                output_level,
-                lo.as_deref(),
-                hi.as_deref(),
-            );
+            let inputs_hi = version.overlapping_files(output_level, lo.as_deref(), hi.as_deref());
             let bottommost = (output_level + 1..self.inner.opts.num_levels)
                 .all(|l| version.levels[l].is_empty());
             Some(Compaction {
@@ -606,8 +687,7 @@ impl Lsm {
                 let output_level = level + 1;
                 let lo = scavenger_util::ikey::extract_user_key(&victim.smallest).to_vec();
                 let hi = scavenger_util::ikey::extract_user_key(&victim.largest).to_vec();
-                let inputs_hi =
-                    version.overlapping_files(output_level, Some(&lo), Some(&hi));
+                let inputs_hi = version.overlapping_files(output_level, Some(&lo), Some(&hi));
                 let bottommost = (output_level + 1..self.inner.opts.num_levels)
                     .all(|l| version.levels[l].is_empty());
                 Compaction {
@@ -627,7 +707,10 @@ impl Lsm {
                 edit.deleted.push((c.level, f.file_number));
                 edit.added.push((c.output_level, (**f).clone()));
                 self.inner.vset.lock().log_and_apply(edit)?;
-                self.inner.counters.trivial_moves.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .counters
+                    .trivial_moves
+                    .fetch_add(1, Ordering::Relaxed);
                 Ok(true)
             }
             Some(c) => {
@@ -640,7 +723,10 @@ impl Lsm {
 
     fn session_for(&self, kind: JobKind) -> Result<Box<dyn ValueSession>> {
         match &self.inner.opts.value_hook {
-            Some(h) => h.session(kind, Arc::new(CounterAlloc(self.inner.file_counter.clone()))),
+            Some(h) => h.session(
+                kind,
+                Arc::new(CounterAlloc(self.inner.file_counter.clone())),
+            ),
             None => Ok(Box::new(PassthroughSession)),
         }
     }
@@ -835,7 +921,10 @@ impl Lsm {
     /// Log a value-store-only edit (used by the GC, which changes value
     /// files without touching the index layout).
     pub fn apply_value_edit(&self, bundle: crate::hooks::ValueEditBundle) -> Result<()> {
-        let edit = VersionEdit { value: bundle, ..VersionEdit::default() };
+        let edit = VersionEdit {
+            value: bundle,
+            ..VersionEdit::default()
+        };
         self.inner.vset.lock().log_and_apply(edit)?;
         Ok(())
     }
@@ -898,7 +987,10 @@ impl Lsm {
         ws.wal = Some(LogWriter::new(f));
         ws.wal_number = n;
         // Record in the manifest that older WALs are obsolete.
-        let edit = VersionEdit { log_number: Some(n), ..VersionEdit::default() };
+        let edit = VersionEdit {
+            log_number: Some(n),
+            ..VersionEdit::default()
+        };
         self.inner.vset.lock().log_and_apply(edit)?;
         Ok(())
     }
@@ -946,7 +1038,10 @@ impl Lsm {
         let handle = std::thread::Builder::new()
             .name("scavenger-bg".into())
             .spawn(move || {
-                let db = Lsm { inner, bg_thread: Mutex::new(None) };
+                let db = Lsm {
+                    inner,
+                    bg_thread: Mutex::new(None),
+                };
                 loop {
                     {
                         let mut sig = db.inner.bg_signal.lock();
@@ -982,6 +1077,49 @@ impl Drop for Lsm {
         if let Some(h) = self.bg_thread.lock().take() {
             let _ = h.join();
         }
+    }
+}
+
+/// A shared, sorted memtable snapshot pinned by a [`BatchReader`].
+type PinnedMemtable = Arc<Vec<(Vec<u8>, Bytes)>>;
+
+/// A pinned, immutable view of the tree (memtable snapshots + file
+/// layout) from which any number of co-sequential [`BatchSweep`]s can be
+/// opened cheaply — one per GC read point. Produced by
+/// [`Lsm::batch_reader`].
+pub struct BatchReader {
+    mem: PinnedMemtable,
+    imms: Vec<PinnedMemtable>,
+    version: Arc<Version>,
+    tcache: Arc<crate::tcache::TableCache>,
+}
+
+impl BatchReader {
+    /// Open a sweep of the pinned view at `read_seq`. Children are built
+    /// newest-source-first so merged ties resolve like a point lookup.
+    pub fn sweep(&self, read_seq: SeqNo) -> Result<BatchSweep> {
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(VecIter::from_shared(self.mem.clone())));
+        for imm in &self.imms {
+            children.push(Box::new(VecIter::from_shared(imm.clone())));
+        }
+        for f in &self.version.levels[0] {
+            children.push(Box::new(TableEntryIter::new(
+                self.tcache.get(f.file_number)?,
+            )));
+        }
+        for level in 1..self.version.levels.len() {
+            let files = &self.version.levels[level];
+            if !files.is_empty() {
+                children.push(Box::new(LevelIter::new(files.clone(), self.tcache.clone())));
+            }
+        }
+        Ok(BatchSweep::new(children, read_seq))
+    }
+
+    /// The pinned file-layout version (kept alive while sweeps run).
+    pub fn version(&self) -> &Arc<Version> {
+        &self.version
     }
 }
 
@@ -1040,9 +1178,7 @@ mod tests {
 
     fn get_str(db: &Lsm, k: &str) -> Option<String> {
         match db.get(k.as_bytes()).unwrap() {
-            LsmReadResult::Found { value, .. } => {
-                Some(String::from_utf8(value.to_vec()).unwrap())
-            }
+            LsmReadResult::Found { value, .. } => Some(String::from_utf8(value.to_vec()).unwrap()),
             _ => None,
         }
     }
@@ -1264,8 +1400,16 @@ mod tests {
     #[test]
     fn guarded_write_applies_only_when_ref_matches() {
         let db = open(test_opts("db"));
-        let old_ref = ValueRef { file: 7, size: 100, offset: 40 };
-        let new_ref = ValueRef { file: 9, size: 100, offset: 0 };
+        let old_ref = ValueRef {
+            file: 7,
+            size: 100,
+            offset: 40,
+        };
+        let new_ref = ValueRef {
+            file: 9,
+            size: 100,
+            offset: 0,
+        };
         let mut b = WriteBatch::new();
         b.put_ref(b"k1", old_ref);
         b.put_ref(b"k2", old_ref);
@@ -1274,13 +1418,25 @@ mod tests {
         put(&db, "k2", "user-update");
         let applied = db
             .write_guarded(&[
-                GuardedWrite { key: b"k1".to_vec(), expected: old_ref, replacement: new_ref },
-                GuardedWrite { key: b"k2".to_vec(), expected: old_ref, replacement: new_ref },
+                GuardedWrite {
+                    key: b"k1".to_vec(),
+                    expected: old_ref,
+                    replacement: new_ref,
+                },
+                GuardedWrite {
+                    key: b"k2".to_vec(),
+                    expected: old_ref,
+                    replacement: new_ref,
+                },
             ])
             .unwrap();
         assert_eq!(applied, 1, "only k1 still points at the old ref");
         match db.get(b"k1").unwrap() {
-            LsmReadResult::Found { vtype: ValueType::ValueRef, value, .. } => {
+            LsmReadResult::Found {
+                vtype: ValueType::ValueRef,
+                value,
+                ..
+            } => {
                 assert_eq!(ValueRef::decode(&value).unwrap().file, 9);
             }
             other => panic!("{other:?}"),
@@ -1298,7 +1454,10 @@ mod tests {
         }
         db.flush().unwrap();
         for i in (0..2000).step_by(97) {
-            assert_eq!(get_str(&db, &format!("key{i:05}")), Some(format!("value-{i}")));
+            assert_eq!(
+                get_str(&db, &format!("key{i:05}")),
+                Some(format!("value-{i}"))
+            );
         }
     }
 
@@ -1339,5 +1498,94 @@ mod tests {
         let before = db.last_sequence();
         db.write(WriteBatch::new()).unwrap();
         assert_eq!(db.last_sequence(), before);
+    }
+
+    /// Batched co-sequential lookups must agree with point `get_at` for
+    /// every key at every read point, across memtable, L0, and deeper
+    /// levels, including tombstones and absent keys.
+    #[test]
+    fn validate_batch_matches_point_gets() {
+        let db = open(test_opts("db"));
+        // Several generations, forcing data into multiple levels.
+        for round in 0..4 {
+            for i in 0..150 {
+                put(&db, &format!("key{i:04}"), &format!("r{round}-{i}"));
+            }
+            db.flush().unwrap();
+        }
+        let snap_seq = db.last_sequence();
+        for i in (0..150).step_by(3) {
+            put(&db, &format!("key{i:04}"), "fresh");
+        }
+        for i in (0..150).step_by(7) {
+            del(&db, &format!("key{i:04}"));
+        }
+        // Leave some writes unflushed so the memtable participates.
+        let latest = db.last_sequence();
+
+        let mut keys: Vec<Vec<u8>> = (0..150)
+            .map(|i| format!("key{i:04}").into_bytes())
+            .collect();
+        keys.push(b"absent-key".to_vec());
+        keys.sort();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let points = [snap_seq, latest];
+        let rows = db.validate_batch(&refs, &points).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (row, &pt) in rows.iter().zip(points.iter()) {
+            assert_eq!(row.len(), refs.len());
+            for (k, got) in refs.iter().zip(row.iter()) {
+                let want = db.get_at(k, pt).unwrap();
+                assert_eq!(*got, want, "key {:?} at {pt}", String::from_utf8_lossy(k));
+            }
+        }
+    }
+
+    /// A sweep pins the pre-existing state: writes after `batch_reader`
+    /// are invisible to it.
+    #[test]
+    fn batch_reader_pins_view() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "old");
+        let seq = db.last_sequence();
+        let reader = db.batch_reader();
+        put(&db, "k", "new");
+        let mut sweep = reader.sweep(db.last_sequence()).unwrap();
+        match sweep.next_visible(b"k").unwrap() {
+            LsmReadResult::Found { value, seq: s, .. } => {
+                assert_eq!(&value[..], b"old");
+                assert_eq!(s, seq);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Dense batches advance by stepping, not re-seeking every key.
+    #[test]
+    fn sweep_steps_instead_of_seeking_dense_batches() {
+        let db = open(test_opts("db"));
+        for i in 0..400 {
+            put(&db, &format!("key{i:04}"), "value-payload");
+        }
+        db.flush().unwrap();
+        db.compact_until_stable().unwrap();
+        let keys: Vec<Vec<u8>> = (0..400)
+            .map(|i| format!("key{i:04}").into_bytes())
+            .collect();
+        let reader = db.batch_reader();
+        let mut sweep = reader.sweep(db.last_sequence()).unwrap();
+        for k in &keys {
+            match sweep.next_visible(k).unwrap() {
+                LsmReadResult::Found { .. } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = sweep.stats();
+        assert!(
+            stats.seeks < 40,
+            "dense sweep should mostly step (seeks {}, steps {})",
+            stats.seeks,
+            stats.steps
+        );
     }
 }

@@ -95,8 +95,14 @@ mod tests {
             parse_path(dir, &value_table_path(dir, 8)),
             Some((FileKind::ValueTable, 8))
         );
-        assert_eq!(parse_path(dir, &blob_path(dir, 9)), Some((FileKind::BlobLog, 9)));
-        assert_eq!(parse_path(dir, &wal_path(dir, 10)), Some((FileKind::Wal, 10)));
+        assert_eq!(
+            parse_path(dir, &blob_path(dir, 9)),
+            Some((FileKind::BlobLog, 9))
+        );
+        assert_eq!(
+            parse_path(dir, &wal_path(dir, 10)),
+            Some((FileKind::Wal, 10))
+        );
         assert_eq!(
             parse_path(dir, &manifest_path(dir, 11)),
             Some((FileKind::Manifest, 11))

@@ -130,11 +130,8 @@ pub trait ValueSession: Send {
 pub trait ValueHook: Send + Sync {
     /// Open a session for one flush/compaction job. `alloc` hands out
     /// engine-unique file numbers for any value files the session creates.
-    fn session(
-        &self,
-        kind: JobKind,
-        alloc: Arc<dyn FileNumAlloc>,
-    ) -> Result<Box<dyn ValueSession>>;
+    fn session(&self, kind: JobKind, alloc: Arc<dyn FileNumAlloc>)
+        -> Result<Box<dyn ValueSession>>;
 
     /// Called after a job's bundle has been durably committed to the
     /// manifest. The value store applies the bundle to its in-memory state

@@ -39,12 +39,18 @@ pub struct VecIter {
 impl VecIter {
     /// Wrap a sorted entry vector.
     pub fn new(entries: Vec<(Vec<u8>, Bytes)>) -> Self {
-        VecIter { entries: Arc::new(entries), pos: usize::MAX }
+        VecIter {
+            entries: Arc::new(entries),
+            pos: usize::MAX,
+        }
     }
 
     /// Wrap an already-shared sorted entry vector.
     pub fn from_shared(entries: Arc<Vec<(Vec<u8>, Bytes)>>) -> Self {
-        VecIter { entries, pos: usize::MAX }
+        VecIter {
+            entries,
+            pos: usize::MAX,
+        }
     }
 }
 
@@ -92,7 +98,10 @@ impl TableEntryIter {
     /// Create from a cached table reader.
     pub fn new(table: Arc<crate::tcache::KTable>) -> Self {
         let iter = table.iter();
-        TableEntryIter { _table: table, iter }
+        TableEntryIter {
+            _table: table,
+            iter,
+        }
     }
 }
 
@@ -133,7 +142,13 @@ impl LevelIter {
     /// Iterate over `files`, which must be sorted by smallest key and
     /// non-overlapping (levels ≥ 1).
     pub fn new(files: Vec<Arc<FileMetaData>>, tcache: Arc<TableCache>) -> Self {
-        LevelIter { files, tcache, file_idx: 0, cur: None, error: None }
+        LevelIter {
+            files,
+            tcache,
+            file_idx: 0,
+            cur: None,
+            error: None,
+        }
     }
 
     fn open_file(&mut self, idx: usize) {
@@ -240,7 +255,10 @@ pub struct MergingIter {
 impl MergingIter {
     /// Merge `children` (each yielding internal-key order).
     pub fn new(children: Vec<Box<dyn InternalIterator>>) -> Self {
-        MergingIter { children, current: None }
+        MergingIter {
+            children,
+            current: None,
+        }
     }
 
     fn find_smallest(&mut self) {
@@ -368,7 +386,12 @@ impl DbIter {
             match vtype {
                 ValueType::Deletion => continue,
                 t => {
-                    return Ok(Some(UserEntry { user_key: ukey, seq, vtype: t, value }));
+                    return Ok(Some(UserEntry {
+                        user_key: ukey,
+                        seq,
+                        vtype: t,
+                        value,
+                    }));
                 }
             }
         }
@@ -391,6 +414,116 @@ impl DbIter {
 /// Convenience: the user-key portion of the current merged position.
 pub fn current_user_key(it: &dyn InternalIterator) -> &[u8] {
     extract_user_key(it.key())
+}
+
+/// Per-sweep iterator statistics, merged into the caller's GC counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SweepStats {
+    /// Forward `next()` advances taken instead of re-seeks.
+    pub steps: u64,
+    /// Full merged re-seeks (every child repositioned).
+    pub seeks: u64,
+}
+
+/// How many forward `next()` steps a sweep takes toward the next target
+/// before falling back to a full merged seek. Small enough that sparse
+/// batches degrade to seek cost, large enough that dense batches (the GC
+/// validating a whole value file) walk the tree sequentially.
+const SWEEP_STEP_LIMIT: usize = 16;
+
+/// One co-sequential validation sweep over a merged view of the tree at a
+/// fixed read point (paper Fig. 10: the *GC-Lookup* phase, batched).
+///
+/// Callers present user keys in **ascending order**; the sweep advances a
+/// single pinned [`MergingIter`] forward, stepping when the next target is
+/// near and seeking when it is far, so an entire batch is resolved with
+/// one logical pass instead of one full point lookup per key.
+pub struct BatchSweep {
+    iter: MergingIter,
+    read_seq: SeqNo,
+    started: bool,
+    stats: SweepStats,
+    #[cfg(debug_assertions)]
+    last_key: Vec<u8>,
+}
+
+impl BatchSweep {
+    /// Wrap a merged iterator; visibility is capped at `read_seq`.
+    pub fn new(children: Vec<Box<dyn InternalIterator>>, read_seq: SeqNo) -> Self {
+        BatchSweep {
+            iter: MergingIter::new(children),
+            read_seq,
+            started: false,
+            stats: SweepStats::default(),
+            #[cfg(debug_assertions)]
+            last_key: Vec::new(),
+        }
+    }
+
+    /// The visible version of `ukey` at this sweep's read point — the same
+    /// answer as a point `get_at(ukey, read_seq)`, resolved forward-only.
+    ///
+    /// `ukey` must be `>=` every key previously passed to this sweep.
+    pub fn next_visible(&mut self, ukey: &[u8]) -> Result<crate::db::LsmReadResult> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.last_key.as_slice() <= ukey,
+                "BatchSweep keys must be ascending"
+            );
+            self.last_key = ukey.to_vec();
+        }
+        let target = make_internal_key(ukey, self.read_seq, ValueType::ValueRef);
+        if !self.started {
+            self.iter.seek(&target);
+            self.started = true;
+            self.stats.seeks += 1;
+        } else {
+            let mut stepped = 0usize;
+            loop {
+                if !self.iter.valid() {
+                    // Forward-only and exhausted: nothing at or after
+                    // `target` exists in the pinned view.
+                    break;
+                }
+                if cmp_internal(self.iter.key(), &target) != Ordering::Less {
+                    break;
+                }
+                if stepped >= SWEEP_STEP_LIMIT {
+                    self.iter.seek(&target);
+                    self.stats.seeks += 1;
+                    break;
+                }
+                self.iter.next();
+                stepped += 1;
+            }
+            self.stats.steps += stepped as u64;
+        }
+        // An errored child reports !valid and the merge silently skips it,
+        // which could surface a stale older version from another source as
+        // the visible one. Propagate errors before trusting the position —
+        // a GC acting on a stale verdict would delete live data.
+        self.iter.status()?;
+        if self.iter.valid() {
+            let parsed = parse_internal_key(self.iter.key())?;
+            if parsed.user_key == ukey {
+                return Ok(match parsed.vtype {
+                    ValueType::Deletion => crate::db::LsmReadResult::Deleted,
+                    t => crate::db::LsmReadResult::Found {
+                        seq: parsed.seq,
+                        vtype: t,
+                        value: self.iter.value(),
+                    },
+                });
+            }
+        }
+        Ok(crate::db::LsmReadResult::NotFound)
+    }
+
+    /// Iterator statistics accumulated so far.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
 }
 
 #[cfg(test)]

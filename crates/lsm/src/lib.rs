@@ -33,9 +33,10 @@ pub mod version;
 pub mod wal;
 
 pub use batch::WriteBatch;
-pub use db::{GuardedWrite, Lsm, LsmReadResult, Snapshot};
+pub use db::{BatchReader, GuardedWrite, Lsm, LsmReadResult, Snapshot};
 pub use hooks::{
     DropCause, FileNumAlloc, JobKind, NewValueFile, ValueEditBundle, ValueHook, ValueSession,
 };
+pub use iter::{BatchSweep, SweepStats};
 pub use options::{BackgroundMode, KTableFormat, LsmOptions};
 pub use version::{FileMetaData, Version, VersionEdit};

@@ -91,7 +91,11 @@ impl Memtable {
             if parsed.user_key == user_key {
                 return match parsed.vtype {
                     ValueType::Deletion => MemGet::Deleted(parsed.seq),
-                    t => MemGet::Found { seq: parsed.seq, vtype: t, value: v.clone() },
+                    t => MemGet::Found {
+                        seq: parsed.seq,
+                        vtype: t,
+                        value: v.clone(),
+                    },
                 };
             }
         }

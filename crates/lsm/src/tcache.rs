@@ -60,6 +60,7 @@ impl KTable {
 }
 
 /// Iterator over a [`KTable`].
+#[allow(clippy::large_enum_variant)]
 pub enum KTableIter {
     /// BTable two-level iterator.
     B(scavenger_table::btable::BTableIter),
@@ -215,7 +216,8 @@ mod tests {
             .new_writable(&table_path(dir, number), IoClass::Flush)
             .unwrap();
         let mut b = BTableBuilder::new(f, TableOptions::default());
-        b.add(&make_internal_key(b"k1", 1, ValueType::Value), b"v1").unwrap();
+        b.add(&make_internal_key(b"k1", 1, ValueType::Value), b"v1")
+            .unwrap();
         b.finish().unwrap();
     }
 
@@ -224,7 +226,8 @@ mod tests {
             .new_writable(&table_path(dir, number), IoClass::Flush)
             .unwrap();
         let mut b = DTableBuilder::new(f, TableOptions::default());
-        b.add(&make_internal_key(b"k2", 1, ValueType::Value), b"v2").unwrap();
+        b.add(&make_internal_key(b"k2", 1, ValueType::Value), b"v2")
+            .unwrap();
         b.finish().unwrap();
     }
 

@@ -17,8 +17,8 @@ use crate::wal::{read_all_records, LogWriter};
 use scavenger_env::{EnvRef, IoClass};
 use scavenger_table::props::ValueDep;
 use scavenger_util::coding::{
-    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use scavenger_util::ikey::{cmp_internal, extract_user_key, SeqNo};
 use scavenger_util::{Error, Result};
@@ -291,7 +291,7 @@ impl Version {
             lv.push(Arc::new(meta.clone()));
         }
         // Restore invariants.
-        levels[0].sort_by(|a, b| b.file_number.cmp(&a.file_number));
+        levels[0].sort_by_key(|f| std::cmp::Reverse(f.file_number));
         for lv in levels.iter_mut().skip(1) {
             lv.sort_by(|a, b| cmp_internal(&a.smallest, &b.smallest));
             debug_assert!(
@@ -311,7 +311,10 @@ impl Version {
 
     /// Total compensated bytes at `level` (paper §III-C).
     pub fn level_compensated(&self, level: usize) -> u64 {
-        self.levels[level].iter().map(|f| f.compensated_size()).sum()
+        self.levels[level]
+            .iter()
+            .map(|f| f.compensated_size())
+            .sum()
     }
 
     /// Number of files at `level`.
@@ -331,7 +334,9 @@ impl Version {
 
     /// Deepest level holding any file, or `None` if the tree is empty.
     pub fn bottommost_nonempty_level(&self) -> Option<usize> {
-        (0..self.levels.len()).rev().find(|&l| !self.levels[l].is_empty())
+        (0..self.levels.len())
+            .rev()
+            .find(|&l| !self.levels[l].is_empty())
     }
 
     /// Files at `level` whose user-key range overlaps `[lo, hi]`.
@@ -421,8 +426,7 @@ impl VersionSet {
                 .strip_prefix("MANIFEST-")
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| Error::corruption("bad CURRENT contents"))?;
-            let (records, _corrupt) =
-                read_all_records(env.read_file(&mpath, IoClass::Manifest)?);
+            let (records, _corrupt) = read_all_records(env.read_file(&mpath, IoClass::Manifest)?);
             for rec in records {
                 let edit = VersionEdit::decode(&rec)?;
                 if let Some(n) = edit.next_file_number {
@@ -607,7 +611,11 @@ mod tests {
                     largest: b"zzz\x01\x00\x00\x00\x00\x00\x00\x01".to_vec(),
                     num_entries: 55,
                     ref_bytes: 123456,
-                    deps: vec![ValueDep { file: 3, entries: 10, ref_bytes: 100000 }],
+                    deps: vec![ValueDep {
+                        file: 3,
+                        entries: 10,
+                        ref_bytes: 100000,
+                    }],
                 },
             )],
             deleted: vec![(0, 5), (0, 6)],
@@ -740,7 +748,9 @@ mod tests {
         let _ = VersionSet::open(eref.clone(), "db", 7).unwrap();
         // Overwrite CURRENT with garbage.
         {
-            let mut w = eref.new_writable(&current_path("db"), IoClass::Manifest).unwrap();
+            let mut w = eref
+                .new_writable(&current_path("db"), IoClass::Manifest)
+                .unwrap();
             w.append(b"not-a-manifest-name").unwrap();
             w.sync().unwrap();
         }

@@ -36,7 +36,10 @@ pub struct LogWriter {
 impl LogWriter {
     /// Wrap a writable file (assumed empty / fresh).
     pub fn new(file: Box<dyn WritableFile>) -> Self {
-        LogWriter { file, block_offset: 0 }
+        LogWriter {
+            file,
+            block_offset: 0,
+        }
     }
 
     /// Append one record, fragmenting across blocks as needed.
@@ -111,7 +114,12 @@ pub struct LogReader {
 impl LogReader {
     /// Wrap fully-read log contents.
     pub fn new(data: Bytes) -> Self {
-        LogReader { data, pos: 0, dropped_bytes: 0, hit_corruption: false }
+        LogReader {
+            data,
+            pos: 0,
+            dropped_bytes: 0,
+            hit_corruption: false,
+        }
     }
 
     /// Next record payload, or `None` at end of log. Corrupt tails end the
@@ -164,40 +172,38 @@ impl LogReader {
     }
 
     fn next_fragment(&mut self) -> Option<(u8, Vec<u8>)> {
-        loop {
-            let block_left = BLOCK_SIZE - (self.pos % BLOCK_SIZE);
-            if block_left < HEADER_SIZE {
-                self.pos += block_left; // skip trailer padding
-            }
-            if self.pos + HEADER_SIZE > self.data.len() {
-                self.dropped_bytes += self.data.len().saturating_sub(self.pos);
-                return None;
-            }
-            let h = &self.data[self.pos..self.pos + HEADER_SIZE];
-            let stored_crc = u32::from_le_bytes(h[..4].try_into().unwrap());
-            let len = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
-            let rtype = h[6];
-            if rtype == 0 && len == 0 && stored_crc == 0 {
-                // Zero padding (pre-allocated tail); end of log.
-                self.dropped_bytes += self.data.len() - self.pos;
-                return None;
-            }
-            let start = self.pos + HEADER_SIZE;
-            if start + len > self.data.len() {
-                self.dropped_bytes += self.data.len() - self.pos;
-                self.hit_corruption = true;
-                return None;
-            }
-            let payload = &self.data[start..start + len];
-            let actual = crc32c::extend(crc32c::value(&[rtype]), payload);
-            if crc32c::unmask(stored_crc) != actual {
-                self.dropped_bytes += self.data.len() - self.pos;
-                self.hit_corruption = true;
-                return None;
-            }
-            self.pos = start + len;
-            return Some((rtype, payload.to_vec()));
+        let block_left = BLOCK_SIZE - (self.pos % BLOCK_SIZE);
+        if block_left < HEADER_SIZE {
+            self.pos += block_left; // skip trailer padding
         }
+        if self.pos + HEADER_SIZE > self.data.len() {
+            self.dropped_bytes += self.data.len().saturating_sub(self.pos);
+            return None;
+        }
+        let h = &self.data[self.pos..self.pos + HEADER_SIZE];
+        let stored_crc = u32::from_le_bytes(h[..4].try_into().unwrap());
+        let len = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+        let rtype = h[6];
+        if rtype == 0 && len == 0 && stored_crc == 0 {
+            // Zero padding (pre-allocated tail); end of log.
+            self.dropped_bytes += self.data.len() - self.pos;
+            return None;
+        }
+        let start = self.pos + HEADER_SIZE;
+        if start + len > self.data.len() {
+            self.dropped_bytes += self.data.len() - self.pos;
+            self.hit_corruption = true;
+            return None;
+        }
+        let payload = &self.data[start..start + len];
+        let actual = crc32c::extend(crc32c::value(&[rtype]), payload);
+        if crc32c::unmask(stored_crc) != actual {
+            self.dropped_bytes += self.data.len() - self.pos;
+            self.hit_corruption = true;
+            return None;
+        }
+        self.pos = start + len;
+        Some((rtype, payload.to_vec()))
     }
 }
 

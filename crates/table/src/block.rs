@@ -120,8 +120,7 @@ impl Block {
         if data.len() < 4 {
             return Err(Error::corruption("block too small"));
         }
-        let num_restarts =
-            u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
+        let num_restarts = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
         let trailer = num_restarts
             .checked_mul(4)
             .and_then(|n| n.checked_add(4))
@@ -193,7 +192,9 @@ impl BlockIter {
     /// Current value as a zero-copy slice of the block.
     pub fn value(&self) -> Bytes {
         debug_assert!(self.valid);
-        self.block.data.slice(self.value_range.0..self.value_range.1)
+        self.block
+            .data
+            .slice(self.value_range.0..self.value_range.1)
     }
 
     /// Byte offset of the current entry within the block (used by
@@ -216,7 +217,7 @@ impl BlockIter {
         // Binary search restart points for the last restart with key < target.
         let (mut lo, mut hi) = (0usize, self.block.num_restarts.saturating_sub(1));
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             let off = self.block.restart_point(mid);
             match self.key_at_restart(off) {
                 Some(k) if self.cmp.cmp(&k, target) == Ordering::Less => lo = mid,
@@ -327,10 +328,17 @@ mod tests {
     #[test]
     fn iterate_in_order() {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
-            .map(|i| (format!("key{i:04}").into_bytes(), format!("val{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("key{i:04}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                )
+            })
             .collect();
-        let refs: Vec<(&[u8], &[u8])> =
-            entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
         for interval in [1, 2, 16, 1000] {
             let block = build(&refs, interval);
             let mut it = block.iter(KeyCmp::Bytewise);
@@ -350,8 +358,10 @@ mod tests {
         let refs: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
             .map(|i| (format!("k{:03}", i * 2).into_bytes(), vec![i as u8]))
             .collect();
-        let entries: Vec<(&[u8], &[u8])> =
-            refs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        let entries: Vec<(&[u8], &[u8])> = refs
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
         let block = build(&entries, 4);
         let mut it = block.iter(KeyCmp::Bytewise);
 
@@ -373,10 +383,17 @@ mod tests {
     #[test]
     fn prefix_compression_shrinks_blocks() {
         let long_prefix: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
-            .map(|i| (format!("common/long/prefix/{i:04}").into_bytes(), vec![0u8; 4]))
+            .map(|i| {
+                (
+                    format!("common/long/prefix/{i:04}").into_bytes(),
+                    vec![0u8; 4],
+                )
+            })
             .collect();
-        let entries: Vec<(&[u8], &[u8])> =
-            long_prefix.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        let entries: Vec<(&[u8], &[u8])> = long_prefix
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
         let compressed = build(&entries, 16);
         let uncompressed = build(&entries, 1);
         assert!(compressed.len() < uncompressed.len());

@@ -39,7 +39,9 @@ pub fn verify_block(raw: &Bytes, handle: BlockHandle) -> Result<Bytes> {
     }
     let block_type = raw[n];
     if block_type != BLOCK_TYPE_RAW {
-        return Err(Error::corruption(format!("unknown block type {block_type}")));
+        return Err(Error::corruption(format!(
+            "unknown block type {block_type}"
+        )));
     }
     let stored = u32::from_le_bytes(raw[n + 1..n + 5].try_into().unwrap());
     let actual = crc32c::extend(crc32c::value(&raw[..n]), &raw[n..n + 1]);

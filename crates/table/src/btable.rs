@@ -100,7 +100,11 @@ impl PropsTracker {
         self.props.deps = self
             .deps
             .into_iter()
-            .map(|(file, (entries, ref_bytes))| ValueDep { file, entries, ref_bytes })
+            .map(|(file, (entries, ref_bytes))| ValueDep {
+                file,
+                entries,
+                ref_bytes,
+            })
             .collect();
         self.props
     }
@@ -161,8 +165,7 @@ impl BTableBuilder {
     /// Append an entry; keys must arrive in `opts.cmp` order.
     pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         debug_assert!(
-            self.data.is_empty()
-                || self.opts.cmp.cmp(self.data.last_key(), key).is_lt(),
+            self.data.is_empty() || self.opts.cmp.cmp(self.data.last_key(), key).is_lt(),
             "keys must be added in strictly increasing order"
         );
         if self.smallest.is_none() {
@@ -303,7 +306,11 @@ impl BTableReader {
         cmp: KeyCmp,
     ) -> Result<BTableReader> {
         let footer = read_footer(file.as_ref())?;
-        let fetcher = BlockFetcher { file, cache, file_number };
+        let fetcher = BlockFetcher {
+            file,
+            cache,
+            file_number,
+        };
         let index = Block::new(read_block(fetcher.file.as_ref(), footer.index)?)?;
         let meta = metaindex::decode(&read_block(fetcher.file.as_ref(), footer.metaindex)?)?;
         let props_handle = metaindex::find(&meta, meta_keys::PROPS)
@@ -313,7 +320,13 @@ impl BTableReader {
             Some(h) => Some(read_block(fetcher.file.as_ref(), h)?),
             None => None,
         };
-        Ok(BTableReader { fetcher, index, filter, props, cmp })
+        Ok(BTableReader {
+            fetcher,
+            index,
+            filter,
+            props,
+            cmp,
+        })
     }
 
     /// Table properties.
@@ -427,12 +440,7 @@ impl TwoLevelIter {
 
     fn skip_empty_blocks_forward(&mut self) {
         loop {
-            if self
-                .data_iter
-                .as_ref()
-                .map(|d| d.valid())
-                .unwrap_or(false)
-            {
+            if self.data_iter.as_ref().map(|d| d.valid()).unwrap_or(false) {
                 return;
             }
             if self.error.is_some() || !self.index_iter.valid() {
@@ -525,7 +533,11 @@ mod tests {
     }
 
     fn bytewise_opts() -> TableOptions {
-        TableOptions { cmp: KeyCmp::Bytewise, block_size: 256, ..TableOptions::default() }
+        TableOptions {
+            cmp: KeyCmp::Bytewise,
+            block_size: 256,
+            ..TableOptions::default()
+        }
     }
 
     fn sample_entries(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
@@ -580,7 +592,11 @@ mod tests {
         let before = env.io_stats().snapshot();
         let mut found = 0;
         for i in 0..200 {
-            if reader.get(format!("absent{i}").as_bytes()).unwrap().is_some() {
+            if reader
+                .get(format!("absent{i}").as_bytes())
+                .unwrap()
+                .is_some()
+            {
                 found += 1;
             }
         }
@@ -635,16 +651,41 @@ mod tests {
     fn internal_keys_track_props_and_deps() {
         let env = MemEnv::new();
         let f = env.new_writable("t.sst", IoClass::Flush).unwrap();
-        let mut b = BTableBuilder::new(
-            f, TableOptions::default());
-        let r1 = ValueRef { file: 9, size: 4096, offset: 0 };
-        let r2 = ValueRef { file: 9, size: 8192, offset: 4096 };
-        let r3 = ValueRef { file: 11, size: 100, offset: 0 };
-        b.add(&make_internal_key(b"a", 3, ValueType::ValueRef), &r1.encode()).unwrap();
-        b.add(&make_internal_key(b"b", 2, ValueType::Value), b"inline").unwrap();
-        b.add(&make_internal_key(b"c", 4, ValueType::ValueRef), &r2.encode()).unwrap();
-        b.add(&make_internal_key(b"d", 5, ValueType::Deletion), b"").unwrap();
-        b.add(&make_internal_key(b"e", 6, ValueType::ValueRef), &r3.encode()).unwrap();
+        let mut b = BTableBuilder::new(f, TableOptions::default());
+        let r1 = ValueRef {
+            file: 9,
+            size: 4096,
+            offset: 0,
+        };
+        let r2 = ValueRef {
+            file: 9,
+            size: 8192,
+            offset: 4096,
+        };
+        let r3 = ValueRef {
+            file: 11,
+            size: 100,
+            offset: 0,
+        };
+        b.add(
+            &make_internal_key(b"a", 3, ValueType::ValueRef),
+            &r1.encode(),
+        )
+        .unwrap();
+        b.add(&make_internal_key(b"b", 2, ValueType::Value), b"inline")
+            .unwrap();
+        b.add(
+            &make_internal_key(b"c", 4, ValueType::ValueRef),
+            &r2.encode(),
+        )
+        .unwrap();
+        b.add(&make_internal_key(b"d", 5, ValueType::Deletion), b"")
+            .unwrap();
+        b.add(
+            &make_internal_key(b"e", 6, ValueType::ValueRef),
+            &r3.encode(),
+        )
+        .unwrap();
         let built = b.finish().unwrap();
         assert_eq!(built.props.num_entries, 5);
         assert_eq!(built.props.num_refs, 3);
@@ -657,7 +698,9 @@ mod tests {
         assert_eq!(built.props.total_ref_bytes(), 4096 + 8192 + 100);
 
         // Reader sees the same props.
-        let file = env.open_random_access("t.sst", IoClass::FgIndexRead).unwrap();
+        let file = env
+            .open_random_access("t.sst", IoClass::FgIndexRead)
+            .unwrap();
         let reader = BTableReader::open(file, 1, None, KeyCmp::Internal).unwrap();
         assert_eq!(reader.props().total_ref_bytes(), 4096 + 8192 + 100);
     }
@@ -666,12 +709,15 @@ mod tests {
     fn internal_key_get_finds_visible_version() {
         let env = MemEnv::new();
         let f = env.new_writable("t.sst", IoClass::Flush).unwrap();
-        let mut b = BTableBuilder::new(
-            f, TableOptions::default());
-        b.add(&make_internal_key(b"k", 9, ValueType::Value), b"v9").unwrap();
-        b.add(&make_internal_key(b"k", 5, ValueType::Value), b"v5").unwrap();
+        let mut b = BTableBuilder::new(f, TableOptions::default());
+        b.add(&make_internal_key(b"k", 9, ValueType::Value), b"v9")
+            .unwrap();
+        b.add(&make_internal_key(b"k", 5, ValueType::Value), b"v5")
+            .unwrap();
         b.finish().unwrap();
-        let file = env.open_random_access("t.sst", IoClass::FgIndexRead).unwrap();
+        let file = env
+            .open_random_access("t.sst", IoClass::FgIndexRead)
+            .unwrap();
         let reader = BTableReader::open(file, 1, None, KeyCmp::Internal).unwrap();
 
         // Snapshot at seq 100 sees v9.
@@ -693,15 +739,20 @@ mod tests {
         let entries = sample_entries(2000);
         build_table(&env, "t.sst", &entries, bytewise_opts());
         let cache = Arc::new(BlockCache::with_capacity(1 << 20));
-        let file = env.open_random_access("t.sst", IoClass::FgIndexRead).unwrap();
-        let reader =
-            BTableReader::open(file, 42, Some(cache.clone()), KeyCmp::Bytewise).unwrap();
+        let file = env
+            .open_random_access("t.sst", IoClass::FgIndexRead)
+            .unwrap();
+        let reader = BTableReader::open(file, 42, Some(cache.clone()), KeyCmp::Bytewise).unwrap();
 
         reader.get(b"key00100").unwrap().unwrap();
         let before = env.io_stats().snapshot();
         reader.get(b"key00100").unwrap().unwrap();
         let d = env.io_stats().snapshot().delta(&before);
-        assert_eq!(d.class(IoClass::FgIndexRead).read_ops, 0, "second read must be cached");
+        assert_eq!(
+            d.class(IoClass::FgIndexRead).read_ops,
+            0,
+            "second read must be cached"
+        );
         let (hits, _, _) = cache.stats();
         assert!(hits >= 1);
     }
@@ -712,7 +763,9 @@ mod tests {
         let entries = sample_entries(50);
         build_table(&env, "t.sst", &entries, bytewise_opts());
         env.corrupt_byte("t.sst", 10).unwrap();
-        let file = env.open_random_access("t.sst", IoClass::FgIndexRead).unwrap();
+        let file = env
+            .open_random_access("t.sst", IoClass::FgIndexRead)
+            .unwrap();
         let reader = BTableReader::open(file, 1, None, KeyCmp::Bytewise).unwrap();
         let err = reader.get(b"key00000").unwrap_err();
         assert!(matches!(err, Error::Corruption(_)));

@@ -77,7 +77,10 @@ impl<V: Clone> Shard<V> {
             map: HashMap::new(),
             nodes: Vec::new(),
             free: Vec::new(),
-            lists: [ListEnds { head: NIL, tail: NIL }; 2],
+            lists: [ListEnds {
+                head: NIL,
+                tail: NIL,
+            }; 2],
             usage: 0,
             high_usage: 0,
             capacity,
@@ -324,7 +327,11 @@ mod tests {
     use super::*;
 
     fn key(i: u64) -> CacheKey {
-        CacheKey { file: 1, offset: i, kind: 0 }
+        CacheKey {
+            file: 1,
+            offset: i,
+            kind: 0,
+        }
     }
 
     fn single_shard(capacity: usize, high_ratio: f64) -> LruCache<u64> {
@@ -423,8 +430,16 @@ mod tests {
     #[test]
     fn kind_tag_distinguishes_streams() {
         let c = single_shard(100, 0.5);
-        let a = CacheKey { file: 1, offset: 0, kind: 0 };
-        let b = CacheKey { file: 1, offset: 0, kind: 1 };
+        let a = CacheKey {
+            file: 1,
+            offset: 0,
+            kind: 0,
+        };
+        let b = CacheKey {
+            file: 1,
+            offset: 0,
+            kind: 1,
+        };
         c.insert(a, 1, 10, CachePriority::Low);
         c.insert(b, 2, 10, CachePriority::Low);
         assert_eq!(c.get(&a), Some(1));
@@ -435,13 +450,29 @@ mod tests {
     fn many_shards_distribute() {
         let c: LruCache<u64> = LruCache::new(16_000, 16, 0.5);
         for i in 0..1000 {
-            c.insert(CacheKey { file: i, offset: i, kind: 0 }, i, 16, CachePriority::Low);
+            c.insert(
+                CacheKey {
+                    file: i,
+                    offset: i,
+                    kind: 0,
+                },
+                i,
+                16,
+                CachePriority::Low,
+            );
         }
         assert!(c.len() <= 1000);
         assert!(c.usage() <= 16_000);
         // Recently inserted keys should mostly be present.
         let hits = (900..1000)
-            .filter(|&i| c.get(&CacheKey { file: i, offset: i, kind: 0 }).is_some())
+            .filter(|&i| {
+                c.get(&CacheKey {
+                    file: i,
+                    offset: i,
+                    kind: 0,
+                })
+                .is_some()
+            })
             .count();
         assert!(hits > 50, "expected most recent keys cached, got {hits}");
     }
@@ -454,7 +485,11 @@ mod tests {
             let c2 = c.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..2000u64 {
-                    let k = CacheKey { file: t, offset: i % 100, kind: 0 };
+                    let k = CacheKey {
+                        file: t,
+                        offset: i % 100,
+                        kind: 0,
+                    };
                     c2.insert(k, i, 64, CachePriority::Low);
                     c2.get(&k);
                 }

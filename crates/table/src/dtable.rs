@@ -23,7 +23,9 @@
 
 use crate::block::Block;
 use crate::blockio::{read_block, write_block};
-use crate::btable::{read_footer, BlockCache, BlockFetcher, BuiltTable, PropsTracker, TableOptions, TwoLevelIter};
+use crate::btable::{
+    read_footer, BlockCache, BlockFetcher, BuiltTable, PropsTracker, TableOptions, TwoLevelIter,
+};
 use crate::cache::CachePriority;
 use crate::filter::{BloomBuilder, BloomReader};
 use crate::handle::Footer;
@@ -57,7 +59,13 @@ impl StreamBuilder {
         }
     }
 
-    fn add(&mut self, file: &mut dyn WritableFile, key: &[u8], value: &[u8], ukey: &[u8]) -> Result<()> {
+    fn add(
+        &mut self,
+        file: &mut dyn WritableFile,
+        key: &[u8],
+        value: &[u8],
+        ukey: &[u8],
+    ) -> Result<()> {
         self.bloom.add_key(ukey);
         self.data.add(key, value);
         if self.data.size_estimate() >= self.block_size {
@@ -167,7 +175,10 @@ impl DTableBuilder {
         let metaindex_handle = write_block(self.file.as_mut(), &meta)?;
         let kv_index_payload = self.kv.index.finish();
         let kv_index = write_block(self.file.as_mut(), &kv_index_payload)?;
-        let footer = Footer { metaindex: metaindex_handle, index: kv_index };
+        let footer = Footer {
+            metaindex: metaindex_handle,
+            index: kv_index,
+        };
         self.file.append(&footer.encode())?;
         self.file.sync()?;
         Ok(BuiltTable {
@@ -197,7 +208,11 @@ impl DTableReader {
         cache: Option<Arc<BlockCache>>,
     ) -> Result<DTableReader> {
         let footer = read_footer(file.as_ref())?;
-        let fetcher = BlockFetcher { file, cache, file_number };
+        let fetcher = BlockFetcher {
+            file,
+            cache,
+            file_number,
+        };
         let kv_index = Block::new(read_block(fetcher.file.as_ref(), footer.index)?)?;
         let meta = metaindex::decode(&read_block(fetcher.file.as_ref(), footer.metaindex)?)?;
         let props_handle = metaindex::find(&meta, meta_keys::PROPS)
@@ -217,7 +232,14 @@ impl DTableReader {
             Some(h) => Some(read_block(fetcher.file.as_ref(), h)?),
             None => None,
         };
-        Ok(DTableReader { fetcher, kv_index, kf_index, kv_filter, kf_filter, props })
+        Ok(DTableReader {
+            fetcher,
+            kv_index,
+            kf_index,
+            kv_filter,
+            kf_filter,
+            props,
+        })
     }
 
     /// Table properties.
@@ -339,9 +361,7 @@ pub struct DTableIter {
 impl DTableIter {
     fn pick(&mut self) {
         self.on_kf = match (self.kf.valid(), self.kv.valid()) {
-            (true, true) => {
-                KeyCmp::Internal.cmp(self.kf.key(), self.kv.key()) != Ordering::Greater
-            }
+            (true, true) => KeyCmp::Internal.cmp(self.kf.key(), self.kv.key()) != Ordering::Greater,
             (true, false) => true,
             _ => false,
         };
@@ -408,7 +428,10 @@ mod tests {
     use scavenger_util::ikey::{make_internal_key, ValueRef};
 
     fn opts() -> TableOptions {
-        TableOptions { block_size: 512, ..TableOptions::default() }
+        TableOptions {
+            block_size: 512,
+            ..TableOptions::default()
+        }
     }
 
     /// Build a table mixing inline small values and refs, like a
@@ -425,7 +448,11 @@ mod tests {
                         ValueType::Value,
                     )
                 } else {
-                    let r = ValueRef { file: 3, size: 16384, offset: (i * 16384) as u64 };
+                    let r = ValueRef {
+                        file: 3,
+                        size: 16384,
+                        offset: (i * 16384) as u64,
+                    };
                     (
                         make_internal_key(key.as_bytes(), 100 + i as u64, ValueType::ValueRef),
                         r.encode(),
@@ -433,7 +460,6 @@ mod tests {
                     )
                 }
             })
-            .map(|(k, v, t)| (k, v, t))
             .collect()
     }
 
@@ -478,7 +504,11 @@ mod tests {
 
         // Warm nothing; look up only ref keys and count read bytes.
         let before = env.io_stats().snapshot();
-        for (k, _, _t) in es.iter().filter(|(_, _, t)| *t == ValueType::ValueRef).take(200) {
+        for (k, _, _t) in es
+            .iter()
+            .filter(|(_, _, t)| *t == ValueType::ValueRef)
+            .take(200)
+        {
             r.get(k).unwrap().unwrap();
         }
         let d = env.io_stats().snapshot().delta(&before);
@@ -488,18 +518,27 @@ mod tests {
         let f = env.new_writable("b.sst", IoClass::Flush).unwrap();
         let mut bb = crate::btable::BTableBuilder::new(
             f,
-            TableOptions { block_size: 512, ..TableOptions::default() },
+            TableOptions {
+                block_size: 512,
+                ..TableOptions::default()
+            },
         );
         for (k, v, _) in &es {
             bb.add(k, v).unwrap();
         }
         bb.finish().unwrap();
-        let bfile = env.open_random_access("b.sst", IoClass::FgIndexRead).unwrap();
-        let cache2 = Arc::new(BlockCache::with_capacity(4 << 20));
-        let br = crate::btable::BTableReader::open(bfile, 6, Some(cache2), KeyCmp::Internal)
+        let bfile = env
+            .open_random_access("b.sst", IoClass::FgIndexRead)
             .unwrap();
+        let cache2 = Arc::new(BlockCache::with_capacity(4 << 20));
+        let br =
+            crate::btable::BTableReader::open(bfile, 6, Some(cache2), KeyCmp::Internal).unwrap();
         let before = env.io_stats().snapshot();
-        for (k, _, _t) in es.iter().filter(|(_, _, t)| *t == ValueType::ValueRef).take(200) {
+        for (k, _, _t) in es
+            .iter()
+            .filter(|(_, _, t)| *t == ValueType::ValueRef)
+            .take(200)
+        {
             br.get(k).unwrap().unwrap();
         }
         let d = env.io_stats().snapshot().delta(&before);
@@ -515,10 +554,11 @@ mod tests {
     fn tombstones_live_in_kf_stream_and_are_found() {
         let env = MemEnv::new();
         let f = env.new_writable("d.sst", IoClass::Flush).unwrap();
-        let mut b = DTableBuilder::new(
-            f, opts());
-        b.add(&make_internal_key(b"a", 5, ValueType::Deletion), b"").unwrap();
-        b.add(&make_internal_key(b"b", 4, ValueType::Value), b"small").unwrap();
+        let mut b = DTableBuilder::new(f, opts());
+        b.add(&make_internal_key(b"a", 5, ValueType::Deletion), b"")
+            .unwrap();
+        b.add(&make_internal_key(b"b", 4, ValueType::Value), b"small")
+            .unwrap();
         let built = b.finish().unwrap();
         assert_eq!(built.props.num_deletions, 1);
 
@@ -535,12 +575,20 @@ mod tests {
         // Key flip-flops: old separated value (seq 5), newer inline (seq 9).
         let env = MemEnv::new();
         let f = env.new_writable("d.sst", IoClass::Flush).unwrap();
-        let mut b = DTableBuilder::new(
-            f, opts());
+        let mut b = DTableBuilder::new(f, opts());
         let r9 = make_internal_key(b"k", 9, ValueType::Value);
         let r5 = make_internal_key(b"k", 5, ValueType::ValueRef);
         b.add(&r9, b"new-inline").unwrap();
-        b.add(&r5, &ValueRef { file: 1, size: 100, offset: 0 }.encode()).unwrap();
+        b.add(
+            &r5,
+            &ValueRef {
+                file: 1,
+                size: 100,
+                offset: 0,
+            }
+            .encode(),
+        )
+        .unwrap();
         b.finish().unwrap();
 
         let r = open(&env, "d.sst", None);
@@ -596,12 +644,20 @@ mod tests {
         // like a compact KF-only table.
         let env = MemEnv::new();
         let f = env.new_writable("d.sst", IoClass::Flush).unwrap();
-        let mut b = DTableBuilder::new(
-            f, opts());
+        let mut b = DTableBuilder::new(f, opts());
         let mut keys = Vec::new();
         for i in 0..100 {
             let k = make_internal_key(format!("k{i:03}").as_bytes(), i, ValueType::ValueRef);
-            b.add(&k, &ValueRef { file: 2, size: 1 << 14, offset: 0 }.encode()).unwrap();
+            b.add(
+                &k,
+                &ValueRef {
+                    file: 2,
+                    size: 1 << 14,
+                    offset: 0,
+                }
+                .encode(),
+            )
+            .unwrap();
             keys.push(k);
         }
         b.finish().unwrap();
@@ -682,9 +738,16 @@ mod tests {
         let before = env.io_stats().snapshot();
         for i in 0..100 {
             let t = make_internal_key(format!("absent{i}").as_bytes(), 1, ValueType::Value);
-            assert!(r.get(&t).unwrap().map(|(k, _)| {
-                parse_internal_key(&k).unwrap().user_key.starts_with(b"absent")
-            }).unwrap_or(false) == false);
+            assert!(!r
+                .get(&t)
+                .unwrap()
+                .map(|(k, _)| {
+                    parse_internal_key(&k)
+                        .unwrap()
+                        .user_key
+                        .starts_with(b"absent")
+                })
+                .unwrap_or(false));
         }
         let d = env.io_stats().snapshot().delta(&before);
         assert!(

@@ -180,6 +180,10 @@ mod tests {
         for i in 0..1000u64 {
             seen.insert(bloom_hash(&key(i)));
         }
-        assert!(seen.len() > 995, "hash collisions too frequent: {}", seen.len());
+        assert!(
+            seen.len() > 995,
+            "hash collisions too frequent: {}",
+            seen.len()
+        );
     }
 }

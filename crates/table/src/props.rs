@@ -8,8 +8,8 @@
 //! the size the file would have had in a non-separated LSM-tree.
 
 use scavenger_util::coding::{
-    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice,
-    put_varint32, put_varint64,
+    get_length_prefixed_slice, get_varint32, get_varint64, put_length_prefixed_slice, put_varint32,
+    put_varint64,
 };
 use scavenger_util::{Error, Result};
 
@@ -218,8 +218,16 @@ mod tests {
             raw_key_bytes: 2400,
             raw_value_bytes: 9000,
             deps: vec![
-                ValueDep { file: 7, entries: 40, ref_bytes: 640_000 },
-                ValueDep { file: 9, entries: 20, ref_bytes: 320_000 },
+                ValueDep {
+                    file: 7,
+                    entries: 40,
+                    ref_bytes: 640_000,
+                },
+                ValueDep {
+                    file: 9,
+                    entries: 20,
+                    ref_bytes: 320_000,
+                },
             ],
         };
         let decoded = TableProps::decode(&p.encode()).unwrap();

@@ -20,7 +20,9 @@
 
 use crate::block::{Block, BlockBuilder};
 use crate::blockio::{read_block, write_block, BLOCK_TRAILER_LEN};
-use crate::btable::{read_footer, BlockCache, BlockFetcher, BuiltTable, PropsTracker, TableOptions};
+use crate::btable::{
+    read_footer, BlockCache, BlockFetcher, BuiltTable, PropsTracker, TableOptions,
+};
 use crate::cache::CachePriority;
 use crate::filter::{BloomBuilder, BloomReader};
 use crate::handle::{BlockHandle, Footer};
@@ -77,8 +79,7 @@ impl RTableBuilder {
     /// Returns the record's handle (useful for address-based callers).
     pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<BlockHandle> {
         debug_assert!(
-            self.partition.is_empty()
-                || self.opts.cmp.cmp(self.partition.last_key(), key).is_lt(),
+            self.partition.is_empty() || self.opts.cmp.cmp(self.partition.last_key(), key).is_lt(),
             "keys must be added in strictly increasing order"
         );
         if self.smallest.is_none() {
@@ -138,7 +139,10 @@ impl RTableBuilder {
         let top_payload = self.top_index.finish();
         self.index_bytes += (top_payload.len() + BLOCK_TRAILER_LEN) as u64;
         let index_handle = write_block(self.file.as_mut(), &top_payload)?;
-        let footer = Footer { metaindex: metaindex_handle, index: index_handle };
+        let footer = Footer {
+            metaindex: metaindex_handle,
+            index: index_handle,
+        };
         self.file.append(&footer.encode())?;
         self.file.sync()?;
         Ok(BuiltTable {
@@ -213,7 +217,11 @@ impl RTableReader {
         cmp: KeyCmp,
     ) -> Result<RTableReader> {
         let footer = read_footer(file.as_ref())?;
-        let fetcher = BlockFetcher { file, cache, file_number };
+        let fetcher = BlockFetcher {
+            file,
+            cache,
+            file_number,
+        };
         let top_index = Block::new(read_block(fetcher.file.as_ref(), footer.index)?)?;
         let meta = metaindex::decode(&read_block(fetcher.file.as_ref(), footer.metaindex)?)?;
         let props_handle = metaindex::find(&meta, meta_keys::PROPS)
@@ -226,7 +234,13 @@ impl RTableReader {
         if props.table_type != TableType::RTable {
             return Err(Error::corruption("not an RTable file"));
         }
-        Ok(RTableReader { fetcher, top_index, filter, props, cmp })
+        Ok(RTableReader {
+            fetcher,
+            top_index,
+            filter,
+            props,
+            cmp,
+        })
     }
 
     /// Table properties.
@@ -407,13 +421,11 @@ impl RTableIter {
                 .buffer
                 .as_ref()
                 .map(|(off, buf)| {
-                    handle.offset >= *off
-                        && handle.offset + total <= *off + buf.len() as u64
+                    handle.offset >= *off && handle.offset + total <= *off + buf.len() as u64
                 })
                 .unwrap_or(false);
             if !hit {
-                let span_end = (handle.offset + COALESCE_SPAN)
-                    .min(self.fetcher.file.len());
+                let span_end = (handle.offset + COALESCE_SPAN).min(self.fetcher.file.len());
                 let len = (span_end - handle.offset).max(total) as usize;
                 match self.fetcher.file.read_at(handle.offset, len) {
                     Ok(buf) => self.buffer = Some((handle.offset, buf)),
@@ -595,8 +607,7 @@ mod tests {
         let env = MemEnv::new();
         let es = entries(100, 16 * 1024);
         let f = env.new_writable("v.vsst", IoClass::Flush).unwrap();
-        let mut b = RTableBuilder::new(
-            f, opts());
+        let mut b = RTableBuilder::new(f, opts());
         for (k, v) in &es {
             b.add(k, v).unwrap();
         }
@@ -699,11 +710,16 @@ mod tests {
         let f = env.new_writable("b.sst", IoClass::Flush).unwrap();
         let mut b = crate::btable::BTableBuilder::new(
             f,
-            TableOptions { cmp: KeyCmp::Bytewise, ..TableOptions::default() },
+            TableOptions {
+                cmp: KeyCmp::Bytewise,
+                ..TableOptions::default()
+            },
         );
         b.add(b"a", b"1").unwrap();
         b.finish().unwrap();
-        let file = env.open_random_access("b.sst", IoClass::FgValueRead).unwrap();
+        let file = env
+            .open_random_access("b.sst", IoClass::FgValueRead)
+            .unwrap();
         assert!(RTableReader::open(file, 1, None, KeyCmp::Bytewise).is_err());
     }
 
@@ -715,8 +731,7 @@ mod tests {
         let r = open(&env, "v.vsst");
         let index = r.read_index().unwrap();
         // Every third record, sorted by offset (as GC does).
-        let mut handles: Vec<BlockHandle> =
-            index.iter().step_by(3).map(|(_, h)| *h).collect();
+        let mut handles: Vec<BlockHandle> = index.iter().step_by(3).map(|(_, h)| *h).collect();
         handles.sort_by_key(|h| h.offset);
         let a = &r;
         let individual = a.read_records(&handles, false).unwrap();
@@ -734,7 +749,10 @@ mod tests {
         let after = env.io_stats().snapshot();
         let ind_ops = mid.delta(&before).total_read_ops();
         let coa_ops = after.delta(&mid).total_read_ops();
-        assert!(coa_ops < ind_ops, "coalesced {coa_ops} vs individual {ind_ops}");
+        assert!(
+            coa_ops < ind_ops,
+            "coalesced {coa_ops} vs individual {ind_ops}"
+        );
     }
 
     proptest::proptest! {

@@ -98,11 +98,9 @@ mod tests {
 
     #[test]
     fn io_error_conversion_maps_not_found() {
-        let e: Error =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.is_not_found());
-        let e: Error =
-            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope").into();
+        let e: Error = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope").into();
         assert!(matches!(e, Error::Io(_)));
     }
 }

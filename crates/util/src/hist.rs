@@ -103,7 +103,11 @@ impl Histogram {
             let next = cumulative + c;
             if next as f64 >= threshold {
                 let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
-                let hi = if i == 0 { 1u64 } else { (1u64 << i).saturating_sub(0) };
+                let hi = if i == 0 {
+                    1u64
+                } else {
+                    (1u64 << i).saturating_sub(0)
+                };
                 let frac = if c == 0 {
                     0.0
                 } else {
@@ -172,7 +176,7 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
         // Power-of-two buckets: p50 of uniform 1..=1000 lies within a factor
         // of 2 of the true median.
-        assert!(p50 >= 250.0 && p50 <= 1100.0, "p50={p50}");
+        assert!((250.0..=1100.0).contains(&p50), "p50={p50}");
     }
 
     #[test]

@@ -217,13 +217,22 @@ mod tests {
 
     #[test]
     fn value_ref_roundtrip() {
-        let r = ValueRef { file: 123456, size: 16384, offset: 987654321 };
+        let r = ValueRef {
+            file: 123456,
+            size: 16384,
+            offset: 987654321,
+        };
         assert_eq!(ValueRef::decode(&r.encode()).unwrap(), r);
     }
 
     #[test]
     fn value_ref_rejects_trailing_bytes() {
-        let mut enc = ValueRef { file: 1, size: 2, offset: 3 }.encode();
+        let mut enc = ValueRef {
+            file: 1,
+            size: 2,
+            offset: 3,
+        }
+        .encode();
         enc.push(0);
         assert!(ValueRef::decode(&enc).is_err());
     }

@@ -104,7 +104,9 @@ impl KeyDist {
 
     /// Latest-skewed over `n` keys.
     pub fn latest(n: u64, theta: f64) -> Self {
-        KeyDist::Latest { zipf: Zipfian::new(n, theta, false) }
+        KeyDist::Latest {
+            zipf: Zipfian::new(n, theta, false),
+        }
     }
 
     /// Draw a key id given the current total number of keys `n_now`
@@ -136,7 +138,13 @@ pub struct GenPareto {
 impl GenPareto {
     /// Construct with explicit parameters.
     pub fn new(mu: f64, sigma: f64, xi: f64, min: usize, max: usize) -> Self {
-        GenPareto { mu, sigma, xi, min, max }
+        GenPareto {
+            mu,
+            sigma,
+            xi,
+            min,
+            max,
+        }
     }
 
     /// A sampler with the requested mean (the paper's Pareto-1K uses mean
@@ -190,7 +198,12 @@ mod tests {
             counts[z.next(&mut rng) as usize] += 1;
         }
         // The hottest key is no longer id 0 (scrambling moved it).
-        let hottest = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let hottest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
         assert_ne!(hottest, 0);
         let max = counts[hottest];
         assert!(max > 10_000, "still skewed: {max}");

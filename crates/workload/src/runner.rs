@@ -115,12 +115,7 @@ impl Runner {
     }
 
     /// Update phase: `n` overwrites with keys drawn from `dist`.
-    pub fn update(
-        &mut self,
-        store: &impl KvStore,
-        dist: &KeyDist,
-        n: u64,
-    ) -> Result<PhaseReport> {
+    pub fn update(&mut self, store: &impl KvStore, dist: &KeyDist, n: u64) -> Result<PhaseReport> {
         let start = std::time::Instant::now();
         let mut report = PhaseReport::default();
         for _ in 0..n {
@@ -152,12 +147,7 @@ impl Runner {
     }
 
     /// Read phase: `n` point lookups.
-    pub fn read(
-        &mut self,
-        store: &impl KvStore,
-        dist: &KeyDist,
-        n: u64,
-    ) -> Result<PhaseReport> {
+    pub fn read(&mut self, store: &impl KvStore, dist: &KeyDist, n: u64) -> Result<PhaseReport> {
         let start = std::time::Instant::now();
         let mut report = PhaseReport::default();
         for _ in 0..n {
@@ -166,8 +156,11 @@ impl Runner {
             if let Some(v) = &got {
                 report.user_read_bytes += v.len() as u64;
                 if self.verify_reads {
-                    let expected =
-                        make_value(id, self.versions[id as usize], self.sizes[id as usize] as usize);
+                    let expected = make_value(
+                        id,
+                        self.versions[id as usize],
+                        self.sizes[id as usize] as usize,
+                    );
                     assert_eq!(v, &expected, "read verification failed for key {id}");
                 }
             } else if self.verify_reads && self.versions[id as usize] > 0 {
@@ -349,9 +342,7 @@ mod tests {
         let store = MapStore::default();
         let mut r = Runner::new(1000, ValueGen::fixed(500), 5);
         r.load(&store, 500).unwrap();
-        let rep = r
-            .ycsb(&store, YcsbWorkload::A, 0.99, 2000, 100)
-            .unwrap();
+        let rep = r.ycsb(&store, YcsbWorkload::A, 0.99, 2000, 100).unwrap();
         assert_eq!(rep.ops, 2000);
         assert!(rep.user_write_bytes > 0);
         assert!(rep.user_read_bytes > 0);

@@ -67,7 +67,13 @@ impl ValueGen {
     pub fn next_size(&self, rng: &mut impl Rng) -> usize {
         match self {
             ValueGen::Fixed { len } => *len,
-            ValueGen::Mixed { small_lo, small_hi, large, small_parts, large_parts } => {
+            ValueGen::Mixed {
+                small_lo,
+                small_hi,
+                large,
+                small_parts,
+                large_parts,
+            } => {
                 let total = small_parts + large_parts;
                 if rng.gen_range(0..total) < *small_parts {
                     rng.gen_range(*small_lo..=*small_hi)
@@ -83,11 +89,16 @@ impl ValueGen {
     pub fn mean_size(&self) -> f64 {
         match self {
             ValueGen::Fixed { len } => *len as f64,
-            ValueGen::Mixed { small_lo, small_hi, large, small_parts, large_parts } => {
+            ValueGen::Mixed {
+                small_lo,
+                small_hi,
+                large,
+                small_parts,
+                large_parts,
+            } => {
                 let small_mean = (*small_lo + *small_hi) as f64 / 2.0;
                 let total = (*small_parts + *large_parts) as f64;
-                (small_mean * *small_parts as f64 + *large as f64 * *large_parts as f64)
-                    / total
+                (small_mean * *small_parts as f64 + *large as f64 * *large_parts as f64) / total
             }
             ValueGen::Pareto(_) => 1024.0,
         }
@@ -161,9 +172,7 @@ mod tests {
     fn mixed_ratio_9_1_is_mostly_small() {
         let mut rng = StdRng::seed_from_u64(4);
         let g = ValueGen::mixed_ratio(9, 1);
-        let small = (0..10_000)
-            .filter(|_| g.next_size(&mut rng) <= 512)
-            .count();
+        let small = (0..10_000).filter(|_| g.next_size(&mut rng) <= 512).count();
         assert!(small > 8_500, "small: {small}");
     }
 

@@ -53,11 +53,19 @@ fn main() -> scavenger::Result<()> {
     }
     println!(
         "hot files : {hot_n:3}  avg garbage ratio {:.2}",
-        if hot_n > 0 { hot_garbage / hot_n as f64 } else { 0.0 }
+        if hot_n > 0 {
+            hot_garbage / hot_n as f64
+        } else {
+            0.0
+        }
     );
     println!(
         "cold files: {cold_n:3}  avg garbage ratio {:.2}",
-        if cold_n > 0 { cold_garbage / cold_n as f64 } else { 0.0 }
+        if cold_n > 0 {
+            cold_garbage / cold_n as f64
+        } else {
+            0.0
+        }
     );
 
     let before = env.io_stats().snapshot();

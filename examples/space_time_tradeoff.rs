@@ -36,7 +36,11 @@ fn main() -> scavenger::Result<()> {
         let before = env.io_stats().snapshot();
         let mut user_bytes = 0u64;
         for n in 0..updates {
-            let i = if n % 5 == 0 { n % num_keys } else { n % (num_keys / 5) };
+            let i = if n % 5 == 0 {
+                n % num_keys
+            } else {
+                n % (num_keys / 5)
+            };
             db.put(key(i), value(i, n + 1, value_size))?;
             user_bytes += 24 + value_size as u64;
         }

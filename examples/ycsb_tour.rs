@@ -49,7 +49,10 @@ fn main() -> scavenger::Result<()> {
     runner.load(&store, n)?;
     db.flush()?;
 
-    println!("\n{:>9}  {:>8}  {:>12}  {:>13}", "workload", "ops", "wall ops/s", "notes");
+    println!(
+        "\n{:>9}  {:>8}  {:>12}  {:>13}",
+        "workload", "ops", "wall ops/s", "notes"
+    );
     for w in YcsbWorkload::ALL {
         let rep = runner.ycsb(&store, w, 0.99, 2_000, 50)?;
         let notes = match w {

@@ -1,0 +1,6 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repository-level `tests/` and `examples/` directories
+//! have a package to attach to; re-exports the public engine crate.
+
+pub use scavenger::*;

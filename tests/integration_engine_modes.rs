@@ -143,11 +143,17 @@ fn batched_writes_are_atomic_units() {
     let db = Db::open(small_opts(env, EngineMode::Scavenger)).unwrap();
     let mut batch = scavenger_lsm::WriteBatch::new();
     for i in 0..50 {
-        batch.put(format!("b{i:02}").into_bytes(), bytes::Bytes::from(vec![1u8; 1024]));
+        batch.put(
+            format!("b{i:02}").into_bytes(),
+            bytes::Bytes::from(vec![1u8; 1024]),
+        );
     }
-    batch.delete(b"b00".to_vec());
+    batch.delete(b"b00");
     db.write(batch).unwrap();
-    assert!(db.get("b00").unwrap().is_none(), "later delete wins in batch");
+    assert!(
+        db.get("b00").unwrap().is_none(),
+        "later delete wins in batch"
+    );
     for i in 1..50 {
         assert!(db.get(format!("b{i:02}")).unwrap().is_some());
     }

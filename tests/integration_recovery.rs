@@ -88,15 +88,17 @@ fn torn_wal_tail_loses_only_the_torn_batch() {
         .list_prefix("db/")
         .unwrap()
         .into_iter()
-        .filter(|p| p.ends_with(".log"))
-        .next_back()
+        .rfind(|p| p.ends_with(".log"))
         .unwrap();
     let len = env.file_size(&wal).unwrap();
     env.truncate_file(&wal, len - 100).unwrap();
 
     let db = Db::open(opts(env.clone(), EngineMode::Scavenger)).unwrap();
     assert!(db.get("stable").unwrap().is_some(), "intact batch survives");
-    assert!(db.get("torn").unwrap().is_none(), "torn batch dropped cleanly");
+    assert!(
+        db.get("torn").unwrap().is_none(),
+        "torn batch dropped cleanly"
+    );
     // The engine keeps working after recovery.
     db.put("after", vec![3u8; 2000]).unwrap();
     assert!(db.get("after").unwrap().is_some());

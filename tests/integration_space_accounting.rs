@@ -15,7 +15,8 @@ fn opts(env: EnvRef, mode: EngineMode) -> Options {
 fn churn(db: &Db, keys: u64, rounds: u64, vsize: usize) {
     for r in 0..rounds {
         for i in 0..keys {
-            db.put(format!("k{i:04}"), vec![(r + i) as u8; vsize]).unwrap();
+            db.put(format!("k{i:04}"), vec![(r + i) as u8; vsize])
+                .unwrap();
         }
         db.flush().unwrap();
     }
@@ -127,7 +128,7 @@ fn index_space_amp_is_sane() {
         churn(&db, 200, 3, 2000);
         db.compact_all().unwrap();
         let sa = db.stats().index_space_amp;
-        assert!(sa >= 1.0 && sa < 10.0, "{mode:?}: index SA {sa}");
+        assert!((1.0..10.0).contains(&sa), "{mode:?}: index SA {sa}");
     }
 }
 
@@ -163,7 +164,8 @@ fn hot_files_accumulate_garbage_faster() {
     // More churn now that hot keys are known.
     for r in 0..6u64 {
         for i in 0..15u64 {
-            db.put(format!("hot{i:02}"), vec![(r + 50) as u8; 3000]).unwrap();
+            db.put(format!("hot{i:02}"), vec![(r + 50) as u8; 3000])
+                .unwrap();
         }
         db.flush().unwrap();
     }

@@ -1,0 +1,273 @@
+//! Minimal, offline-compatible subset of the `criterion` benchmark API.
+//!
+//! Measures wall-clock time per iteration (warmup + sampled batches,
+//! reporting the mean and min), prints one line per benchmark, and —
+//! when the `CRITERION_JSON` environment variable names a path — appends
+//! every result as a JSON object so harnesses can record baselines.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; this
+/// shim always times the routine only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Throughput in MB/s (when annotated with [`Throughput::Bytes`]).
+    pub mbps: Option<f64>,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: Vec<Duration>,
+    iters: u64,
+    target: Duration,
+    max_iters: u64,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        let budget = Instant::now();
+        while budget.elapsed() < self.target && self.iters < self.max_iters {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = Instant::now();
+        while budget.elapsed() < self.target && self.iters < self.max_iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters: 0,
+        target: Duration::from_millis(300),
+        max_iters: sample_size.max(5) * 20,
+        _marker: std::marker::PhantomData,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean_ns = total.as_nanos() as f64 / b.samples.len() as f64;
+    let min_ns = b.samples.iter().min().unwrap().as_nanos() as f64;
+    let mbps = match throughput {
+        Some(Throughput::Bytes(n)) => Some(n as f64 / 1e6 / (mean_ns / 1e9)),
+        _ => None,
+    };
+    let rec = Record {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        iters: b.iters,
+        mbps,
+    };
+    match rec.mbps {
+        Some(m) => println!(
+            "bench {:<40} {:>12.0} ns/iter (min {:>10.0}) {:>10.1} MB/s  [{} iters]",
+            rec.id, rec.mean_ns, rec.min_ns, m, rec.iters
+        ),
+        None => println!(
+            "bench {:<40} {:>12.0} ns/iter (min {:>10.0})  [{} iters]",
+            rec.id, rec.mean_ns, rec.min_ns, rec.iters
+        ),
+    }
+    RESULTS.lock().unwrap().push(rec);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples to collect (upper bound in this shim).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.as_ref());
+        run_one(&id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op beyond dropping).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            throughput: None,
+            sample_size: 50,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name.as_ref(), None, 50, f);
+        self
+    }
+}
+
+/// Snapshot of all results measured so far.
+pub fn all_results() -> Vec<Record> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// If `CRITERION_JSON` is set, write all results there as a JSON array.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = all_results();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}{}}}{}\n",
+            r.id.replace('"', "'"),
+            r.mean_ns,
+            r.min_ns,
+            r.iters,
+            r.mbps
+                .map(|m| format!(", \"mbps\": {m:.2}"))
+                .unwrap_or_default(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("criterion: wrote {} results to {path}", results.len()),
+        Err(e) => eprintln!("criterion: failed to write {path}: {e}"),
+    }
+}
+
+/// Define a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running each group then flushing JSON output.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10).throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        let ids: Vec<String> = all_results().into_iter().map(|r| r.id).collect();
+        assert!(ids.contains(&"shim/noop".to_string()));
+        assert!(ids.contains(&"shim/batched".to_string()));
+    }
+}
