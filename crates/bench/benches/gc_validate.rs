@@ -127,7 +127,11 @@ fn write_baseline(samples: &[Sample]) {
             .unwrap_or_else(|_| ".".into());
         format!("{root}/BENCH_gc_validate.json")
     });
-    let mut out = String::from("{\n  \"bench\": \"gc_validate\",\n  \"results\": [\n");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out =
+        format!("{{\n  \"bench\": \"gc_validate\",\n  \"cores\": {cores},\n  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"batch\": {}, \"mode\": \"{}\", \"mean_ns\": {:.0}, \"ns_per_record\": {:.1}, \"valid_records\": {}}}{}\n",

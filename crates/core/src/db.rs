@@ -7,6 +7,7 @@ use crate::hook::{EngineHook, HookConfig};
 use crate::options::{EngineMode, GcScheme, Options};
 use crate::stats::{DbStats, GcStats, SpaceBreakdown};
 use crate::throttle::{Throttle, MAX_THROTTLE_ROUNDS};
+use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions};
 use crate::vstore::ValueStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -26,7 +27,7 @@ pub struct ScanEntry {
     pub value: Bytes,
 }
 
-struct DbInner {
+pub(crate) struct DbInner {
     opts: Options,
     lsm: Lsm,
     vstore: Arc<ValueStore>,
@@ -39,6 +40,35 @@ struct DbInner {
     /// Byte credits for paced auto-GC (see `Options::gc_bandwidth_factor`).
     gc_credits: Mutex<i64>,
     cache: Arc<BlockCache>,
+}
+
+impl DbInner {
+    /// Resolve an index read result into the user value, fetching
+    /// separated values through the value store.
+    pub(crate) fn resolve_read(&self, key: &[u8], r: LsmReadResult) -> Result<Option<Bytes>> {
+        match r {
+            LsmReadResult::NotFound | LsmReadResult::Deleted => Ok(None),
+            LsmReadResult::Found {
+                vtype: ValueType::Value,
+                value,
+                ..
+            } => Ok(Some(value)),
+            LsmReadResult::Found {
+                vtype: ValueType::ValueRef,
+                seq,
+                value,
+            } => {
+                let vref = ValueRef::decode(&value)?;
+                Ok(Some(self.vstore.read_ref(key, seq, &vref)?))
+            }
+            LsmReadResult::Found {
+                vtype: ValueType::Deletion,
+                ..
+            } => Err(Error::internal(
+                "tombstone escaped the read path".to_string(),
+            )),
+        }
+    }
 }
 
 /// A Scavenger database handle (cheaply cloneable).
@@ -140,25 +170,49 @@ impl Db {
 
     // ---------------- writes ----------------
 
-    /// Insert or overwrite a key.
+    /// Insert or overwrite a key (default [`WriteOptions`]).
     pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<()> {
+        self.put_with(&WriteOptions::default(), key, value)
+    }
+
+    /// Insert or overwrite a key with explicit options.
+    pub fn put_with(
+        &self,
+        opts: &WriteOptions,
+        key: impl AsRef<[u8]>,
+        value: impl Into<Bytes>,
+    ) -> Result<()> {
         let mut b = WriteBatch::new();
         b.put(key.as_ref(), value.into());
-        self.write(b)
+        self.write_with(opts, b)
     }
 
-    /// Delete a key.
+    /// Delete a key (default [`WriteOptions`]).
     pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+        self.delete_with(&WriteOptions::default(), key)
+    }
+
+    /// Delete a key with explicit options.
+    pub fn delete_with(&self, opts: &WriteOptions, key: impl AsRef<[u8]>) -> Result<()> {
         let mut b = WriteBatch::new();
         b.delete(key.as_ref());
-        self.write(b)
+        self.write_with(opts, b)
     }
 
-    /// Apply a batch atomically.
+    /// Apply a batch atomically (default [`WriteOptions`]).
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
-        self.enforce_space_limit()?;
+        self.write_with(&WriteOptions::default(), batch)
+    }
+
+    /// Apply a batch atomically with explicit options: `sync = false`
+    /// skips the per-write WAL fsync, `disable_throttle = true` bypasses
+    /// space-aware admission throttling.
+    pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        if !opts.disable_throttle {
+            self.enforce_space_limit()?;
+        }
         let credit = (batch.byte_size() as f64 * self.inner.opts.gc_bandwidth_factor) as i64;
-        self.inner.lsm.write(batch)?;
+        self.inner.lsm.write_opts(batch, opts.sync)?;
         {
             let mut c = self.inner.gc_credits.lock();
             // Cap the accumulator so an idle period cannot bank unbounded
@@ -252,12 +306,24 @@ impl Db {
 
     /// BlobDB reclamation: delete blob files whose every record has been
     /// exposed ("exhausted through compaction", §II-C).
+    ///
+    /// Deferred while *any* read point is registered: an in-flight view
+    /// may hold a pre-relocation superversion whose index entries still
+    /// address the exhausted file, and relocation happens inside
+    /// compaction without advancing the sequence — so no sequence
+    /// comparison can tell a safe reader from an endangered one. A
+    /// reader registered after this check pins the current (post-
+    /// relocation) superversion and is safe. Exhaustion is monotonic, so
+    /// deferred files are reaped on a later quiet pass.
     fn reap_exhausted(&self) -> Result<()> {
         let inner = &self.inner;
         if inner.opts.features.gc != GcScheme::CompactionTriggered {
             return Ok(());
         }
         let _g = inner.gc_lock.lock();
+        if inner.lsm.oldest_read_point().is_some() {
+            return Ok(());
+        }
         let exhausted = inner.vstore.exhausted_files();
         if exhausted.is_empty() {
             return Ok(());
@@ -277,77 +343,92 @@ impl Db {
     // ---------------- reads ----------------
 
     /// Latest value of `key`, or `None` if absent/deleted.
+    ///
+    /// Single-pass and strictly consistent: the read goes through a
+    /// transient pinned [`ReadView`], so the index version it observes
+    /// and the value it resolves belong to the same point in time even
+    /// under concurrent flush/compaction/GC. (Earlier versions re-read
+    /// the index up to three times to paper over values retired between
+    /// the index lookup and the fetch.)
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
         let key = key.as_ref();
-        // A concurrent GC may retire the value of a version that was
-        // overwritten after we read its index entry. Re-reading the index
-        // observes the newer version — still a consistent read. Reads at a
-        // *registered* snapshot never need this: GC preserves their
-        // versions.
-        let mut last_err = None;
-        for _ in 0..3 {
-            match self.resolve_read(key, self.inner.lsm.get(key)?) {
-                Err(Error::Corruption(msg)) if msg.starts_with("dangling value") => {
-                    last_err = Some(Error::Corruption(msg));
-                }
-                other => return other,
-            }
-        }
-        Err(last_err.unwrap())
+        self.inner
+            .lsm
+            .get_resolved(key, |r| self.inner.resolve_read(key, r))
     }
 
-    /// Value of `key` at a specific sequence (snapshot read).
+    /// Value of `key` as seen by `opts`: through the given view or
+    /// snapshot (latest otherwise), with per-call cache control.
+    pub fn get_with(&self, opts: &ReadOptions<'_>, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
+        let key = key.as_ref();
+        match (opts.view, opts.snapshot) {
+            (Some(v), _) => v.get_opt(key, opts.fill_cache),
+            (None, Some(s)) => s.view().get_opt(key, opts.fill_cache),
+            (None, None) => self.view().get_opt(key, opts.fill_cache),
+        }
+    }
+
+    /// Take a pinned, registered [`ReadView`] at the latest sequence.
+    /// All reads through it are strictly consistent for its lifetime.
+    pub fn view(&self) -> ReadView {
+        ReadView {
+            view: self.inner.lsm.view(),
+            db: self.inner.clone(),
+        }
+    }
+
+    /// Take a consistent snapshot: an RAII handle owning a registered
+    /// view. Read through it with [`Snapshot::get`] / [`Snapshot::scan`];
+    /// dropping it unregisters the sequence.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            view: ReadView {
+                view: self.inner.lsm.snapshot_view(),
+                db: self.inner.clone(),
+            },
+        }
+    }
+
+    /// Value of `key` at a specific sequence.
+    ///
+    /// Legacy entry point: the sequence itself pins nothing — strictness
+    /// requires a live [`Snapshot`] or [`ReadView`] registering it.
+    /// Prefer [`Snapshot::get`] / [`ReadView::get`].
     pub fn get_at(&self, key: impl AsRef<[u8]>, seq: SeqNo) -> Result<Option<Bytes>> {
         let key = key.as_ref();
-        self.resolve_read(key, self.inner.lsm.get_at(key, seq)?)
-    }
-
-    /// Take a snapshot; use with [`get_at`](Db::get_at) /
-    /// [`scan_at`](Db::scan_at).
-    pub fn snapshot(&self) -> scavenger_lsm::Snapshot {
-        self.inner.lsm.snapshot()
-    }
-
-    fn resolve_read(&self, key: &[u8], r: LsmReadResult) -> Result<Option<Bytes>> {
-        match r {
-            LsmReadResult::NotFound | LsmReadResult::Deleted => Ok(None),
-            LsmReadResult::Found {
-                vtype: ValueType::Value,
-                value,
-                ..
-            } => Ok(Some(value)),
-            LsmReadResult::Found {
-                vtype: ValueType::ValueRef,
-                seq,
-                value,
-            } => {
-                let vref = ValueRef::decode(&value)?;
-                Ok(Some(self.inner.vstore.read_ref(key, seq, &vref)?))
-            }
-            LsmReadResult::Found {
-                vtype: ValueType::Deletion,
-                ..
-            } => Err(Error::internal(
-                "tombstone escaped the read path".to_string(),
-            )),
-        }
+        self.inner
+            .resolve_read(key, self.inner.lsm.get_at(key, seq)?)
     }
 
     /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`),
-    /// resolving separated values.
+    /// resolving separated values, through a transient pinned view (the
+    /// iterator owns the pin).
     pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
-        Ok(DbScanIter {
-            inner: self.inner.lsm.scan(lo, hi)?,
-            db: self.inner.clone(),
-        })
+        self.view().scan(lo, hi)
     }
 
-    /// Range scan at a snapshot sequence.
+    /// Range scan as seen by `opts`: bounds come from
+    /// [`lower_bound`](ReadOptions::lower_bound) /
+    /// [`upper_bound`](ReadOptions::upper_bound), the read point from the
+    /// given view or snapshot (latest otherwise).
+    pub fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<DbScanIter> {
+        let lo = opts.lower_bound.as_deref().unwrap_or(b"");
+        let hi = opts.upper_bound.as_deref();
+        match (opts.view, opts.snapshot) {
+            (Some(v), _) => v.scan_opt(lo, hi, opts.fill_cache),
+            (None, Some(s)) => s.view().scan_opt(lo, hi, opts.fill_cache),
+            (None, None) => self.view().scan_opt(lo, hi, opts.fill_cache),
+        }
+    }
+
+    /// Range scan at a specific sequence (legacy entry point — see
+    /// [`get_at`](Db::get_at); prefer [`Snapshot::scan`] /
+    /// [`ReadView::scan`]).
     pub fn scan_at(&self, lo: &[u8], hi: Option<&[u8]>, seq: SeqNo) -> Result<DbScanIter> {
-        Ok(DbScanIter {
-            inner: self.inner.lsm.scan_at(lo, hi, seq)?,
-            db: self.inner.clone(),
-        })
+        Ok(DbScanIter::new(
+            self.inner.lsm.scan_at(lo, hi, seq)?,
+            self.inner.clone(),
+        ))
     }
 
     // ---------------- maintenance ----------------
@@ -487,13 +568,20 @@ impl Db {
     }
 }
 
-/// Scan iterator resolving separated values.
+/// Scan iterator resolving separated values. Carries the pinned view it
+/// was opened from (when opened through the view API), so both index
+/// entries and their separated values stay resolvable for the whole
+/// scan.
 pub struct DbScanIter {
-    inner: scavenger_lsm::db::ScanIter,
+    inner: scavenger_lsm::ScanIter,
     db: Arc<DbInner>,
 }
 
 impl DbScanIter {
+    pub(crate) fn new(inner: scavenger_lsm::ScanIter, db: Arc<DbInner>) -> DbScanIter {
+        DbScanIter { inner, db }
+    }
+
     /// Next entry, or `None` at the end of the range.
     pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
         match self.inner.next_entry()? {

@@ -65,14 +65,15 @@ use crate::stats::GcStats;
 use crate::vstore::vtable::{parse_record_key, VReader, VWriter};
 use crate::vstore::{new_value_file_record, ValueStore};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use scavenger_env::{EnvRef, IoClass};
-use scavenger_lsm::{GuardedWrite, Lsm, LsmReadResult, ValueEditBundle};
+use scavenger_lsm::{GuardedWrite, Lsm, LsmReadResult, LsmView, ValueEditBundle};
 use scavenger_table::btable::TableOptions;
 use scavenger_table::handle::BlockHandle;
 use scavenger_table::KeyCmp;
 use scavenger_util::ikey::{cmp_internal, SeqNo, ValueRef, ValueType};
 use scavenger_util::{Error, Result};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -122,6 +123,20 @@ pub struct GcRunner {
     vstore: Arc<ValueStore>,
     dropcache: Arc<DropCache>,
     stats: Arc<GcStats>,
+    /// Write-back (Titan) GC cannot preserve superseded versions through
+    /// inheritance, so collected blob files are deleted *deferred*: only
+    /// once no registered read point predates the job's write-back
+    /// barrier (see [`GcRunner::reap_deferred`]).
+    deferred: Mutex<Vec<DeferredDeletion>>,
+}
+
+/// Blob files awaiting deletion until every read point that could still
+/// address them has drained.
+struct DeferredDeletion {
+    /// Sequence of the GC job's write-back commit: readers at or above it
+    /// observe the relocated references.
+    barrier: SeqNo,
+    files: Vec<u64>,
 }
 
 /// A record awaiting validation.
@@ -170,12 +185,14 @@ impl GcRunner {
             vstore,
             dropcache,
             stats,
+            deferred: Mutex::new(Vec::new()),
         }
     }
 
     /// Run one GC job if any file crosses `threshold`. Returns `None` when
     /// there is nothing to collect (or the scheme has no standalone GC).
     pub fn run_once(&self, lsm: &Lsm, threshold: f64) -> Result<Option<GcOutcome>> {
+        self.reap_deferred(lsm)?;
         match self.features.gc {
             GcScheme::CompactionTriggered => Ok(None),
             GcScheme::NoWriteback => self.gc_no_writeback(lsm, threshold),
@@ -183,12 +200,19 @@ impl GcRunner {
         }
     }
 
-    /// Read points for validity: the latest sequence plus all snapshots.
-    fn read_points(&self, lsm: &Lsm) -> Vec<SeqNo> {
-        let mut pts = lsm.snapshot_sequences();
-        pts.push(lsm.last_sequence());
-        pts.dedup();
-        pts
+    /// Read points for validity, pinned for the duration of the job.
+    ///
+    /// The returned view registers the latest sequence *before* the
+    /// registry is scanned, so the point set is race-free: any reader
+    /// registered after the scan necessarily observes a sequence at or
+    /// above the view's — whose visible versions this GC preserves. The
+    /// caller must keep the view alive until the job commits.
+    fn read_points(&self, lsm: &Lsm) -> (LsmView, Vec<SeqNo>) {
+        let pin = lsm.view();
+        // All registered read points: user snapshots plus in-flight view
+        // pins (including our own, so the latest sequence is covered).
+        let pts = lsm.read_points();
+        (pin, pts)
     }
 
     /// Resolve `Auto` to a concrete mode for a batch of `n` records.
@@ -459,7 +483,7 @@ impl GcRunner {
                 offsets.push(rec.value_offset);
             }
         }
-        let read_points = self.read_points(lsm);
+        let (_pin, read_points) = self.read_points(lsm);
         let mode = mode.unwrap_or_else(|| self.resolve_mode(items.len()));
         // Record identity must mirror the scheme's own GC (see
         // `verdict()`): keyed for no-writeback, `(file, offset)` for
@@ -527,8 +551,10 @@ impl GcRunner {
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
         // ---- GC-Lookup (Fig. 8 step ② / Fig. 10), batched ----
+        // The pin stays alive until the job commits: every version it
+        // protects is either rewritten or reachable through inheritance.
         let t_lookup = Instant::now();
-        let read_points = self.read_points(lsm);
+        let (_pin, read_points) = self.read_points(lsm);
         let mut items = Vec::with_capacity(pending.len());
         for rec in &pending {
             let (u, s) = parse_record_key(&rec.ikey)?;
@@ -566,8 +592,11 @@ impl GcRunner {
         valid.sort_by(|a, b| cmp_internal(&a.ikey, &b.ikey));
         let mut materialized: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(valid.len());
         {
-            // Group handle-fetches per source file for coalescing.
-            let mut by_file: HashMap<u64, Vec<(usize, BlockHandle)>> = HashMap::new();
+            // Group handle-fetches per source file for coalescing. A
+            // BTreeMap keeps the fetch order (and therefore the I/O
+            // trace) deterministic across runs — `HashMap` iteration
+            // order would reshuffle it per process.
+            let mut by_file: BTreeMap<u64, Vec<(usize, BlockHandle)>> = BTreeMap::new();
             for (i, rec) in valid.iter().enumerate() {
                 match &rec.loc {
                     Loc::Inline(v) => materialized.push((rec.ikey.clone(), v.clone())),
@@ -694,16 +723,77 @@ impl GcRunner {
 
     // ---------------- Titan ----------------
 
+    /// Delete deferred write-back candidates whose barrier has cleared:
+    /// no registered read point predates the job's write-back commit, so
+    /// no in-flight reader can still hold a pre-relocation reference.
+    ///
+    /// Entries that cannot be reaped — barrier not cleared, or the
+    /// manifest write failed — go back on the queue; an error never
+    /// drops the remaining entries (they would leak their disk files and
+    /// escape `gc_writeback`'s re-pick exclusion).
+    fn reap_deferred(&self, lsm: &Lsm) -> Result<()> {
+        let mut pending = {
+            let mut deferred = self.deferred.lock();
+            if deferred.is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut *deferred)
+        };
+        let oldest = lsm.oldest_read_point();
+        let mut kept = Vec::new();
+        let mut result = Ok(());
+        for d in pending.drain(..) {
+            if result.is_err() || oldest.is_some_and(|o| o < d.barrier) {
+                kept.push(d);
+                continue;
+            }
+            let bundle = ValueEditBundle {
+                deleted_files: d.files,
+                ..Default::default()
+            };
+            match lsm.apply_value_edit(bundle.clone()) {
+                Ok(()) => {
+                    let removed = self.vstore.apply_bundle(&bundle);
+                    for (file, format) in removed {
+                        self.vstore.delete_file(file, format);
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    kept.push(DeferredDeletion {
+                        barrier: d.barrier,
+                        files: bundle.deleted_files,
+                    });
+                }
+            }
+        }
+        if !kept.is_empty() {
+            self.deferred.lock().extend(kept);
+        }
+        result
+    }
+
     fn gc_writeback(&self, lsm: &Lsm, threshold: f64) -> Result<Option<GcOutcome>> {
         // Titan gates blob deletion on the oldest snapshot; we take the
         // conservative equivalent and defer GC while snapshots exist.
         if !lsm.snapshot_sequences().is_empty() {
             return Ok(None);
         }
+        // Files already collected but awaiting barrier-gated deletion
+        // must not be re-picked: their records are dead in the index, so
+        // a second pass would churn without reclaiming anything.
+        let in_flight: Vec<u64> = {
+            let deferred = self.deferred.lock();
+            deferred
+                .iter()
+                .flat_map(|d| d.files.iter().copied())
+                .collect()
+        };
         let candidates: Vec<_> = self
             .vstore
             .gc_candidates(threshold)
             .into_iter()
+            .filter(|m| !in_flight.contains(&m.file))
             .take(self.cfg.batch_files.max(1))
             .collect();
         if candidates.is_empty() {
@@ -730,7 +820,7 @@ impl GcRunner {
 
         // ---- GC-Lookup: validate the batch against the index ----
         let t_lookup = Instant::now();
-        let read_points = self.read_points(lsm);
+        let (pin, read_points) = self.read_points(lsm);
         let mut items = Vec::with_capacity(records.len());
         for (_, rec) in &records {
             let (u, s) = parse_record_key(&rec.ikey)?;
@@ -838,18 +928,31 @@ impl GcRunner {
             .fetch_add(t_wi.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         // ---- Commit ----
+        // The new blob files go live immediately; the collected files are
+        // only *queued* for deletion behind a barrier at the write-back
+        // commit sequence. Write-back has no inheritance edges, so an
+        // in-flight reader pinned below the barrier still resolves
+        // through the old file — deleting it now would dangle that read.
         let bundle = ValueEditBundle {
             new_files,
-            deleted_files: candidate_files.clone(),
+            deleted_files: Vec::new(),
             inherits: Vec::new(),
             garbage: Vec::new(),
         };
         let new_bytes: u64 = bundle.new_files.iter().map(|f| f.size).sum();
-        lsm.apply_value_edit(bundle.clone())?;
-        let removed = self.vstore.apply_bundle(&bundle);
-        for (file, format) in removed {
-            self.vstore.delete_file(file, format);
+        if !bundle.new_files.is_empty() {
+            lsm.apply_value_edit(bundle.clone())?;
+            self.vstore.apply_bundle(&bundle);
         }
+        self.deferred.lock().push(DeferredDeletion {
+            barrier: lsm.last_sequence(),
+            files: candidate_files.clone(),
+        });
+        // Release the job's own read-point pin, then try to reap: in the
+        // quiet case (no other readers in flight) the files are deleted
+        // immediately, matching the previous delete-at-commit behaviour.
+        drop(pin);
+        self.reap_deferred(lsm)?;
 
         self.stats.runs.fetch_add(1, Ordering::Relaxed);
         self.stats

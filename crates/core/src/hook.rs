@@ -364,11 +364,14 @@ impl ValueSession for SeparationSession {
     fn finish(mut self: Box<Self>) -> Result<ValueEditBundle> {
         self.roll(COLD)?;
         self.roll(HOT)?;
-        let garbage = self
+        // Deterministic bundle: `HashMap` drain order would reshuffle the
+        // manifest record (and every downstream charge order) per run.
+        let mut garbage: Vec<(u64, u64, u64)> = self
             .garbage
             .drain()
             .map(|(file, (bytes, entries))| (file, bytes, entries))
             .collect();
+        garbage.sort_unstable_by_key(|(file, _, _)| *file);
         Ok(ValueEditBundle {
             new_files: std::mem::take(&mut self.outputs),
             deleted_files: Vec::new(),

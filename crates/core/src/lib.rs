@@ -40,13 +40,15 @@ pub mod hook;
 pub mod options;
 pub mod stats;
 pub mod throttle;
+pub mod view;
 pub mod vstore;
 
-pub use db::{Db, ScanEntry};
+pub use db::{Db, DbScanIter, ScanEntry};
 pub use dropcache::DropCache;
 pub use gc::{GcOutcome, GcValidationReport};
 pub use options::{EngineMode, Features, GcScheme, GcValidateMode, Options, VFormat};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
+pub use view::{ReadOptions, ReadView, Snapshot, WriteOptions};
 
 // Re-export the substrate types users commonly need.
 pub use scavenger_env::{DeviceModel, Env, EnvRef, FsEnv, IoClass, IoStatsSnapshot, MemEnv};

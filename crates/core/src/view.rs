@@ -1,0 +1,203 @@
+//! Pinned read views and per-call read/write options — the public
+//! consistency surface of the engine.
+//!
+//! # Migration from the `get_at` / `scan_at` pattern
+//!
+//! Earlier versions exposed snapshot reads as a bare sequence number:
+//! take a [`Snapshot`], then call `db.get_at(key, snapshot.sequence())`
+//! or `db.scan_at(lo, hi, snapshot.sequence())`. That pattern still
+//! works, but the sequence alone never pinned anything — reads walked
+//! the live structures, and an unregistered sequence could observe a
+//! version whose value a concurrent GC had already retired (the old
+//! `Db::get` papered over this with a retry loop).
+//!
+//! The view API replaces it:
+//!
+//! * [`Db::view`](crate::db::Db::view) returns a [`ReadView`] — an
+//!   atomically pinned superversion (active memtable + immutable
+//!   memtables + SST version + visible sequence) whose reads are
+//!   strictly consistent for the view's whole lifetime.
+//! * [`Snapshot`] is now an RAII handle *owning* a registered view: call
+//!   [`Snapshot::get`] / [`Snapshot::scan`] directly instead of passing
+//!   `sequence()` around. Dropping the snapshot unregisters it.
+//! * [`ReadOptions`] / [`WriteOptions`] carry per-call knobs
+//!   ([`Db::get_with`](crate::db::Db::get_with),
+//!   [`Db::scan_with`](crate::db::Db::scan_with),
+//!   [`Db::put_with`](crate::db::Db::put_with),
+//!   [`Db::write_with`](crate::db::Db::write_with)); the plain
+//!   `get`/`put`/`scan` entry points are thin wrappers over the
+//!   defaults.
+
+use crate::db::{DbInner, DbScanIter};
+use bytes::Bytes;
+use scavenger_util::ikey::SeqNo;
+use scavenger_util::Result;
+use std::sync::Arc;
+
+/// A pinned, strictly-consistent read view of the database.
+///
+/// Created by [`Db::view`](crate::db::Db::view). The view pins one
+/// superversion of the index tree and registers its sequence as a read
+/// point, so for as long as it lives:
+///
+/// * every read resolves against the same point-in-time state — writes,
+///   flushes, and compactions committed after creation are invisible;
+/// * the garbage collector preserves every value version the view can
+///   see (no dangling value references, no read retries).
+pub struct ReadView {
+    pub(crate) view: scavenger_lsm::LsmView,
+    pub(crate) db: Arc<DbInner>,
+}
+
+impl ReadView {
+    /// The sequence this view reads at.
+    pub fn sequence(&self) -> SeqNo {
+        self.view.sequence()
+    }
+
+    /// Value of `key` at the view, or `None` if absent/deleted.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
+        self.get_opt(key.as_ref(), true)
+    }
+
+    pub(crate) fn get_opt(&self, key: &[u8], fill_cache: bool) -> Result<Option<Bytes>> {
+        let r = self.view.get_opt(key, fill_cache)?;
+        self.db.resolve_read(key, r)
+    }
+
+    /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`) at the
+    /// view, resolving separated values. The iterator carries its own
+    /// pin and stays valid after the view is dropped.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        self.scan_opt(lo, hi, true)
+    }
+
+    pub(crate) fn scan_opt(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        fill_cache: bool,
+    ) -> Result<DbScanIter> {
+        Ok(DbScanIter::new(
+            self.view.scan_opt(lo, hi, fill_cache)?,
+            self.db.clone(),
+        ))
+    }
+}
+
+/// A consistent point-in-time snapshot: an RAII handle owning a
+/// registered [`ReadView`]. Dropping the snapshot unregisters its
+/// sequence and releases the pinned structures.
+///
+/// Unlike a transient [`ReadView`], a snapshot also participates in
+/// snapshot-specific GC policy (e.g. Titan-style write-back GC defers
+/// whole jobs while snapshots exist).
+pub struct Snapshot {
+    pub(crate) view: ReadView,
+}
+
+impl Snapshot {
+    /// The snapshot's sequence number (still accepted by the legacy
+    /// [`Db::get_at`](crate::db::Db::get_at) /
+    /// [`Db::scan_at`](crate::db::Db::scan_at) entry points).
+    pub fn sequence(&self) -> SeqNo {
+        self.view.sequence()
+    }
+
+    /// The owned read view.
+    pub fn view(&self) -> &ReadView {
+        &self.view
+    }
+
+    /// Value of `key` at the snapshot.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
+        self.view.get(key)
+    }
+
+    /// Range scan at the snapshot.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        self.view.scan(lo, hi)
+    }
+}
+
+/// Per-call read options for [`Db::get_with`](crate::db::Db::get_with)
+/// and [`Db::scan_with`](crate::db::Db::scan_with).
+///
+/// At most one of [`view`](ReadOptions::view) /
+/// [`snapshot`](ReadOptions::snapshot) should be set; `view` wins when
+/// both are. With neither, the call reads through a fresh transient view
+/// at the latest sequence.
+pub struct ReadOptions<'a> {
+    /// Read through this pinned view.
+    pub view: Option<&'a ReadView>,
+    /// Read at this snapshot.
+    pub snapshot: Option<&'a Snapshot>,
+    /// When `false`, the read bypasses the table-handle and block caches
+    /// entirely (one-shot readers) so a scan of cold data cannot evict
+    /// the hot working set. Default `true`.
+    pub fill_cache: bool,
+    /// Inclusive lower key bound for
+    /// [`Db::scan_with`](crate::db::Db::scan_with); unbounded (`""`)
+    /// when `None`.
+    pub lower_bound: Option<Vec<u8>>,
+    /// Exclusive upper key bound for
+    /// [`Db::scan_with`](crate::db::Db::scan_with); unbounded when
+    /// `None`.
+    pub upper_bound: Option<Vec<u8>>,
+}
+
+impl Default for ReadOptions<'_> {
+    fn default() -> Self {
+        ReadOptions {
+            view: None,
+            snapshot: None,
+            fill_cache: true,
+            lower_bound: None,
+            upper_bound: None,
+        }
+    }
+}
+
+impl<'a> ReadOptions<'a> {
+    /// Options reading through `view`.
+    pub fn at_view(view: &'a ReadView) -> Self {
+        ReadOptions {
+            view: Some(view),
+            ..ReadOptions::default()
+        }
+    }
+
+    /// Options reading at `snapshot`.
+    pub fn at_snapshot(snapshot: &'a Snapshot) -> Self {
+        ReadOptions {
+            snapshot: Some(snapshot),
+            ..ReadOptions::default()
+        }
+    }
+}
+
+/// Per-call write options for [`Db::put_with`](crate::db::Db::put_with),
+/// [`Db::delete_with`](crate::db::Db::delete_with), and
+/// [`Db::write_with`](crate::db::Db::write_with).
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Fsync the WAL record before acknowledging the write. With `false`
+    /// the record is appended but not synced — group durability is traded
+    /// for latency, and a crash may lose the unsynced tail. Default
+    /// `true`.
+    pub sync: bool,
+    /// Skip space-aware write throttling (paper §III-D) for this write.
+    /// Maintenance writes that must land even while the store is over its
+    /// space limit (e.g. tombstones that *reclaim* space) use this.
+    /// Default `false`.
+    pub disable_throttle: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            sync: true,
+            disable_throttle: false,
+        }
+    }
+}

@@ -195,14 +195,19 @@ impl ValueStore {
         self.files.read().get(&file).cloned()
     }
 
-    /// All live files.
+    /// All live files, in file-number order (deterministic).
     pub fn all_files(&self) -> Vec<Arc<VsstMeta>> {
-        self.files.read().values().cloned().collect()
+        let mut v: Vec<Arc<VsstMeta>> = self.files.read().values().cloned().collect();
+        v.sort_unstable_by_key(|m| m.file);
+        v
     }
 
-    /// Live file numbers.
+    /// Live file numbers, ascending (deterministic — callers iterate
+    /// these for orphan cleanup and relocation targeting).
     pub fn live_file_numbers(&self) -> Vec<u64> {
-        self.files.read().keys().copied().collect()
+        let mut v: Vec<u64> = self.files.read().keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// GC candidates: live files with `garbage_ratio >= threshold`,

@@ -2,13 +2,13 @@
 //!
 //! Everything the engine persists flows through an [`Env`]:
 //!
-//! * [`MemEnv`](mem::MemEnv) — an in-memory filesystem that counts every
+//! * [`MemEnv`] — an in-memory filesystem that counts every
 //!   byte and operation per [`IoClass`]. This is the substrate for all
 //!   experiments: the paper's testbed (a 500 GB KIOXIA NVMe SSD) is
 //!   replaced by exact I/O accounting plus a calibrated
-//!   [`DeviceModel`](device::DeviceModel) that converts the counters into
+//!   [`DeviceModel`] that converts the counters into
 //!   simulated seconds.
-//! * [`FsEnv`](fs::FsEnv) — a thin `std::fs` implementation for running the
+//! * [`FsEnv`] — a thin `std::fs` implementation for running the
 //!   engine against a real filesystem.
 //!
 //! The trait surface is deliberately small (append-only writable files,

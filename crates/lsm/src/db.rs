@@ -1,24 +1,31 @@
-//! The index LSM-tree engine: write path, read path, snapshots, flush,
-//! compaction scheduling, WAL recovery, and obsolete-file cleanup.
+//! The index LSM-tree engine: write path, superversion-pinned read path,
+//! snapshots, flush, compaction scheduling, WAL recovery, and
+//! obsolete-file cleanup.
+//!
+//! All reads go through pinned [`LsmView`]s (see [`crate::view`]): the
+//! engine installs a fresh [`SuperVersion`] at every structural mutation,
+//! and a read pins one bundle + registers its sequence instead of walking
+//! the live structures.
 
 use crate::batch::WriteBatch;
 use crate::compaction::{pick_compaction, run_output_job, Compaction, PickerState};
 use crate::filename::{parse_path, table_path, wal_path, FileKind};
 use crate::hooks::{FileNumAlloc, JobKind, PassthroughSession, ValueSession};
-use crate::iter::{
-    BatchSweep, DbIter, InternalIterator, LevelIter, MergingIter, TableEntryIter, UserEntry,
-    VecIter,
-};
-use crate::memtable::{MemGet, Memtable};
+use crate::iter::{InternalIterator, MergingIter, TableEntryIter, VecIter};
+use crate::memtable::Memtable;
 use crate::options::{BackgroundMode, LsmOptions};
 use crate::tcache::{open_ktable, TableCache};
 use crate::version::{Version, VersionEdit, VersionSet};
+use crate::view::{
+    read_superversion, scan_superversion, BatchReader, LsmView, ReadPointKind, ReadPointRegistry,
+    ScanIter, Snapshot, SuperVersion,
+};
 use crate::wal::{read_all_records, LogWriter};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 use scavenger_env::IoClass;
 use scavenger_table::btable::BlockCache;
-use scavenger_util::ikey::{make_internal_key, parse_internal_key, SeqNo, ValueRef, ValueType};
+use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
 use scavenger_util::{Error, Result};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,28 +59,6 @@ pub struct GuardedWrite {
     pub expected: ValueRef,
     /// The reference to the relocated value.
     pub replacement: ValueRef,
-}
-
-/// A read snapshot. Dropping it unregisters the sequence.
-pub struct Snapshot {
-    seq: SeqNo,
-    list: Arc<Mutex<Vec<SeqNo>>>,
-}
-
-impl Snapshot {
-    /// The snapshot's sequence number.
-    pub fn sequence(&self) -> SeqNo {
-        self.seq
-    }
-}
-
-impl Drop for Snapshot {
-    fn drop(&mut self) {
-        let mut l = self.list.lock();
-        if let Some(pos) = l.iter().position(|&s| s == self.seq) {
-            l.remove(pos);
-        }
-    }
 }
 
 struct WriterState {
@@ -117,7 +102,13 @@ struct Inner {
     seq: Arc<AtomicU64>,
     file_counter: Arc<AtomicU64>,
     picker: Mutex<PickerState>,
-    snapshots: Arc<Mutex<Vec<SeqNo>>>,
+    read_points: Arc<ReadPointRegistry>,
+    /// The current pinned-read bundle; replaced (never mutated) by
+    /// [`Lsm::install_superversion`] after every structural change.
+    sv: RwLock<Arc<SuperVersion>>,
+    /// Serializes superversion rebuild+store so a slow installer cannot
+    /// overwrite a newer bundle with a stale one.
+    sv_install: Mutex<()>,
     counters: LsmCounters,
     bg_signal: Mutex<BgSignal>,
     bg_cv: Condvar,
@@ -180,10 +171,12 @@ impl Lsm {
             }),
             mem: RwLock::new(Arc::new(Memtable::new())),
             imms: RwLock::new(Vec::new()),
+            read_points: ReadPointRegistry::new(seq.clone()),
+            sv: RwLock::new(Arc::new(SuperVersion::empty(opts.num_levels))),
+            sv_install: Mutex::new(()),
             seq,
             file_counter,
             picker: Mutex::new(PickerState::new(opts.num_levels)),
-            snapshots: Arc::new(Mutex::new(Vec::new())),
             counters: LsmCounters::default(),
             bg_signal: Mutex::new(BgSignal::default()),
             bg_cv: Condvar::new(),
@@ -200,6 +193,7 @@ impl Lsm {
             inner,
             bg_thread: Mutex::new(None),
         };
+        db.install_superversion();
         db.recover_wals()?;
         db.start_fresh_wal()?;
         db.delete_obsolete_files()?;
@@ -239,10 +233,66 @@ impl Lsm {
         self.inner.vset.lock().current()
     }
 
+    // ---------------- superversion ----------------
+
+    /// Rebuild the pinned-read bundle from the live structures and
+    /// install it. Called after every structural mutation (memtable
+    /// rotation, flush, compaction apply, value edit); readers only ever
+    /// observe complete bundles.
+    fn install_superversion(&self) {
+        // Rebuild under the install lock so a slower concurrent installer
+        // cannot overwrite this (newer) bundle with an older one.
+        let _install = self.inner.sv_install.lock();
+        let sv = {
+            let mem = self.inner.mem.read().clone();
+            let imms: Vec<Arc<Memtable>> = self
+                .inner
+                .imms
+                .read()
+                .iter()
+                .rev()
+                .map(|e| e.mem.clone())
+                .collect();
+            let version = self.inner.vset.lock().current();
+            Arc::new(SuperVersion { mem, imms, version })
+        };
+        *self.inner.sv.write() = sv;
+    }
+
+    /// Pin the current superversion without registering a read point.
+    fn superversion(&self) -> Arc<SuperVersion> {
+        self.inner.sv.read().clone()
+    }
+
+    /// Take a pinned, registered read view at the latest sequence. All
+    /// reads through the view are strictly consistent: the versions
+    /// visible at its sequence survive concurrent flush, compaction, and
+    /// GC for as long as the view lives.
+    pub fn view(&self) -> LsmView {
+        // Register first (capturing the sequence under the registry
+        // lock), then pin the bundle: the bundle can only be newer than
+        // the registration, never miss data at the registered sequence.
+        let pin = self.inner.read_points.register(ReadPointKind::Pin);
+        LsmView::new(self.superversion(), self.inner.tcache.clone(), pin)
+    }
+
+    fn registered_view(&self, kind: ReadPointKind) -> LsmView {
+        let pin = self.inner.read_points.register(kind);
+        LsmView::new(self.superversion(), self.inner.tcache.clone(), pin)
+    }
+
     // ---------------- write path ----------------
 
-    /// Apply a batch atomically. Returns the last sequence it received.
+    /// Apply a batch atomically with a synced WAL record. Returns the
+    /// last sequence it received.
     pub fn write(&self, batch: WriteBatch) -> Result<SeqNo> {
+        self.write_opts(batch, true)
+    }
+
+    /// Apply a batch atomically. With `sync = false` the WAL record is
+    /// appended but not fsynced — a crash may lose the tail, durability
+    /// is traded for latency (RocksDB's `WriteOptions::sync = false`).
+    pub fn write_opts(&self, batch: WriteBatch, sync: bool) -> Result<SeqNo> {
         if batch.is_empty() {
             return Ok(self.last_sequence());
         }
@@ -250,7 +300,7 @@ impl Lsm {
         self.maybe_stall();
         {
             let mut ws = self.inner.writer.lock();
-            self.apply_locked(&mut ws, &batch)?;
+            self.apply_locked(&mut ws, &batch, sync)?;
         }
         self.after_write()?;
         Ok(self.last_sequence())
@@ -267,6 +317,9 @@ impl Lsm {
             let mut ws = self.inner.writer.lock();
             let mut batch = WriteBatch::new();
             for w in writes {
+                // The writer lock is held: `get` sees the stable latest
+                // version, and nothing can overwrite between check and
+                // apply.
                 if let LsmReadResult::Found {
                     vtype: ValueType::ValueRef,
                     value,
@@ -282,7 +335,7 @@ impl Lsm {
             }
             applied = batch.count();
             if applied > 0 {
-                self.apply_locked(&mut ws, &batch)?;
+                self.apply_locked(&mut ws, &batch, true)?;
             }
         }
         if applied > 0 {
@@ -291,12 +344,14 @@ impl Lsm {
         Ok(applied)
     }
 
-    fn apply_locked(&self, ws: &mut WriterState, batch: &WriteBatch) -> Result<()> {
+    fn apply_locked(&self, ws: &mut WriterState, batch: &WriteBatch, sync: bool) -> Result<()> {
         let base = self.inner.seq.load(Ordering::SeqCst) + 1;
         if self.inner.opts.wal {
             if let Some(wal) = ws.wal.as_mut() {
                 wal.add_record(&batch.encode(base))?;
-                wal.sync()?;
+                if sync {
+                    wal.sync()?;
+                }
             }
         }
         let mem = self.inner.mem.read().clone();
@@ -326,14 +381,10 @@ impl Lsm {
 
     fn rotate_memtable(&self, ws: &mut WriterState) -> Result<()> {
         // Register the active memtable as immutable BEFORE swapping it
-        // out. Swapping first opens a window where its entries are in
-        // neither `mem` nor `imms`: a concurrent reader then resolves an
-        // older version from deeper sources — one whose value file a
-        // concurrent GC may have already deleted as dead (it validated
-        // against the newer, now-hidden version). During the overlap the
-        // entries are visible twice, which is harmless: both copies carry
-        // identical versions. The writer lock (`ws`) is held, so no
-        // inserts land between the clone and the swap.
+        // out, so no state ever lacks the entries. Readers pin complete
+        // superversions, and the fresh bundle is installed below while
+        // the writer lock (`ws`) is still held — no write can land in the
+        // new active memtable before readers can see it.
         let cur = self.inner.mem.read().clone();
         if cur.is_empty() {
             return Ok(());
@@ -343,6 +394,7 @@ impl Lsm {
             wal_number: ws.wal_number,
         });
         *self.inner.mem.write() = Arc::new(Memtable::new());
+        self.install_superversion();
         if self.inner.opts.wal {
             let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
             let f = self
@@ -388,106 +440,62 @@ impl Lsm {
 
     // ---------------- read path ----------------
 
-    /// Latest visible version of `key`.
+    /// Latest visible version of `key`, through a transient pinned view
+    /// (single pass, strictly consistent).
+    ///
+    /// The pin is released on return; callers that must resolve a
+    /// returned `ValueRef` against an external value store should use
+    /// [`get_resolved`](Lsm::get_resolved) so the resolution happens
+    /// while the read point is still registered.
     pub fn get(&self, key: &[u8]) -> Result<LsmReadResult> {
-        self.get_at(key, self.last_sequence())
+        self.get_resolved(key, Ok)
     }
 
-    /// Version of `key` visible at `read_seq`.
-    pub fn get_at(&self, key: &[u8], read_seq: SeqNo) -> Result<LsmReadResult> {
-        // Memtable.
-        match self.inner.mem.read().get(key, read_seq) {
-            MemGet::Found { seq, vtype, value } => {
-                return Ok(LsmReadResult::Found { seq, vtype, value });
-            }
-            MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
-            MemGet::NotFound => {}
-        }
-        // Immutable memtables, newest first.
-        {
-            let imms = self.inner.imms.read();
-            for imm in imms.iter().rev() {
-                match imm.mem.get(key, read_seq) {
-                    MemGet::Found { seq, vtype, value } => {
-                        return Ok(LsmReadResult::Found { seq, vtype, value });
-                    }
-                    MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
-                    MemGet::NotFound => {}
-                }
-            }
-        }
-        // SSTs.
-        let version = self.current_version();
-        let target = make_internal_key(key, read_seq, ValueType::ValueRef);
-        // L0: newest file first.
-        for f in &version.levels[0] {
-            if !f.user_range_contains(key) {
-                continue;
-            }
-            if let Some(r) = self.table_get(f.file_number, &target, key)? {
-                return Ok(r);
-            }
-        }
-        for level in 1..version.levels.len() {
-            let files = &version.levels[level];
-            if files.is_empty() {
-                continue;
-            }
-            let idx =
-                files.partition_point(|f| scavenger_util::ikey::extract_user_key(&f.largest) < key);
-            if idx < files.len() && files[idx].user_range_contains(key) {
-                if let Some(r) = self.table_get(files[idx].file_number, &target, key)? {
-                    return Ok(r);
-                }
-            }
-        }
-        Ok(LsmReadResult::NotFound)
-    }
-
-    fn table_get(
+    /// Latest visible version of `key`, with `resolve` invoked while the
+    /// read's transient pin is still registered — the whole
+    /// index-lookup-then-value-fetch sequence observes one point in
+    /// time. This is the engine-above's single-pass `get` path.
+    ///
+    /// Hand-rolled instead of going through [`view`](Lsm::view): a
+    /// borrowed pin plus one superversion grab keeps the hot path free
+    /// of owned-guard `Arc` traffic.
+    pub fn get_resolved<T>(
         &self,
-        file_number: u64,
-        target: &[u8],
         key: &[u8],
-    ) -> Result<Option<LsmReadResult>> {
-        let table = self.inner.tcache.get(file_number)?;
-        if let Some((ikey, value)) = table.get(target)? {
-            let parsed = parse_internal_key(&ikey)?;
-            if parsed.user_key == key {
-                return Ok(Some(match parsed.vtype {
-                    ValueType::Deletion => LsmReadResult::Deleted,
-                    t => LsmReadResult::Found {
-                        seq: parsed.seq,
-                        vtype: t,
-                        value,
-                    },
-                }));
-            }
-        }
-        Ok(None)
+        resolve: impl FnOnce(LsmReadResult) -> Result<T>,
+    ) -> Result<T> {
+        // Register before pinning the bundle, like `view()`.
+        let pin = self.inner.read_points.pin_transient();
+        let sv = self.superversion();
+        let r = read_superversion(&sv, &self.inner.tcache, key, pin.sequence(), true)?;
+        resolve(r)
     }
 
-    /// Pin the current memtables and file layout into a reusable
-    /// [`BatchReader`] for batched, co-sequential point lookups (the GC's
-    /// merge-validate path). The pinned view is immutable: concurrent
-    /// writes after this call are not observed, which is exactly the
-    /// consistency a GC validation batch wants.
+    /// Version of `key` visible at `read_seq`, over the current pinned
+    /// superversion.
+    ///
+    /// This does **not** register `read_seq`: strictness is only
+    /// guaranteed when the caller holds a [`Snapshot`] or [`LsmView`]
+    /// keeping that sequence registered — prefer reading through those
+    /// handles directly.
+    pub fn get_at(&self, key: &[u8], read_seq: SeqNo) -> Result<LsmReadResult> {
+        read_superversion(
+            &self.superversion(),
+            &self.inner.tcache,
+            key,
+            read_seq,
+            true,
+        )
+    }
+
+    /// Pin the current state into a reusable [`BatchReader`] for batched,
+    /// co-sequential point lookups (the GC's merge-validate path). The
+    /// reader owns a registered view: concurrent writes after this call
+    /// are not observed, and the versions visible at its sequence survive
+    /// concurrent flush/compaction/GC — exactly the consistency a GC
+    /// validation batch wants.
     pub fn batch_reader(&self) -> BatchReader {
-        let mem = Arc::new(self.inner.mem.read().snapshot());
-        let imms: Vec<PinnedMemtable> = self
-            .inner
-            .imms
-            .read()
-            .iter()
-            .rev()
-            .map(|e| Arc::new(e.mem.snapshot()))
-            .collect();
-        BatchReader {
-            mem,
-            imms,
-            version: self.current_version(),
-            tcache: self.inner.tcache.clone(),
-        }
+        BatchReader::new(self.view())
     }
 
     /// Batched point lookups: the visible version of every key in
@@ -516,67 +524,64 @@ impl Lsm {
         Ok(out)
     }
 
-    /// Take a read snapshot.
+    /// Take a read snapshot: an RAII handle owning a registered view.
+    /// Dropping it unregisters the sequence.
     pub fn snapshot(&self) -> Snapshot {
-        let seq = self.last_sequence();
-        let list = self.inner.snapshots.clone();
-        list.lock().push(seq);
-        Snapshot { seq, list }
+        Snapshot::new(self.snapshot_view())
     }
 
-    fn snapshot_seqs(&self) -> Vec<SeqNo> {
-        let mut v = self.inner.snapshots.lock().clone();
-        v.sort_unstable();
-        v
+    /// A registered view with snapshot semantics: beyond pinning its
+    /// versions, it participates in snapshot-gated policy (e.g. Titan's
+    /// write-back GC defers while snapshots exist). The engine above
+    /// wraps this in its own snapshot handle.
+    pub fn snapshot_view(&self) -> LsmView {
+        self.registered_view(ReadPointKind::Snapshot)
     }
 
-    /// Sequences of all live snapshots (ascending). The GC uses these as
-    /// extra read points for validity checks.
+    /// Sequences of all live user snapshots (ascending). Policy gates
+    /// that specifically concern long-lived snapshots (e.g. Titan's
+    /// defer-GC rule) read this; version-preservation decisions must use
+    /// [`read_points`](Lsm::read_points) instead, which also covers
+    /// transient view pins.
     pub fn snapshot_sequences(&self) -> Vec<SeqNo> {
-        self.snapshot_seqs()
+        self.inner.read_points.snapshot_seqs()
+    }
+
+    /// All registered read points — snapshots *and* transient view pins —
+    /// ascending and deduplicated. Flush, compaction, and GC must keep
+    /// the versions visible at each of these sequences.
+    pub fn read_points(&self) -> Vec<SeqNo> {
+        self.inner.read_points.read_point_seqs()
+    }
+
+    /// The oldest registered read point, or `None` when no reader is in
+    /// flight. Deferred-deletion barriers (Titan GC, BlobDB reaping)
+    /// compare against this.
+    pub fn oldest_read_point(&self) -> Option<SeqNo> {
+        self.inner.read_points.oldest()
     }
 
     /// Range scan of visible entries with `lo <= user_key < hi`
-    /// (`hi = None` is unbounded), at the latest sequence.
+    /// (`hi = None` is unbounded) at the latest sequence, through a
+    /// pinned, registered view (the iterator owns the pin).
     pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ScanIter> {
-        self.scan_at(lo, hi, self.last_sequence())
+        self.view().scan(lo, hi)
     }
 
-    /// Range scan at a specific read sequence.
+    /// Range scan at a specific read sequence over the current pinned
+    /// superversion. Like [`get_at`](Lsm::get_at), the sequence is not
+    /// registered — the caller must hold the [`Snapshot`] or [`LsmView`]
+    /// protecting it.
     pub fn scan_at(&self, lo: &[u8], hi: Option<&[u8]>, read_seq: SeqNo) -> Result<ScanIter> {
-        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
-        children.push(Box::new(VecIter::new(
-            self.inner.mem.read().snapshot_range(lo, hi),
-        )));
-        {
-            let imms = self.inner.imms.read();
-            for imm in imms.iter().rev() {
-                children.push(Box::new(VecIter::new(imm.mem.snapshot_range(lo, hi))));
-            }
-        }
-        let version = self.current_version();
-        for f in &version.levels[0] {
-            if f.user_range_overlaps(Some(lo), hi) {
-                children.push(Box::new(TableEntryIter::new(
-                    self.inner.tcache.get(f.file_number)?,
-                )));
-            }
-        }
-        for level in 1..version.levels.len() {
-            let files = version.overlapping_files(level, Some(lo), hi);
-            if !files.is_empty() {
-                children.push(Box::new(crate::iter::LevelIter::new(
-                    files,
-                    self.inner.tcache.clone(),
-                )));
-            }
-        }
-        let mut it = DbIter::new(MergingIter::new(children), read_seq);
-        it.seek(lo);
-        Ok(ScanIter {
-            inner: it,
-            hi: hi.map(|h| h.to_vec()),
-        })
+        scan_superversion(
+            self.superversion(),
+            &self.inner.tcache,
+            lo,
+            hi,
+            read_seq,
+            true,
+            None,
+        )
     }
 
     // ---------------- background work ----------------
@@ -707,6 +712,7 @@ impl Lsm {
                 edit.deleted.push((c.level, f.file_number));
                 edit.added.push((c.output_level, (**f).clone()));
                 self.inner.vset.lock().log_and_apply(edit)?;
+                self.install_superversion();
                 self.inner
                     .counters
                     .trivial_moves
@@ -742,7 +748,7 @@ impl Lsm {
         let version = self.current_version();
         let bottommost = version.total_files() == 0;
         let session = self.session_for(JobKind::Flush)?;
-        let snapshots = self.snapshot_seqs();
+        let snapshots = self.read_points();
         let counter = self.inner.file_counter.clone();
         let alloc = move || counter.fetch_add(1, Ordering::SeqCst);
         let mut input = VecIter::new(imm.snapshot());
@@ -788,6 +794,10 @@ impl Lsm {
                 .expect("flushed imm still registered");
             imms.remove(pos);
         }
+        // Between log_and_apply and here, stale superversions double-count
+        // the flushed imm alongside its new SST — identical versions, so
+        // reads stay consistent; the fresh bundle drops the duplicate.
+        self.install_superversion();
         let _ = wal_number;
         self.delete_obsolete_wals()?;
         self.inner.counters.flushes.fetch_add(1, Ordering::Relaxed);
@@ -812,6 +822,7 @@ impl Lsm {
             edit.deleted.push((c.level, f.file_number));
             edit.added.push((c.output_level, (**f).clone()));
             self.inner.vset.lock().log_and_apply(edit)?;
+            self.install_superversion();
             self.inner
                 .counters
                 .trivial_moves
@@ -844,7 +855,7 @@ impl Lsm {
             output_level: c.output_level,
             bottommost: c.bottommost,
         })?;
-        let snapshots = self.snapshot_seqs();
+        let snapshots = self.read_points();
         let counter = self.inner.file_counter.clone();
         let alloc = move || counter.fetch_add(1, Ordering::SeqCst);
         let ver = version.clone();
@@ -877,6 +888,7 @@ impl Lsm {
         }
         edit.value = out.bundle.clone();
         self.inner.vset.lock().log_and_apply(edit)?;
+        self.install_superversion();
         if let Some(h) = &self.inner.opts.value_hook {
             h.on_committed(&out.bundle);
         }
@@ -926,6 +938,7 @@ impl Lsm {
             ..VersionEdit::default()
         };
         self.inner.vset.lock().log_and_apply(edit)?;
+        self.install_superversion();
         Ok(())
     }
 
@@ -1076,72 +1089,6 @@ impl Drop for Lsm {
         self.inner.stall_cv.notify_all();
         if let Some(h) = self.bg_thread.lock().take() {
             let _ = h.join();
-        }
-    }
-}
-
-/// A shared, sorted memtable snapshot pinned by a [`BatchReader`].
-type PinnedMemtable = Arc<Vec<(Vec<u8>, Bytes)>>;
-
-/// A pinned, immutable view of the tree (memtable snapshots + file
-/// layout) from which any number of co-sequential [`BatchSweep`]s can be
-/// opened cheaply — one per GC read point. Produced by
-/// [`Lsm::batch_reader`].
-pub struct BatchReader {
-    mem: PinnedMemtable,
-    imms: Vec<PinnedMemtable>,
-    version: Arc<Version>,
-    tcache: Arc<crate::tcache::TableCache>,
-}
-
-impl BatchReader {
-    /// Open a sweep of the pinned view at `read_seq`. Children are built
-    /// newest-source-first so merged ties resolve like a point lookup.
-    pub fn sweep(&self, read_seq: SeqNo) -> Result<BatchSweep> {
-        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
-        children.push(Box::new(VecIter::from_shared(self.mem.clone())));
-        for imm in &self.imms {
-            children.push(Box::new(VecIter::from_shared(imm.clone())));
-        }
-        for f in &self.version.levels[0] {
-            children.push(Box::new(TableEntryIter::new(
-                self.tcache.get(f.file_number)?,
-            )));
-        }
-        for level in 1..self.version.levels.len() {
-            let files = &self.version.levels[level];
-            if !files.is_empty() {
-                children.push(Box::new(LevelIter::new(files.clone(), self.tcache.clone())));
-            }
-        }
-        Ok(BatchSweep::new(children, read_seq))
-    }
-
-    /// The pinned file-layout version (kept alive while sweeps run).
-    pub fn version(&self) -> &Arc<Version> {
-        &self.version
-    }
-}
-
-/// User-facing scan iterator with an exclusive upper bound.
-pub struct ScanIter {
-    inner: DbIter,
-    hi: Option<Vec<u8>>,
-}
-
-impl ScanIter {
-    /// Next visible entry, or `None` past the bound / end of data.
-    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
-        match self.inner.next_entry()? {
-            Some(e) => {
-                if let Some(h) = &self.hi {
-                    if e.user_key.as_slice() >= h.as_slice() {
-                        return Ok(None);
-                    }
-                }
-                Ok(Some(e))
-            }
-            None => Ok(None),
         }
     }
 }
@@ -1558,6 +1505,94 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// A view pinned before rotation + flush + compaction still reads
+    /// its epoch: the superversion bundle and the registered read point
+    /// together keep every visible version resolvable.
+    #[test]
+    fn view_survives_rotate_flush_and_compaction() {
+        let db = open(test_opts("db"));
+        for i in 0..100 {
+            put(&db, &format!("key{i:03}"), &format!("epoch0-{i}"));
+        }
+        let view = db.view();
+        for round in 1..4 {
+            for i in 0..100 {
+                put(&db, &format!("key{i:03}"), &format!("epoch{round}-{i}"));
+            }
+            db.flush().unwrap();
+        }
+        db.compact_until_stable().unwrap();
+        for i in (0..100).step_by(9) {
+            match view.get(format!("key{i:03}").as_bytes()).unwrap() {
+                LsmReadResult::Found { value, .. } => {
+                    assert_eq!(&value[..], format!("epoch0-{i}").as_bytes());
+                }
+                other => panic!("view lost key{i}: {other:?}"),
+            }
+        }
+        // Scans through the view also stay in the epoch.
+        let mut it = view.scan(b"key", None).unwrap();
+        let mut n = 0;
+        while let Some(e) = it.next_entry().unwrap() {
+            assert!(e.value.starts_with(b"epoch0-"), "scan mixed epochs");
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        // The latest state reads the newest epoch.
+        assert_eq!(get_str(&db, "key000"), Some("epoch3-0".into()));
+    }
+
+    /// Views register transient pins; snapshots register snapshot-kind
+    /// read points; both unregister on drop.
+    #[test]
+    fn read_point_registration_is_raii() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "v");
+        assert!(db.oldest_read_point().is_none());
+        let view = db.view();
+        assert_eq!(db.oldest_read_point(), Some(view.sequence()));
+        assert!(db.snapshot_sequences().is_empty());
+        assert_eq!(db.read_points(), vec![view.sequence()]);
+        let snap = db.snapshot();
+        assert_eq!(db.snapshot_sequences(), vec![snap.sequence()]);
+        drop(view);
+        drop(snap);
+        assert!(db.oldest_read_point().is_none());
+        assert!(db.read_points().is_empty());
+    }
+
+    /// The batch reader owns a registered view, so GC validation batches
+    /// hold a read point for their whole lifetime.
+    #[test]
+    fn batch_reader_registers_read_point() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "v");
+        let reader = db.batch_reader();
+        assert_eq!(db.oldest_read_point(), Some(reader.view().sequence()));
+        drop(reader);
+        assert!(db.oldest_read_point().is_none());
+    }
+
+    /// The snapshot handle reads directly (get/scan) without the caller
+    /// threading `sequence()` through `get_at`.
+    #[test]
+    fn snapshot_handle_reads_directly() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "old");
+        let snap = db.snapshot();
+        put(&db, "k", "new");
+        del(&db, "k");
+        match snap.get(b"k").unwrap() {
+            LsmReadResult::Found { value, .. } => assert_eq!(&value[..], b"old"),
+            other => panic!("{other:?}"),
+        }
+        let mut it = snap.scan(b"", None).unwrap();
+        let e = it.next_entry().unwrap().unwrap();
+        assert_eq!(e.user_key, b"k");
+        assert_eq!(&e.value[..], b"old");
+        assert!(it.next_entry().unwrap().is_none());
     }
 
     /// Dense batches advance by stepping, not re-seeking every key.

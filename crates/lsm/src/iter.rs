@@ -133,6 +133,9 @@ impl InternalIterator for TableEntryIter {
 pub struct LevelIter {
     files: Vec<Arc<FileMetaData>>,
     tcache: Arc<TableCache>,
+    /// When `false`, files are opened detached (one-shot readers that
+    /// bypass the reader and block caches — `fill_cache = false` scans).
+    fill_cache: bool,
     file_idx: usize,
     cur: Option<TableEntryIter>,
     error: Option<Error>,
@@ -142,9 +145,19 @@ impl LevelIter {
     /// Iterate over `files`, which must be sorted by smallest key and
     /// non-overlapping (levels ≥ 1).
     pub fn new(files: Vec<Arc<FileMetaData>>, tcache: Arc<TableCache>) -> Self {
+        Self::with_fill_cache(files, tcache, true)
+    }
+
+    /// Like [`new`](LevelIter::new), with explicit cache behaviour.
+    pub fn with_fill_cache(
+        files: Vec<Arc<FileMetaData>>,
+        tcache: Arc<TableCache>,
+        fill_cache: bool,
+    ) -> Self {
         LevelIter {
             files,
             tcache,
+            fill_cache,
             file_idx: 0,
             cur: None,
             error: None,
@@ -157,7 +170,13 @@ impl LevelIter {
         if idx >= self.files.len() {
             return;
         }
-        match self.tcache.get(self.files[idx].file_number) {
+        let file_number = self.files[idx].file_number;
+        let table = if self.fill_cache {
+            self.tcache.get(file_number)
+        } else {
+            self.tcache.get_detached(file_number)
+        };
+        match table {
             Ok(t) => self.cur = Some(TableEntryIter::new(t)),
             Err(e) => self.error = Some(e),
         }

@@ -13,7 +13,7 @@
 //! * Every key SST records its **value dependencies**, so compaction can
 //!   score levels by **compensated size** (paper §III-C) — the size the
 //!   file would have had in a non-separated tree.
-//! * Flush and compaction invoke a [`ValueHook`](hooks::ValueHook): the
+//! * Flush and compaction invoke a [`hooks::ValueHook`]: the
 //!   engine above uses it to separate large values into value SSTs at
 //!   flush, to relocate blob values during compaction (BlobDB mode), and —
 //!   critically — to observe every *dropped* entry. Dropped `ValueRef`s
@@ -30,13 +30,15 @@ pub mod memtable;
 pub mod options;
 pub mod tcache;
 pub mod version;
+pub mod view;
 pub mod wal;
 
 pub use batch::WriteBatch;
-pub use db::{BatchReader, GuardedWrite, Lsm, LsmReadResult, Snapshot};
+pub use db::{GuardedWrite, Lsm, LsmReadResult};
 pub use hooks::{
     DropCause, FileNumAlloc, JobKind, NewValueFile, ValueEditBundle, ValueHook, ValueSession,
 };
 pub use iter::{BatchSweep, SweepStats};
 pub use options::{BackgroundMode, KTableFormat, LsmOptions};
 pub use version::{FileMetaData, Version, VersionEdit};
+pub use view::{BatchReader, LsmView, ReadPointGuard, ScanIter, Snapshot, SuperVersion};

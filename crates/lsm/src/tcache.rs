@@ -146,12 +146,18 @@ pub fn open_ktable(
     }
 }
 
-/// Caches open readers keyed by file number.
+/// Number of independent reader-map shards. Mirrors the block cache's
+/// sharding (16): concurrent readers — GC validation workers above all —
+/// hash to different shards instead of serializing on one mutex.
+const TABLE_CACHE_SHARDS: usize = 16;
+
+/// Caches open readers keyed by file number, sharded by a mixed hash of
+/// the file number so parallel lookups rarely contend.
 pub struct TableCache {
     env: EnvRef,
     dir: String,
     block_cache: Arc<BlockCache>,
-    readers: Mutex<HashMap<u64, Arc<KTable>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<KTable>>>>,
 }
 
 impl TableCache {
@@ -161,14 +167,24 @@ impl TableCache {
             env: opts.env.clone(),
             dir: opts.dir.clone(),
             block_cache,
-            readers: Mutex::new(HashMap::new()),
+            shards: (0..TABLE_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
+    }
+
+    fn shard(&self, file_number: u64) -> &Mutex<HashMap<u64, Arc<KTable>>> {
+        // File numbers are sequential; mix them so neighbours land in
+        // different shards.
+        let h = file_number.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
     /// Get (or open) the reader for `file_number`. Reads are accounted as
     /// foreground index reads.
     pub fn get(&self, file_number: u64) -> Result<Arc<KTable>> {
-        if let Some(t) = self.readers.lock().get(&file_number) {
+        let shard = self.shard(file_number);
+        if let Some(t) = shard.lock().get(&file_number) {
             return Ok(t.clone());
         }
         let table = Arc::new(open_ktable(
@@ -178,13 +194,26 @@ impl TableCache {
             Some(self.block_cache.clone()),
             IoClass::FgIndexRead,
         )?);
-        self.readers.lock().insert(file_number, table.clone());
+        shard.lock().insert(file_number, table.clone());
         Ok(table)
+    }
+
+    /// Open a one-shot reader for `file_number` that bypasses both the
+    /// reader cache and the block cache (`ReadOptions::fill_cache =
+    /// false` reads must not pollute either).
+    pub fn get_detached(&self, file_number: u64) -> Result<Arc<KTable>> {
+        Ok(Arc::new(open_ktable(
+            &self.env,
+            &self.dir,
+            file_number,
+            None,
+            IoClass::FgIndexRead,
+        )?))
     }
 
     /// Drop the cached reader for a deleted file.
     pub fn evict(&self, file_number: u64) {
-        self.readers.lock().remove(&file_number);
+        self.shard(file_number).lock().remove(&file_number);
     }
 
     /// The shared block cache.
@@ -194,12 +223,12 @@ impl TableCache {
 
     /// Number of cached readers.
     pub fn len(&self) -> usize {
-        self.readers.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if no readers are cached.
     pub fn is_empty(&self) -> bool {
-        self.readers.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 }
 

@@ -477,18 +477,23 @@ impl VersionSet {
             let _ = env.remove_file(&old_path);
         }
 
+        // Track the initial version like every later one: a pinned read
+        // view may hold it across edits, and `referenced_files` must keep
+        // its files on disk until that view drops.
+        let current = Arc::new(version);
+        let live_versions = vec![Arc::downgrade(&current)];
         Ok(RecoveredState {
             vset: VersionSet {
                 env,
                 dir: dir.to_string(),
                 num_levels,
-                current: Arc::new(version),
+                current,
                 next_file: Arc::new(AtomicU64::new(next_file)),
                 last_seq: Arc::new(AtomicU64::new(last_seq)),
                 log_number,
                 manifest,
                 manifest_number,
-                live_versions: Vec::new(),
+                live_versions,
             },
             value_replay,
         })
@@ -504,7 +509,8 @@ impl VersionSet {
         self.num_levels
     }
 
-    /// Shared next-file-number counter (for [`FileNumAlloc`]).
+    /// Shared next-file-number counter (for
+    /// [`FileNumAlloc`](crate::hooks::FileNumAlloc)).
     pub fn file_counter(&self) -> Arc<AtomicU64> {
         self.next_file.clone()
     }

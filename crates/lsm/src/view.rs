@@ -1,0 +1,572 @@
+//! Pinned read views (RocksDB-style *superversions*).
+//!
+//! Every structural mutation of the tree — memtable rotation, flush,
+//! compaction apply, value-store edit — installs a fresh immutable
+//! [`SuperVersion`]: one `Arc` bundle of {active memtable, immutable
+//! memtables, SST [`Version`]}. A reader pins the bundle with **one**
+//! `Arc` clone and walks it without ever touching the live structures, so
+//! no interleaving of rotation/flush/compaction can tear a read.
+//!
+//! Pinning the structures is only half of consistency: a view also
+//! *registers* its visible sequence in the engine's read-point
+//! registry. Flush, compaction, and the value GC all treat
+//! registered sequences as **read points** whose visible versions must
+//! survive, which is what makes a [`LsmView`] read *strict*: the exact
+//! `(key → version)` mapping at the view's sequence stays resolvable for
+//! the view's whole lifetime, even across flush + compaction + GC. (The
+//! seed engine instead re-walked live structures per read and papered
+//! over lost versions with a retry loop in the layer above.)
+//!
+//! Registration and sequence capture happen under one mutex, and the GC
+//! reads the registry only *after* registering its own latest-sequence
+//! pin. That ordering closes the race where a reader picks a sequence,
+//! the GC (which never saw it) retires a value that sequence still
+//! needs, and the reader dangles: any reader registered after the GC's
+//! registry scan necessarily observes a sequence at or above the GC's
+//! newest read point.
+
+use crate::db::LsmReadResult;
+use crate::iter::{
+    BatchSweep, DbIter, InternalIterator, LevelIter, MergingIter, TableEntryIter, UserEntry,
+    VecIter,
+};
+use crate::memtable::{MemGet, Memtable};
+use crate::tcache::TableCache;
+use crate::version::Version;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scavenger_util::ikey::{make_internal_key, parse_internal_key, SeqNo, ValueType};
+use scavenger_util::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable snapshot of the tree's structure: the active memtable,
+/// the frozen (immutable) memtables newest-first, and the SST file
+/// layout. Installed atomically by every structural mutation; readers pin
+/// it with a single `Arc` clone.
+///
+/// The active memtable keeps receiving concurrent inserts through the
+/// shared `Arc`, but every insert carries a sequence above the reader's
+/// visible sequence at pin time, so visibility filtering makes the view
+/// immutable *as observed*.
+pub struct SuperVersion {
+    pub(crate) mem: Arc<Memtable>,
+    /// Immutable memtables, newest first.
+    pub(crate) imms: Vec<Arc<Memtable>>,
+    pub(crate) version: Arc<Version>,
+}
+
+impl SuperVersion {
+    /// An empty superversion (fresh tree).
+    pub(crate) fn empty(num_levels: usize) -> SuperVersion {
+        SuperVersion {
+            mem: Arc::new(Memtable::new()),
+            imms: Vec::new(),
+            version: Arc::new(Version::empty(num_levels)),
+        }
+    }
+}
+
+/// What a registered read point represents. Both kinds protect the
+/// versions visible at their sequence; only [`Snapshot`]s participate in
+/// policy decisions that specifically concern long-lived user snapshots
+/// (e.g. Titan's defer-GC-while-snapshots-exist gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadPointKind {
+    /// A transient pin taken by an in-flight read or GC job.
+    Pin,
+    /// A user-visible snapshot handle.
+    Snapshot,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    pins: Vec<SeqNo>,
+    snapshots: Vec<SeqNo>,
+}
+
+/// Registry of sequences that in-flight readers still need. Flush,
+/// compaction, and GC must preserve the versions visible at every
+/// registered sequence (plus the latest).
+pub(crate) struct ReadPointRegistry {
+    /// The engine's last-sequence counter; read under the registry lock
+    /// so registration and sequence capture are one atomic step.
+    seq: Arc<AtomicU64>,
+    inner: Mutex<RegistryInner>,
+}
+
+impl ReadPointRegistry {
+    pub(crate) fn new(seq: Arc<AtomicU64>) -> Arc<ReadPointRegistry> {
+        Arc::new(ReadPointRegistry {
+            seq,
+            inner: Mutex::new(RegistryInner::default()),
+        })
+    }
+
+    /// Register a read point at the current last sequence. The sequence
+    /// is read under the registry lock: anyone who scans the registry
+    /// (under the same lock) and then reads the last sequence is
+    /// guaranteed to cover this registration.
+    pub(crate) fn register(self: &Arc<Self>, kind: ReadPointKind) -> ReadPointGuard {
+        let mut inner = self.inner.lock();
+        let seq = self.seq.load(Ordering::SeqCst);
+        match kind {
+            ReadPointKind::Pin => inner.pins.push(seq),
+            ReadPointKind::Snapshot => inner.snapshots.push(seq),
+        }
+        ReadPointGuard {
+            seq,
+            kind,
+            registry: self.clone(),
+        }
+    }
+
+    /// Register an additional pin at an already-protected sequence (used
+    /// by iterators that must outlive the view they were opened from).
+    pub(crate) fn register_at(self: &Arc<Self>, seq: SeqNo, kind: ReadPointKind) -> ReadPointGuard {
+        let mut inner = self.inner.lock();
+        match kind {
+            ReadPointKind::Pin => inner.pins.push(seq),
+            ReadPointKind::Snapshot => inner.snapshots.push(seq),
+        }
+        ReadPointGuard {
+            seq,
+            kind,
+            registry: self.clone(),
+        }
+    }
+
+    /// Sequences of registered user snapshots only, ascending.
+    pub(crate) fn snapshot_seqs(&self) -> Vec<SeqNo> {
+        let inner = self.inner.lock();
+        let mut v = inner.snapshots.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// All registered read points (pins and snapshots), ascending and
+    /// deduplicated.
+    pub(crate) fn read_point_seqs(&self) -> Vec<SeqNo> {
+        let inner = self.inner.lock();
+        let mut v: Vec<SeqNo> = inner
+            .pins
+            .iter()
+            .chain(inner.snapshots.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The oldest registered read point, if any reader is in flight.
+    pub(crate) fn oldest(&self) -> Option<SeqNo> {
+        let inner = self.inner.lock();
+        inner
+            .pins
+            .iter()
+            .chain(inner.snapshots.iter())
+            .copied()
+            .min()
+    }
+}
+
+/// A borrowed, transient pin for one-shot reads (`Lsm::get`): same
+/// registration semantics as [`ReadPointGuard`] without the `Arc`
+/// traffic of an owned guard — the hot point-read path stays within
+/// noise of the unpinned engine.
+pub(crate) struct TransientPin<'a> {
+    seq: SeqNo,
+    registry: &'a ReadPointRegistry,
+}
+
+impl TransientPin<'_> {
+    pub(crate) fn sequence(&self) -> SeqNo {
+        self.seq
+    }
+}
+
+impl Drop for TransientPin<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.registry.inner.lock();
+        if let Some(pos) = inner.pins.iter().position(|&s| s == self.seq) {
+            inner.pins.swap_remove(pos);
+        }
+    }
+}
+
+impl ReadPointRegistry {
+    /// Register a transient pin at the current last sequence, borrowing
+    /// the registry instead of cloning its `Arc`.
+    pub(crate) fn pin_transient(&self) -> TransientPin<'_> {
+        let mut inner = self.inner.lock();
+        let seq = self.seq.load(Ordering::SeqCst);
+        inner.pins.push(seq);
+        TransientPin {
+            seq,
+            registry: self,
+        }
+    }
+}
+
+/// RAII registration of one read point; dropping it unregisters the
+/// sequence.
+pub struct ReadPointGuard {
+    seq: SeqNo,
+    kind: ReadPointKind,
+    registry: Arc<ReadPointRegistry>,
+}
+
+impl ReadPointGuard {
+    /// The registered sequence.
+    pub fn sequence(&self) -> SeqNo {
+        self.seq
+    }
+}
+
+impl Drop for ReadPointGuard {
+    fn drop(&mut self) {
+        let mut inner = self.registry.inner.lock();
+        let list = match self.kind {
+            ReadPointKind::Pin => &mut inner.pins,
+            ReadPointKind::Snapshot => &mut inner.snapshots,
+        };
+        if let Some(pos) = list.iter().position(|&s| s == self.seq) {
+            list.swap_remove(pos);
+        }
+    }
+}
+
+/// A pinned, registered, strictly-consistent read view of the tree.
+///
+/// Obtained from [`Lsm::view`](crate::db::Lsm::view) (or through a
+/// [`Snapshot`]). All reads resolve against the pinned [`SuperVersion`]
+/// at the view's sequence; concurrent writes, flushes, compactions, and
+/// GC jobs are never observed and can never invalidate the view.
+pub struct LsmView {
+    sv: Arc<SuperVersion>,
+    seq: SeqNo,
+    tcache: Arc<TableCache>,
+    pin: ReadPointGuard,
+}
+
+impl LsmView {
+    pub(crate) fn new(sv: Arc<SuperVersion>, tcache: Arc<TableCache>, pin: ReadPointGuard) -> Self {
+        LsmView {
+            sv,
+            seq: pin.sequence(),
+            tcache,
+            pin,
+        }
+    }
+
+    /// The sequence this view reads at.
+    pub fn sequence(&self) -> SeqNo {
+        self.seq
+    }
+
+    /// The pinned file-layout version.
+    pub fn version(&self) -> &Arc<Version> {
+        &self.sv.version
+    }
+
+    /// Point lookup at the view's sequence.
+    pub fn get(&self, key: &[u8]) -> Result<LsmReadResult> {
+        self.get_opt(key, true)
+    }
+
+    /// Point lookup with cache control: `fill_cache = false` bypasses the
+    /// table-handle and block caches entirely (one-shot readers), so the
+    /// lookup does not pollute them.
+    pub fn get_opt(&self, key: &[u8], fill_cache: bool) -> Result<LsmReadResult> {
+        read_superversion(&self.sv, &self.tcache, key, self.seq, fill_cache)
+    }
+
+    /// Point lookup at an earlier sequence than the view's own (e.g. a
+    /// registered snapshot's). Sequences above the view's read whatever
+    /// the pinned structures contain, which may be stale — pass only
+    /// sequences `<=` [`sequence`](LsmView::sequence).
+    pub fn get_at(&self, key: &[u8], read_seq: SeqNo) -> Result<LsmReadResult> {
+        read_superversion(&self.sv, &self.tcache, key, read_seq, true)
+    }
+
+    /// Range scan of visible entries with `lo <= user_key < hi`
+    /// (`hi = None` is unbounded) at the view's sequence. The returned
+    /// iterator carries its own pin, so it stays strict even if the view
+    /// is dropped first.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ScanIter> {
+        self.scan_opt(lo, hi, true)
+    }
+
+    /// Range scan with cache control (see [`get_opt`](LsmView::get_opt)).
+    pub fn scan_opt(&self, lo: &[u8], hi: Option<&[u8]>, fill_cache: bool) -> Result<ScanIter> {
+        let pin = self.pin.registry.register_at(self.seq, ReadPointKind::Pin);
+        scan_superversion(
+            self.sv.clone(),
+            &self.tcache,
+            lo,
+            hi,
+            self.seq,
+            fill_cache,
+            Some(pin),
+        )
+    }
+}
+
+/// A read snapshot: an RAII handle owning a registered [`LsmView`].
+/// Dropping it unregisters the sequence and unpins the structures.
+///
+/// This replaces the bare-`SeqNo` pattern of the previous API (take a
+/// `Snapshot`, then call `get_at`/`scan_at` with `snapshot.sequence()`):
+/// reads now go straight through the owned view —
+/// [`get`](Snapshot::get) / [`scan`](Snapshot::scan) — which both pins
+/// the structures and keeps the sequence registered. `sequence()` is
+/// still available for the legacy entry points.
+pub struct Snapshot {
+    view: LsmView,
+}
+
+impl Snapshot {
+    pub(crate) fn new(view: LsmView) -> Snapshot {
+        Snapshot { view }
+    }
+
+    /// The snapshot's sequence number.
+    pub fn sequence(&self) -> SeqNo {
+        self.view.sequence()
+    }
+
+    /// The owned read view.
+    pub fn view(&self) -> &LsmView {
+        &self.view
+    }
+
+    /// Point lookup at the snapshot.
+    pub fn get(&self, key: &[u8]) -> Result<LsmReadResult> {
+        self.view.get(key)
+    }
+
+    /// Range scan at the snapshot.
+    pub fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ScanIter> {
+        self.view.scan(lo, hi)
+    }
+}
+
+/// Walk a pinned superversion for the newest version of `key` visible at
+/// `read_seq`: active memtable, immutable memtables newest-first, then
+/// the SST levels.
+pub(crate) fn read_superversion(
+    sv: &SuperVersion,
+    tcache: &Arc<TableCache>,
+    key: &[u8],
+    read_seq: SeqNo,
+    fill_cache: bool,
+) -> Result<LsmReadResult> {
+    match sv.mem.get(key, read_seq) {
+        MemGet::Found { seq, vtype, value } => {
+            return Ok(LsmReadResult::Found { seq, vtype, value });
+        }
+        MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
+        MemGet::NotFound => {}
+    }
+    for imm in &sv.imms {
+        match imm.get(key, read_seq) {
+            MemGet::Found { seq, vtype, value } => {
+                return Ok(LsmReadResult::Found { seq, vtype, value });
+            }
+            MemGet::Deleted(_) => return Ok(LsmReadResult::Deleted),
+            MemGet::NotFound => {}
+        }
+    }
+    let version = &sv.version;
+    let target = make_internal_key(key, read_seq, ValueType::ValueRef);
+    // L0: newest file first.
+    for f in &version.levels[0] {
+        if !f.user_range_contains(key) {
+            continue;
+        }
+        if let Some(r) = table_get(tcache, f.file_number, &target, key, fill_cache)? {
+            return Ok(r);
+        }
+    }
+    for level in 1..version.levels.len() {
+        let files = &version.levels[level];
+        if files.is_empty() {
+            continue;
+        }
+        let idx =
+            files.partition_point(|f| scavenger_util::ikey::extract_user_key(&f.largest) < key);
+        if idx < files.len() && files[idx].user_range_contains(key) {
+            if let Some(r) = table_get(tcache, files[idx].file_number, &target, key, fill_cache)? {
+                return Ok(r);
+            }
+        }
+    }
+    Ok(LsmReadResult::NotFound)
+}
+
+fn table_get(
+    tcache: &Arc<TableCache>,
+    file_number: u64,
+    target: &[u8],
+    key: &[u8],
+    fill_cache: bool,
+) -> Result<Option<LsmReadResult>> {
+    let table = if fill_cache {
+        tcache.get(file_number)?
+    } else {
+        tcache.get_detached(file_number)?
+    };
+    if let Some((ikey, value)) = table.get(target)? {
+        let parsed = parse_internal_key(&ikey)?;
+        if parsed.user_key == key {
+            return Ok(Some(match parsed.vtype {
+                ValueType::Deletion => LsmReadResult::Deleted,
+                t => LsmReadResult::Found {
+                    seq: parsed.seq,
+                    vtype: t,
+                    value,
+                },
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Build a merged scan over a pinned superversion.
+pub(crate) fn scan_superversion(
+    sv: Arc<SuperVersion>,
+    tcache: &Arc<TableCache>,
+    lo: &[u8],
+    hi: Option<&[u8]>,
+    read_seq: SeqNo,
+    fill_cache: bool,
+    pin: Option<ReadPointGuard>,
+) -> Result<ScanIter> {
+    let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+    children.push(Box::new(VecIter::new(sv.mem.snapshot_range(lo, hi))));
+    for imm in &sv.imms {
+        children.push(Box::new(VecIter::new(imm.snapshot_range(lo, hi))));
+    }
+    for f in &sv.version.levels[0] {
+        if f.user_range_overlaps(Some(lo), hi) {
+            let table = if fill_cache {
+                tcache.get(f.file_number)?
+            } else {
+                tcache.get_detached(f.file_number)?
+            };
+            children.push(Box::new(TableEntryIter::new(table)));
+        }
+    }
+    for level in 1..sv.version.levels.len() {
+        let files = sv.version.overlapping_files(level, Some(lo), hi);
+        if !files.is_empty() {
+            children.push(Box::new(LevelIter::with_fill_cache(
+                files,
+                tcache.clone(),
+                fill_cache,
+            )));
+        }
+    }
+    let mut it = DbIter::new(MergingIter::new(children), read_seq);
+    it.seek(lo);
+    Ok(ScanIter {
+        inner: it,
+        hi: hi.map(|h| h.to_vec()),
+        _sv: sv,
+        _pin: pin,
+    })
+}
+
+/// User-facing scan iterator with an exclusive upper bound. Holds the
+/// superversion it iterates (so lazily-opened table files cannot be
+/// purged mid-scan) and, when opened from a view, its own read-point pin.
+pub struct ScanIter {
+    inner: DbIter,
+    hi: Option<Vec<u8>>,
+    _sv: Arc<SuperVersion>,
+    _pin: Option<ReadPointGuard>,
+}
+
+impl ScanIter {
+    /// Next visible entry, or `None` past the bound / end of data.
+    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
+        match self.inner.next_entry()? {
+            Some(e) => {
+                if let Some(h) = &self.hi {
+                    if e.user_key.as_slice() >= h.as_slice() {
+                        return Ok(None);
+                    }
+                }
+                Ok(Some(e))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// A shared, sorted memtable snapshot pinned by a [`BatchReader`].
+type PinnedMemtable = Arc<Vec<(Vec<u8>, Bytes)>>;
+
+/// A pinned, registered view of the tree materialized for batched,
+/// co-sequential point lookups: any number of [`BatchSweep`]s can be
+/// opened cheaply — one per GC read point. Produced by
+/// [`Lsm::batch_reader`](crate::db::Lsm::batch_reader).
+///
+/// Built on an [`LsmView`], so the sweep sources are pinned *and* the
+/// view's sequence is registered as a read point for the reader's whole
+/// lifetime (the GC validation pipeline relies on this).
+pub struct BatchReader {
+    mem: PinnedMemtable,
+    imms: Vec<PinnedMemtable>,
+    view: LsmView,
+}
+
+impl BatchReader {
+    pub(crate) fn new(view: LsmView) -> BatchReader {
+        let mem = Arc::new(view.sv.mem.snapshot());
+        let imms: Vec<PinnedMemtable> = view
+            .sv
+            .imms
+            .iter()
+            .map(|m| Arc::new(m.snapshot()))
+            .collect();
+        BatchReader { mem, imms, view }
+    }
+
+    /// Open a sweep of the pinned view at `read_seq`. Children are built
+    /// newest-source-first so merged ties resolve like a point lookup.
+    pub fn sweep(&self, read_seq: SeqNo) -> Result<BatchSweep> {
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(VecIter::from_shared(self.mem.clone())));
+        for imm in &self.imms {
+            children.push(Box::new(VecIter::from_shared(imm.clone())));
+        }
+        let version = &self.view.sv.version;
+        for f in &version.levels[0] {
+            children.push(Box::new(TableEntryIter::new(
+                self.view.tcache.get(f.file_number)?,
+            )));
+        }
+        for level in 1..version.levels.len() {
+            let files = &version.levels[level];
+            if !files.is_empty() {
+                children.push(Box::new(LevelIter::new(
+                    files.clone(),
+                    self.view.tcache.clone(),
+                )));
+            }
+        }
+        Ok(BatchSweep::new(children, read_seq))
+    }
+
+    /// The pinned file-layout version (kept alive while sweeps run).
+    pub fn version(&self) -> &Arc<Version> {
+        self.view.version()
+    }
+
+    /// The underlying registered view.
+    pub fn view(&self) -> &LsmView {
+        &self.view
+    }
+}

@@ -11,7 +11,7 @@
 //!   numbers and value types, ordered user-key-ascending /
 //!   sequence-descending exactly like LevelDB/RocksDB.
 //! * [`hist`] — a fixed-bucket histogram used for GC latency breakdowns.
-//! * [`error`] — the shared [`Error`](error::Error) type.
+//! * [`error`] — the shared [`Error`] type.
 
 pub mod coding;
 pub mod crc32c;

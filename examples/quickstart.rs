@@ -1,9 +1,9 @@
-//! Quickstart: open a Scavenger database, write, read, scan, delete, and
-//! inspect the space statistics.
+//! Quickstart: open a Scavenger database, write, read, scan, delete,
+//! take pinned views/snapshots, and inspect the space statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions, WriteOptions};
 
 fn main() -> scavenger::Result<()> {
     // An in-memory environment keeps the example self-contained; swap in
@@ -21,10 +21,19 @@ fn main() -> scavenger::Result<()> {
     let avatar = db.get("blob:avatar")?.expect("present");
     println!("blob:avatar  = {} bytes (separated)", avatar.len());
 
+    // A snapshot is an RAII handle over a pinned read view: it keeps
+    // reading this exact state until dropped, no matter what the engine
+    // does underneath (writes, flushes, compactions, GC).
+    let snapshot = db.snapshot();
+
     // Overwrites create garbage in the value store; deletes write
-    // tombstones.
+    // tombstones. Batched loads can skip the per-write WAL fsync.
+    let bulk = WriteOptions {
+        sync: false,
+        ..WriteOptions::default()
+    };
     for version in 0..50 {
-        db.put("blob:avatar", vec![version as u8; 16 * 1024])?;
+        db.put_with(&bulk, "blob:avatar", vec![version as u8; 16 * 1024])?;
     }
     db.delete("config:theme")?;
     assert!(db.get("config:theme")?.is_none());
@@ -35,6 +44,33 @@ fn main() -> scavenger::Result<()> {
     db.compact_all()?;
     let reclaimed = db.run_gc_until_clean()?;
     println!("garbage collection ran {reclaimed} job(s)");
+
+    // The snapshot still reads its epoch — strictly, with no retries:
+    // the GC preserved every version the snapshot can see.
+    let old_avatar = snapshot.get("blob:avatar")?.expect("pinned");
+    assert_eq!(old_avatar[0], 0xAB, "snapshot reads the pre-update value");
+    let old_theme = snapshot.get("config:theme")?.expect("pinned");
+    println!(
+        "snapshot still sees theme {:?} and the original avatar",
+        std::str::from_utf8(&old_theme).unwrap()
+    );
+    drop(snapshot); // unregisters the read point
+
+    // Per-call read options: a cold analytical scan that must not evict
+    // the hot working set from the block cache.
+    let cold_scan = ReadOptions {
+        fill_cache: false,
+        lower_bound: Some(b"blob:".to_vec()),
+        ..ReadOptions::default()
+    };
+    let mut it = db.scan_with(&cold_scan)?;
+    while let Some(entry) = it.next_entry()? {
+        println!(
+            "cold scan: {} -> {} bytes",
+            String::from_utf8_lossy(&entry.key),
+            entry.value.len()
+        );
+    }
 
     // Range scans resolve separated values transparently.
     let mut it = db.scan(b"blob:", None)?;

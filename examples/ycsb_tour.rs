@@ -3,30 +3,49 @@
 //!
 //! Run with: `cargo run --release --example ycsb_tour`
 
-use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions, WriteOptions};
 use scavenger_env::EnvRef;
 
 // The workload crate drives any KvStore; examples implement the adapter
-// inline to show the full integration surface.
+// inline to show the full integration surface. This adapter routes every
+// operation through the explicit-options entry points: YCSB writes skip
+// the per-write WAL fsync (the benchmark measures engine throughput, not
+// fsync latency) and scans read through per-call options.
+struct Adapter<'a>(&'a Db, WriteOptions);
+
+impl<'a> Adapter<'a> {
+    fn new(db: &'a Db) -> Self {
+        Adapter(
+            db,
+            WriteOptions {
+                sync: false,
+                ..WriteOptions::default()
+            },
+        )
+    }
+}
+
 use scavenger_workload::runner::Runner;
 use scavenger_workload::values::ValueGen;
 use scavenger_workload::ycsb::YcsbWorkload;
 use scavenger_workload::KvStore;
 
-struct Adapter<'a>(&'a Db);
-
 impl KvStore for Adapter<'_> {
     fn put(&self, key: &[u8], value: &[u8]) -> scavenger::Result<()> {
-        self.0.put(key, value.to_vec())
+        self.0.put_with(&self.1, key, value.to_vec())
     }
     fn get(&self, key: &[u8]) -> scavenger::Result<Option<Vec<u8>>> {
         Ok(self.0.get(key)?.map(|b| b.to_vec()))
     }
     fn delete(&self, key: &[u8]) -> scavenger::Result<()> {
-        self.0.delete(key)
+        self.0.delete_with(&self.1, key)
     }
     fn scan(&self, start: &[u8], limit: usize) -> scavenger::Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut it = self.0.scan(start, None)?;
+        let opts = ReadOptions {
+            lower_bound: Some(start.to_vec()),
+            ..ReadOptions::default()
+        };
+        let mut it = self.0.scan_with(&opts)?;
         Ok(it
             .collect_n(limit)?
             .into_iter()
@@ -41,7 +60,7 @@ fn main() -> scavenger::Result<()> {
     opts.memtable_size = 128 * 1024;
     opts.base_level_bytes = 512 * 1024;
     let db = Db::open(opts)?;
-    let store = Adapter(&db);
+    let store = Adapter::new(&db);
 
     let n = 1_000u64;
     let mut runner = Runner::new(n * 2, ValueGen::mixed_8k(), 7).with_verification();

@@ -1,7 +1,13 @@
 //! Threaded-background-mode integration: concurrent readers and writers
 //! with flush/compaction on a background thread.
+//!
+//! Readers assert *strict* consistency: every read goes through a pinned
+//! superversion with a registered read point, so a seeded key must never
+//! transiently read as absent and no dangling-value retry exists to
+//! paper over a lost version — any inconsistency fails the test
+//! immediately.
 
-use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions};
 use scavenger_env::EnvRef;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,12 +40,16 @@ fn concurrent_readers_during_writes() {
             let mut i = t as u64;
             while !stop.load(Ordering::Relaxed) {
                 let key = format!("k{:04}", i % 200);
-                if let Some(v) = db.get(&key).unwrap() {
-                    // Value must decode to a consistent (key, version) pair.
-                    let (k, _ver) = decode(&v);
-                    assert_eq!(k, i % 200, "reader saw torn value");
-                    checked += 1;
-                }
+                // Strict: the key was seeded and is never deleted, so a
+                // `None` would mean a reader observed a torn state (the
+                // pre-view engine tolerated transient `None` here).
+                let v = db
+                    .get(&key)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("strict consistency violated: {key} read as absent"));
+                let (k, _ver) = decode(&v);
+                assert_eq!(k, i % 200, "reader saw torn value");
+                checked += 1;
                 i += 7;
             }
             checked
@@ -63,6 +73,65 @@ fn concurrent_readers_during_writes() {
         let (k, ver) = decode(&db.get(format!("k{i:04}")).unwrap().unwrap());
         assert_eq!(k, i);
         assert_eq!(ver, 20);
+    }
+}
+
+/// A pinned view taken mid-churn keeps reading its exact epoch while
+/// writers, flushes, and compactions proceed underneath it.
+#[test]
+fn pinned_views_stay_consistent_during_churn() {
+    let env: EnvRef = MemEnv::shared();
+    let db = Db::open(threaded_opts(env, EngineMode::Scavenger)).unwrap();
+    for i in 0..100u64 {
+        db.put(format!("k{i:03}"), encode(i, 0)).unwrap();
+    }
+    db.flush().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let db = db.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut pinned_reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Pin an epoch, then verify every key reads a version
+                // from *one* round (the view must never mix epochs).
+                let view = db.view();
+                let mut round = None;
+                for i in (0..100u64).step_by(13) {
+                    let v = view
+                        .get(format!("k{i:03}"))
+                        .unwrap()
+                        .expect("pinned view lost a seeded key");
+                    let (k, ver) = decode(&v);
+                    assert_eq!(k, i);
+                    match round {
+                        None => round = Some(ver),
+                        // Writers fill rounds key-by-key, so a pinned
+                        // view may straddle two *adjacent* rounds — but
+                        // never resurrect older epochs or see the future.
+                        Some(r) => assert!(
+                            ver == r || ver + 1 == r || ver == r + 1,
+                            "view mixed epochs: {ver} vs {r}"
+                        ),
+                    }
+                    pinned_reads += 1;
+                }
+            }
+            pinned_reads
+        }));
+    }
+
+    for round in 1..=15u64 {
+        for i in 0..100u64 {
+            db.put(format!("k{i:03}"), encode(i, round)).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().unwrap() > 0);
     }
 }
 
@@ -102,7 +171,6 @@ fn snapshot_isolation_under_concurrent_churn() {
     }
     db.flush().unwrap();
     let snap = db.snapshot();
-    let snap_seq = snap.sequence();
 
     let db2 = db.clone();
     let churn = std::thread::spawn(move || {
@@ -112,14 +180,25 @@ fn snapshot_isolation_under_concurrent_churn() {
             }
         }
     });
-    // Snapshot reads stay at version 0 throughout.
-    for _ in 0..200 {
+    // Snapshot reads stay at version 0 throughout, through the owned
+    // view and through the per-call options path alike.
+    for n in 0..200 {
         let i = 37u64;
-        let v = db.get_at(format!("k{i:03}"), snap_seq).unwrap().unwrap();
+        let v = if n % 2 == 0 {
+            snap.get(format!("k{i:03}")).unwrap().unwrap()
+        } else {
+            db.get_with(&ReadOptions::at_snapshot(&snap), format!("k{i:03}"))
+                .unwrap()
+                .unwrap()
+        };
         assert_eq!(decode(&v), (i, 0));
     }
     churn.join().unwrap();
-    let v = db.get_at("k037", snap_seq).unwrap().unwrap();
+    let v = snap.get("k037").unwrap().unwrap();
+    assert_eq!(decode(&v), (37, 0));
+    // The legacy sequence-based entry point agrees while the snapshot
+    // keeps the sequence registered.
+    let v = db.get_at("k037", snap.sequence()).unwrap().unwrap();
     assert_eq!(decode(&v), (37, 0));
     drop(snap);
 }
