@@ -1,0 +1,266 @@
+//! GC executor microbenchmark: one full GC cycle (collect every
+//! candidate) under the three executor configurations —
+//!
+//! * `seq`         — `gc_threads = 1`, pipeline Off (the serial baseline)
+//! * `parfetch-4`  — `gc_threads = 4`, pipeline Off (parallel Fetch fan-out)
+//! * `pipeline-4`  — `gc_threads = 4`, pipeline On  (overlapped ②→③→④ stages)
+//!
+//! All three must produce identical total `GcOutcome`s (asserted); only
+//! wall-clock and the stage counters may differ. Writes a
+//! machine-readable baseline to `<workspace>/BENCH_gc_pipeline.json`
+//! (override with `GC_PIPELINE_JSON`).
+//!
+//! Env knobs: `GC_PIPELINE_N` (records, default 40000),
+//! `GC_PIPELINE_ITERS` (measured iterations per config, default 3), and
+//! `GC_PIPELINE_ASSERT_OVERLAP=1` to fail unless the pipelined config
+//! reports non-zero stage-overlap and parallel-fetch counters (set by
+//! the multi-core CI job; meaningless on one core, where the scheduler
+//! may serialize the stage threads).
+
+use criterion::black_box;
+use scavenger::{Db, EngineMode, GcPipeline, GcStepTimes, MemEnv, Options};
+use std::io::Write as _;
+use std::time::Instant;
+
+#[derive(Clone, Copy)]
+struct Config {
+    label: &'static str,
+    threads: usize,
+    pipeline: GcPipeline,
+}
+
+const CONFIGS: [Config; 3] = [
+    Config {
+        label: "seq",
+        threads: 1,
+        pipeline: GcPipeline::Off,
+    },
+    Config {
+        label: "parfetch-4",
+        threads: 4,
+        pipeline: GcPipeline::Off,
+    },
+    Config {
+        label: "pipeline-4",
+        threads: 4,
+        pipeline: GcPipeline::On,
+    },
+];
+
+/// Build a DB whose value files each hold a ~50% live/dead mix, so one
+/// GC cycle collects many multi-file jobs with real Fetch + Write work.
+fn build_db(n: usize, cfg: Config) -> Db {
+    let mut o = Options::new(MemEnv::shared(), "bench-db", EngineMode::Scavenger);
+    o.auto_gc = false;
+    o.wal = false;
+    o.memtable_size = 512 << 20; // flush only when asked
+    o.vsst_target_size = 4 << 20;
+    o.ksst_target_size = 512 * 1024;
+    o.base_level_bytes = 32 << 20;
+    o.block_cache_bytes = 64 << 20;
+    o.gc_batch_files = 8;
+    o.gc_threads = cfg.threads;
+    o.gc_pipeline = cfg.pipeline;
+    let db = Db::open(o).unwrap();
+    let value = vec![0xabu8; 600];
+    // Load in several flushes -> several source value files.
+    let slices = 8;
+    let per = n.div_ceil(slices);
+    for s in 0..slices {
+        for i in (s * per)..((s + 1) * per).min(n) {
+            db.put(format!("key{i:08}"), value.clone()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    // Kill every other record: each file keeps a ~50% live mix.
+    for i in (0..n).step_by(2) {
+        db.put(format!("key{i:08}"), value.clone()).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_all().unwrap();
+    // Score-based compaction may settle on trivial moves; force merges
+    // until the overwrites are actually exposed as garbage.
+    let mut forced = 0;
+    while db.lsm().force_compact_once().unwrap() {
+        forced += 1;
+        assert!(forced < 1024, "runaway forced compaction");
+    }
+    db
+}
+
+/// Aggregate observable result of one full GC cycle.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+struct CycleOutcome {
+    jobs: usize,
+    files_collected: usize,
+    records_rewritten: u64,
+    bytes_reclaimed: u64,
+}
+
+struct Sample {
+    config: Config,
+    mean_ns: f64,
+    outcome: CycleOutcome,
+    gc: GcStepTimes,
+}
+
+fn run_cycle(db: &Db) -> CycleOutcome {
+    let mut out = CycleOutcome {
+        jobs: 0,
+        files_collected: 0,
+        records_rewritten: 0,
+        bytes_reclaimed: 0,
+    };
+    while let Some(o) = db.run_gc_at(0.10).unwrap() {
+        out.jobs += 1;
+        out.files_collected += o.files_collected;
+        out.records_rewritten += o.records_rewritten;
+        out.bytes_reclaimed += o.bytes_reclaimed;
+        assert!(out.jobs < 4096, "runaway GC");
+    }
+    out
+}
+
+fn measure(n: usize, cfg: Config, iters: u32) -> Sample {
+    // Warmup build + cycle (excluded from timing).
+    let db = build_db(n, cfg);
+    let warm = run_cycle(&db);
+    drop(db);
+    let mut total_ns = 0f64;
+    let mut outcome = warm;
+    let mut gc = GcStepTimes::default();
+    for _ in 0..iters {
+        let db = build_db(n, cfg);
+        let before = db.stats().gc;
+        let t = Instant::now();
+        outcome = black_box(run_cycle(&db));
+        total_ns += t.elapsed().as_nanos() as f64;
+        gc = db.stats().gc.delta(&before);
+    }
+    Sample {
+        config: cfg,
+        mean_ns: total_ns / iters as f64,
+        outcome,
+        gc,
+    }
+}
+
+fn write_baseline(n: usize, samples: &[Sample]) {
+    let path = std::env::var("GC_PIPELINE_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_gc_pipeline.json")
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"bench\": \"gc_pipeline\",\n  \"cores\": {cores},\n  \"records\": {n},\n  \"results\": [\n"
+    );
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"mean_ns\": {:.0}, \"ns_per_record\": {:.1}, \
+             \"jobs\": {}, \"records_rewritten\": {}, \"fetch_parallel_jobs\": {}, \
+             \"write_batches\": {}, \"pipeline_batches\": {}, \"pipeline_overlaps\": {}, \
+             \"pipeline_backpressure\": {}}}{}\n",
+            s.config.label,
+            s.mean_ns,
+            s.mean_ns / n as f64,
+            s.outcome.jobs,
+            s.outcome.records_rewritten,
+            s.gc.fetch_parallel_jobs,
+            s.gc.write_batches,
+            s.gc.pipeline_batches,
+            s.gc.pipeline_overlaps,
+            s.gc.pipeline_backpressure,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"speedup_vs_seq\": {\n");
+    let seq = samples[0].mean_ns;
+    for (i, s) in samples.iter().enumerate().skip(1) {
+        out.push_str(&format!(
+            "    \"{}\": {:.2}{}\n",
+            s.config.label,
+            seq / s.mean_ns,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+        println!(
+            "gc_pipeline[{}]: {:.2}x vs seq ({:.1} ms vs {:.1} ms)",
+            s.config.label,
+            seq / s.mean_ns,
+            s.mean_ns / 1e6,
+            seq / 1e6
+        );
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("gc_pipeline: baseline written to {path}"),
+        Err(e) => eprintln!("gc_pipeline: failed to write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let n: usize = std::env::var("GC_PIPELINE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let iters: u32 = std::env::var("GC_PIPELINE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let samples: Vec<Sample> = CONFIGS.iter().map(|&cfg| measure(n, cfg, iters)).collect();
+
+    // Every executor configuration must reclaim exactly the same state.
+    let base = samples[0].outcome;
+    for s in &samples[1..] {
+        assert_eq!(
+            base, s.outcome,
+            "GC outcome diverged between 'seq' and '{}'",
+            s.config.label
+        );
+    }
+    println!(
+        "gc_pipeline[{n} records]: {} jobs, {} rewritten, {} files collected (identical across configs)",
+        base.jobs, base.records_rewritten, base.files_collected
+    );
+    for s in &samples {
+        println!(
+            "gc_pipeline[{}]: fetch_jobs={} write_batches={} pipe_batches={} overlaps={} backpressure={}",
+            s.config.label,
+            s.gc.fetch_parallel_jobs,
+            s.gc.write_batches,
+            s.gc.pipeline_batches,
+            s.gc.pipeline_overlaps,
+            s.gc.pipeline_backpressure
+        );
+    }
+    if std::env::var("GC_PIPELINE_ASSERT_OVERLAP").as_deref() == Ok("1") {
+        let piped = samples
+            .iter()
+            .find(|s| s.config.pipeline == GcPipeline::On)
+            .expect("pipelined config present");
+        assert!(
+            piped.gc.pipeline_batches > 0,
+            "pipelined config must push batches through the executor"
+        );
+        assert!(
+            piped.gc.pipeline_overlaps > 0,
+            "pipelined config must overlap stages on a multi-core runner \
+             (batches={}, backpressure={})",
+            piped.gc.pipeline_batches,
+            piped.gc.pipeline_backpressure
+        );
+        let par = samples
+            .iter()
+            .find(|s| s.config.threads > 1)
+            .expect("parallel config present");
+        assert!(
+            par.gc.fetch_parallel_jobs > 0,
+            "parallel config must dispatch fetch workers"
+        );
+    }
+    write_baseline(n, &samples);
+    criterion::write_json_if_requested();
+}

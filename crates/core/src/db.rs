@@ -141,6 +141,8 @@ impl Db {
                     batch_files: opts.gc_batch_files,
                     validate_mode: opts.gc_validate_mode,
                     threads: opts.gc_threads,
+                    pipeline: opts.gc_pipeline,
+                    pipeline_batch: opts.gc_pipeline_batch,
                 },
                 opts.lsm_options().table_options(),
                 vstore.clone(),

@@ -27,10 +27,20 @@
 //!
 //! | phase | Fig. 8 | what happens here |
 //! |---|---|---|
-//! | **Read**   | step ① | value-file keys (Lazy Read) or whole records are loaded into the pending batch |
+//! | **Read**   | step ① | value-file keys (Lazy Read) or whole records are loaded into the pending batch; Titan's full-file scans fan out across the `gc_threads` pool |
 //! | **GC-Lookup** | step ② | every pending record is validated against the index LSM-tree at each read point |
-//! | **Fetch/Write** | steps ③–④ | surviving values are fetched (lazy) and rewritten hot/cold-routed |
+//! | **Fetch** | step ③ | surviving values are fetched (lazy); per-file coalesced reads fan out across the `gc_threads` pool, merged in deterministic file order |
+//! | **Write** | step ④ | survivors are rewritten hot/cold-routed, batched through `VWriter::add_batch` (blocks built per batch, not per record) |
 //! | **Write-Index** | Titan only | new addresses are pushed back through the write path |
+//!
+//! With [`GcPipeline::On`], steps ②–④ additionally *overlap*: the
+//! pending set is split into contiguous sorted batches and threaded
+//! through a bounded-channel executor (`gc_exec`), so batch *k+1*
+//! validates while batch *k* fetches and batch *k−1* writes. `Off` runs
+//! the identical stage closures sequentially; both settings produce
+//! bit-identical value files, file numbers, and [`GcOutcome`]s
+//! (asserted by `tests/integration_gc_pipeline.rs`), and per-stage
+//! queue/overlap counters land in [`GcStats`].
 //!
 //! The paper's Fig. 10 profiles GC-Lookup — historically one serial
 //! `get_at` point query per record per read point — as the dominant GC
@@ -57,17 +67,18 @@
 //! feed per-mode counters into [`GcStats`].
 
 use crate::dropcache::DropCache;
+use crate::gc_exec::{self, RouteWriters};
 use crate::options::{
-    Features, GcScheme, GcValidateMode, VFormat, AUTO_MERGE_VALIDATE_MIN,
+    Features, GcPipeline, GcScheme, GcValidateMode, VFormat, AUTO_MERGE_VALIDATE_MIN,
     AUTO_PARALLEL_VALIDATE_MIN,
 };
 use crate::stats::GcStats;
-use crate::vstore::vtable::{parse_record_key, VReader, VWriter};
-use crate::vstore::{new_value_file_record, ValueStore};
+use crate::vstore::vtable::{parse_record_key, VReader};
+use crate::vstore::ValueStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use scavenger_env::{EnvRef, IoClass};
-use scavenger_lsm::{GuardedWrite, Lsm, LsmReadResult, LsmView, ValueEditBundle};
+use scavenger_env::EnvRef;
+use scavenger_lsm::{BatchReader, GuardedWrite, Lsm, LsmReadResult, ValueEditBundle};
 use scavenger_table::btable::TableOptions;
 use scavenger_table::handle::BlockHandle;
 use scavenger_table::KeyCmp;
@@ -109,8 +120,14 @@ pub struct GcConfig {
     pub batch_files: usize,
     /// How GC-Lookup validates candidate records.
     pub validate_mode: GcValidateMode,
-    /// Worker threads for parallel validation.
+    /// Worker threads for parallel validation and parallel file I/O
+    /// (Fetch fan-out, Titan Read scans).
     pub threads: usize,
+    /// Whether the Validate / Fetch / Write stages overlap (see
+    /// [`GcPipeline`]).
+    pub pipeline: GcPipeline,
+    /// Records per pipeline batch when the pipeline is on.
+    pub pipeline_batch: usize,
 }
 
 /// Drives GC jobs for one engine.
@@ -160,6 +177,20 @@ struct ValItem {
     seq: SeqNo,
 }
 
+/// Everything the GC-Lookup stage needs, pinned once per job and handed
+/// to whichever thread runs the stage (the caller in sequential mode,
+/// the validate stage worker in pipelined mode).
+///
+/// The [`BatchReader`] doubles as the job's read-point pin: it registers
+/// its sequence *before* [`Lsm::read_points`] scans the registry (see
+/// [`GcRunner::read_points`]), and materializes the memtable snapshots
+/// exactly once per job instead of once per validation call.
+struct ValidateCtx<'a> {
+    lsm: &'a Lsm,
+    reader: &'a BatchReader,
+    read_points: &'a [SeqNo],
+}
+
 impl GcRunner {
     /// Create a runner.
     #[allow(clippy::too_many_arguments)]
@@ -202,17 +233,17 @@ impl GcRunner {
 
     /// Read points for validity, pinned for the duration of the job.
     ///
-    /// The returned view registers the latest sequence *before* the
-    /// registry is scanned, so the point set is race-free: any reader
+    /// The returned reader's view registers the latest sequence *before*
+    /// the registry is scanned, so the point set is race-free: any reader
     /// registered after the scan necessarily observes a sequence at or
     /// above the view's — whose visible versions this GC preserves. The
-    /// caller must keep the view alive until the job commits.
-    fn read_points(&self, lsm: &Lsm) -> (LsmView, Vec<SeqNo>) {
-        let pin = lsm.view();
+    /// caller must keep the reader alive until the job commits.
+    fn read_points(&self, lsm: &Lsm) -> (BatchReader, Vec<SeqNo>) {
+        let reader = lsm.batch_reader();
         // All registered read points: user snapshots plus in-flight view
         // pins (including our own, so the latest sequence is covered).
         let pts = lsm.read_points();
-        (pin, pts)
+        (reader, pts)
     }
 
     /// Resolve `Auto` to a concrete mode for a batch of `n` records.
@@ -270,8 +301,7 @@ impl GcRunner {
     /// Returns one bool per item, in input order.
     fn validate_items(
         &self,
-        lsm: &Lsm,
-        read_points: &[SeqNo],
+        cx: &ValidateCtx<'_>,
         items: &[ValItem],
         require_seq_match: bool,
         check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
@@ -283,14 +313,10 @@ impl GcRunner {
         self.stats.validate_batches.fetch_add(1, Ordering::Relaxed);
         match mode {
             GcValidateMode::Auto => unreachable!("resolve_mode() produces concrete modes"),
-            GcValidateMode::Point => {
-                self.validate_point(lsm, read_points, items, require_seq_match, check_ref)
-            }
-            GcValidateMode::Merge => {
-                self.validate_merge(lsm, read_points, items, require_seq_match, check_ref)
-            }
+            GcValidateMode::Point => self.validate_point(cx, items, require_seq_match, check_ref),
+            GcValidateMode::Merge => self.validate_merge(cx, items, require_seq_match, check_ref),
             GcValidateMode::Parallel => {
-                self.validate_parallel(lsm, read_points, items, require_seq_match, check_ref)
+                self.validate_parallel(cx, items, require_seq_match, check_ref)
             }
         }
     }
@@ -298,8 +324,7 @@ impl GcRunner {
     /// Baseline: one serial point lookup per record per read point.
     fn validate_point(
         &self,
-        lsm: &Lsm,
-        read_points: &[SeqNo],
+        cx: &ValidateCtx<'_>,
         items: &[ValItem],
         require_seq_match: bool,
         check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
@@ -307,9 +332,9 @@ impl GcRunner {
         let mut valid = vec![false; items.len()];
         let mut lookups = 0u64;
         for (i, item) in items.iter().enumerate() {
-            for &pt in read_points {
+            for &pt in cx.read_points {
                 lookups += 1;
-                let r = lsm.get_at(&item.ukey, pt)?;
+                let r = cx.lsm.get_at(&item.ukey, pt)?;
                 if Self::verdict(&r, item, i, require_seq_match, check_ref) {
                     valid[i] = true;
                     break;
@@ -323,21 +348,20 @@ impl GcRunner {
     }
 
     /// Merge-validate: sort the batch by user key and resolve it with one
-    /// co-sequential sweep of a pinned LSM view per read point.
+    /// co-sequential sweep of the job's pinned [`BatchReader`] per read
+    /// point.
     fn validate_merge(
         &self,
-        lsm: &Lsm,
-        read_points: &[SeqNo],
+        cx: &ValidateCtx<'_>,
         items: &[ValItem],
         require_seq_match: bool,
         check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
     ) -> Result<Vec<bool>> {
         let mut order: Vec<usize> = (0..items.len()).collect();
         order.sort_by(|&a, &b| items[a].ukey.cmp(&items[b].ukey));
-        let reader = lsm.batch_reader();
         let mut valid = vec![false; items.len()];
-        for &pt in read_points {
-            let mut sweep = reader.sweep(pt)?;
+        for &pt in cx.read_points {
+            let mut sweep = cx.reader.sweep(pt)?;
             for &i in &order {
                 if valid[i] {
                     continue;
@@ -371,64 +395,48 @@ impl GcRunner {
     /// [`GcStats`] after the join.
     fn validate_parallel(
         &self,
-        lsm: &Lsm,
-        read_points: &[SeqNo],
+        cx: &ValidateCtx<'_>,
         items: &[ValItem],
         require_seq_match: bool,
         check_ref: &(dyn Fn(usize, &ValueRef) -> bool + Sync),
     ) -> Result<Vec<bool>> {
         let threads = self.cfg.threads.clamp(1, items.len());
         if threads == 1 {
-            return self.validate_merge(lsm, read_points, items, require_seq_match, check_ref);
+            return self.validate_merge(cx, items, require_seq_match, check_ref);
         }
         let mut order: Vec<usize> = (0..items.len()).collect();
         order.sort_by(|&a, &b| items[a].ukey.cmp(&items[b].ukey));
-        let reader = lsm.batch_reader();
+        let read_points = cx.read_points;
         let chunk = order.len().div_ceil(threads);
-        type WorkerOut = Result<(Vec<(usize, bool)>, scavenger_lsm::SweepStats)>;
-        let worker_results: Vec<WorkerOut> = std::thread::scope(|scope| {
-            let reader = &reader;
-            let handles: Vec<_> = order
-                .chunks(chunk)
-                .map(|range| {
-                    scope.spawn(move || -> WorkerOut {
-                        let mut local: Vec<(usize, bool)> =
-                            range.iter().map(|&i| (i, false)).collect();
-                        let mut stats = scavenger_lsm::SweepStats::default();
-                        for &pt in read_points {
-                            let mut sweep = reader.sweep(pt)?;
-                            for slot in local.iter_mut() {
-                                if slot.1 {
-                                    continue;
-                                }
-                                let item = &items[slot.0];
-                                let r = sweep.next_visible(&item.ukey)?;
-                                if Self::verdict(&r, item, slot.0, require_seq_match, check_ref) {
-                                    slot.1 = true;
-                                }
-                            }
-                            let s = sweep.stats();
-                            stats.steps += s.steps;
-                            stats.seeks += s.seeks;
+        let ranges: Vec<&[usize]> = order.chunks(chunk).collect();
+        let worker_results = gc_exec::parallel_map_ordered(
+            &ranges,
+            threads,
+            &self.stats.validate_parallel_jobs,
+            |range: &&[usize]| {
+                let mut local: Vec<(usize, bool)> = range.iter().map(|&i| (i, false)).collect();
+                let mut stats = scavenger_lsm::SweepStats::default();
+                for &pt in read_points {
+                    let mut sweep = cx.reader.sweep(pt)?;
+                    for slot in local.iter_mut() {
+                        if slot.1 {
+                            continue;
                         }
-                        Ok((local, stats))
-                    })
-                })
-                .collect();
-            self.stats
-                .validate_parallel_jobs
-                .fetch_add(handles.len() as u64, Ordering::Relaxed);
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err(Error::internal("GC validation worker panicked")))
-                })
-                .collect()
-        });
+                        let item = &items[slot.0];
+                        let r = sweep.next_visible(&item.ukey)?;
+                        if Self::verdict(&r, item, slot.0, require_seq_match, check_ref) {
+                            slot.1 = true;
+                        }
+                    }
+                    let s = sweep.stats();
+                    stats.steps += s.steps;
+                    stats.seeks += s.seeks;
+                }
+                Ok((local, stats))
+            },
+        )?;
         let mut valid = vec![false; items.len()];
-        for res in worker_results {
-            let (local, s) = res?;
+        for (local, s) in worker_results {
             for (i, ok) in local {
                 valid[i] = ok;
             }
@@ -483,7 +491,12 @@ impl GcRunner {
                 offsets.push(rec.value_offset);
             }
         }
-        let (_pin, read_points) = self.read_points(lsm);
+        let (reader, read_points) = self.read_points(lsm);
+        let cx = ValidateCtx {
+            lsm,
+            reader: &reader,
+            read_points: &read_points,
+        };
         let mode = mode.unwrap_or_else(|| self.resolve_mode(items.len()));
         // Record identity must mirror the scheme's own GC (see
         // `verdict()`): keyed for no-writeback, `(file, offset)` for
@@ -491,10 +504,8 @@ impl GcRunner {
         let keyed = |_i: usize, r: &ValueRef| self.vstore.resolves_to(r.file, file);
         let addressed = |i: usize, r: &ValueRef| r.file == file && r.offset == offsets[i];
         let verdicts = match self.features.gc {
-            GcScheme::Writeback => {
-                self.validate_items(lsm, &read_points, &items, false, &addressed, mode)?
-            }
-            _ => self.validate_items(lsm, &read_points, &items, true, &keyed, mode)?,
+            GcScheme::Writeback => self.validate_items(&cx, &items, false, &addressed, mode)?,
+            _ => self.validate_items(&cx, &items, true, &keyed, mode)?,
         };
         Ok(GcValidationReport {
             records: items.len() as u64,
@@ -543,6 +554,12 @@ impl GcRunner {
             }
             readers.insert(meta.file, reader);
         }
+        // Sort the whole pending set by internal key up front: validation
+        // verdicts are order-independent, the Fetch phase wants this
+        // order anyway, and the pipeline's batches must be contiguous
+        // sorted ranges so that batched and sequential execution write
+        // records — and roll value files — at identical boundaries.
+        pending.sort_by(|a, b| cmp_internal(&a.ikey, &b.ikey));
         self.stats
             .read_ns
             .fetch_add(t_read.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -550,143 +567,86 @@ impl GcRunner {
             .records_scanned
             .fetch_add(pending.len() as u64, Ordering::Relaxed);
 
-        // ---- GC-Lookup (Fig. 8 step ② / Fig. 10), batched ----
-        // The pin stays alive until the job commits: every version it
-        // protects is either rewritten or reachable through inheritance.
-        let t_lookup = Instant::now();
-        let (_pin, read_points) = self.read_points(lsm);
-        let mut items = Vec::with_capacity(pending.len());
-        for rec in &pending {
-            let (u, s) = parse_record_key(&rec.ikey)?;
-            items.push(ValItem {
-                ukey: u.to_vec(),
-                seq: s,
-            });
-        }
-        let sources: Vec<u64> = pending.iter().map(|r| r.source).collect();
-        // Keyed identity: alive if some read point's visible reference
-        // resolves (through inheritance) to the record's source file.
-        let check = |i: usize, r: &ValueRef| self.vstore.resolves_to(r.file, sources[i]);
-        let verdicts = self.validate_items(
+        // ---- GC-Lookup / Fetch / Write (Fig. 8 steps ②–④) ----
+        // The reader pin stays alive until the job commits: every version
+        // it protects is either rewritten or reachable through
+        // inheritance. The same three stage closures run either
+        // sequentially (pipeline Off) or overlapped over bounded channels
+        // (On); both orders are bit-identical (see `crate::gc_exec`).
+        let (reader, read_points) = self.read_points(lsm);
+        let cx = ValidateCtx {
             lsm,
-            &read_points,
-            &items,
-            true,
-            &check,
-            self.resolve_mode(items.len()),
-        )?;
-        let mut valid: Vec<Pending> = pending
-            .into_iter()
-            .zip(&verdicts)
-            .filter_map(|(rec, &ok)| ok.then_some(rec))
-            .collect();
-        self.stats
-            .lookup_ns
-            .fetch_add(t_lookup.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.stats
-            .records_valid
-            .fetch_add(valid.len() as u64, Ordering::Relaxed);
-
-        // ---- Fetch valid values (the lazy part of Lazy Read, step ③) ----
-        let t_fetch = Instant::now();
-        valid.sort_by(|a, b| cmp_internal(&a.ikey, &b.ikey));
-        let mut materialized: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(valid.len());
-        {
-            // Group handle-fetches per source file for coalescing. A
-            // BTreeMap keeps the fetch order (and therefore the I/O
-            // trace) deterministic across runs — `HashMap` iteration
-            // order would reshuffle it per process.
-            let mut by_file: BTreeMap<u64, Vec<(usize, BlockHandle)>> = BTreeMap::new();
-            for (i, rec) in valid.iter().enumerate() {
-                match &rec.loc {
-                    Loc::Inline(v) => materialized.push((rec.ikey.clone(), v.clone())),
-                    Loc::Handle(h) => {
-                        by_file.entry(rec.source).or_default().push((i, *h));
-                        materialized.push((rec.ikey.clone(), Bytes::new()));
-                    }
-                }
-            }
-            for (file, mut handles) in by_file {
-                handles.sort_by_key(|(_, h)| h.offset);
-                let reader = &readers[&file];
-                match reader {
-                    VReader::R(r) => {
-                        let hs: Vec<BlockHandle> = handles.iter().map(|(_, h)| *h).collect();
-                        let recs = r.read_records(&hs, self.features.gc_readahead)?;
-                        for ((idx, _), (_, value)) in handles.iter().zip(recs) {
-                            materialized[*idx].1 = value;
-                        }
-                    }
-                    _ => {
-                        for (idx, h) in handles {
-                            let (_, value) = reader.read_record(h)?;
-                            materialized[idx].1 = value;
-                        }
-                    }
-                }
-            }
-        }
-        self.stats
-            .read_ns
-            .fetch_add(t_fetch.elapsed().as_nanos() as u64, Ordering::Relaxed);
-
-        // ---- Write (Fig. 8 step ④), hot/cold routed ----
-        let t_write = Instant::now();
-        let mut writers: [Option<(u64, VWriter)>; 2] = [None, None];
-        let mut outputs: Vec<scavenger_lsm::NewValueFile> = Vec::new();
+            reader: &reader,
+            read_points: &read_points,
+        };
         let alloc = lsm.file_alloc();
-        for (ikey, value) in &materialized {
-            let (ukey, seq) = parse_record_key(ikey)?;
-            let route = usize::from(self.features.hotness && self.dropcache.contains(ukey));
-            if writers[route].is_none() {
-                let file = alloc.next_file_number();
-                writers[route] = Some((
-                    file,
-                    VWriter::create(
-                        &self.env,
-                        &self.dir,
-                        file,
-                        self.features.vformat,
-                        self.table_opts.clone(),
-                        IoClass::GcWrite,
-                    )?,
-                ));
-            }
-            let (_, w) = writers[route].as_mut().unwrap();
-            w.add(ukey, seq, value)?;
-            if w.estimated_size() >= self.cfg.vsst_target {
-                let (file, w) = writers[route].take().unwrap();
-                let info = w.finish()?;
-                outputs.push(new_value_file_record(
-                    file,
-                    info,
-                    route == 1,
-                    self.features.vformat,
-                ));
-            }
-        }
-        for (route, slot) in writers.into_iter().enumerate() {
-            if let Some((file, w)) = slot {
-                if w.num_entries() == 0 {
-                    let _ = self.env.remove_file(&crate::vstore::vtable::vfile_path(
-                        &self.dir,
-                        file,
-                        self.features.vformat,
-                    ));
-                    continue;
+        let mut route_writers = RouteWriters::new(
+            &self.env,
+            &self.dir,
+            self.features.vformat,
+            self.table_opts.clone(),
+            alloc.as_ref(),
+            self.cfg.vsst_target,
+            &self.stats,
+        );
+        let mut rewritten: u64 = 0;
+
+        if !pending.is_empty() {
+            let validate_stage = |batch: Vec<Pending>| -> Result<Vec<Pending>> {
+                let t = Instant::now();
+                let out = self.validate_pending(&cx, batch);
+                self.stats
+                    .lookup_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                out
+            };
+            let fetch_stage = |valid: Vec<Pending>| -> Result<Vec<(Vec<u8>, Bytes)>> {
+                let t = Instant::now();
+                let out = self.fetch_values(&readers, valid);
+                self.stats
+                    .read_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                out
+            };
+            let route_writers_ref = &mut route_writers;
+            let rewritten_ref = &mut rewritten;
+            let write_stage = move |materialized: Vec<(Vec<u8>, Bytes)>| -> Result<()> {
+                let t = Instant::now();
+                *rewritten_ref += materialized.len() as u64;
+                let out = self.write_routed(route_writers_ref, &materialized);
+                self.stats
+                    .write_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                out
+            };
+
+            if self.cfg.pipeline == GcPipeline::On {
+                let batch = self.cfg.pipeline_batch.max(1);
+                let mut chunks: Vec<Vec<Pending>> =
+                    Vec::with_capacity(pending.len().div_ceil(batch));
+                let mut it = pending.into_iter();
+                loop {
+                    let chunk: Vec<Pending> = it.by_ref().take(batch).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    chunks.push(chunk);
                 }
-                let info = w.finish()?;
-                outputs.push(new_value_file_record(
-                    file,
-                    info,
-                    route == 1,
-                    self.features.vformat,
-                ));
+                gc_exec::run_overlapped(
+                    chunks,
+                    validate_stage,
+                    fetch_stage,
+                    write_stage,
+                    &self.stats,
+                )?;
+            } else {
+                let mut write_stage = write_stage;
+                let valid = validate_stage(pending)?;
+                let materialized = fetch_stage(valid)?;
+                write_stage(materialized)?;
             }
         }
-        self.stats
-            .write_ns
-            .fetch_add(t_write.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let outputs = route_writers.finish()?;
 
         // ---- Commit: inheritance instead of index rewrites (§II-B) ----
         let mut bundle = ValueEditBundle {
@@ -716,9 +676,122 @@ impl GcRunner {
             .fetch_add(deleted_bytes.saturating_sub(new_bytes), Ordering::Relaxed);
         Ok(Some(GcOutcome {
             files_collected: candidate_files.len(),
-            records_rewritten: materialized.len() as u64,
+            records_rewritten: rewritten,
             bytes_reclaimed: deleted_bytes.saturating_sub(new_bytes),
         }))
+    }
+
+    /// GC-Lookup (step ②) over one batch of pending records (keyed
+    /// identity): returns the subset still referenced from some read
+    /// point, preserving input order.
+    fn validate_pending(&self, cx: &ValidateCtx<'_>, batch: Vec<Pending>) -> Result<Vec<Pending>> {
+        if batch.is_empty() {
+            return Ok(batch);
+        }
+        let mut items = Vec::with_capacity(batch.len());
+        for rec in &batch {
+            let (u, s) = parse_record_key(&rec.ikey)?;
+            items.push(ValItem {
+                ukey: u.to_vec(),
+                seq: s,
+            });
+        }
+        let sources: Vec<u64> = batch.iter().map(|r| r.source).collect();
+        // Keyed identity: alive if some read point's visible reference
+        // resolves (through inheritance) to the record's source file.
+        let check = |i: usize, r: &ValueRef| self.vstore.resolves_to(r.file, sources[i]);
+        let verdicts =
+            self.validate_items(cx, &items, true, &check, self.resolve_mode(items.len()))?;
+        let valid: Vec<Pending> = batch
+            .into_iter()
+            .zip(&verdicts)
+            .filter_map(|(rec, &ok)| ok.then_some(rec))
+            .collect();
+        self.stats
+            .records_valid
+            .fetch_add(valid.len() as u64, Ordering::Relaxed);
+        Ok(valid)
+    }
+
+    /// The Fetch phase (the lazy part of Lazy Read, step ③) for one batch
+    /// of surviving records: inline values pass through; handle-locations
+    /// are grouped per source file (BTreeMap order keeps the I/O trace
+    /// deterministic), coalesced, and fanned out across the `gc_threads`
+    /// pool — one job per file, results merged back in file order.
+    fn fetch_values(
+        &self,
+        readers: &HashMap<u64, VReader>,
+        valid: Vec<Pending>,
+    ) -> Result<Vec<(Vec<u8>, Bytes)>> {
+        let mut materialized: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(valid.len());
+        let mut by_file: BTreeMap<u64, Vec<(usize, BlockHandle)>> = BTreeMap::new();
+        for (i, rec) in valid.iter().enumerate() {
+            match &rec.loc {
+                Loc::Inline(v) => materialized.push((rec.ikey.clone(), v.clone())),
+                Loc::Handle(h) => {
+                    by_file.entry(rec.source).or_default().push((i, *h));
+                    materialized.push((rec.ikey.clone(), Bytes::new()));
+                }
+            }
+        }
+        let mut jobs: Vec<(u64, Vec<(usize, BlockHandle)>)> = by_file.into_iter().collect();
+        for (_, handles) in jobs.iter_mut() {
+            handles.sort_by_key(|(_, h)| h.offset);
+        }
+        let fills = gc_exec::parallel_map_ordered(
+            &jobs,
+            self.cfg.threads,
+            &self.stats.fetch_parallel_jobs,
+            |(file, handles)| {
+                let reader = &readers[file];
+                match reader {
+                    VReader::R(r) => {
+                        let hs: Vec<BlockHandle> = handles.iter().map(|(_, h)| *h).collect();
+                        let recs = r.read_records(&hs, self.features.gc_readahead)?;
+                        Ok(handles
+                            .iter()
+                            .zip(recs)
+                            .map(|((idx, _), (_, value))| (*idx, value))
+                            .collect::<Vec<_>>())
+                    }
+                    _ => handles
+                        .iter()
+                        .map(|(idx, h)| reader.read_record(*h).map(|(_, v)| (*idx, v)))
+                        .collect(),
+                }
+            },
+        )?;
+        for file_fills in fills {
+            for (idx, value) in file_fills {
+                materialized[idx].1 = value;
+            }
+        }
+        Ok(materialized)
+    }
+
+    /// The Write phase (step ④) for one batch: hot/cold-route each record
+    /// and append per-route runs through the batched route writers.
+    fn write_routed(
+        &self,
+        writers: &mut RouteWriters<'_>,
+        materialized: &[(Vec<u8>, Bytes)],
+    ) -> Result<()> {
+        let mut run: Vec<(&[u8], SeqNo, &[u8])> = Vec::new();
+        let mut run_route = 0usize;
+        for (ikey, value) in materialized {
+            let (ukey, seq) = parse_record_key(ikey)?;
+            let route = usize::from(self.features.hotness && self.dropcache.contains(ukey));
+            if route != run_route && !run.is_empty() {
+                writers.write_batch(run_route, &run)?;
+                run.clear();
+            }
+            run_route = route;
+            run.push((ukey, seq, value));
+        }
+        if !run.is_empty() {
+            writers.write_batch(run_route, &run)?;
+        }
+        Ok(())
     }
 
     // ---------------- Titan ----------------
@@ -802,14 +875,27 @@ impl GcRunner {
         let candidate_files: Vec<u64> = candidates.iter().map(|m| m.file).collect();
         let deleted_bytes: u64 = candidates.iter().map(|m| m.size).sum();
 
-        // ---- Read: full sequential scan of each blob file ----
+        // ---- Read: full scan of each blob file (step ①), fanned out
+        // across the `gc_threads` pool — one job per candidate file,
+        // results concatenated in candidate order so the record stream
+        // (and everything downstream) is deterministic ----
         let t_read = Instant::now();
+        let scans = gc_exec::parallel_map_ordered(
+            &candidate_files,
+            self.cfg.threads,
+            &self.stats.fetch_parallel_jobs,
+            |&file| {
+                let reader = self.vstore.gc_reader(file)?;
+                Ok(reader
+                    .scan_all()?
+                    .into_iter()
+                    .map(|rec| (file, rec))
+                    .collect::<Vec<_>>())
+            },
+        )?;
         let mut records: Vec<(u64, crate::vstore::vtable::BlobRecord)> = Vec::new();
-        for meta in &candidates {
-            let reader = self.vstore.gc_reader(meta.file)?;
-            for rec in reader.scan_all()? {
-                records.push((meta.file, rec));
-            }
+        for scan in scans {
+            records.extend(scan);
         }
         self.stats
             .read_ns
@@ -820,7 +906,12 @@ impl GcRunner {
 
         // ---- GC-Lookup: validate the batch against the index ----
         let t_lookup = Instant::now();
-        let (pin, read_points) = self.read_points(lsm);
+        let (reader, read_points) = self.read_points(lsm);
+        let cx = ValidateCtx {
+            lsm,
+            reader: &reader,
+            read_points: &read_points,
+        };
         let mut items = Vec::with_capacity(records.len());
         for (_, rec) in &records {
             let (u, s) = parse_record_key(&rec.ikey)?;
@@ -836,14 +927,8 @@ impl GcRunner {
         // Address identity (Titan): alive if some read point's visible
         // reference still points at this exact `(file, offset)`.
         let check = |i: usize, r: &ValueRef| r.file == addrs[i].0 && r.offset == addrs[i].1;
-        let verdicts = self.validate_items(
-            lsm,
-            &read_points,
-            &items,
-            false,
-            &check,
-            self.resolve_mode(items.len()),
-        )?;
+        let verdicts =
+            self.validate_items(&cx, &items, false, &check, self.resolve_mode(items.len()))?;
         let valid: Vec<(u64, crate::vstore::vtable::BlobRecord)> = records
             .into_iter()
             .zip(&verdicts)
@@ -856,24 +941,34 @@ impl GcRunner {
             .records_valid
             .fetch_add(valid.len() as u64, Ordering::Relaxed);
 
-        // ---- Write: rewrite valid values into a fresh blob file ----
+        // ---- Write: rewrite valid values into fresh blob files (step
+        // ④), batched through the route writers. Writers (and their file
+        // numbers) are allocated lazily, so an all-dead candidate set
+        // allocates nothing and a rollover landing exactly on the last
+        // record never leaves an empty trailing file behind ----
         let t_write = Instant::now();
         let alloc = lsm.file_alloc();
-        let mut new_files = Vec::new();
         let mut guarded: Vec<GuardedWrite> = Vec::new();
+        let mut new_files = Vec::new();
         if !valid.is_empty() {
-            let mut file = alloc.next_file_number();
-            let mut w = VWriter::create(
+            let mut writers = RouteWriters::new(
                 &self.env,
                 &self.dir,
-                file,
                 VFormat::BlobLog,
                 self.table_opts.clone(),
-                IoClass::GcWrite,
-            )?;
-            for (source, rec) in &valid {
+                alloc.as_ref(),
+                self.cfg.vsst_target,
+                &self.stats,
+            );
+            let mut recs: Vec<(&[u8], SeqNo, &[u8])> = Vec::with_capacity(valid.len());
+            for (_, rec) in &valid {
                 let (ukey, seq) = parse_record_key(&rec.ikey)?;
-                let written = w.add(ukey, seq, &rec.value)?;
+                recs.push((ukey, seq, &rec.value));
+            }
+            let written = writers.write_batch(0, &recs)?;
+            debug_assert_eq!(written.len(), valid.len());
+            for (((source, rec), (file, w)), &(ukey, _, _)) in valid.iter().zip(&written).zip(&recs)
+            {
                 guarded.push(GuardedWrite {
                     key: ukey.to_vec(),
                     expected: ValueRef {
@@ -882,35 +977,13 @@ impl GcRunner {
                         offset: rec.value_offset,
                     },
                     replacement: ValueRef {
-                        file,
-                        size: written.size,
-                        offset: written.offset,
+                        file: *file,
+                        size: w.size,
+                        offset: w.offset,
                     },
                 });
-                if w.estimated_size() >= self.cfg.vsst_target {
-                    let info = w.finish()?;
-                    new_files.push(new_value_file_record(file, info, false, VFormat::BlobLog));
-                    file = alloc.next_file_number();
-                    w = VWriter::create(
-                        &self.env,
-                        &self.dir,
-                        file,
-                        VFormat::BlobLog,
-                        self.table_opts.clone(),
-                        IoClass::GcWrite,
-                    )?;
-                }
             }
-            if w.num_entries() > 0 {
-                let info = w.finish()?;
-                new_files.push(new_value_file_record(file, info, false, VFormat::BlobLog));
-            } else {
-                let _ = self.env.remove_file(&crate::vstore::vtable::vfile_path(
-                    &self.dir,
-                    file,
-                    VFormat::BlobLog,
-                ));
-            }
+            new_files = writers.finish()?;
         }
         self.stats
             .write_ns
@@ -951,7 +1024,7 @@ impl GcRunner {
         // Release the job's own read-point pin, then try to reap: in the
         // quiet case (no other readers in flight) the files are deleted
         // immediately, matching the previous delete-at-commit behaviour.
-        drop(pin);
+        drop(reader);
         self.reap_deferred(lsm)?;
 
         self.stats.runs.fetch_add(1, Ordering::Relaxed);

@@ -36,6 +36,7 @@
 pub mod db;
 pub mod dropcache;
 pub mod gc;
+pub(crate) mod gc_exec;
 pub mod hook;
 pub mod options;
 pub mod stats;
@@ -46,7 +47,7 @@ pub mod vstore;
 pub use db::{Db, DbScanIter, ScanEntry};
 pub use dropcache::DropCache;
 pub use gc::{GcOutcome, GcValidationReport};
-pub use options::{EngineMode, Features, GcScheme, GcValidateMode, Options, VFormat};
+pub use options::{EngineMode, Features, GcPipeline, GcScheme, GcValidateMode, Options, VFormat};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
 pub use view::{ReadOptions, ReadView, Snapshot, WriteOptions};
 

@@ -182,6 +182,22 @@ pub enum GcValidateMode {
     Parallel,
 }
 
+/// Whether a GC job overlaps its Validate / Fetch / Write stages
+/// (Fig. 8 steps ② / ③ / ④) across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPipeline {
+    /// Run the stages sequentially on the GC thread — the equivalence
+    /// baseline, and the default: the pipeline pays thread + channel
+    /// overhead that only multi-core hardware recoups.
+    Off,
+    /// Three-stage bounded-channel pipeline over batches of
+    /// [`gc_pipeline_batch`](Options::gc_pipeline_batch) records: batch
+    /// *k+1* validates while batch *k* fetches and batch *k−1* writes.
+    /// Produces bit-identical outputs to `Off` (same value-file bytes,
+    /// file numbers, and `GcOutcome`) — only wall-clock changes.
+    On,
+}
+
 /// Batch size at or above which [`GcValidateMode::Auto`] switches from the
 /// worker pool to merge-validate.
 pub const AUTO_MERGE_VALIDATE_MIN: usize = 256;
@@ -220,8 +236,17 @@ pub struct Options {
     /// How GC-Lookup validates candidate records (see [`GcValidateMode`]).
     pub gc_validate_mode: GcValidateMode,
     /// Worker threads for [`GcValidateMode::Parallel`] validation (and the
-    /// `Auto` mode's small-batch path). `1` disables the pool.
+    /// `Auto` mode's small-batch path), for fanning the GC Fetch phase's
+    /// per-file coalesced reads out across source files, and for Titan's
+    /// full-file Read scans. `1` disables the pool.
     pub gc_threads: usize,
+    /// Whether GC jobs overlap their Validate / Fetch / Write stages
+    /// (see [`GcPipeline`]). All pipeline settings produce bit-identical
+    /// GC outputs; `On` trades threads for wall-clock.
+    pub gc_pipeline: GcPipeline,
+    /// Records per pipeline batch when [`gc_pipeline`](Options::gc_pipeline)
+    /// is `On`. Smaller batches overlap sooner but amortize less.
+    pub gc_pipeline_batch: usize,
     /// DropCache capacity in keys (paper: ~32 B/key; §III-B3).
     pub dropcache_keys: usize,
     /// Space limit in bytes; `None` disables space-aware throttling.
@@ -267,6 +292,8 @@ impl Options {
             gc_bandwidth_factor: 1.0,
             gc_validate_mode: GcValidateMode::Auto,
             gc_threads: 4,
+            gc_pipeline: GcPipeline::Off,
+            gc_pipeline_batch: 1024,
             dropcache_keys: 64 * 1024,
             space_limit: None,
             throttle_gc_factor: 0.25,
@@ -358,6 +385,12 @@ mod tests {
         assert!(o.space_limit.is_none());
         assert_eq!(o.gc_validate_mode, GcValidateMode::Auto);
         assert!(o.gc_threads >= 1);
+        assert_eq!(
+            o.gc_pipeline,
+            GcPipeline::Off,
+            "sequential stages are the default baseline"
+        );
+        assert!(o.gc_pipeline_batch >= 1);
     }
 
     #[test]

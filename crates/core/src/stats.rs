@@ -39,6 +39,22 @@ pub struct GcStats {
     pub validate_sweep_seeks: AtomicU64,
     /// Worker tasks dispatched by parallel validation.
     pub validate_parallel_jobs: AtomicU64,
+    /// Worker tasks dispatched by parallel GC file I/O (the Fetch phase's
+    /// per-file fan-out and Titan's full-file Read scans).
+    pub fetch_parallel_jobs: AtomicU64,
+    /// Record batches staged through `VWriter::add_batch` by the Write
+    /// phase's route writers.
+    pub write_batches: AtomicU64,
+    /// GC jobs executed through the overlapped pipeline executor.
+    pub pipeline_jobs: AtomicU64,
+    /// Record batches pushed through the pipeline stages.
+    pub pipeline_batches: AtomicU64,
+    /// Stage executions that began while another pipeline stage was
+    /// mid-batch — the direct measure of stage overlap.
+    pub pipeline_overlaps: AtomicU64,
+    /// Inter-stage handoffs that found the downstream queue full
+    /// (backpressure from a slower stage).
+    pub pipeline_backpressure: AtomicU64,
 }
 
 impl GcStats {
@@ -60,6 +76,12 @@ impl GcStats {
             validate_sweep_steps: self.validate_sweep_steps.load(Ordering::Relaxed),
             validate_sweep_seeks: self.validate_sweep_seeks.load(Ordering::Relaxed),
             validate_parallel_jobs: self.validate_parallel_jobs.load(Ordering::Relaxed),
+            fetch_parallel_jobs: self.fetch_parallel_jobs.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            pipeline_jobs: self.pipeline_jobs.load(Ordering::Relaxed),
+            pipeline_batches: self.pipeline_batches.load(Ordering::Relaxed),
+            pipeline_overlaps: self.pipeline_overlaps.load(Ordering::Relaxed),
+            pipeline_backpressure: self.pipeline_backpressure.load(Ordering::Relaxed),
         }
     }
 }
@@ -97,6 +119,20 @@ pub struct GcStepTimes {
     pub validate_sweep_seeks: u64,
     /// Worker tasks dispatched by parallel validation.
     pub validate_parallel_jobs: u64,
+    /// Worker tasks dispatched by parallel GC file I/O (Fetch fan-out and
+    /// Titan Read scans).
+    pub fetch_parallel_jobs: u64,
+    /// Record batches staged through `VWriter::add_batch` by the Write
+    /// phase.
+    pub write_batches: u64,
+    /// GC jobs executed through the overlapped pipeline executor.
+    pub pipeline_jobs: u64,
+    /// Record batches pushed through the pipeline stages.
+    pub pipeline_batches: u64,
+    /// Stage executions that overlapped another stage.
+    pub pipeline_overlaps: u64,
+    /// Handoffs that hit a full inter-stage queue (backpressure).
+    pub pipeline_backpressure: u64,
 }
 
 impl GcStepTimes {
@@ -148,6 +184,20 @@ impl GcStepTimes {
             validate_parallel_jobs: self
                 .validate_parallel_jobs
                 .saturating_sub(earlier.validate_parallel_jobs),
+            fetch_parallel_jobs: self
+                .fetch_parallel_jobs
+                .saturating_sub(earlier.fetch_parallel_jobs),
+            write_batches: self.write_batches.saturating_sub(earlier.write_batches),
+            pipeline_jobs: self.pipeline_jobs.saturating_sub(earlier.pipeline_jobs),
+            pipeline_batches: self
+                .pipeline_batches
+                .saturating_sub(earlier.pipeline_batches),
+            pipeline_overlaps: self
+                .pipeline_overlaps
+                .saturating_sub(earlier.pipeline_overlaps),
+            pipeline_backpressure: self
+                .pipeline_backpressure
+                .saturating_sub(earlier.pipeline_backpressure),
         }
     }
 }

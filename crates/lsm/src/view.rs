@@ -516,6 +516,11 @@ type PinnedMemtable = Arc<Vec<(Vec<u8>, Bytes)>>;
 /// Built on an [`LsmView`], so the sweep sources are pinned *and* the
 /// view's sequence is registered as a read point for the reader's whole
 /// lifetime (the GC validation pipeline relies on this).
+///
+/// A `BatchReader` is `Send + Sync` (asserted by a compile-time test):
+/// a GC job builds one reader up front and hands it to stage workers —
+/// the pipelined executor's validate stage, or `gc_threads` parallel
+/// sweep workers — which open per-thread sweeps over the shared pin.
 pub struct BatchReader {
     mem: PinnedMemtable,
     imms: Vec<PinnedMemtable>,
@@ -565,8 +570,29 @@ impl BatchReader {
         self.view.version()
     }
 
+    /// The sequence this reader's pin registered as a read point: every
+    /// version visible at or below it stays resolvable for the reader's
+    /// lifetime.
+    pub fn sequence(&self) -> SeqNo {
+        self.view.sequence()
+    }
+
     /// The underlying registered view.
     pub fn view(&self) -> &LsmView {
         &self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The GC executor hands one `BatchReader` (and the `LsmView` inside
+    /// it) across stage threads; this must never silently regress.
+    #[test]
+    fn batch_reader_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatchReader>();
+        assert_send_sync::<LsmView>();
     }
 }

@@ -12,7 +12,7 @@
 //! index, paper §III-B1).
 
 use crate::block::{Block, BlockBuilder, BlockIter};
-use crate::blockio::{read_block, write_block};
+use crate::blockio::{read_block, stage_block, write_block};
 use crate::cache::{CacheKey, CachePriority, LruCache};
 use crate::filter::{BloomBuilder, BloomReader};
 use crate::handle::{BlockHandle, Footer, FOOTER_LEN};
@@ -184,14 +184,78 @@ impl BTableBuilder {
     }
 
     fn flush_data_block(&mut self) -> Result<()> {
-        if self.data.is_empty() {
+        let mut buf = Vec::new();
+        let base = self.file.len();
+        self.stage_data_block(&mut buf, base);
+        if buf.is_empty() {
             return Ok(());
+        }
+        self.file.append(&buf)
+    }
+
+    /// Stage the pending data block into `buf` (see [`stage_block`]); a
+    /// no-op when the block is empty.
+    fn stage_data_block(&mut self, buf: &mut Vec<u8>, base: u64) {
+        if self.data.is_empty() {
+            return;
         }
         let last_key = self.data.last_key().to_vec();
         let payload = self.data.finish();
-        let handle = write_block(self.file.as_mut(), &payload)?;
+        let handle = stage_block(buf, base, &payload);
         self.index.add(&last_key, &handle.encode());
-        Ok(())
+    }
+
+    /// Append a batch of entries with **one** file `append`: data blocks
+    /// that fill up mid-batch are built and staged into a single buffer,
+    /// amortizing the per-block I/O of [`add`](Self::add) while keeping
+    /// the on-disk bytes identical to repeated `add` calls.
+    ///
+    /// When `target` is set, the batch stops early once the staged table
+    /// size (what [`estimated_size`](Self::estimated_size) would report
+    /// after that entry) reaches it, mirroring the per-record rollover
+    /// check callers perform with `add`. Returns each consumed entry's
+    /// informational offset (the staged size before the entry, matching
+    /// `add`'s `estimated_size()` convention) plus how many input entries
+    /// were consumed (always ≥ 1 for a non-empty batch).
+    pub fn add_batch(
+        &mut self,
+        recs: &[(&[u8], &[u8])],
+        target: Option<u64>,
+    ) -> Result<(Vec<u64>, usize)> {
+        let base = self.file.len();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut offsets = Vec::with_capacity(recs.len());
+        let mut consumed = 0usize;
+        for &(key, value) in recs {
+            debug_assert!(
+                self.data.is_empty() || self.opts.cmp.cmp(self.data.last_key(), key).is_lt(),
+                "keys must be added in strictly increasing order"
+            );
+            offsets.push(base + buf.len() as u64 + self.data.size_estimate() as u64);
+            if self.smallest.is_none() {
+                self.smallest = Some(key.to_vec());
+            }
+            self.largest.clear();
+            self.largest.extend_from_slice(key);
+            self.bloom.add_key(self.user_key(key));
+            self.tracker.observe(key, value);
+            self.data.add(key, value);
+            self.num_entries += 1;
+            if self.data.size_estimate() >= self.opts.block_size {
+                self.stage_data_block(&mut buf, base);
+            }
+            consumed += 1;
+            if let Some(t) = target {
+                let staged = base + buf.len() as u64 + self.data.size_estimate() as u64;
+                if staged >= t {
+                    break;
+                }
+            }
+        }
+        if !buf.is_empty() {
+            self.file.append(&buf)?;
+        }
+        Ok((offsets, consumed))
     }
 
     /// Number of entries added so far.

@@ -19,7 +19,7 @@
 //! in-block search.
 
 use crate::block::{Block, BlockBuilder};
-use crate::blockio::{read_block, write_block, BLOCK_TRAILER_LEN};
+use crate::blockio::{read_block, stage_block, write_block, BLOCK_TRAILER_LEN};
 use crate::btable::{
     read_footer, BlockCache, BlockFetcher, BuiltTable, PropsTracker, TableOptions,
 };
@@ -104,15 +104,86 @@ impl RTableBuilder {
     }
 
     fn flush_partition(&mut self) -> Result<()> {
-        if self.partition.is_empty() {
+        let mut buf = Vec::new();
+        let base = self.file.len();
+        self.stage_partition(&mut buf, base);
+        if buf.is_empty() {
             return Ok(());
+        }
+        self.file.append(&buf)
+    }
+
+    /// Stage the pending index partition into `buf` (see
+    /// [`stage_block`]); a no-op when the partition is empty.
+    fn stage_partition(&mut self, buf: &mut Vec<u8>, base: u64) {
+        if self.partition.is_empty() {
+            return;
         }
         let last_key = self.partition.last_key().to_vec();
         let payload = self.partition.finish();
         self.index_bytes += (payload.len() + BLOCK_TRAILER_LEN) as u64;
-        let handle = write_block(self.file.as_mut(), &payload)?;
+        let handle = stage_block(buf, base, &payload);
         self.top_index.add(&last_key, &handle.encode());
-        Ok(())
+    }
+
+    /// Append a batch of records with **one** file `append`: every record
+    /// block (and any index partition that fills up mid-batch) is staged
+    /// into a single buffer, so the per-record I/O of [`add`](Self::add)
+    /// is amortized across the batch while the on-disk bytes stay
+    /// identical to repeated `add` calls.
+    ///
+    /// When `target` is set, the batch stops early once the staged table
+    /// size (the exact value [`estimated_size`](Self::estimated_size)
+    /// would report after that record) reaches it — mirroring the
+    /// per-record rollover check callers perform with `add`. Returns the
+    /// record handles plus how many input records were consumed (always
+    /// ≥ 1 for a non-empty batch).
+    pub fn add_batch(
+        &mut self,
+        recs: &[(&[u8], &[u8])],
+        target: Option<u64>,
+    ) -> Result<(Vec<BlockHandle>, usize)> {
+        let base = self.file.len();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut handles = Vec::with_capacity(recs.len());
+        let mut consumed = 0usize;
+        for &(key, value) in recs {
+            debug_assert!(
+                self.partition.is_empty()
+                    || self.opts.cmp.cmp(self.partition.last_key(), key).is_lt(),
+                "keys must be added in strictly increasing order"
+            );
+            if self.smallest.is_none() {
+                self.smallest = Some(key.to_vec());
+            }
+            self.largest.clear();
+            self.largest.extend_from_slice(key);
+            self.bloom.add_key(self.user_key(key));
+            self.tracker.observe(key, value);
+
+            let mut record = Vec::with_capacity(key.len() + value.len() + 8);
+            put_length_prefixed_slice(&mut record, key);
+            put_length_prefixed_slice(&mut record, value);
+            let handle = stage_block(&mut buf, base, &record);
+
+            self.partition.add(key, &handle.encode());
+            self.num_entries += 1;
+            if self.partition.size_estimate() >= self.opts.index_partition_size {
+                self.stage_partition(&mut buf, base);
+            }
+            handles.push(handle);
+            consumed += 1;
+            if let Some(t) = target {
+                let staged = base + buf.len() as u64 + self.partition.size_estimate() as u64;
+                if staged >= t {
+                    break;
+                }
+            }
+        }
+        if !buf.is_empty() {
+            self.file.append(&buf)?;
+        }
+        Ok((handles, consumed))
     }
 
     /// Number of records added so far.
