@@ -1,0 +1,178 @@
+//! Superversion install-cost microbenchmark: copy-on-write member swap
+//! (`cow_superversion = true`, the default) vs the full-rebuild
+//! reference path, measured on the two mutation shapes that install
+//! bundles:
+//!
+//! * `value_edit` — version-only installs via `Lsm::apply_value_edit`
+//!   over a populated tree (the GC's install shape; the rebuild path
+//!   re-reads memtable + imms + version set under their locks, CoW
+//!   clones two `Arc`s and re-reads only the version set).
+//! * `write_rotate` — the full write path with a tiny memtable, so
+//!   rotation/flush/compaction installs dominate the fixed costs.
+//!
+//! Both paths are bit-equivalent (asserted by
+//! `scavenger-lsm::db::tests::cow_install_is_equivalent_to_rebuild`);
+//! only install cost may differ. Writes `<workspace>/BENCH_sv_install.json`
+//! (override with `SV_INSTALL_JSON`). Env knobs: `SV_INSTALL_N`
+//! (value-edit installs, default 20000), `SV_INSTALL_WRITES` (writes,
+//! default 30000).
+
+use criterion::black_box;
+use scavenger_env::MemEnv;
+use scavenger_lsm::{Lsm, LsmOptions, ValueEditBundle, WriteBatch};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn opts(dir: &str, cow: bool) -> LsmOptions {
+    let mut o = LsmOptions::new(MemEnv::shared(), dir);
+    o.cow_superversion = cow;
+    o.wal = false;
+    o
+}
+
+/// Version-only installs over a tree with real depth: several levels of
+/// SSTs plus a handful of immutable memtables pinned by a view, so the
+/// rebuild path has lists to walk and locks to take.
+fn bench_value_edit(n: usize, cow: bool) -> f64 {
+    let mut o = opts("sv-edit", cow);
+    o.memtable_size = 16 * 1024;
+    o.base_level_bytes = 64 * 1024;
+    o.target_file_size = 32 * 1024;
+    let (db, _) = Lsm::open(o).unwrap();
+    for i in 0..4000 {
+        let mut b = WriteBatch::new();
+        b.put(
+            format!("key{i:06}").as_bytes(),
+            bytes::Bytes::from(vec![(i % 251) as u8; 120]),
+        );
+        db.write(b).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_until_stable().unwrap();
+    // Warmup.
+    for _ in 0..n / 10 {
+        db.apply_value_edit(ValueEditBundle::default()).unwrap();
+    }
+    let t = Instant::now();
+    for _ in 0..n {
+        db.apply_value_edit(black_box(ValueEditBundle::default()))
+            .unwrap();
+    }
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// The write path with a tiny memtable: every ~40 writes rotates,
+/// flushes, and compacts inline, each step installing a bundle.
+fn bench_write_rotate(writes: usize, cow: bool) -> f64 {
+    let mut o = opts("sv-write", cow);
+    o.memtable_size = 4 * 1024;
+    o.base_level_bytes = 128 * 1024;
+    o.target_file_size = 32 * 1024;
+    let (db, _) = Lsm::open(o).unwrap();
+    let t = Instant::now();
+    for i in 0..writes {
+        let mut b = WriteBatch::new();
+        b.put(
+            format!("key{:06}", i % 2000).as_bytes(),
+            bytes::Bytes::from(vec![(i % 251) as u8; 80]),
+        );
+        black_box(db.write(b).unwrap());
+    }
+    t.elapsed().as_nanos() as f64 / writes as f64
+}
+
+/// Contended installs: 4 writer threads share one tree, each write
+/// potentially rotating (installing) while the others do the same. The
+/// rebuild path re-reads mem/imms/version-set under their locks on
+/// every install; CoW's rotated installs skip the version-set mutex —
+/// which `log_and_apply` also wants — entirely. Single-core machines
+/// time-slice this to ~1.0x; the multi-core CI job records the real
+/// contention numbers.
+fn bench_contended(writes: usize, cow: bool) -> f64 {
+    let mut o = opts("sv-contend", cow);
+    o.memtable_size = 4 * 1024;
+    o.base_level_bytes = 128 * 1024;
+    o.target_file_size = 32 * 1024;
+    // Concurrent writers require the threaded background mode (inline
+    // mode runs flush on the writer thread and is single-writer by
+    // design); rotation installs still happen on the writer threads,
+    // flush/compaction installs on the background thread.
+    o.background = scavenger_lsm::BackgroundMode::Threaded;
+    let (db, _) = Lsm::open(o).unwrap();
+    let threads = 4;
+    let per = writes / threads;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..per {
+                    let mut b = WriteBatch::new();
+                    b.put(
+                        format!("w{w}-key{:06}", i % 2000).as_bytes(),
+                        bytes::Bytes::from(vec![(i % 251) as u8; 80]),
+                    );
+                    black_box(db.write(b).unwrap());
+                }
+            });
+        }
+    });
+    t.elapsed().as_nanos() as f64 / (per * threads) as f64
+}
+
+fn main() {
+    let n: usize = std::env::var("SV_INSTALL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let writes: usize = std::env::var("SV_INSTALL_WRITES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+
+    let edit_cow = bench_value_edit(n, true);
+    let edit_rebuild = bench_value_edit(n, false);
+    let write_cow = bench_write_rotate(writes, true);
+    let write_rebuild = bench_write_rotate(writes, false);
+    let contend_cow = bench_contended(writes, true);
+    let contend_rebuild = bench_contended(writes, false);
+
+    println!(
+        "sv_install[value_edit]: cow {edit_cow:.0} ns/op vs rebuild {edit_rebuild:.0} ns/op ({:.2}x)",
+        edit_rebuild / edit_cow
+    );
+    println!(
+        "sv_install[write_rotate]: cow {write_cow:.0} ns/op vs rebuild {write_rebuild:.0} ns/op ({:.2}x)",
+        write_rebuild / write_cow
+    );
+    println!(
+        "sv_install[contended-4]: cow {contend_cow:.0} ns/op vs rebuild {contend_rebuild:.0} ns/op ({:.2}x)",
+        contend_rebuild / contend_cow
+    );
+
+    let path = std::env::var("SV_INSTALL_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_sv_install.json")
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"sv_install\",\n  \"cores\": {cores},\n  \
+         \"value_edit_installs\": {n},\n  \"writes\": {writes},\n  \"ns_per_op\": {{\n    \
+         \"value_edit_cow\": {edit_cow:.1},\n    \"value_edit_rebuild\": {edit_rebuild:.1},\n    \
+         \"write_rotate_cow\": {write_cow:.1},\n    \"write_rotate_rebuild\": {write_rebuild:.1},\n    \
+         \"contended4_cow\": {contend_cow:.1},\n    \"contended4_rebuild\": {contend_rebuild:.1}\n  }},\n  \
+         \"cow_speedup\": {{\n    \"value_edit\": {:.2},\n    \"write_rotate\": {:.2},\n    \
+         \"contended4\": {:.2}\n  }}\n}}\n",
+        edit_rebuild / edit_cow,
+        write_rebuild / write_cow,
+        contend_rebuild / contend_cow,
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("sv_install: baseline written to {path}"),
+        Err(e) => eprintln!("sv_install: failed to write {path}: {e}"),
+    }
+}

@@ -34,7 +34,9 @@ pub(crate) struct DbInner {
     dropcache: Arc<DropCache>,
     gc: Option<GcRunner>,
     gc_stats: Arc<GcStats>,
-    throttle: Throttle,
+    /// Shared with sibling shards when opened through
+    /// [`DbShards`](crate::DbShards), so limit + counters are global.
+    throttle: Arc<Throttle>,
     /// Serializes GC jobs and exhausted-file reaping.
     gc_lock: Mutex<()>,
     /// Byte credits for paced auto-GC (see `Options::gc_bandwidth_factor`).
@@ -80,17 +82,27 @@ pub struct Db {
 impl Db {
     /// Open (or recover) a database.
     pub fn open(opts: Options) -> Result<Db> {
-        let cache = Arc::new(BlockCache::with_capacity(opts.block_cache_bytes.max(4096)));
-        let vstore = Arc::new(ValueStore::new(
-            opts.env.clone(),
-            opts.dir.clone(),
-            cache.clone(),
-        ));
+        let cache = opts.block_cache.clone().unwrap_or_else(|| {
+            Arc::new(BlockCache::with_capacity(opts.block_cache_bytes.max(4096)))
+        });
+        // A shared cache means sibling stores whose file numbers collide
+        // (shards all allocate from 1): namespace this store's cache keys
+        // so one shard can never serve another's cached blocks.
+        let cache_ns = if opts.block_cache.is_some() {
+            scavenger_table::cache::new_cache_namespace()
+        } else {
+            0
+        };
+        let vstore = Arc::new(
+            ValueStore::new(opts.env.clone(), opts.dir.clone(), cache.clone())
+                .with_cache_namespace(cache_ns),
+        );
         let dropcache = Arc::new(DropCache::new(opts.dropcache_keys));
         let gc_stats = Arc::new(GcStats::default());
 
         let mut lsm_opts = opts.lsm_options();
         lsm_opts.block_cache = Some(cache.clone());
+        lsm_opts.cache_namespace = cache_ns;
         let hook = if opts.features.separate {
             let h = Arc::new(EngineHook::new(
                 HookConfig {
@@ -141,7 +153,9 @@ impl Db {
                     batch_files: opts.gc_batch_files,
                     validate_mode: opts.gc_validate_mode,
                     threads: opts.gc_threads,
-                    pipeline: opts.gc_pipeline,
+                    // Auto resolves here, once, against the machine; the
+                    // GC executor only ever sees a concrete setting.
+                    pipeline: opts.gc_pipeline.resolved(),
                     pipeline_batch: opts.gc_pipeline_batch,
                 },
                 opts.lsm_options().table_options(),
@@ -152,7 +166,10 @@ impl Db {
         } else {
             None
         };
-        let throttle = Throttle::new(opts.space_limit, opts.throttle_gc_factor);
+        let throttle = opts
+            .shared_throttle
+            .clone()
+            .unwrap_or_else(|| Arc::new(Throttle::new(opts.space_limit, opts.throttle_gc_factor)));
 
         Ok(Db {
             inner: Arc::new(DbInner {
@@ -224,6 +241,17 @@ impl Db {
         self.post_write_maintenance()
     }
 
+    /// The usage the throttle compares against the space limit: this
+    /// engine's own footprint, unless the opener installed a shared
+    /// source (a [`DbShards`](crate::DbShards) set sums every shard so
+    /// one budget covers the whole store).
+    fn throttled_usage(&self) -> u64 {
+        match &self.inner.opts.space_usage {
+            Some(usage) => usage(),
+            None => self.space().total(),
+        }
+    }
+
     /// Space-aware throttling (paper §III-D): before admitting a write,
     /// reclaim aggressively while over the limit.
     fn enforce_space_limit(&self) -> Result<()> {
@@ -231,13 +259,13 @@ impl Db {
         if inner.throttle.limit().is_none() {
             return Ok(());
         }
-        if !inner.throttle.over_limit(self.space().total()) {
+        if !inner.throttle.over_limit(self.throttled_usage()) {
             return Ok(());
         }
         inner.throttle.note_activation();
         let aggressive = inner.throttle.aggressive_threshold(inner.opts.gc_threshold);
         for _ in 0..MAX_THROTTLE_ROUNDS {
-            if !inner.throttle.over_limit(self.space().total()) {
+            if !inner.throttle.over_limit(self.throttled_usage()) {
                 return Ok(());
             }
             let mut progressed = false;
@@ -265,7 +293,7 @@ impl Db {
                 }
             }
         }
-        if inner.throttle.over_limit(self.space().total()) {
+        if inner.throttle.over_limit(self.throttled_usage()) {
             inner
                 .throttle
                 .unresolved
@@ -371,7 +399,21 @@ impl Db {
     }
 
     /// Take a pinned, registered [`ReadView`] at the latest sequence.
-    /// All reads through it are strictly consistent for its lifetime.
+    /// All reads through it are strictly consistent for its lifetime:
+    /// writes, flushes, compactions, and GC committed after creation are
+    /// invisible, and every version it can see stays resolvable.
+    ///
+    /// ```
+    /// use scavenger::{Db, EngineMode, MemEnv, Options};
+    ///
+    /// let db = Db::open(Options::new(MemEnv::shared(), "view-demo", EngineMode::Scavenger)).unwrap();
+    /// db.put(b"k", b"old".to_vec()).unwrap();
+    /// let view = db.view();
+    /// db.put(b"k", b"new".to_vec()).unwrap();
+    /// // The view still reads its epoch; the latest read sees the update.
+    /// assert_eq!(view.get(b"k").unwrap().unwrap().as_ref(), b"old");
+    /// assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), b"new");
+    /// ```
     pub fn view(&self) -> ReadView {
         ReadView {
             view: self.inner.lsm.view(),
@@ -534,6 +576,7 @@ impl Db {
         let inner = &self.inner;
         let version = inner.lsm.current_version();
         let counters = inner.lsm.counters();
+        let (pinned_views, live_snapshots) = inner.lsm.read_point_counts();
         DbStats {
             io: inner.opts.env.io_stats().snapshot(),
             gc: inner.gc_stats.snapshot(),
@@ -551,6 +594,9 @@ impl Db {
                 .merge_drops
                 .load(std::sync::atomic::Ordering::Relaxed),
             throttle_stalls: inner.throttle.activation_count(),
+            oldest_read_point: inner.lsm.oldest_read_point(),
+            pinned_views: pinned_views as u64,
+            live_snapshots: live_snapshots as u64,
         }
     }
 

@@ -32,6 +32,19 @@
 //! db.delete(b"tiny").unwrap();
 //! assert!(db.get(b"tiny").unwrap().is_none());
 //! ```
+//!
+//! ## Scaling out
+//!
+//! For multi-core write scaling, [`DbShards`] hash-partitions the key
+//! space across N independent engines behind the same API — one shared
+//! block cache, one global space budget, per-shard GC/compaction fanned
+//! across threads. Strict per-shard read consistency comes from the
+//! pinned-view machinery ([`Db::view`], [`Snapshot`], [`ReadOptions`]).
+//!
+//! The repository-level `ARCHITECTURE.md` walks the full design: the
+//! superversion read path and its copy-on-write installs, the staged GC
+//! pipeline, space-aware throttling, and the shard layer. `README.md`
+//! has the crate map and the benchmark baselines.
 
 pub mod db;
 pub mod dropcache;
@@ -39,6 +52,7 @@ pub mod gc;
 pub(crate) mod gc_exec;
 pub mod hook;
 pub mod options;
+pub mod shards;
 pub mod stats;
 pub mod throttle;
 pub mod view;
@@ -47,8 +61,14 @@ pub mod vstore;
 pub use db::{Db, DbScanIter, ScanEntry};
 pub use dropcache::DropCache;
 pub use gc::{GcOutcome, GcValidationReport};
-pub use options::{EngineMode, Features, GcPipeline, GcScheme, GcValidateMode, Options, VFormat};
+pub use options::{
+    EngineMode, Features, GcPipeline, GcScheme, GcValidateMode, Options, SpaceUsageFn, VFormat,
+};
+pub use shards::{
+    DbShards, ShardedOptions, ShardsReadOptions, ShardsScanIter, ShardsSnapshot, ShardsView,
+};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
+pub use throttle::Throttle;
 pub use view::{ReadOptions, ReadView, Snapshot, WriteOptions};
 
 // Re-export the substrate types users commonly need.

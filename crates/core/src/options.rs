@@ -1,7 +1,16 @@
 //! Engine configuration: modes, feature toggles, and tuning knobs.
 
+use crate::throttle::Throttle;
 use scavenger_env::EnvRef;
 use scavenger_lsm::KTableFormat;
+use scavenger_table::btable::BlockCache;
+use std::sync::Arc;
+
+/// A shared source of the space usage the §III-D throttle compares
+/// against [`Options::space_limit`]. [`DbShards`](crate::DbShards)
+/// installs one that sums every shard's footprint, so the limit is
+/// enforced globally.
+pub type SpaceUsageFn = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// The five engine designs the paper compares (§IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -184,18 +193,51 @@ pub enum GcValidateMode {
 
 /// Whether a GC job overlaps its Validate / Fetch / Write stages
 /// (Fig. 8 steps ② / ③ / ④) across threads.
+///
+/// All settings produce **bit-identical GC outputs** (same value-file
+/// bytes, file numbers, and `GcOutcome`) — the choice only moves
+/// wall-clock time, so [`Auto`](GcPipeline::Auto) can pick per machine
+/// without changing results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GcPipeline {
+    /// Decide at [`Db::open`](crate::db::Db::open) from the hardware
+    /// (the default). Decision rule: the pipeline pays a fixed thread +
+    /// channel overhead that only real parallelism recoups, so `Auto`
+    /// resolves to [`On`](GcPipeline::On) when
+    /// [`std::thread::available_parallelism`] reports **two or more**
+    /// cores, and to [`Off`](GcPipeline::Off) on a single core (where
+    /// the stages would just time-slice one CPU and the overhead is pure
+    /// loss — see `BENCH_gc_pipeline.json`, recorded on a 1-core
+    /// container at 1.03×).
+    Auto,
     /// Run the stages sequentially on the GC thread — the equivalence
-    /// baseline, and the default: the pipeline pays thread + channel
-    /// overhead that only multi-core hardware recoups.
+    /// baseline.
     Off,
     /// Three-stage bounded-channel pipeline over batches of
     /// [`gc_pipeline_batch`](Options::gc_pipeline_batch) records: batch
     /// *k+1* validates while batch *k* fetches and batch *k−1* writes.
-    /// Produces bit-identical outputs to `Off` (same value-file bytes,
-    /// file numbers, and `GcOutcome`) — only wall-clock changes.
     On,
+}
+
+impl GcPipeline {
+    /// Resolve [`Auto`](GcPipeline::Auto) against the machine: `On` with
+    /// ≥ 2 available cores, `Off` otherwise. Explicit settings pass
+    /// through unchanged. Never returns `Auto`.
+    pub fn resolved(self) -> GcPipeline {
+        match self {
+            GcPipeline::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                if cores >= 2 {
+                    GcPipeline::On
+                } else {
+                    GcPipeline::Off
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Batch size at or above which [`GcValidateMode::Auto`] switches from the
@@ -237,19 +279,58 @@ pub struct Options {
     pub gc_validate_mode: GcValidateMode,
     /// Worker threads for [`GcValidateMode::Parallel`] validation (and the
     /// `Auto` mode's small-batch path), for fanning the GC Fetch phase's
-    /// per-file coalesced reads out across source files, and for Titan's
-    /// full-file Read scans. `1` disables the pool.
+    /// per-file coalesced reads out across source files, for Titan's
+    /// full-file Read scans, and for [`DbShards`](crate::DbShards)'
+    /// cross-shard maintenance fan-out. `1` disables the pool and makes
+    /// maintenance fully sequential (deterministic).
+    ///
+    /// ```
+    /// use scavenger::{Db, EngineMode, MemEnv, Options};
+    ///
+    /// let mut opts = Options::new(MemEnv::shared(), "gc-threads-demo", EngineMode::Scavenger);
+    /// opts.gc_threads = 1; // serial GC I/O + validation, e.g. for reproducible accounting
+    /// let db = Db::open(opts).unwrap();
+    /// db.put(b"k", vec![0u8; 2048]).unwrap();
+    /// db.flush().unwrap();
+    /// ```
     pub gc_threads: usize,
     /// Whether GC jobs overlap their Validate / Fetch / Write stages
-    /// (see [`GcPipeline`]). All pipeline settings produce bit-identical
-    /// GC outputs; `On` trades threads for wall-clock.
+    /// (see [`GcPipeline`]); resolved against the machine at
+    /// [`Db::open`](crate::db::Db::open). All pipeline settings produce
+    /// bit-identical GC outputs; `On` trades threads for wall-clock.
+    /// Default [`GcPipeline::Auto`]: `On` when two or more cores are
+    /// available, `Off` on a single core (the decision rule is spelled
+    /// out on [`GcPipeline::Auto`]).
+    ///
+    /// ```
+    /// use scavenger::{EngineMode, GcPipeline, MemEnv, Options};
+    ///
+    /// let opts = Options::new(MemEnv::shared(), "pipeline-demo", EngineMode::Scavenger);
+    /// assert_eq!(opts.gc_pipeline, GcPipeline::Auto);
+    /// // Auto never reaches the GC executor: Db::open resolves it to a
+    /// // concrete setting based on available parallelism.
+    /// assert_ne!(opts.gc_pipeline.resolved(), GcPipeline::Auto);
+    /// ```
     pub gc_pipeline: GcPipeline,
     /// Records per pipeline batch when [`gc_pipeline`](Options::gc_pipeline)
     /// is `On`. Smaller batches overlap sooner but amortize less.
     pub gc_pipeline_batch: usize,
     /// DropCache capacity in keys (paper: ~32 B/key; §III-B3).
     pub dropcache_keys: usize,
-    /// Space limit in bytes; `None` disables space-aware throttling.
+    /// Space limit in bytes; `None` disables space-aware throttling
+    /// (paper §III-D). When set, a write that finds the store over the
+    /// limit triggers aggressive reclamation — GC at a lowered threshold
+    /// plus forced compactions — before it is admitted.
+    ///
+    /// ```
+    /// use scavenger::{Db, EngineMode, MemEnv, Options};
+    ///
+    /// let mut opts = Options::new(MemEnv::shared(), "quota-demo", EngineMode::Scavenger);
+    /// opts.space_limit = Some(64 * 1024 * 1024); // 64 MiB global footprint cap
+    /// let db = Db::open(opts).unwrap();
+    /// db.put(b"k", vec![1u8; 4096]).unwrap();
+    /// assert_eq!(db.stats().throttle_stalls, 0); // far under the quota
+    /// ```
     pub space_limit: Option<u64>,
     /// When throttling, GC threshold is multiplied by this factor
     /// (aggressive reclamation, §III-D).
@@ -274,6 +355,21 @@ pub struct Options {
     pub wal: bool,
     /// Run background work inline (deterministic) or on threads.
     pub inline_background: bool,
+    /// Share this block cache instead of creating one per engine.
+    /// [`DbShards`](crate::DbShards) hands every shard the same
+    /// (16-way-sharded) cache so one memory budget covers the whole
+    /// sharded store; standalone engines leave it `None`.
+    pub block_cache: Option<Arc<BlockCache>>,
+    /// Share this throttle (limit + counters) instead of creating one per
+    /// engine, so activations and reclamation accounting aggregate across
+    /// a shard set. Leave `None` for a standalone engine.
+    pub shared_throttle: Option<Arc<Throttle>>,
+    /// Space-usage source the throttle compares against
+    /// [`space_limit`](Options::space_limit). `None` measures this
+    /// engine's own directory; [`DbShards`](crate::DbShards) installs a
+    /// closure summing all shard directories so the limit is one global
+    /// budget.
+    pub space_usage: Option<SpaceUsageFn>,
 }
 
 impl Options {
@@ -292,7 +388,7 @@ impl Options {
             gc_bandwidth_factor: 1.0,
             gc_validate_mode: GcValidateMode::Auto,
             gc_threads: 4,
-            gc_pipeline: GcPipeline::Off,
+            gc_pipeline: GcPipeline::Auto,
             gc_pipeline_batch: 1024,
             dropcache_keys: 64 * 1024,
             space_limit: None,
@@ -307,6 +403,9 @@ impl Options {
             block_cache_bytes: 1024 * 1024,
             wal: true,
             inline_background: true,
+            block_cache: None,
+            shared_throttle: None,
+            space_usage: None,
         }
     }
 
@@ -387,10 +486,25 @@ mod tests {
         assert!(o.gc_threads >= 1);
         assert_eq!(
             o.gc_pipeline,
-            GcPipeline::Off,
-            "sequential stages are the default baseline"
+            GcPipeline::Auto,
+            "pipeline overlap is machine-keyed by default"
         );
         assert!(o.gc_pipeline_batch >= 1);
+    }
+
+    #[test]
+    fn gc_pipeline_auto_resolves_to_concrete_setting() {
+        // The concrete answer depends on the machine, but Auto must never
+        // leak through to the GC executor, and explicit settings must
+        // pass through unchanged.
+        let r = GcPipeline::Auto.resolved();
+        assert!(matches!(r, GcPipeline::On | GcPipeline::Off));
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(r == GcPipeline::On, cores >= 2, "decision rule: ≥2 cores");
+        assert_eq!(GcPipeline::Off.resolved(), GcPipeline::Off);
+        assert_eq!(GcPipeline::On.resolved(), GcPipeline::On);
     }
 
     #[test]

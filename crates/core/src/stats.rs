@@ -2,6 +2,7 @@
 //! and the aggregate snapshot the experiment harness consumes.
 
 use scavenger_env::IoStatsSnapshot;
+use scavenger_util::ikey::SeqNo;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Accumulated per-step GC cost. The four steps are exactly the paper's
@@ -250,7 +251,28 @@ pub struct DbStats {
     /// Entries dropped by merges.
     pub merge_drops: u64,
     /// Write-path throttle activations (space-aware throttling, §III-D).
+    /// When the engine is a [`DbShards`](crate::DbShards) member, the
+    /// counter is shared — every shard reports the set-wide total.
     pub throttle_stalls: u64,
+    /// The oldest registered read point (gauge), or `None` when no
+    /// reader is in flight. Everything visible at this sequence is
+    /// preserved: compaction keeps the pinned versions, no-writeback GC
+    /// validates against it, Titan's write-back GC holds collected blob
+    /// files in its deferred queue until no read point predates the
+    /// relocation, and BlobDB defers exhausted-file reaping entirely
+    /// while it is `Some`. A value that stays old for a long time is the
+    /// signature of a leaked view/snapshot — space cannot be reclaimed
+    /// past it, which space-aware throttling (§III-D) will eventually
+    /// surface as activations that cannot get back under the limit.
+    pub oldest_read_point: Option<SeqNo>,
+    /// Pinned transient views currently registered (gauge): in-flight
+    /// `get`s/scans, live [`ReadView`](crate::ReadView)s, and GC
+    /// validation readers.
+    pub pinned_views: u64,
+    /// User [`Snapshot`](crate::Snapshot)s currently registered (gauge).
+    /// Beyond pinning versions like any read point, snapshots gate
+    /// Titan's whole-job GC deferral.
+    pub live_snapshots: u64,
 }
 
 #[cfg(test)]

@@ -9,6 +9,23 @@
 //! reclamation rounds: GC at a lowered threshold, plus *forced*
 //! compactions to convert hidden garbage into exposed garbage when no GC
 //! candidate exists yet.
+//!
+//! One `Throttle` can be **shared across engines**: a
+//! [`DbShards`](crate::DbShards) set hands every shard the same instance
+//! (via [`Options::shared_throttle`](crate::Options::shared_throttle))
+//! together with a usage source summing all shard footprints
+//! ([`Options::space_usage`](crate::Options::space_usage)), so the limit
+//! is one global budget and the counters aggregate set-wide. A shard
+//! that finds the store over budget reclaims *locally* until the global
+//! total is back under — each shard polices its own garbage, but they
+//! answer to one quota.
+//!
+//! A caveat the stats gauges make visible: reclamation cannot drain past
+//! the oldest registered read point
+//! ([`DbStats::oldest_read_point`](crate::DbStats::oldest_read_point)) —
+//! compaction preserves pinned versions and GC validates against them —
+//! so a leaked view or snapshot eventually shows up here as activations
+//! whose rounds end [`unresolved`](Throttle::unresolved).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

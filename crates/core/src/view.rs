@@ -127,6 +127,25 @@ impl Snapshot {
 /// [`snapshot`](ReadOptions::snapshot) should be set; `view` wins when
 /// both are. With neither, the call reads through a fresh transient view
 /// at the latest sequence.
+///
+/// ```
+/// use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions};
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "ro-demo", EngineMode::Scavenger)).unwrap();
+/// for i in 0..20u8 {
+///     db.put(format!("key{i:02}"), vec![i; 64]).unwrap();
+/// }
+/// // Bounded scan that bypasses the caches (one-shot cold read).
+/// let ro = ReadOptions {
+///     lower_bound: Some(b"key05".to_vec()),
+///     upper_bound: Some(b"key10".to_vec()),
+///     fill_cache: false,
+///     ..ReadOptions::default()
+/// };
+/// let entries = db.scan_with(&ro).unwrap().collect_n(usize::MAX).unwrap();
+/// assert_eq!(entries.len(), 5);
+/// assert_eq!(entries[0].key, b"key05");
+/// ```
 pub struct ReadOptions<'a> {
     /// Read through this pinned view.
     pub view: Option<&'a ReadView>,
@@ -179,6 +198,19 @@ impl<'a> ReadOptions<'a> {
 /// Per-call write options for [`Db::put_with`](crate::db::Db::put_with),
 /// [`Db::delete_with`](crate::db::Db::delete_with), and
 /// [`Db::write_with`](crate::db::Db::write_with).
+///
+/// ```
+/// use scavenger::{Db, EngineMode, MemEnv, Options, WriteOptions};
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "wo-demo", EngineMode::Scavenger)).unwrap();
+/// // Bulk load without per-write WAL fsyncs (group durability).
+/// let nosync = WriteOptions { sync: false, ..WriteOptions::default() };
+/// for i in 0..100u8 {
+///     db.put_with(&nosync, format!("key{i:03}"), vec![i; 256]).unwrap();
+/// }
+/// db.flush().unwrap(); // flush makes the batch durable
+/// assert_eq!(db.get(b"key042").unwrap().unwrap().as_ref(), &[42u8; 256][..]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct WriteOptions {
     /// Fsync the WAL record before acknowledging the write. With `false`

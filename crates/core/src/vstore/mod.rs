@@ -110,6 +110,7 @@ pub struct ValueStore {
     env: EnvRef,
     dir: String,
     cache: Arc<BlockCache>,
+    cache_ns: u64,
     files: RwLock<HashMap<u64, Arc<VsstMeta>>>,
     forest: RwLock<InheritForest>,
     readers: RwLock<HashMap<u64, Arc<VReader>>>,
@@ -122,10 +123,19 @@ impl ValueStore {
             env,
             dir: dir.into(),
             cache,
+            cache_ns: 0,
             files: RwLock::new(HashMap::new()),
             forest: RwLock::new(InheritForest::new()),
             readers: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Set the cache namespace mixed into block-cache keys (see
+    /// [`scavenger_table::cache::cache_file_id`]). Required when `cache`
+    /// is shared with other stores whose file numbers collide (sharding).
+    pub fn with_cache_namespace(mut self, cache_ns: u64) -> Self {
+        self.cache_ns = cache_ns;
+        self
     }
 
     /// Apply a committed bundle to in-memory state. Returns the `(file,
@@ -288,6 +298,7 @@ impl ValueStore {
             &self.env,
             &self.dir,
             file,
+            self.cache_ns,
             meta.format,
             Some(self.cache.clone()),
             IoClass::FgValueRead,
@@ -306,6 +317,7 @@ impl ValueStore {
             &self.env,
             &self.dir,
             file,
+            self.cache_ns,
             meta.format,
             Some(self.cache.clone()),
             IoClass::GcRead,

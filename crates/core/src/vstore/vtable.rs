@@ -331,20 +331,27 @@ pub enum VReader {
 
 impl VReader {
     /// Open `file` in `dir` for the given format; block fetches go through
-    /// `cache` (table formats only).
+    /// `cache` (table formats only), keyed under the store's `cache_ns`
+    /// namespace (`0` for a private cache).
     pub fn open(
         env: &EnvRef,
         dir: &str,
         file: u64,
+        cache_ns: u64,
         format: VFormat,
         cache: Option<Arc<BlockCache>>,
         class: IoClass,
     ) -> Result<VReader> {
         let path = vfile_path(dir, file, format);
         let f = env.open_random_access(&path, class)?;
+        let cache_id = scavenger_table::cache::cache_file_id(cache_ns, file);
         Ok(match format {
-            VFormat::RTable => VReader::R(RTableReader::open(f, file, cache, KeyCmp::Internal)?),
-            VFormat::BTable => VReader::B(BTableReader::open(f, file, cache, KeyCmp::Internal)?),
+            VFormat::RTable => {
+                VReader::R(RTableReader::open(f, cache_id, cache, KeyCmp::Internal)?)
+            }
+            VFormat::BTable => {
+                VReader::B(BTableReader::open(f, cache_id, cache, KeyCmp::Internal)?)
+            }
             VFormat::BlobLog => VReader::Blob(BlobLogReader::new(f)),
         })
     }
@@ -537,7 +544,7 @@ mod tests {
         assert_eq!(info.entries, 100);
         assert!(info.value_bytes >= 100 * 200);
 
-        let r = VReader::open(&env, "db", 9, format, None, IoClass::FgValueRead).unwrap();
+        let r = VReader::open(&env, "db", 9, 0, format, None, IoClass::FgValueRead).unwrap();
         match format {
             VFormat::BlobLog => {
                 for (_, _, value, rec) in &recs {
@@ -595,7 +602,7 @@ mod tests {
         w.add(b"a", 1, b"valueA").unwrap();
         w.add(b"b", 2, b"valueB").unwrap();
         w.finish().unwrap();
-        let r = VReader::open(&env, "db", 3, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
+        let r = VReader::open(&env, "db", 3, 0, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
         let recs = r.scan_all().unwrap();
         for rec in recs {
             let direct = r.read_at(rec.value_offset, rec.value.len() as u32).unwrap();
@@ -619,7 +626,7 @@ mod tests {
         w.add(b"k", 5, &vec![9u8; 500]).unwrap();
         w.finish().unwrap();
         env.corrupt_byte("db/000004.blob", 50).unwrap();
-        let r = VReader::open(&eref, "db", 4, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
+        let r = VReader::open(&eref, "db", 4, 0, VFormat::BlobLog, None, IoClass::GcRead).unwrap();
         assert!(r.scan_all().is_err());
     }
 
@@ -632,9 +639,9 @@ mod tests {
             w.add(b"k", 1, &vec![1u8; 4096]).unwrap();
             w.finish().unwrap();
         }
-        let b = VReader::open(&env, "db", 1, VFormat::BTable, None, IoClass::GcRead).unwrap();
+        let b = VReader::open(&env, "db", 1, 0, VFormat::BTable, None, IoClass::GcRead).unwrap();
         assert!(b.read_lazy_index().is_err());
-        let r = VReader::open(&env, "db", 2, VFormat::RTable, None, IoClass::GcRead).unwrap();
+        let r = VReader::open(&env, "db", 2, 0, VFormat::RTable, None, IoClass::GcRead).unwrap();
         let idx = r.read_lazy_index().unwrap();
         assert_eq!(idx.len(), 1);
         let (k, v) = r.read_record(idx[0].1).unwrap();

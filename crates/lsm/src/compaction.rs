@@ -545,6 +545,7 @@ mod tests {
             &o.env,
             &o.dir,
             file.file_number,
+            0,
             None,
             IoClass::FgIndexRead,
         )

@@ -58,6 +58,11 @@ pub struct LsmOptions {
     pub compensated: bool,
     /// Shared block cache (created if `None`).
     pub block_cache: Option<Arc<BlockCache>>,
+    /// Cache namespace mixed into block-cache file ids (see
+    /// [`scavenger_table::cache::cache_file_id`]). Must be unique per
+    /// store when `block_cache` is shared across stores whose file
+    /// numbers collide; `0` for a private cache.
+    pub cache_namespace: u64,
     /// Block cache capacity when `block_cache` is `None`.
     pub block_cache_bytes: usize,
     /// Write WAL records (disable only for bulk loads in tests).
@@ -69,6 +74,14 @@ pub struct LsmOptions {
     /// Value-store hook invoked by flush and compaction (KV separation,
     /// drop observation, BlobDB-style relocation). `None` = vanilla LSM.
     pub value_hook: Option<Arc<dyn ValueHook>>,
+    /// Install superversions copy-on-write: each structural mutation
+    /// swaps only the member it changed (active memtable, immutable
+    /// list, or SST version) into a new bundle cloned from the current
+    /// one, instead of rebuilding the whole bundle from the live
+    /// structures under their locks. Produces bit-identical bundles;
+    /// `false` selects the full-rebuild reference path (kept for
+    /// equivalence tests and the install-cost microbench).
+    pub cow_superversion: bool,
 }
 
 impl LsmOptions {
@@ -88,11 +101,13 @@ impl LsmOptions {
             ktable_format: KTableFormat::BTable,
             compensated: false,
             block_cache: None,
+            cache_namespace: 0,
             block_cache_bytes: 1024 * 1024,
             wal: true,
             background: BackgroundMode::Inline,
             max_imm_memtables: 2,
             value_hook: None,
+            cow_superversion: true,
         }
     }
 

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use scavenger_env::{EnvRef, IoClass};
 use scavenger_table::btable::{BTableReader, BlockCache};
+use scavenger_table::cache::cache_file_id;
 use scavenger_table::dtable::{DTableIter, DTableReader};
 use scavenger_table::props::TableProps;
 use scavenger_table::KeyCmp;
@@ -126,21 +127,26 @@ impl KTableIter {
     }
 }
 
-/// Open a key SST, dispatching on its on-disk table type.
+/// Open a key SST, dispatching on its on-disk table type. `cache_ns` is
+/// the store's cache namespace (see
+/// [`scavenger_table::cache::cache_file_id`]); pass `0` for a private
+/// block cache.
 pub fn open_ktable(
     env: &EnvRef,
     dir: &str,
     file_number: u64,
+    cache_ns: u64,
     cache: Option<Arc<BlockCache>>,
     class: IoClass,
 ) -> Result<KTable> {
     let path = table_path(dir, file_number);
     let file = env.open_random_access(&path, class)?;
+    let cache_id = cache_file_id(cache_ns, file_number);
     // Try DTable first: its open validates the table type cheaply.
-    match DTableReader::open(file.clone(), file_number, cache.clone()) {
+    match DTableReader::open(file.clone(), cache_id, cache.clone()) {
         Ok(t) => Ok(KTable::D(t)),
         Err(Error::Corruption(msg)) if msg == "not a DTable file" => Ok(KTable::B(
-            BTableReader::open(file, file_number, cache, KeyCmp::Internal)?,
+            BTableReader::open(file, cache_id, cache, KeyCmp::Internal)?,
         )),
         Err(e) => Err(e),
     }
@@ -157,6 +163,7 @@ pub struct TableCache {
     env: EnvRef,
     dir: String,
     block_cache: Arc<BlockCache>,
+    cache_ns: u64,
     shards: Vec<Mutex<HashMap<u64, Arc<KTable>>>>,
 }
 
@@ -167,6 +174,7 @@ impl TableCache {
             env: opts.env.clone(),
             dir: opts.dir.clone(),
             block_cache,
+            cache_ns: opts.cache_namespace,
             shards: (0..TABLE_CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
@@ -191,6 +199,7 @@ impl TableCache {
             &self.env,
             &self.dir,
             file_number,
+            self.cache_ns,
             Some(self.block_cache.clone()),
             IoClass::FgIndexRead,
         )?);
@@ -206,6 +215,7 @@ impl TableCache {
             &self.env,
             &self.dir,
             file_number,
+            self.cache_ns,
             None,
             IoClass::FgIndexRead,
         )?))
@@ -265,8 +275,8 @@ mod tests {
         let env: EnvRef = MemEnv::shared();
         write_btable(&env, "db", 1);
         write_dtable(&env, "db", 2);
-        let t1 = open_ktable(&env, "db", 1, None, IoClass::FgIndexRead).unwrap();
-        let t2 = open_ktable(&env, "db", 2, None, IoClass::FgIndexRead).unwrap();
+        let t1 = open_ktable(&env, "db", 1, 0, None, IoClass::FgIndexRead).unwrap();
+        let t2 = open_ktable(&env, "db", 2, 0, None, IoClass::FgIndexRead).unwrap();
         assert!(matches!(t1, KTable::B(_)));
         assert!(matches!(t2, KTable::D(_)));
         // Unified lookup API works across formats.
@@ -304,7 +314,7 @@ mod tests {
         write_btable(&env, "db", 1);
         write_dtable(&env, "db", 2);
         for n in [1u64, 2] {
-            let t = open_ktable(&env, "db", n, None, IoClass::FgIndexRead).unwrap();
+            let t = open_ktable(&env, "db", n, 0, None, IoClass::FgIndexRead).unwrap();
             let mut it = t.iter();
             it.seek_to_first();
             assert!(it.valid());

@@ -169,6 +169,13 @@ impl ReadPointRegistry {
             .copied()
             .min()
     }
+
+    /// `(transient pins, snapshots)` currently registered — the gauges
+    /// surfaced by the engine's stats.
+    pub(crate) fn counts(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        (inner.pins.len(), inner.snapshots.len())
+    }
 }
 
 /// A borrowed, transient pin for one-shot reads (`Lsm::get`): same

@@ -25,15 +25,43 @@ pub enum CachePriority {
     Low,
 }
 
-/// Cache key: `(file_number, block_offset, kind_tag)`.
+/// Cache key: `(file_id, block_offset, kind_tag)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Owning file number.
+    /// Owning file id: the file number, optionally namespaced with
+    /// [`cache_file_id`] when several stores share one cache.
     pub file: u64,
     /// Block offset within the file.
     pub offset: u64,
     /// Stream tag (data / index / KF) so different streams never collide.
     pub kind: u8,
+}
+
+/// Bits of [`CacheKey::file`] carrying the real file number; the bits
+/// above hold the store's cache namespace.
+const CACHE_FILE_BITS: u32 = 40;
+
+static NAMESPACES: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a process-unique cache namespace. Stores that share one
+/// [`LruCache`] (e.g. the shards of a `DbShards`) each take a namespace
+/// and open their readers with [`cache_file_id`]-mixed ids; without it,
+/// two stores' file numbers collide (both allocate from 1) and one
+/// store would serve the other's cached blocks.
+pub fn new_cache_namespace() -> u64 {
+    NAMESPACES.fetch_add(1, Ordering::Relaxed) << CACHE_FILE_BITS
+}
+
+/// Mix a store's cache `namespace` into `file_number`, yielding the
+/// [`CacheKey::file`] id. Namespace `0` (the default for a store with a
+/// private cache) leaves the number unchanged.
+pub fn cache_file_id(namespace: u64, file_number: u64) -> u64 {
+    debug_assert_eq!(
+        file_number >> CACHE_FILE_BITS,
+        0,
+        "file number overflows the cache-id namespace split"
+    );
+    namespace | file_number
 }
 
 const NIL: u32 = u32::MAX;

@@ -2,5 +2,7 @@
 //!
 //! Exists so the repository-level `tests/` and `examples/` directories
 //! have a package to attach to; re-exports the public engine crate.
+//! Start with the repo-root `README.md` (crate map, quickstart) and
+//! `ARCHITECTURE.md` (read path, GC pipeline, throttling, shard layer).
 
 pub use scavenger::*;
