@@ -7,7 +7,7 @@ use crate::hook::{EngineHook, HookConfig};
 use crate::options::{EngineMode, GcScheme, Options};
 use crate::stats::{DbStats, GcStats, SpaceBreakdown};
 use crate::throttle::{Throttle, MAX_THROTTLE_ROUNDS};
-use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions};
+use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
 use crate::vstore::ValueStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -387,14 +387,21 @@ impl Db {
             .get_resolved(key, |r| self.inner.resolve_read(key, r))
     }
 
-    /// Value of `key` as seen by `opts`: through the given view or
-    /// snapshot (latest otherwise), with per-call cache control.
+    /// Value of `key` as seen by `opts`: through the pinned view or
+    /// snapshot in [`ReadOptions::pin`] (latest otherwise), with
+    /// per-call cache control. A sharded pin
+    /// ([`ReadPin::ShardsView`] /
+    /// [`ReadPin::ShardsSnapshot`]) is
+    /// an error on a single-engine handle.
     pub fn get_with(&self, opts: &ReadOptions<'_>, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
         let key = key.as_ref();
-        match (opts.view, opts.snapshot) {
-            (Some(v), _) => v.get_opt(key, opts.fill_cache),
-            (None, Some(s)) => s.view().get_opt(key, opts.fill_cache),
-            (None, None) => self.view().get_opt(key, opts.fill_cache),
+        match opts.pin {
+            ReadPin::View(v) => v.get_opt(key, opts.fill_cache),
+            ReadPin::Snapshot(s) => s.view().get_opt(key, opts.fill_cache),
+            ReadPin::Latest => self.view().get_opt(key, opts.fill_cache),
+            ReadPin::ShardsView(_) | ReadPin::ShardsSnapshot(_) => Err(Error::invalid_argument(
+                "sharded pin passed to a single-engine read",
+            )),
         }
     }
 
@@ -453,15 +460,19 @@ impl Db {
 
     /// Range scan as seen by `opts`: bounds come from
     /// [`lower_bound`](ReadOptions::lower_bound) /
-    /// [`upper_bound`](ReadOptions::upper_bound), the read point from the
-    /// given view or snapshot (latest otherwise).
+    /// [`upper_bound`](ReadOptions::upper_bound), the read point from
+    /// [`ReadOptions::pin`] (latest otherwise). A sharded pin is an
+    /// error on a single-engine handle.
     pub fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<DbScanIter> {
         let lo = opts.lower_bound.as_deref().unwrap_or(b"");
         let hi = opts.upper_bound.as_deref();
-        match (opts.view, opts.snapshot) {
-            (Some(v), _) => v.scan_opt(lo, hi, opts.fill_cache),
-            (None, Some(s)) => s.view().scan_opt(lo, hi, opts.fill_cache),
-            (None, None) => self.view().scan_opt(lo, hi, opts.fill_cache),
+        match opts.pin {
+            ReadPin::View(v) => v.scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::Snapshot(s) => s.view().scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::Latest => self.view().scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::ShardsView(_) | ReadPin::ShardsSnapshot(_) => Err(Error::invalid_argument(
+                "sharded pin passed to a single-engine scan",
+            )),
         }
     }
 
@@ -620,18 +631,32 @@ impl Db {
 /// was opened from (when opened through the view API), so both index
 /// entries and their separated values stay resolvable for the whole
 /// scan.
+///
+/// Implements [`Iterator`] over `Result<ScanEntry>`, so the whole
+/// adapter toolbox applies (`take`, `map`, `collect::<Result<Vec<_>>>`).
+/// After yielding an error the iterator is *fused*: every subsequent
+/// `next` returns `None` — a scan cannot resume past a failed resolve.
+/// [`next_entry`](DbScanIter::next_entry) and
+/// [`collect_n`](DbScanIter::collect_n) are thin wrappers over the
+/// `Iterator` impl.
 pub struct DbScanIter {
     inner: scavenger_lsm::ScanIter,
     db: Arc<DbInner>,
+    done: bool,
 }
 
 impl DbScanIter {
     pub(crate) fn new(inner: scavenger_lsm::ScanIter, db: Arc<DbInner>) -> DbScanIter {
-        DbScanIter { inner, db }
+        DbScanIter {
+            inner,
+            db,
+            done: false,
+        }
     }
 
-    /// Next entry, or `None` at the end of the range.
-    pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
+    /// Advance the underlying index iterator and resolve the entry's
+    /// value through the value store.
+    fn resolve_next(&mut self) -> Result<Option<ScanEntry>> {
         match self.inner.next_entry()? {
             Some(e) => {
                 let value = match e.vtype {
@@ -651,16 +676,28 @@ impl DbScanIter {
         }
     }
 
-    /// Collect up to `limit` entries.
+    /// Next entry, or `None` at the end of the range (thin wrapper over
+    /// the [`Iterator`] impl).
+    pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
+        self.next().transpose()
+    }
+
+    /// Collect up to `limit` entries (thin wrapper over the [`Iterator`]
+    /// impl).
     pub fn collect_n(&mut self, limit: usize) -> Result<Vec<ScanEntry>> {
-        let mut out = Vec::new();
-        while out.len() < limit {
-            match self.next_entry()? {
-                Some(e) => out.push(e),
-                None => break,
-            }
+        self.by_ref().take(limit).collect()
+    }
+}
+
+impl Iterator for DbScanIter {
+    type Item = Result<ScanEntry>;
+
+    fn next(&mut self) -> Option<Result<ScanEntry>> {
+        if self.done {
+            return None;
         }
-        Ok(out)
+        let pulled = self.resolve_next();
+        scavenger_util::iter::fuse(&mut self.done, pulled)
     }
 }
 

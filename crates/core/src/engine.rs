@@ -1,0 +1,620 @@
+//! One engine surface: the trait-based API unifying [`Db`] and
+//! [`DbShards`].
+//!
+//! The paper's core claim is comparative — five
+//! [`EngineMode`](crate::EngineMode)s on one substrate — and the engine grows backends the same way: a single
+//! store, a hash-sharded set, and whatever comes next (WAL-time
+//! separation, revisited trade-off knobs) should all serve the same
+//! tests, benches, and applications. These traits are that contract:
+//!
+//! * [`KvRead`] — point/range reads, pinned views, snapshots. The
+//!   associated types [`View`](KvRead::View) / [`Snap`](KvRead::Snap) /
+//!   [`Iter`](KvRead::Iter) name each backend's concrete read surfaces
+//!   ([`ReadView`]/[`Snapshot`]/[`DbScanIter`] for [`Db`];
+//!   [`ShardsView`]/[`ShardsSnapshot`]/[`ShardsScanIter`] for
+//!   [`DbShards`]), and [`PinnedReader`] lets generic code read through
+//!   either.
+//! * [`KvWrite`] — puts, deletes, and atomic batches with
+//!   [`WriteOptions`].
+//! * [`Maintenance`] — flush/compaction/GC plus the stats and space
+//!   introspection the harness consumes; [`GcReport`] normalizes the
+//!   single-engine and fan-out GC result shapes.
+//! * [`Engine`] — umbrella alias for `KvRead + KvWrite + Maintenance`
+//!   (blanket-implemented).
+//!
+//! Per-call options are shared, not mirrored: one [`ReadOptions`] whose
+//! [`ReadPin`](crate::ReadPin) enum covers both engines' pinned
+//! surfaces, one [`WriteOptions`]. A generic function needs no
+//! per-backend code at all:
+//!
+//! ```
+//! use scavenger::{Db, DbShards, Engine, EngineMode, MemEnv, Options, ShardedOptions};
+//!
+//! fn churn<E: Engine>(db: &E) -> scavenger::Result<u64> {
+//!     db.put(b"k", vec![7u8; 2048].into())?;
+//!     db.flush()?;
+//!     db.compact_all()?;
+//!     let report = db.run_gc()?;
+//!     Ok(report.aggregate().bytes_reclaimed)
+//! }
+//!
+//! let single = Db::open(Options::new(MemEnv::shared(), "e1", EngineMode::Scavenger)).unwrap();
+//! let sharded = ShardedOptions::builder(MemEnv::shared(), "e2", EngineMode::Scavenger)
+//!     .num_shards(2)
+//!     .open()
+//!     .unwrap();
+//! churn(&single).unwrap();
+//! churn(&sharded).unwrap();
+//! ```
+//!
+//! ## How a new backend plugs in
+//!
+//! Implement the three traits (plus [`PinnedReader`] for its view and
+//! snapshot types, and `Iterator<Item = Result<ScanEntry>>` for its scan
+//! iterator), and add [`ReadPin`](crate::ReadPin) variants + `From`
+//! impls for the new pinned surfaces (the enum is `#[non_exhaustive]`,
+//! so that is an additive, non-breaking change in `view.rs`). Every
+//! generic consumer — the conformance suite in
+//! `tests/engine_conformance.rs`, the bench harness's `EngineKvStore`
+//! adapter, the examples — then runs against it unchanged. The traits
+//! are object-safe (asserted by a compile-time test below), so `dyn`
+//! dispatch over heterogeneous backends works too.
+
+use crate::db::{Db, DbScanIter, ScanEntry};
+use crate::gc::GcOutcome;
+use crate::shards::{DbShards, ShardsScanIter, ShardsSnapshot, ShardsView};
+use crate::stats::{DbStats, SpaceBreakdown};
+use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions};
+use bytes::Bytes;
+use scavenger_lsm::WriteBatch;
+use scavenger_util::Result;
+
+/// Unified result of one [`Maintenance::run_gc`] call: per-engine GC
+/// outcomes, indexed by shard. A single [`Db`] reports one slot; a
+/// [`DbShards`] reports one per shard. This normalizes the historical
+/// asymmetry (`Option<GcOutcome>` vs `Vec<Option<GcOutcome>>`) so
+/// generic drivers never branch on the handle type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Each engine's outcome for this pass (`None` where no candidate
+    /// crossed the GC threshold), indexed by shard for a sharded store.
+    pub outcomes: Vec<Option<GcOutcome>>,
+}
+
+impl GcReport {
+    /// Wrap a single engine's outcome.
+    pub fn single(outcome: Option<GcOutcome>) -> GcReport {
+        GcReport {
+            outcomes: vec![outcome],
+        }
+    }
+
+    /// Did any engine run a GC job this pass?
+    pub fn ran(&self) -> bool {
+        self.outcomes.iter().any(|o| o.is_some())
+    }
+
+    /// Number of GC jobs that actually ran.
+    pub fn jobs(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Sum of all outcomes — files collected, records rewritten, and
+    /// bytes reclaimed across the whole handle.
+    pub fn aggregate(&self) -> GcOutcome {
+        let mut total = GcOutcome::default();
+        for o in self.outcomes.iter().flatten() {
+            total.files_collected += o.files_collected;
+            total.records_rewritten += o.records_rewritten;
+            total.bytes_reclaimed += o.bytes_reclaimed;
+        }
+        total
+    }
+}
+
+impl From<Option<GcOutcome>> for GcReport {
+    fn from(outcome: Option<GcOutcome>) -> GcReport {
+        GcReport::single(outcome)
+    }
+}
+
+/// A pinned read surface — a view or snapshot of either engine flavor.
+/// Everything readable *through a pin* goes through this trait, so
+/// generic code can hold an epoch and read it without knowing whether
+/// one engine or a shard set is underneath.
+pub trait PinnedReader {
+    /// Scan iterator over this pin (same type as the owning engine's
+    /// [`KvRead::Iter`]).
+    type Iter: Iterator<Item = Result<ScanEntry>>;
+
+    /// Value of `key` at the pin, or `None` if absent/deleted there.
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;
+
+    /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`) at
+    /// the pin, resolving separated values.
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<Self::Iter>;
+}
+
+/// Read half of the unified engine surface: point lookups, range scans,
+/// and the pinned-consistency machinery (views and snapshots).
+///
+/// Every scan iterator is a real [`Iterator`] over
+/// `Result<`[`ScanEntry`]`>`; every pinned surface is a
+/// [`PinnedReader`]. Per-call knobs ride in the shared [`ReadOptions`]
+/// (whose [`pin`](ReadOptions::pin) accepts both engines' views and
+/// snapshots — passing the wrong flavor to a handle is an error, never
+/// silently ignored).
+///
+/// ```
+/// use scavenger::{Db, EngineMode, KvRead, MemEnv, Options, PinnedReader, ReadOptions};
+///
+/// fn epoch_len<E: KvRead>(db: &E) -> usize {
+///     let view = db.view(); // pinned: later writes stay invisible
+///     view.scan(b"", None).unwrap().count()
+/// }
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "kvread-doc", EngineMode::Scavenger)).unwrap();
+/// db.put("a", vec![1u8; 600]).unwrap();
+/// assert_eq!(epoch_len(&db), 1);
+/// assert!(KvRead::get(&db, b"a").unwrap().is_some());
+/// assert!(db.get_with(&ReadOptions::default(), b"missing").unwrap().is_none());
+/// ```
+pub trait KvRead {
+    /// Pinned, strictly-consistent view type.
+    type View: PinnedReader<Iter = Self::Iter>;
+    /// RAII snapshot type (participates in snapshot-gated GC policy).
+    type Snap: PinnedReader<Iter = Self::Iter>;
+    /// Range-scan iterator type.
+    type Iter: Iterator<Item = Result<ScanEntry>>;
+
+    /// Latest value of `key`, or `None` if absent/deleted.
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>>;
+
+    /// Value of `key` as seen by `opts` (pin selection, cache control).
+    fn get_with(&self, opts: &ReadOptions<'_>, key: &[u8]) -> Result<Option<Bytes>>;
+
+    /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`) at
+    /// the latest state.
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<Self::Iter>;
+
+    /// Range scan as seen by `opts`: bounds from
+    /// [`lower_bound`](ReadOptions::lower_bound) /
+    /// [`upper_bound`](ReadOptions::upper_bound), read point from
+    /// [`pin`](ReadOptions::pin).
+    fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<Self::Iter>;
+
+    /// Pin a strictly-consistent view of the current state.
+    fn view(&self) -> Self::View;
+
+    /// Take an RAII snapshot (registered read point until dropped).
+    fn snapshot(&self) -> Self::Snap;
+}
+
+/// Write half of the unified engine surface.
+///
+/// ```
+/// use scavenger::{DbShards, EngineMode, KvWrite, MemEnv, ShardedOptions, WriteBatch};
+///
+/// fn bulk<E: KvWrite>(db: &E) -> scavenger::Result<()> {
+///     let mut batch = WriteBatch::new();
+///     batch.put("a", scavenger::Bytes::from(vec![1u8; 600]));
+///     batch.put("b", scavenger::Bytes::from_static(b"inline"));
+///     db.write(batch)?; // atomic per shard — see `write_with`
+///     db.delete(b"a")
+/// }
+///
+/// let db = ShardedOptions::builder(MemEnv::shared(), "kvwrite-doc", EngineMode::Scavenger)
+///     .num_shards(2)
+///     .open()
+///     .unwrap();
+/// bulk(&db).unwrap();
+/// assert!(db.get("a").unwrap().is_none());
+/// ```
+pub trait KvWrite {
+    /// Insert or overwrite a key (default [`WriteOptions`]).
+    fn put(&self, key: &[u8], value: Bytes) -> Result<()> {
+        self.put_with(&WriteOptions::default(), key, value)
+    }
+
+    /// Insert or overwrite a key with explicit options.
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()>;
+
+    /// Delete a key (default [`WriteOptions`]).
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        self.delete_with(&WriteOptions::default(), key)
+    }
+
+    /// Delete a key with explicit options.
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()>;
+
+    /// Apply a batch (default [`WriteOptions`]). Atomicity scope is as
+    /// documented on [`write_with`](KvWrite::write_with).
+    fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_with(&WriteOptions::default(), batch)
+    }
+
+    /// Apply a batch with explicit options.
+    ///
+    /// # Atomicity
+    ///
+    /// A batch is atomic **per shard**, not globally: a single [`Db`]
+    /// applies the whole batch in one WAL record, while a [`DbShards`]
+    /// splits it by routing and commits each sub-batch to its shard
+    /// independently — a crash between sub-batch commits can land a
+    /// multi-shard batch partially, exactly like writing to N separate
+    /// stores. Cross-shard crash atomicity (a global WAL epoch or a
+    /// 2PC-style commit record) is a tracked ROADMAP follow-up of the
+    /// shard layer ("Cross-shard batch atomicity is per shard"); until
+    /// it lands, multi-shard writers needing all-or-nothing semantics
+    /// must keep each batch's keys on one shard.
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()>;
+}
+
+/// Maintenance and introspection half of the unified engine surface:
+/// the operations the harness, throttle experiments, and examples drive
+/// explicitly.
+///
+/// ```
+/// use scavenger::{Db, EngineMode, Maintenance, MemEnv, Options};
+///
+/// fn reclaim<E: Maintenance>(db: &E) -> scavenger::Result<u64> {
+///     db.flush()?;
+///     db.compact_all()?; // exposes garbage
+///     let report = db.run_gc()?; // one outcome slot per shard
+///     assert_eq!(report.jobs(), report.outcomes.iter().flatten().count());
+///     Ok(report.aggregate().bytes_reclaimed)
+/// }
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "maint-doc", EngineMode::Scavenger)).unwrap();
+/// db.put("k", vec![3u8; 2048]).unwrap();
+/// reclaim(&db).unwrap();
+/// assert!(db.stats().flushes >= 1);
+/// assert!(db.space().total() > 0);
+/// ```
+pub trait Maintenance {
+    /// Flush memtables and drain background work.
+    fn flush(&self) -> Result<()>;
+
+    /// Compact until every level score is under 1.
+    fn compact_all(&self) -> Result<()>;
+
+    /// Run one GC pass at the configured threshold: one job on a single
+    /// engine, one job per shard on a sharded one. The [`GcReport`]
+    /// normalizes both shapes.
+    fn run_gc(&self) -> Result<GcReport>;
+
+    /// Run GC until no candidate crosses the threshold anywhere;
+    /// returns the total number of jobs.
+    fn run_gc_until_clean(&self) -> Result<usize>;
+
+    /// Aggregate statistics snapshot (set-wide for a sharded store).
+    fn stats(&self) -> DbStats;
+
+    /// On-disk space breakdown (summed across shards for a sharded
+    /// store).
+    fn space(&self) -> SpaceBreakdown;
+}
+
+/// The full unified surface: everything a backend must provide to serve
+/// the conformance suite, the bench harness, and the examples.
+/// Blanket-implemented for any `KvRead + KvWrite + Maintenance`.
+pub trait Engine: KvRead + KvWrite + Maintenance {}
+
+impl<T: KvRead + KvWrite + Maintenance> Engine for T {}
+
+// ---------------- pinned surfaces ----------------
+
+impl PinnedReader for ReadView {
+    type Iter = DbScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        ReadView::get(self, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        ReadView::scan(self, lo, hi)
+    }
+}
+
+impl PinnedReader for Snapshot {
+    type Iter = DbScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        Snapshot::get(self, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        Snapshot::scan(self, lo, hi)
+    }
+}
+
+impl PinnedReader for ShardsView {
+    type Iter = ShardsScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        ShardsView::get(self, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ShardsScanIter> {
+        ShardsView::scan(self, lo, hi)
+    }
+}
+
+impl PinnedReader for ShardsSnapshot {
+    type Iter = ShardsScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        ShardsSnapshot::get(self, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ShardsScanIter> {
+        ShardsSnapshot::scan(self, lo, hi)
+    }
+}
+
+// ---------------- Db ----------------
+
+impl KvRead for Db {
+    type View = ReadView;
+    type Snap = Snapshot;
+    type Iter = DbScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        Db::get(self, key)
+    }
+
+    fn get_with(&self, opts: &ReadOptions<'_>, key: &[u8]) -> Result<Option<Bytes>> {
+        Db::get_with(self, opts, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<DbScanIter> {
+        Db::scan(self, lo, hi)
+    }
+
+    fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<DbScanIter> {
+        Db::scan_with(self, opts)
+    }
+
+    fn view(&self) -> ReadView {
+        Db::view(self)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Db::snapshot(self)
+    }
+}
+
+impl KvWrite for Db {
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()> {
+        Db::put_with(self, opts, key, value)
+    }
+
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        Db::delete_with(self, opts, key)
+    }
+
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        Db::write_with(self, opts, batch)
+    }
+}
+
+impl Maintenance for Db {
+    fn flush(&self) -> Result<()> {
+        Db::flush(self)
+    }
+
+    fn compact_all(&self) -> Result<()> {
+        Db::compact_all(self)
+    }
+
+    fn run_gc(&self) -> Result<GcReport> {
+        Ok(GcReport::single(Db::run_gc(self)?))
+    }
+
+    fn run_gc_until_clean(&self) -> Result<usize> {
+        Db::run_gc_until_clean(self)
+    }
+
+    fn stats(&self) -> DbStats {
+        Db::stats(self)
+    }
+
+    fn space(&self) -> SpaceBreakdown {
+        Db::space(self)
+    }
+}
+
+// ---------------- DbShards ----------------
+
+impl KvRead for DbShards {
+    type View = ShardsView;
+    type Snap = ShardsSnapshot;
+    type Iter = ShardsScanIter;
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        DbShards::get(self, key)
+    }
+
+    fn get_with(&self, opts: &ReadOptions<'_>, key: &[u8]) -> Result<Option<Bytes>> {
+        DbShards::get_with(self, opts, key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<ShardsScanIter> {
+        DbShards::scan(self, lo, hi)
+    }
+
+    fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<ShardsScanIter> {
+        DbShards::scan_with(self, opts)
+    }
+
+    fn view(&self) -> ShardsView {
+        DbShards::view(self)
+    }
+
+    fn snapshot(&self) -> ShardsSnapshot {
+        DbShards::snapshot(self)
+    }
+}
+
+impl KvWrite for DbShards {
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()> {
+        DbShards::put_with(self, opts, key, value)
+    }
+
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+        DbShards::delete_with(self, opts, key)
+    }
+
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        DbShards::write_with(self, opts, batch)
+    }
+}
+
+impl Maintenance for DbShards {
+    fn flush(&self) -> Result<()> {
+        DbShards::flush(self)
+    }
+
+    fn compact_all(&self) -> Result<()> {
+        DbShards::compact_all(self)
+    }
+
+    fn run_gc(&self) -> Result<GcReport> {
+        DbShards::run_gc(self)
+    }
+
+    fn run_gc_until_clean(&self) -> Result<usize> {
+        DbShards::run_gc_until_clean(self)
+    }
+
+    fn stats(&self) -> DbStats {
+        DbShards::stats(self)
+    }
+
+    fn space(&self) -> SpaceBreakdown {
+        DbShards::space(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{EngineMode, Options};
+    use crate::shards::ShardedOptions;
+    use scavenger_env::MemEnv;
+
+    /// Compile-time object-safety assertion: the traits must stay
+    /// `dyn`-compatible (no generic methods, no `Self` returns outside
+    /// associated types), so heterogeneous backends can sit behind one
+    /// `dyn Engine<...>` pointer.
+    #[allow(dead_code)]
+    fn object_safety(
+        _write: &dyn KvWrite,
+        _maint: &dyn Maintenance,
+        _read: &dyn KvRead<View = ReadView, Snap = Snapshot, Iter = DbScanIter>,
+        _pin: &dyn PinnedReader<Iter = DbScanIter>,
+        _engine: &dyn Engine<View = ShardsView, Snap = ShardsSnapshot, Iter = ShardsScanIter>,
+    ) {
+    }
+
+    /// Compile-time Send + Sync assertions on every public surface of
+    /// the unified API: handles, pinned surfaces, and iterators all
+    /// cross threads (the maintenance fan-out and the bench harness
+    /// rely on it).
+    #[test]
+    fn surfaces_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Db>();
+        assert_send_sync::<DbShards>();
+        assert_send_sync::<ReadView>();
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<ShardsView>();
+        assert_send_sync::<ShardsSnapshot>();
+        assert_send_sync::<GcReport>();
+        assert_send::<DbScanIter>();
+        assert_send::<ShardsScanIter>();
+    }
+
+    #[test]
+    fn gc_report_normalizes_shapes() {
+        let none = GcReport::single(None);
+        assert!(!none.ran());
+        assert_eq!(none.jobs(), 0);
+        assert_eq!(none.aggregate(), GcOutcome::default());
+
+        let fanout = GcReport {
+            outcomes: vec![
+                Some(GcOutcome {
+                    files_collected: 2,
+                    records_rewritten: 10,
+                    bytes_reclaimed: 4096,
+                }),
+                None,
+                Some(GcOutcome {
+                    files_collected: 1,
+                    records_rewritten: 5,
+                    bytes_reclaimed: 1024,
+                }),
+            ],
+        };
+        assert!(fanout.ran());
+        assert_eq!(fanout.jobs(), 2);
+        let total = fanout.aggregate();
+        assert_eq!(total.files_collected, 3);
+        assert_eq!(total.records_rewritten, 15);
+        assert_eq!(total.bytes_reclaimed, 5120);
+
+        let via_from: GcReport = Some(GcOutcome::default()).into();
+        assert_eq!(via_from.jobs(), 1);
+    }
+
+    /// One generic body, both engines: the blanket [`Engine`] bound is
+    /// enough to drive the full write/read/maintain cycle.
+    #[test]
+    fn generic_cycle_runs_on_both_handles() {
+        fn cycle<E: Engine>(db: &E) {
+            for i in 0..30u32 {
+                KvWrite::put(
+                    db,
+                    format!("key{i:02}").as_bytes(),
+                    vec![i as u8; 1024].into(),
+                )
+                .unwrap();
+            }
+            db.flush().unwrap();
+            assert_eq!(
+                KvRead::get(db, b"key07").unwrap().unwrap(),
+                Bytes::from(vec![7u8; 1024])
+            );
+            let view = db.view();
+            KvWrite::delete(db, b"key07").unwrap();
+            assert!(KvRead::get(db, b"key07").unwrap().is_none());
+            assert_eq!(view.get(b"key07").unwrap().unwrap().len(), 1024);
+            let collected: Vec<ScanEntry> = db
+                .scan(b"key00", Some(b"key05"))
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            assert_eq!(collected.len(), 5);
+            db.compact_all().unwrap();
+            let _ = db.run_gc().unwrap();
+            assert!(db.stats().flushes >= 1);
+            assert!(db.space().total() > 0);
+        }
+        let single = Db::open(Options::new(
+            MemEnv::shared(),
+            "eng-single",
+            EngineMode::Scavenger,
+        ))
+        .unwrap();
+        cycle(&single);
+        let sharded = DbShards::open(ShardedOptions::new(
+            MemEnv::shared(),
+            "eng-sharded",
+            EngineMode::Scavenger,
+        ))
+        .unwrap();
+        cycle(&sharded);
+    }
+}

@@ -33,6 +33,16 @@
 //! assert!(db.get(b"tiny").unwrap().is_none());
 //! ```
 //!
+//! ## One engine surface
+//!
+//! Every handle implements the trait triple in [`engine`] —
+//! [`KvRead`] / [`KvWrite`] / [`Maintenance`] (umbrella: [`Engine`]) —
+//! so tests, benches, and applications written against the traits run
+//! unchanged on a single [`Db`] or a sharded [`DbShards`]. Per-call
+//! options are shared: one [`ReadOptions`] (its [`ReadPin`] covers both
+//! engines' views and snapshots), one [`WriteOptions`], and a
+//! [`GcReport`] that normalizes single vs. fan-out GC results.
+//!
 //! ## Scaling out
 //!
 //! For multi-core write scaling, [`DbShards`] hash-partitions the key
@@ -42,12 +52,16 @@
 //! pinned-view machinery ([`Db::view`], [`Snapshot`], [`ReadOptions`]).
 //!
 //! The repository-level `ARCHITECTURE.md` walks the full design: the
-//! superversion read path and its copy-on-write installs, the staged GC
-//! pipeline, space-aware throttling, and the shard layer. `README.md`
-//! has the crate map and the benchmark baselines.
+//! trait-based API layer, the superversion read path and its
+//! copy-on-write installs, the staged GC pipeline, space-aware
+//! throttling, and the shard layer. `README.md` has the crate map and
+//! the benchmark baselines.
+
+#![warn(missing_docs)]
 
 pub mod db;
 pub mod dropcache;
+pub mod engine;
 pub mod gc;
 pub(crate) mod gc_exec;
 pub mod hook;
@@ -60,16 +74,22 @@ pub mod vstore;
 
 pub use db::{Db, DbScanIter, ScanEntry};
 pub use dropcache::DropCache;
+pub use engine::{Engine, GcReport, KvRead, KvWrite, Maintenance, PinnedReader};
 pub use gc::{GcOutcome, GcValidationReport};
 pub use options::{
-    EngineMode, Features, GcPipeline, GcScheme, GcValidateMode, Options, SpaceUsageFn, VFormat,
+    EngineMode, Features, GcPipeline, GcScheme, GcValidateMode, Options, OptionsBuilder,
+    SpaceUsageFn, VFormat,
 };
-pub use shards::{
-    DbShards, ShardedOptions, ShardsReadOptions, ShardsScanIter, ShardsSnapshot, ShardsView,
-};
+pub use shards::{DbShards, ShardedOptions, ShardedOptionsBuilder, ShardsSnapshot, ShardsView};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
 pub use throttle::Throttle;
-pub use view::{ReadOptions, ReadView, Snapshot, WriteOptions};
+pub use view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
+
+// Re-export the write-batch type (and the byte buffer it carries) so
+// `Db::write(WriteBatch)` is callable from the crate root alone, with
+// no direct `scavenger-lsm` / `bytes` dependency.
+pub use bytes::Bytes;
+pub use scavenger_lsm::WriteBatch;
 
 // Re-export the substrate types users commonly need.
 pub use scavenger_env::{DeviceModel, Env, EnvRef, FsEnv, IoClass, IoStatsSnapshot, MemEnv};

@@ -372,6 +372,259 @@ pub struct Options {
     pub space_usage: Option<SpaceUsageFn>,
 }
 
+/// Generates the shared per-engine knob setters for the two typed
+/// builders ([`OptionsBuilder`] and
+/// [`ShardedOptionsBuilder`](crate::ShardedOptionsBuilder)): both carry
+/// the exact same setter set, applied at different field paths, so the
+/// growing knob list is declared once instead of accreting positional
+/// constructors or diverging hand-mirrored builders.
+macro_rules! knob_setters {
+    ([$($path:tt).+]) => {
+        /// Feature toggles (ablations override the mode's defaults).
+        #[must_use]
+        pub fn features(mut self, v: crate::options::Features) -> Self {
+            self.$($path).+.features = v;
+            self
+        }
+
+        /// KV-separation threshold in bytes (paper: 512 B).
+        #[must_use]
+        pub fn sep_threshold(mut self, v: usize) -> Self {
+            self.$($path).+.sep_threshold = v;
+            self
+        }
+
+        /// Target value-SST size.
+        #[must_use]
+        pub fn vsst_target_size(mut self, v: u64) -> Self {
+            self.$($path).+.vsst_target_size = v;
+            self
+        }
+
+        /// Garbage-ratio threshold that triggers GC (paper: 0.2).
+        #[must_use]
+        pub fn gc_threshold(mut self, v: f64) -> Self {
+            self.$($path).+.gc_threshold = v;
+            self
+        }
+
+        /// Max candidate files merged per GC job.
+        #[must_use]
+        pub fn gc_batch_files(mut self, v: usize) -> Self {
+            self.$($path).+.gc_batch_files = v;
+            self
+        }
+
+        /// Run GC automatically on the write path when candidates exist.
+        #[must_use]
+        pub fn auto_gc(mut self, v: bool) -> Self {
+            self.$($path).+.auto_gc = v;
+            self
+        }
+
+        /// Auto-GC bandwidth budget as a multiple of foreground write
+        /// bytes.
+        #[must_use]
+        pub fn gc_bandwidth_factor(mut self, v: f64) -> Self {
+            self.$($path).+.gc_bandwidth_factor = v;
+            self
+        }
+
+        /// How GC-Lookup validates candidate records.
+        #[must_use]
+        pub fn gc_validate_mode(mut self, v: crate::options::GcValidateMode) -> Self {
+            self.$($path).+.gc_validate_mode = v;
+            self
+        }
+
+        /// Worker threads for parallel GC validation/IO and cross-shard
+        /// maintenance fan-out.
+        #[must_use]
+        pub fn gc_threads(mut self, v: usize) -> Self {
+            self.$($path).+.gc_threads = v;
+            self
+        }
+
+        /// Whether GC jobs overlap their Validate / Fetch / Write stages.
+        #[must_use]
+        pub fn gc_pipeline(mut self, v: crate::options::GcPipeline) -> Self {
+            self.$($path).+.gc_pipeline = v;
+            self
+        }
+
+        /// Records per pipeline batch when the GC pipeline is on.
+        #[must_use]
+        pub fn gc_pipeline_batch(mut self, v: usize) -> Self {
+            self.$($path).+.gc_pipeline_batch = v;
+            self
+        }
+
+        /// DropCache capacity in keys (§III-B3).
+        #[must_use]
+        pub fn dropcache_keys(mut self, v: usize) -> Self {
+            self.$($path).+.dropcache_keys = v;
+            self
+        }
+
+        /// Space limit in bytes; `None` disables §III-D throttling. For a
+        /// sharded store this is the **global** budget.
+        #[must_use]
+        pub fn space_limit(mut self, v: Option<u64>) -> Self {
+            self.$($path).+.space_limit = v;
+            self
+        }
+
+        /// GC-threshold multiplier while throttling (§III-D).
+        #[must_use]
+        pub fn throttle_gc_factor(mut self, v: f64) -> Self {
+            self.$($path).+.throttle_gc_factor = v;
+            self
+        }
+
+        /// Memtable size in bytes.
+        #[must_use]
+        pub fn memtable_size(mut self, v: usize) -> Self {
+            self.$($path).+.memtable_size = v;
+            self
+        }
+
+        /// L0 file-count compaction trigger.
+        #[must_use]
+        pub fn l0_trigger(mut self, v: usize) -> Self {
+            self.$($path).+.l0_trigger = v;
+            self
+        }
+
+        /// Base level target bytes.
+        #[must_use]
+        pub fn base_level_bytes(mut self, v: u64) -> Self {
+            self.$($path).+.base_level_bytes = v;
+            self
+        }
+
+        /// Inter-level size multiplier (paper: 10).
+        #[must_use]
+        pub fn level_multiplier(mut self, v: u64) -> Self {
+            self.$($path).+.level_multiplier = v;
+            self
+        }
+
+        /// Key-SST target size.
+        #[must_use]
+        pub fn ksst_target_size(mut self, v: u64) -> Self {
+            self.$($path).+.ksst_target_size = v;
+            self
+        }
+
+        /// Block size in bytes.
+        #[must_use]
+        pub fn block_size(mut self, v: usize) -> Self {
+            self.$($path).+.block_size = v;
+            self
+        }
+
+        /// Bloom bits per key (paper: 10).
+        #[must_use]
+        pub fn bloom_bits_per_key(mut self, v: usize) -> Self {
+            self.$($path).+.bloom_bits_per_key = v;
+            self
+        }
+
+        /// Block cache capacity in bytes.
+        #[must_use]
+        pub fn block_cache_bytes(mut self, v: usize) -> Self {
+            self.$($path).+.block_cache_bytes = v;
+            self
+        }
+
+        /// Write WAL records.
+        #[must_use]
+        pub fn wal(mut self, v: bool) -> Self {
+            self.$($path).+.wal = v;
+            self
+        }
+
+        /// Run background work inline (deterministic) or on threads.
+        #[must_use]
+        pub fn inline_background(mut self, v: bool) -> Self {
+            self.$($path).+.inline_background = v;
+            self
+        }
+
+        /// Share this block cache instead of creating one per engine.
+        /// (On a sharded store this becomes the one cache every shard
+        /// uses.)
+        #[must_use]
+        pub fn block_cache(
+            mut self,
+            v: Option<std::sync::Arc<scavenger_table::btable::BlockCache>>,
+        ) -> Self {
+            self.$($path).+.block_cache = v;
+            self
+        }
+    };
+}
+pub(crate) use knob_setters;
+
+/// Typed builder for [`Options`], created by [`Options::builder`].
+///
+/// Every tuning knob gets a named setter (shared, macro-generated, with
+/// the sharded builder), so configuration reads as a fluent chain and
+/// new knobs never extend a positional constructor. Finish with
+/// [`build`](OptionsBuilder::build) — or [`open`](OptionsBuilder::open)
+/// to go straight to a [`Db`](crate::Db).
+///
+/// ```
+/// use scavenger::{EngineMode, GcPipeline, MemEnv, Options};
+///
+/// let db = Options::builder(MemEnv::shared(), "builder-demo", EngineMode::Scavenger)
+///     .memtable_size(64 * 1024)
+///     .gc_pipeline(GcPipeline::Off)
+///     .space_limit(Some(64 * 1024 * 1024))
+///     .open()
+///     .unwrap();
+/// db.put(b"k", vec![0u8; 2048]).unwrap();
+/// assert_eq!(db.get(b"k").unwrap().unwrap().len(), 2048);
+/// ```
+#[derive(Clone)]
+pub struct OptionsBuilder {
+    opts: Options,
+}
+
+impl OptionsBuilder {
+    knob_setters!([opts]);
+
+    // The two cross-engine sharing hooks live only on the single-engine
+    // builder: [`DbShards`](crate::DbShards) installs its own shared
+    // throttle and set-wide usage source on every shard at open, so a
+    // sharded builder offering these setters would silently discard the
+    // caller's value.
+
+    /// Share this throttle (limit + counters) across engines.
+    #[must_use]
+    pub fn shared_throttle(mut self, v: Option<Arc<Throttle>>) -> Self {
+        self.opts.shared_throttle = v;
+        self
+    }
+
+    /// Space-usage source the throttle compares against the limit.
+    #[must_use]
+    pub fn space_usage(mut self, v: Option<SpaceUsageFn>) -> Self {
+        self.opts.space_usage = v;
+        self
+    }
+
+    /// Finish the chain: the configured [`Options`].
+    pub fn build(self) -> Options {
+        self.opts
+    }
+
+    /// Build and open a [`Db`](crate::Db) in one step.
+    pub fn open(self) -> scavenger_util::Result<crate::db::Db> {
+        crate::db::Db::open(self.build())
+    }
+}
+
 impl Options {
     /// Scaled defaults (DESIGN.md §6) for the given mode.
     pub fn new(env: EnvRef, dir: impl Into<String>, mode: EngineMode) -> Options {
@@ -406,6 +659,14 @@ impl Options {
             block_cache: None,
             shared_throttle: None,
             space_usage: None,
+        }
+    }
+
+    /// Typed builder over [`Options::new`]: the same scaled defaults,
+    /// with every knob settable by name (see [`OptionsBuilder`]).
+    pub fn builder(env: EnvRef, dir: impl Into<String>, mode: EngineMode) -> OptionsBuilder {
+        OptionsBuilder {
+            opts: Options::new(env, dir, mode),
         }
     }
 

@@ -39,11 +39,11 @@
 //! write is atomic per shard, not across shards.
 
 use crate::db::{Db, DbScanIter, ScanEntry};
-use crate::gc::GcOutcome;
-use crate::options::Options;
-use crate::stats::{DbStats, SpaceBreakdown};
+use crate::engine::GcReport;
+use crate::options::{knob_setters, Options};
+use crate::stats::{DbStats, GcStepTimes, SpaceBreakdown};
 use crate::throttle::Throttle;
-use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions};
+use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scavenger_env::IoClass;
@@ -85,6 +85,87 @@ impl ShardedOptions {
             num_shards: 4,
             route_seed: 0x5ca7_e26e,
         }
+    }
+
+    /// Typed builder over [`ShardedOptions::new`] — the sharded twin of
+    /// [`Options::builder`](crate::Options::builder), carrying the same
+    /// per-shard knob setters plus the shard-layer ones.
+    ///
+    /// ```
+    /// use scavenger::{DbShards, EngineMode, MemEnv, ShardedOptions};
+    ///
+    /// let db: DbShards = ShardedOptions::builder(MemEnv::shared(), "sb-demo", EngineMode::Scavenger)
+    ///     .num_shards(2)
+    ///     .gc_threads(2)
+    ///     .memtable_size(32 * 1024)
+    ///     .open()
+    ///     .unwrap();
+    /// assert_eq!(db.num_shards(), 2);
+    /// ```
+    pub fn builder(
+        env: scavenger_env::EnvRef,
+        dir: impl Into<String>,
+        mode: crate::options::EngineMode,
+    ) -> ShardedOptionsBuilder {
+        ShardedOptionsBuilder {
+            sharded: ShardedOptions::new(env, dir, mode),
+        }
+    }
+}
+
+/// Typed builder for [`ShardedOptions`], created by
+/// [`ShardedOptions::builder`]. Shard-layer knobs
+/// ([`num_shards`](ShardedOptionsBuilder::num_shards),
+/// [`route_seed`](ShardedOptionsBuilder::route_seed)) live next to the
+/// full per-shard knob set (applied to [`ShardedOptions::base`]), so a
+/// sharded store is configured in one fluent chain ending in
+/// [`build`](ShardedOptionsBuilder::build) or
+/// [`open`](ShardedOptionsBuilder::open).
+#[derive(Clone)]
+pub struct ShardedOptionsBuilder {
+    sharded: ShardedOptions,
+}
+
+impl ShardedOptionsBuilder {
+    /// Number of shards (1 ..= 256); fixed at first open.
+    #[must_use]
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.sharded.num_shards = n;
+        self
+    }
+
+    /// Routing-hash seed, consulted only at first open (then persisted).
+    #[must_use]
+    pub fn route_seed(mut self, seed: u64) -> Self {
+        self.sharded.route_seed = seed;
+        self
+    }
+
+    /// Replace the whole per-shard base [`Options`] at once. This
+    /// overwrites **every** per-shard knob, including any set earlier
+    /// in the chain — when combining it with the individual setters
+    /// below, call `base(...)` *first* and tweak fields after. Note
+    /// that [`DbShards::open`] installs its own shared throttle and
+    /// set-wide space-usage source on every shard, so
+    /// `shared_throttle` / `space_usage` carried by `base` are
+    /// overwritten (which is also why this builder has no setters for
+    /// them).
+    #[must_use]
+    pub fn base(mut self, base: Options) -> Self {
+        self.sharded.base = base;
+        self
+    }
+
+    knob_setters!([sharded.base]);
+
+    /// Finish the chain: the configured [`ShardedOptions`].
+    pub fn build(self) -> ShardedOptions {
+        self.sharded
+    }
+
+    /// Build and open the sharded store in one step.
+    pub fn open(self) -> Result<DbShards> {
+        DbShards::open(self.build())
     }
 }
 
@@ -380,24 +461,28 @@ impl DbShards {
     }
 
     /// Value of `key` as seen by `opts` (routed to the key's shard).
-    pub fn get_with(
-        &self,
-        opts: &ShardsReadOptions<'_>,
-        key: impl AsRef<[u8]>,
-    ) -> Result<Option<Bytes>> {
+    /// The pin must be a sharded one
+    /// ([`ReadPin::ShardsView`] /
+    /// [`ReadPin::ShardsSnapshot`]) or
+    /// [`ReadPin::Latest`]; a single-engine pin
+    /// is an error on a sharded handle.
+    pub fn get_with(&self, opts: &ReadOptions<'_>, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
         let key = key.as_ref();
-        match (opts.view, opts.snapshot) {
-            (Some(v), _) => v.get_opt(key, opts.fill_cache),
-            (None, Some(s)) => s.get_opt(key, opts.fill_cache),
+        match opts.pin {
+            ReadPin::ShardsView(v) => v.get_opt(key, opts.fill_cache),
+            ReadPin::ShardsSnapshot(s) => s.get_opt(key, opts.fill_cache),
             // No pinned set: route straight to the owning shard — one
             // transient pin there, not a coordinated pin on every shard.
-            (None, None) => {
+            ReadPin::Latest => {
                 let ro = ReadOptions {
                     fill_cache: opts.fill_cache,
                     ..ReadOptions::default()
                 };
                 self.inner.shards[self.inner.shard_of(key)].get_with(&ro, key)
             }
+            ReadPin::View(_) | ReadPin::Snapshot(_) => Err(Error::invalid_argument(
+                "single-engine pin passed to a sharded read",
+            )),
         }
     }
 
@@ -428,15 +513,19 @@ impl DbShards {
     }
 
     /// Range scan as seen by `opts`: bounds from `lower/upper_bound`,
-    /// the read point from the given view or snapshot set (fresh
-    /// otherwise).
-    pub fn scan_with(&self, opts: &ShardsReadOptions<'_>) -> Result<ShardsScanIter> {
+    /// the read point from the given sharded view or snapshot set (a
+    /// fresh coordinated set otherwise). A single-engine pin is an
+    /// error on a sharded handle.
+    pub fn scan_with(&self, opts: &ReadOptions<'_>) -> Result<ShardsScanIter> {
         let lo = opts.lower_bound.as_deref().unwrap_or(b"");
         let hi = opts.upper_bound.as_deref();
-        match (opts.view, opts.snapshot) {
-            (Some(v), _) => v.scan_opt(lo, hi, opts.fill_cache),
-            (None, Some(s)) => s.view_scan_opt(lo, hi, opts.fill_cache),
-            (None, None) => self.view().scan_opt(lo, hi, opts.fill_cache),
+        match opts.pin {
+            ReadPin::ShardsView(v) => v.scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::ShardsSnapshot(s) => s.view_scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::Latest => self.view().scan_opt(lo, hi, opts.fill_cache),
+            ReadPin::View(_) | ReadPin::Snapshot(_) => Err(Error::invalid_argument(
+                "single-engine pin passed to a sharded scan",
+            )),
         }
     }
 
@@ -452,10 +541,15 @@ impl DbShards {
         self.for_each_shard(|db| db.compact_all()).map(|_| ())
     }
 
-    /// Run one GC job per shard (fanned across the pool). Returns each
-    /// shard's outcome, indexed by shard.
-    pub fn run_gc(&self) -> Result<Vec<Option<GcOutcome>>> {
-        self.for_each_shard(|db| db.run_gc())
+    /// Run one GC job per shard (fanned across the pool). The
+    /// [`GcReport`] holds each shard's outcome, indexed by shard — the
+    /// same shape [`Db::run_gc`](crate::engine::Maintenance) reports
+    /// through the trait surface with a single slot, so generic callers
+    /// never branch on the handle type.
+    pub fn run_gc(&self) -> Result<GcReport> {
+        Ok(GcReport {
+            outcomes: self.for_each_shard(|db| db.run_gc())?,
+        })
     }
 
     /// Run GC on every shard until no candidate crosses the threshold.
@@ -509,17 +603,84 @@ impl DbShards {
         self.inner.shards.iter().map(|s| s.stats()).collect()
     }
 
+    /// Aggregate statistics across the whole shard set — the sharded
+    /// analogue of [`Db::stats`]: counters and space sum over shards,
+    /// I/O and the throttle counter are read once from the shared
+    /// environment/throttle (every shard shares them), the cache hit
+    /// ratio comes from the shared block cache, `index_space_amp` is
+    /// the ksst-byte-weighted mean, and `oldest_read_point` is the
+    /// minimum across shards (sequences are per-shard, so it is a
+    /// conservative "oldest anywhere" gauge).
+    pub fn stats(&self) -> DbStats {
+        let per_shard = self.shard_stats();
+        let mut gc = GcStepTimes::default();
+        let mut space = SpaceBreakdown::default();
+        let mut exposed_garbage_bytes = 0;
+        let mut value_store_bytes = 0;
+        let mut value_files = 0;
+        let mut flushes = 0;
+        let mut compactions = 0;
+        let mut merge_drops = 0;
+        let mut pinned_views = 0;
+        let mut live_snapshots = 0;
+        let mut oldest_read_point = None;
+        let mut amp_weighted = 0.0;
+        let mut amp_weight = 0u64;
+        for s in &per_shard {
+            gc.accumulate(&s.gc);
+            space.accumulate(&s.space);
+            exposed_garbage_bytes += s.exposed_garbage_bytes;
+            value_store_bytes += s.value_store_bytes;
+            value_files += s.value_files;
+            flushes += s.flushes;
+            compactions += s.compactions;
+            merge_drops += s.merge_drops;
+            pinned_views += s.pinned_views;
+            live_snapshots += s.live_snapshots;
+            oldest_read_point = match (oldest_read_point, s.oldest_read_point) {
+                (Some(a), Some(b)) => Some(std::cmp::min(a, b)),
+                (a, b) => a.or(b),
+            };
+            amp_weighted += s.index_space_amp * s.space.ksst_bytes as f64;
+            amp_weight += s.space.ksst_bytes;
+        }
+        // Reuse the per-shard breakdowns computed above instead of
+        // re-walking every shard directory through self.space(); only
+        // the routing meta file is added on top.
+        space.other_bytes += self
+            .inner
+            .env
+            .file_size(&format!("{}/SHARDS", self.inner.root))
+            .unwrap_or(0);
+        DbStats {
+            io: self.inner.env.io_stats().snapshot(),
+            gc,
+            space,
+            index_space_amp: if amp_weight == 0 {
+                1.0
+            } else {
+                amp_weighted / amp_weight as f64
+            },
+            exposed_garbage_bytes,
+            value_store_bytes,
+            value_files,
+            cache_hit_ratio: self.inner.cache.hit_ratio(),
+            flushes,
+            compactions,
+            merge_drops,
+            throttle_stalls: self.inner.throttle.activation_count(),
+            oldest_read_point,
+            pinned_views,
+            live_snapshots,
+        }
+    }
+
     /// Aggregate on-disk space across every shard (plus the routing
     /// meta file, under `other_bytes`).
     pub fn space(&self) -> SpaceBreakdown {
         let mut total = SpaceBreakdown::default();
         for s in &self.inner.shards {
-            let b = s.space();
-            total.ksst_bytes += b.ksst_bytes;
-            total.value_bytes += b.value_bytes;
-            total.wal_bytes += b.wal_bytes;
-            total.manifest_bytes += b.manifest_bytes;
-            total.other_bytes += b.other_bytes;
+            total.accumulate(&s.space());
         }
         total.other_bytes += self
             .inner
@@ -617,65 +778,30 @@ impl ShardsSnapshot {
     }
 }
 
-/// Per-call read options for [`DbShards::get_with`] /
-/// [`DbShards::scan_with`] — the sharded mirror of
-/// [`ReadOptions`](crate::ReadOptions). At most one of `view` /
-/// `snapshot` should be set (`view` wins); with neither, the call reads
-/// through a fresh coordinated view set.
-pub struct ShardsReadOptions<'a> {
-    /// Read through this pinned view set.
-    pub view: Option<&'a ShardsView>,
-    /// Read at this snapshot set.
-    pub snapshot: Option<&'a ShardsSnapshot>,
-    /// Bypass the table-handle and block caches when `false` (one-shot
-    /// readers). Default `true`.
-    pub fill_cache: bool,
-    /// Inclusive lower key bound for scans; unbounded when `None`.
-    pub lower_bound: Option<Vec<u8>>,
-    /// Exclusive upper key bound for scans; unbounded when `None`.
-    pub upper_bound: Option<Vec<u8>>,
-}
-
-impl Default for ShardsReadOptions<'_> {
-    fn default() -> Self {
-        ShardsReadOptions {
-            view: None,
-            snapshot: None,
-            fill_cache: true,
-            lower_bound: None,
-            upper_bound: None,
-        }
-    }
-}
-
-impl<'a> ShardsReadOptions<'a> {
-    /// Options reading through `view`.
-    pub fn at_view(view: &'a ShardsView) -> Self {
-        ShardsReadOptions {
-            view: Some(view),
-            ..ShardsReadOptions::default()
-        }
-    }
-
-    /// Options reading at `snapshot`.
-    pub fn at_snapshot(snapshot: &'a ShardsSnapshot) -> Self {
-        ShardsReadOptions {
-            snapshot: Some(snapshot),
-            ..ShardsReadOptions::default()
-        }
-    }
-}
-
-/// K-way ordered merge over per-shard scan iterators.
+/// K-way ordered merge over per-shard scan iterators — the
+/// [`KvRead::Iter`](crate::engine::KvRead) of [`DbShards`]. Not
+/// re-exported at the crate root: name it through the trait's
+/// associated type (`<DbShards as KvRead>::Iter`) or this module path.
 ///
 /// Hash partitioning makes the shard streams *disjoint* (a user key
 /// lives on exactly one shard), so merging is a pure smallest-head pick
 /// — no cross-shard version shadowing to resolve. Ties (impossible by
 /// construction) would resolve to the lowest shard index, keeping the
 /// iterator deterministic even under a buggy router.
+///
+/// Implements [`Iterator`] over `Result<ScanEntry>` with the same
+/// contract as [`DbScanIter`]: after yielding an error the iterator is
+/// fused. [`next_entry`](ShardsScanIter::next_entry) and
+/// [`collect_n`](ShardsScanIter::collect_n) are thin wrappers over the
+/// `Iterator` impl.
 pub struct ShardsScanIter {
     iters: Vec<DbScanIter>,
     heads: Vec<Option<ScanEntry>>,
+    /// A refill failure noticed *after* a head was popped: the popped
+    /// entry is delivered first, then this error surfaces on the next
+    /// pull — an already-resolved entry is never dropped.
+    pending_err: Option<Error>,
+    done: bool,
 }
 
 impl ShardsScanIter {
@@ -684,12 +810,22 @@ impl ShardsScanIter {
         for it in &mut iters {
             heads.push(it.next_entry()?);
         }
-        Ok(ShardsScanIter { iters, heads })
+        Ok(ShardsScanIter {
+            iters,
+            heads,
+            pending_err: None,
+            done: false,
+        })
     }
 
-    /// Next entry in global key order, or `None` when every shard is
-    /// exhausted.
-    pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
+    /// Pick the smallest head, yield it, and refill from its shard. A
+    /// failed refill is deferred behind the popped entry (see
+    /// `pending_err`), matching the single-engine behavior of yielding
+    /// every successfully resolved entry before the error.
+    fn merge_next(&mut self) -> Result<Option<ScanEntry>> {
+        if let Some(e) = self.pending_err.take() {
+            return Err(e);
+        }
         let mut min: Option<usize> = None;
         for (i, head) in self.heads.iter().enumerate() {
             if let Some(e) = head {
@@ -702,23 +838,38 @@ impl ShardsScanIter {
         match min {
             Some(i) => {
                 let out = self.heads[i].take();
-                self.heads[i] = self.iters[i].next_entry()?;
+                match self.iters[i].next_entry() {
+                    Ok(head) => self.heads[i] = head,
+                    Err(e) => self.pending_err = Some(e),
+                }
                 Ok(out)
             }
             None => Ok(None),
         }
     }
 
-    /// Collect up to `limit` entries.
+    /// Next entry in global key order, or `None` when every shard is
+    /// exhausted (thin wrapper over the [`Iterator`] impl).
+    pub fn next_entry(&mut self) -> Result<Option<ScanEntry>> {
+        self.next().transpose()
+    }
+
+    /// Collect up to `limit` entries (thin wrapper over the [`Iterator`]
+    /// impl).
     pub fn collect_n(&mut self, limit: usize) -> Result<Vec<ScanEntry>> {
-        let mut out = Vec::new();
-        while out.len() < limit {
-            match self.next_entry()? {
-                Some(e) => out.push(e),
-                None => break,
-            }
+        self.by_ref().take(limit).collect()
+    }
+}
+
+impl Iterator for ShardsScanIter {
+    type Item = Result<ScanEntry>;
+
+    fn next(&mut self) -> Option<Result<ScanEntry>> {
+        if self.done {
+            return None;
         }
-        Ok(out)
+        let pulled = self.merge_next();
+        scavenger_util::iter::fuse(&mut self.done, pulled)
     }
 }
 

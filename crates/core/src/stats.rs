@@ -157,6 +157,58 @@ impl GcStepTimes {
         )
     }
 
+    /// Add `other`'s counters into `self` — used by
+    /// [`DbShards::stats`](crate::DbShards::stats) to fold per-shard GC
+    /// breakdowns into one set-wide snapshot. The exhaustive
+    /// destructuring (no `..`) makes the compiler flag any field added
+    /// to the struct but forgotten here.
+    pub fn accumulate(&mut self, other: &GcStepTimes) {
+        let GcStepTimes {
+            read_ns,
+            lookup_ns,
+            write_ns,
+            write_index_ns,
+            runs,
+            files_collected,
+            records_scanned,
+            records_valid,
+            reclaimed_bytes,
+            validate_batches,
+            validate_point_lookups,
+            validate_sweeps,
+            validate_sweep_steps,
+            validate_sweep_seeks,
+            validate_parallel_jobs,
+            fetch_parallel_jobs,
+            write_batches,
+            pipeline_jobs,
+            pipeline_batches,
+            pipeline_overlaps,
+            pipeline_backpressure,
+        } = *other;
+        self.read_ns += read_ns;
+        self.lookup_ns += lookup_ns;
+        self.write_ns += write_ns;
+        self.write_index_ns += write_index_ns;
+        self.runs += runs;
+        self.files_collected += files_collected;
+        self.records_scanned += records_scanned;
+        self.records_valid += records_valid;
+        self.reclaimed_bytes += reclaimed_bytes;
+        self.validate_batches += validate_batches;
+        self.validate_point_lookups += validate_point_lookups;
+        self.validate_sweeps += validate_sweeps;
+        self.validate_sweep_steps += validate_sweep_steps;
+        self.validate_sweep_seeks += validate_sweep_seeks;
+        self.validate_parallel_jobs += validate_parallel_jobs;
+        self.fetch_parallel_jobs += fetch_parallel_jobs;
+        self.write_batches += write_batches;
+        self.pipeline_jobs += pipeline_jobs;
+        self.pipeline_batches += pipeline_batches;
+        self.pipeline_overlaps += pipeline_overlaps;
+        self.pipeline_backpressure += pipeline_backpressure;
+    }
+
     /// `self - earlier`, saturating.
     pub fn delta(&self, earlier: &GcStepTimes) -> GcStepTimes {
         GcStepTimes {
@@ -222,6 +274,25 @@ impl SpaceBreakdown {
     /// Total engine footprint.
     pub fn total(&self) -> u64 {
         self.ksst_bytes + self.value_bytes + self.wal_bytes + self.manifest_bytes + self.other_bytes
+    }
+
+    /// Add `other`'s per-category bytes into `self` — used by
+    /// [`DbShards`](crate::DbShards) to fold per-shard breakdowns into
+    /// one set-wide total. Exhaustively destructured (no `..`) so a new
+    /// category cannot be silently dropped from aggregation.
+    pub fn accumulate(&mut self, other: &SpaceBreakdown) {
+        let SpaceBreakdown {
+            ksst_bytes,
+            value_bytes,
+            wal_bytes,
+            manifest_bytes,
+            other_bytes,
+        } = *other;
+        self.ksst_bytes += ksst_bytes;
+        self.value_bytes += value_bytes;
+        self.wal_bytes += wal_bytes;
+        self.manifest_bytes += manifest_bytes;
+        self.other_bytes += other_bytes;
     }
 }
 

@@ -29,6 +29,7 @@
 //!   defaults.
 
 use crate::db::{DbInner, DbScanIter};
+use crate::shards::{ShardsSnapshot, ShardsView};
 use bytes::Bytes;
 use scavenger_util::ikey::SeqNo;
 use scavenger_util::Result;
@@ -120,13 +121,72 @@ impl Snapshot {
     }
 }
 
-/// Per-call read options for [`Db::get_with`](crate::db::Db::get_with)
-/// and [`Db::scan_with`](crate::db::Db::scan_with).
+/// The read point a [`ReadOptions`] call resolves against: the latest
+/// state, or one of the four pinned read surfaces — single-engine
+/// [`ReadView`] / [`Snapshot`], or their sharded counterparts
+/// [`ShardsView`] / [`ShardsSnapshot`].
 ///
-/// At most one of [`view`](ReadOptions::view) /
-/// [`snapshot`](ReadOptions::snapshot) should be set; `view` wins when
-/// both are. With neither, the call reads through a fresh transient view
-/// at the latest sequence.
+/// One enum instead of per-engine option structs means a single
+/// [`ReadOptions`] type serves both [`Db`](crate::Db) and
+/// [`DbShards`](crate::DbShards) (the trait surface in
+/// [`engine`](crate::engine) depends on this). Passing a pin from the
+/// *other* engine flavor — a `ShardsView` to a `Db` read, or a plain
+/// `ReadView` to a sharded read — is reported as an error by the
+/// receiving engine, never silently ignored.
+///
+/// Marked `#[non_exhaustive]`: a new backend contributes its pinned
+/// surfaces as additional variants (plus `From` impls), which is an
+/// additive, non-breaking change — downstream matches must carry a
+/// wildcard arm and should treat unknown pins as the wrong flavor.
+#[derive(Clone, Copy, Default)]
+#[non_exhaustive]
+pub enum ReadPin<'a> {
+    /// No pin: read through a fresh transient view at the latest
+    /// sequence.
+    #[default]
+    Latest,
+    /// Read through a pinned single-engine view.
+    View(&'a ReadView),
+    /// Read at a single-engine snapshot.
+    Snapshot(&'a Snapshot),
+    /// Read through a coordinated per-shard view set.
+    ShardsView(&'a ShardsView),
+    /// Read at a coordinated per-shard snapshot set.
+    ShardsSnapshot(&'a ShardsSnapshot),
+}
+
+impl<'a> From<&'a ReadView> for ReadPin<'a> {
+    fn from(v: &'a ReadView) -> Self {
+        ReadPin::View(v)
+    }
+}
+
+impl<'a> From<&'a Snapshot> for ReadPin<'a> {
+    fn from(s: &'a Snapshot) -> Self {
+        ReadPin::Snapshot(s)
+    }
+}
+
+impl<'a> From<&'a ShardsView> for ReadPin<'a> {
+    fn from(v: &'a ShardsView) -> Self {
+        ReadPin::ShardsView(v)
+    }
+}
+
+impl<'a> From<&'a ShardsSnapshot> for ReadPin<'a> {
+    fn from(s: &'a ShardsSnapshot) -> Self {
+        ReadPin::ShardsSnapshot(s)
+    }
+}
+
+/// Per-call read options for [`Db::get_with`](crate::db::Db::get_with),
+/// [`Db::scan_with`](crate::db::Db::scan_with), and their
+/// [`DbShards`](crate::DbShards) counterparts — one options type for
+/// every engine handle.
+///
+/// The read point comes from [`pin`](ReadOptions::pin): latest state by
+/// default, or any of the pinned read surfaces via
+/// [`ReadOptions::pinned`].
 ///
 /// ```
 /// use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions};
@@ -147,10 +207,9 @@ impl Snapshot {
 /// assert_eq!(entries[0].key, b"key05");
 /// ```
 pub struct ReadOptions<'a> {
-    /// Read through this pinned view.
-    pub view: Option<&'a ReadView>,
-    /// Read at this snapshot.
-    pub snapshot: Option<&'a Snapshot>,
+    /// The read point: latest, or a pinned view/snapshot of either
+    /// engine flavor.
+    pub pin: ReadPin<'a>,
     /// When `false`, the read bypasses the table-handle and block caches
     /// entirely (one-shot readers) so a scan of cold data cannot evict
     /// the hot working set. Default `true`.
@@ -168,8 +227,7 @@ pub struct ReadOptions<'a> {
 impl Default for ReadOptions<'_> {
     fn default() -> Self {
         ReadOptions {
-            view: None,
-            snapshot: None,
+            pin: ReadPin::Latest,
             fill_cache: true,
             lower_bound: None,
             upper_bound: None,
@@ -178,20 +236,34 @@ impl Default for ReadOptions<'_> {
 }
 
 impl<'a> ReadOptions<'a> {
-    /// Options reading through `view`.
-    pub fn at_view(view: &'a ReadView) -> Self {
+    /// Options reading at `pin` — any of the four pinned read surfaces
+    /// converts:
+    ///
+    /// ```
+    /// use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions};
+    ///
+    /// let db = Db::open(Options::new(MemEnv::shared(), "pin-demo", EngineMode::Scavenger)).unwrap();
+    /// db.put(b"k", b"old".to_vec()).unwrap();
+    /// let snap = db.snapshot();
+    /// db.put(b"k", b"new".to_vec()).unwrap();
+    /// let at_snap = db.get_with(&ReadOptions::pinned(&snap), b"k").unwrap().unwrap();
+    /// assert_eq!(at_snap.as_ref(), b"old");
+    /// ```
+    pub fn pinned(pin: impl Into<ReadPin<'a>>) -> Self {
         ReadOptions {
-            view: Some(view),
+            pin: pin.into(),
             ..ReadOptions::default()
         }
     }
 
+    /// Options reading through `view`.
+    pub fn at_view(view: &'a ReadView) -> Self {
+        ReadOptions::pinned(view)
+    }
+
     /// Options reading at `snapshot`.
     pub fn at_snapshot(snapshot: &'a Snapshot) -> Self {
-        ReadOptions {
-            snapshot: Some(snapshot),
-            ..ReadOptions::default()
-        }
+        ReadOptions::pinned(snapshot)
     }
 }
 

@@ -480,6 +480,7 @@ pub(crate) fn scan_superversion(
     Ok(ScanIter {
         inner: it,
         hi: hi.map(|h| h.to_vec()),
+        done: false,
         _sv: sv,
         _pin: pin,
     })
@@ -488,16 +489,21 @@ pub(crate) fn scan_superversion(
 /// User-facing scan iterator with an exclusive upper bound. Holds the
 /// superversion it iterates (so lazily-opened table files cannot be
 /// purged mid-scan) and, when opened from a view, its own read-point pin.
+///
+/// Also implements [`Iterator`] over `Result<UserEntry>` (fusing after
+/// the first error or end-of-range), mirroring the engine-level scan
+/// iterators built on top of it.
 pub struct ScanIter {
     inner: DbIter,
     hi: Option<Vec<u8>>,
+    done: bool,
     _sv: Arc<SuperVersion>,
     _pin: Option<ReadPointGuard>,
 }
 
 impl ScanIter {
-    /// Next visible entry, or `None` past the bound / end of data.
-    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
+    /// Advance the merged iterator and apply the exclusive upper bound.
+    fn bounded_next(&mut self) -> Result<Option<UserEntry>> {
         match self.inner.next_entry()? {
             Some(e) => {
                 if let Some(h) = &self.hi {
@@ -509,6 +515,24 @@ impl ScanIter {
             }
             None => Ok(None),
         }
+    }
+
+    /// Next visible entry, or `None` past the bound / end of data (thin
+    /// wrapper over the [`Iterator`] impl, sharing its fuse).
+    pub fn next_entry(&mut self) -> Result<Option<UserEntry>> {
+        self.next().transpose()
+    }
+}
+
+impl Iterator for ScanIter {
+    type Item = Result<UserEntry>;
+
+    fn next(&mut self) -> Option<Result<UserEntry>> {
+        if self.done {
+            return None;
+        }
+        let pulled = self.bounded_next();
+        scavenger_util::iter::fuse(&mut self.done, pulled)
     }
 }
 

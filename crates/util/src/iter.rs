@@ -1,0 +1,62 @@
+//! Shared iterator adapters.
+//!
+//! The engine's user-facing scan iterators all expose the same
+//! `Iterator<Item = Result<T>>` contract: entries stream until
+//! end-of-range, an error is yielded **once**, and after either
+//! terminal event the iterator is *fused* — every later `next` returns
+//! `None`. [`fuse`] declares that state machine in one place so the
+//! per-layer iterators (engine, shard merge, LSM) cannot drift apart on
+//! the contract.
+
+use crate::Result;
+
+/// One step of the shared fuse-on-error contract.
+///
+/// The caller's `Iterator::next` first short-circuits on its `done`
+/// flag, then hands the freshly pulled three-way result here:
+///
+/// * `Ok(Some(e))` → `Some(Ok(e))` — stream continues;
+/// * `Ok(None)` → sets `done`, returns `None` — end of range;
+/// * `Err(e)` → sets `done`, returns `Some(Err(e))` — the error is
+///   yielded exactly once, then the iterator is fused.
+///
+/// ```
+/// use scavenger_util::iter::fuse;
+/// use scavenger_util::{Error, Result};
+///
+/// struct Nums {
+///     items: Vec<Result<Option<u32>>>,
+///     done: bool,
+/// }
+/// impl Iterator for Nums {
+///     type Item = Result<u32>;
+///     fn next(&mut self) -> Option<Result<u32>> {
+///         if self.done {
+///             return None;
+///         }
+///         let pulled = self.items.remove(0);
+///         fuse(&mut self.done, pulled)
+///     }
+/// }
+///
+/// let mut it = Nums {
+///     items: vec![Ok(Some(1)), Err(Error::io("boom")), Ok(Some(2))],
+///     done: false,
+/// };
+/// assert!(matches!(it.next(), Some(Ok(1))));
+/// assert!(matches!(it.next(), Some(Err(_))));
+/// assert!(it.next().is_none(), "fused after the error");
+/// ```
+pub fn fuse<T>(done: &mut bool, pulled: Result<Option<T>>) -> Option<Result<T>> {
+    match pulled {
+        Ok(Some(e)) => Some(Ok(e)),
+        Ok(None) => {
+            *done = true;
+            None
+        }
+        Err(e) => {
+            *done = true;
+            Some(Err(e))
+        }
+    }
+}

@@ -12,11 +12,14 @@
 //!   sequence-descending exactly like LevelDB/RocksDB.
 //! * [`hist`] — a fixed-bucket histogram used for GC latency breakdowns.
 //! * [`error`] — the shared [`Error`] type.
+//! * [`iter`] — the shared fuse-on-error adapter behind every
+//!   user-facing scan iterator's `Iterator` impl.
 
 pub mod coding;
 pub mod crc32c;
 pub mod error;
 pub mod hist;
 pub mod ikey;
+pub mod iter;
 
 pub use error::{Error, Result};

@@ -1,24 +1,27 @@
-//! Quickstart: open a Scavenger database, write, read, scan, delete,
-//! take pinned views/snapshots, and inspect the space statistics.
+//! Quickstart: open a Scavenger database with the typed options
+//! builder, write, read, scan, delete, take pinned views/snapshots,
+//! and inspect the space statistics — then run the *same* generic code
+//! against a sharded store, because both handles implement the unified
+//! engine traits (`KvRead + KvWrite + Maintenance`).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions, WriteOptions};
+use scavenger::{Engine, EngineMode, MemEnv, Options, ReadOptions, ShardedOptions, WriteOptions};
 
-fn main() -> scavenger::Result<()> {
-    // An in-memory environment keeps the example self-contained; swap in
-    // `FsEnv::new("/tmp/scavenger-demo")?` for real files.
-    let opts = Options::new(MemEnv::shared(), "quickstart-db", EngineMode::Scavenger);
-    let db = Db::open(opts)?;
+/// Written once against the trait surface; works on `Db`, `DbShards`,
+/// and any future backend. The `Engine` bound is shorthand for
+/// `KvRead + KvWrite + Maintenance`.
+fn tour<E: Engine>(db: &E, label: &str) -> scavenger::Result<()> {
+    println!("=== {label} ===");
 
-    // Small values stay inline in the index LSM-tree; values >= 512 B are
-    // separated into value SSTs (RecordBasedTables).
-    db.put("config:theme", &b"dark"[..])?;
-    db.put("blob:avatar", vec![0xAB; 16 * 1024])?;
+    // Small values stay inline in the index LSM-tree; values >= 512 B
+    // are separated into value SSTs (RecordBasedTables).
+    db.put(b"config:theme", b"dark".to_vec().into())?;
+    db.put(b"blob:avatar", vec![0xAB; 16 * 1024].into())?;
 
-    let theme = db.get("config:theme")?.expect("present");
+    let theme = db.get(b"config:theme")?.expect("present");
     println!("config:theme = {:?}", std::str::from_utf8(&theme).unwrap());
-    let avatar = db.get("blob:avatar")?.expect("present");
+    let avatar = db.get(b"blob:avatar")?.expect("present");
     println!("blob:avatar  = {} bytes (separated)", avatar.len());
 
     // A snapshot is an RAII handle over a pinned read view: it keeps
@@ -32,24 +35,30 @@ fn main() -> scavenger::Result<()> {
         sync: false,
         ..WriteOptions::default()
     };
-    for version in 0..50 {
-        db.put_with(&bulk, "blob:avatar", vec![version as u8; 16 * 1024])?;
+    for version in 0..50u8 {
+        db.put_with(&bulk, b"blob:avatar", vec![version; 16 * 1024].into())?;
     }
-    db.delete("config:theme")?;
-    assert!(db.get("config:theme")?.is_none());
+    db.delete(b"config:theme")?;
+    assert!(db.get(b"config:theme")?.is_none());
 
     // Force the pipeline end-to-end: flush -> compaction (exposes
-    // garbage) -> GC (reclaims it).
+    // garbage) -> GC (reclaims it). `run_gc` reports one outcome per
+    // shard through the unified `GcReport` (a single engine fills one
+    // slot), so this code never branches on the handle type.
     db.flush()?;
     db.compact_all()?;
-    let reclaimed = db.run_gc_until_clean()?;
-    println!("garbage collection ran {reclaimed} job(s)");
+    let jobs = db.run_gc_until_clean()?;
+    let report = db.run_gc()?; // store is clean: nothing left to do
+    assert!(!report.ran());
+    println!("garbage collection ran {jobs} job(s)");
 
     // The snapshot still reads its epoch — strictly, with no retries:
-    // the GC preserved every version the snapshot can see.
-    let old_avatar = snapshot.get("blob:avatar")?.expect("pinned");
+    // the GC preserved every version the snapshot can see. (Pinned
+    // surfaces implement the `PinnedReader` trait.)
+    use scavenger::PinnedReader;
+    let old_avatar = snapshot.get(b"blob:avatar")?.expect("pinned");
     assert_eq!(old_avatar[0], 0xAB, "snapshot reads the pre-update value");
-    let old_theme = snapshot.get("config:theme")?.expect("pinned");
+    let old_theme = snapshot.get(b"config:theme")?.expect("pinned");
     println!(
         "snapshot still sees theme {:?} and the original avatar",
         std::str::from_utf8(&old_theme).unwrap()
@@ -57,14 +66,15 @@ fn main() -> scavenger::Result<()> {
     drop(snapshot); // unregisters the read point
 
     // Per-call read options: a cold analytical scan that must not evict
-    // the hot working set from the block cache.
+    // the hot working set from the block cache. Scan iterators are real
+    // `Iterator`s over `Result<ScanEntry>`.
     let cold_scan = ReadOptions {
         fill_cache: false,
         lower_bound: Some(b"blob:".to_vec()),
         ..ReadOptions::default()
     };
-    let mut it = db.scan_with(&cold_scan)?;
-    while let Some(entry) = it.next_entry()? {
+    for entry in db.scan_with(&cold_scan)? {
+        let entry = entry?;
         println!(
             "cold scan: {} -> {} bytes",
             String::from_utf8_lossy(&entry.key),
@@ -72,22 +82,31 @@ fn main() -> scavenger::Result<()> {
         );
     }
 
-    // Range scans resolve separated values transparently.
-    let mut it = db.scan(b"blob:", None)?;
-    while let Some(entry) = it.next_entry()? {
-        println!(
-            "scan: {} -> {} bytes",
-            String::from_utf8_lossy(&entry.key),
-            entry.value.len()
-        );
-    }
-
     let stats = db.stats();
-    println!("\n-- space breakdown --");
+    println!("-- space breakdown --");
     println!("key SSTs   : {} bytes", stats.space.ksst_bytes);
     println!("value files: {} bytes", stats.space.value_bytes);
     println!("WAL        : {} bytes", stats.space.wal_bytes);
     println!("index SA   : {:.3}", stats.index_space_amp);
-    println!("exposed garbage: {} bytes", stats.exposed_garbage_bytes);
+    println!("exposed garbage: {} bytes\n", stats.exposed_garbage_bytes);
+    Ok(())
+}
+
+fn main() -> scavenger::Result<()> {
+    // An in-memory environment keeps the example self-contained; swap in
+    // `FsEnv::new("/tmp/scavenger-demo")?` for real files. The typed
+    // builder names every knob — no positional constructors.
+    let single = Options::builder(MemEnv::shared(), "quickstart-db", EngineMode::Scavenger)
+        .auto_gc(false) // the tour drives GC explicitly
+        .open()?;
+    tour(&single, "single engine (Db)")?;
+
+    // Same tour, zero new code: a 4-shard store behind the same traits.
+    let sharded =
+        ShardedOptions::builder(MemEnv::shared(), "quickstart-shards", EngineMode::Scavenger)
+            .num_shards(4)
+            .auto_gc(false)
+            .open()?;
+    tour(&sharded, "sharded engine (DbShards, 4 shards)")?;
     Ok(())
 }

@@ -8,12 +8,15 @@ use scavenger::{DbShards, EngineMode, EnvRef, MemEnv, ShardedOptions};
 
 fn main() -> scavenger::Result<()> {
     let env: EnvRef = MemEnv::shared();
-    let mut opts = ShardedOptions::new(env.clone(), "sharded-demo", EngineMode::Scavenger);
-    opts.num_shards = 4;
-    // Small files so the example generates real flush/GC work.
-    opts.base.memtable_size = 32 * 1024;
-    opts.base.vsst_target_size = 64 * 1024;
-    opts.base.auto_gc = false;
+    // The typed builder covers the shard-layer knobs and every per-shard
+    // engine knob in one chain; small files so the example generates
+    // real flush/GC work.
+    let opts = ShardedOptions::builder(env.clone(), "sharded-demo", EngineMode::Scavenger)
+        .num_shards(4)
+        .memtable_size(32 * 1024)
+        .vsst_target_size(64 * 1024)
+        .auto_gc(false)
+        .build();
 
     let db = DbShards::open(opts.clone())?;
     println!(
@@ -73,6 +76,20 @@ fn main() -> scavenger::Result<()> {
             s.gc.runs, s.gc.reclaimed_bytes, s.flushes
         );
     }
+    // One more pass through the unified GcReport: outcomes are indexed
+    // by shard, and the aggregate sums the whole set.
+    let report = db.run_gc()?;
+    println!(
+        "follow-up run_gc: {} job(s), {} bytes reclaimed in aggregate",
+        report.jobs(),
+        report.aggregate().bytes_reclaimed
+    );
+    // Aggregate stats mirror Db::stats for the whole set.
+    let agg = db.stats();
+    println!(
+        "aggregate: {} flushes, {} GC runs, cache hit ratio {:.2}",
+        agg.flushes, agg.gc.runs, agg.cache_hit_ratio
+    );
     let space = db.space();
     println!(
         "total space: {} bytes ({} key SSTs + {} value files)\n",

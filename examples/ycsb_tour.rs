@@ -1,20 +1,27 @@
 //! Run the six YCSB core workloads against a Scavenger database (paper
-//! §IV-C) and report per-workload throughput.
+//! §IV-C) and report per-workload throughput — then replay workload A
+//! on a sharded store through the *same* adapter, which is written once
+//! against the unified engine traits.
 //!
 //! Run with: `cargo run --release --example ycsb_tour`
 
-use scavenger::{Db, EngineMode, MemEnv, Options, ReadOptions, WriteOptions};
+use scavenger::{
+    EngineMode, KvRead, KvWrite, Maintenance, MemEnv, Options, ReadOptions, ShardedOptions,
+    WriteOptions,
+};
 use scavenger_env::EnvRef;
 
 // The workload crate drives any KvStore; examples implement the adapter
-// inline to show the full integration surface. This adapter routes every
-// operation through the explicit-options entry points: YCSB writes skip
-// the per-write WAL fsync (the benchmark measures engine throughput, not
-// fsync latency) and scans read through per-call options.
-struct Adapter<'a>(&'a Db, WriteOptions);
+// inline to show the full integration surface. Written against the
+// trait surface (`KvRead + KvWrite`), it serves a `Db`, a `DbShards`,
+// or any future backend unchanged. Every operation routes through the
+// explicit-options entry points: YCSB writes skip the per-write WAL
+// fsync (the benchmark measures engine throughput, not fsync latency)
+// and scans read through per-call options.
+struct Adapter<'a, E>(&'a E, WriteOptions);
 
-impl<'a> Adapter<'a> {
-    fn new(db: &'a Db) -> Self {
+impl<'a, E: KvRead + KvWrite> Adapter<'a, E> {
+    fn new(db: &'a E) -> Self {
         Adapter(
             db,
             WriteOptions {
@@ -30,9 +37,9 @@ use scavenger_workload::values::ValueGen;
 use scavenger_workload::ycsb::YcsbWorkload;
 use scavenger_workload::KvStore;
 
-impl KvStore for Adapter<'_> {
+impl<E: KvRead + KvWrite> KvStore for Adapter<'_, E> {
     fn put(&self, key: &[u8], value: &[u8]) -> scavenger::Result<()> {
-        self.0.put_with(&self.1, key, value.to_vec())
+        self.0.put_with(&self.1, key, value.to_vec().into())
     }
     fn get(&self, key: &[u8]) -> scavenger::Result<Option<Vec<u8>>> {
         Ok(self.0.get(key)?.map(|b| b.to_vec()))
@@ -45,24 +52,18 @@ impl KvStore for Adapter<'_> {
             lower_bound: Some(start.to_vec()),
             ..ReadOptions::default()
         };
-        let mut it = self.0.scan_with(&opts)?;
-        Ok(it
-            .collect_n(limit)?
-            .into_iter()
-            .map(|e| (e.key, e.value.to_vec()))
-            .collect())
+        // Scan iterators are plain `Iterator`s over Result<ScanEntry>.
+        self.0
+            .scan_with(&opts)?
+            .take(limit)
+            .map(|e| e.map(|e| (e.key, e.value.to_vec())))
+            .collect()
     }
 }
 
-fn main() -> scavenger::Result<()> {
-    let env: EnvRef = MemEnv::shared();
-    let mut opts = Options::new(env, "db", EngineMode::Scavenger);
-    opts.memtable_size = 128 * 1024;
-    opts.base_level_bytes = 512 * 1024;
-    let db = Db::open(opts)?;
-    let store = Adapter::new(&db);
-
-    let n = 1_000u64;
+/// The whole tour, generic over the engine: load, run A–F, report.
+fn run_tour<E: KvRead + KvWrite + Maintenance>(db: &E, n: u64) -> scavenger::Result<()> {
+    let store = Adapter::new(db);
     let mut runner = Runner::new(n * 2, ValueGen::mixed_8k(), 7).with_verification();
     println!("loading {n} keys (Mixed-8K values)...");
     runner.load(&store, n)?;
@@ -98,5 +99,26 @@ fn main() -> scavenger::Result<()> {
         stats.value_files,
         stats.index_space_amp
     );
+    Ok(())
+}
+
+fn main() -> scavenger::Result<()> {
+    let env: EnvRef = MemEnv::shared();
+    let db = Options::builder(env, "db", EngineMode::Scavenger)
+        .memtable_size(128 * 1024)
+        .base_level_bytes(512 * 1024)
+        .open()?;
+    println!("=== single engine (Db) ===");
+    run_tour(&db, 1_000)?;
+
+    // Identical adapter + tour on a sharded store: the trait surface is
+    // the whole integration contract.
+    let sharded = ShardedOptions::builder(MemEnv::shared(), "db-shards", EngineMode::Scavenger)
+        .num_shards(4)
+        .memtable_size(128 * 1024)
+        .base_level_bytes(512 * 1024)
+        .open()?;
+    println!("\n=== sharded engine (DbShards, 4 shards) ===");
+    run_tour(&sharded, 1_000)?;
     Ok(())
 }

@@ -1,0 +1,275 @@
+//! `Iterator` conformance for the engine scan iterators ([`DbScanIter`]
+//! and the sharded merge iterator): bound handling through the adapter
+//! toolbox, early termination via `take`, error propagation (an errored
+//! iterator yields `Some(Err)` once, then fuses to `None`), and
+//! `collect_n` / `next_entry` equivalence with the `Iterator` impl on
+//! both handle types.
+
+use scavenger::shards::ShardsScanIter;
+use scavenger::{
+    Db, DbScanIter, DbShards, Engine, EngineMode, EnvRef, MemEnv, Options, Result, ScanEntry,
+    ShardedOptions,
+};
+
+/// Test-local bridge over the two concrete iterators' legacy entry
+/// points, so the generic contract check can compare them against the
+/// `Iterator` surface on both handle types.
+trait EntryIter: Iterator<Item = Result<ScanEntry>> {
+    fn entry(&mut self) -> Result<Option<ScanEntry>>;
+    fn first_n(&mut self, n: usize) -> Result<Vec<ScanEntry>>;
+}
+
+impl EntryIter for DbScanIter {
+    fn entry(&mut self) -> Result<Option<ScanEntry>> {
+        DbScanIter::next_entry(self)
+    }
+
+    fn first_n(&mut self, n: usize) -> Result<Vec<ScanEntry>> {
+        DbScanIter::collect_n(self, n)
+    }
+}
+
+impl EntryIter for ShardsScanIter {
+    fn entry(&mut self) -> Result<Option<ScanEntry>> {
+        ShardsScanIter::next_entry(self)
+    }
+
+    fn first_n(&mut self, n: usize) -> Result<Vec<ScanEntry>> {
+        ShardsScanIter::collect_n(self, n)
+    }
+}
+
+fn key(i: usize) -> String {
+    format!("key{i:04}")
+}
+
+fn value(i: usize, len: usize) -> Vec<u8> {
+    let mut v = vec![(i % 251) as u8; len];
+    v[0] = (i >> 8) as u8;
+    v
+}
+
+fn single(env: EnvRef, dir: &str) -> Db {
+    Options::builder(env, dir, EngineMode::Scavenger)
+        .memtable_size(8 * 1024)
+        .vsst_target_size(32 * 1024)
+        .auto_gc(false)
+        .open()
+        .unwrap()
+}
+
+fn sharded(env: EnvRef, dir: &str) -> DbShards {
+    ShardedOptions::builder(env, dir, EngineMode::Scavenger)
+        .num_shards(3)
+        .memtable_size(8 * 1024)
+        .vsst_target_size(32 * 1024)
+        .auto_gc(false)
+        .open()
+        .unwrap()
+}
+
+fn load<E: Engine>(db: &E, n: usize) {
+    for i in 0..n {
+        db.put(key(i).as_bytes(), value(i, 1024).into()).unwrap();
+    }
+    db.flush().unwrap();
+}
+
+/// Generic over both handles: iterator results honor scan bounds, agree
+/// with `collect_n` and `next_entry`, and `take` terminates early
+/// without draining the range.
+fn check_iterator_contract<E>(db: &E)
+where
+    E: Engine,
+    E::Iter: EntryIter,
+{
+    load(db, 60);
+
+    // Bounds: lower inclusive, upper exclusive, in global key order.
+    let bounded: Vec<ScanEntry> = db
+        .scan(b"key0010", Some(b"key0020"))
+        .unwrap()
+        .collect::<Result<_>>()
+        .unwrap();
+    assert_eq!(bounded.len(), 10);
+    assert_eq!(bounded[0].key, key(10).into_bytes());
+    assert_eq!(bounded[9].key, key(19).into_bytes());
+    assert!(bounded.windows(2).all(|w| w[0].key < w[1].key));
+
+    // Empty and inverted ranges yield nothing.
+    assert_eq!(db.scan(b"key0030", Some(b"key0030")).unwrap().count(), 0);
+    assert_eq!(db.scan(b"key0040", Some(b"key0030")).unwrap().count(), 0);
+
+    // Early termination via `take`: exactly 3 entries, no further pull.
+    let taken: Vec<ScanEntry> = db
+        .scan(b"", None)
+        .unwrap()
+        .take(3)
+        .collect::<Result<_>>()
+        .unwrap();
+    assert_eq!(
+        taken.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
+        vec![
+            key(0).into_bytes(),
+            key(1).into_bytes(),
+            key(2).into_bytes()
+        ]
+    );
+
+    // `by_ref().take` composes: the same iterator continues afterwards.
+    let mut it = db.scan(b"", None).unwrap();
+    let first: Vec<ScanEntry> = it.by_ref().take(2).collect::<Result<_>>().unwrap();
+    let next = it.next().unwrap().unwrap();
+    assert_eq!(first.len(), 2);
+    assert_eq!(next.key, key(2).into_bytes());
+
+    // collect_n is equivalent to take+collect on a fresh iterator.
+    let via_collect_n = db.scan(b"", None).unwrap().first_n(7).unwrap();
+    let via_take: Vec<ScanEntry> = db
+        .scan(b"", None)
+        .unwrap()
+        .take(7)
+        .collect::<Result<_>>()
+        .unwrap();
+    assert_eq!(via_collect_n, via_take);
+
+    // next_entry is a thin wrapper over Iterator::next.
+    let mut a = db.scan(b"key0005", Some(b"key0008")).unwrap();
+    let mut b = db.scan(b"key0005", Some(b"key0008")).unwrap();
+    loop {
+        let ea = a.entry().unwrap();
+        let eb = b.next().transpose().unwrap();
+        assert_eq!(ea, eb);
+        if ea.is_none() {
+            break;
+        }
+    }
+    // Exhausted iterators stay exhausted through both surfaces.
+    assert!(a.entry().unwrap().is_none());
+    assert!(b.next().is_none());
+}
+
+#[test]
+fn iterator_contract_on_db() {
+    check_iterator_contract(&single(MemEnv::shared(), "iter-db"));
+}
+
+#[test]
+fn iterator_contract_on_db_shards() {
+    check_iterator_contract(&sharded(MemEnv::shared(), "iter-shards"));
+}
+
+/// Delete every value file behind the engine's back so the first
+/// separated-value resolve fails, then assert the error contract:
+/// `Some(Err)` exactly once, `None` (fused) forever after.
+fn delete_value_files(env: &EnvRef, root: &str) {
+    let files = env.list_prefix(&format!("{root}/")).unwrap();
+    let mut removed = 0;
+    for f in files {
+        if f.ends_with(".vsst") || f.ends_with(".blob") {
+            env.remove_file(&f).unwrap();
+            removed += 1;
+        }
+    }
+    assert!(removed > 0, "setup must have created value files");
+}
+
+#[test]
+fn errored_db_iterator_yields_err_then_fuses() {
+    let env: EnvRef = MemEnv::shared();
+    let db = single(env.clone(), "iter-err-db");
+    // Written and flushed but never read: the value files are not yet in
+    // any table-reader cache, so the scan must open them — and fail.
+    load(&db, 20);
+    delete_value_files(&env, "iter-err-db");
+
+    let mut it = db.scan(b"", None).unwrap();
+    let first = it.next();
+    assert!(
+        matches!(first, Some(Err(_))),
+        "first pull must surface the resolve error, got {first:?}"
+    );
+    assert!(it.next().is_none(), "errored iterator must fuse");
+    assert!(it.next().is_none(), "fused means fused");
+    // The wrappers see the same fused state.
+    assert!(it.next_entry().unwrap().is_none());
+    assert!(it.collect_n(10).unwrap().is_empty());
+
+    // A fresh iterator errors again through next_entry/collect_n too.
+    assert!(db.scan(b"", None).unwrap().next_entry().is_err());
+    assert!(db.scan(b"", None).unwrap().collect_n(5).is_err());
+}
+
+/// A refill failure after a head has been popped must not drop the
+/// popped (already-resolved) entry: the merge delivers it first and
+/// surfaces the error on the next pull — same behavior as a single
+/// `Db`, which yields every resolved entry before the error.
+#[test]
+fn merge_refill_error_does_not_drop_resolved_entry() {
+    let env: EnvRef = MemEnv::shared();
+    let db = sharded(env.clone(), "iter-err-refill");
+
+    // One shard is the "broken" one: its first entry in key order is a
+    // small (inline, never fails) value that sorts before everything
+    // else globally, followed by separated values whose files we
+    // delete. All other shards hold only inline values.
+    let broken = db.shard_of("z-000");
+    let afirst = (0..1000)
+        .map(|i| format!("a-{i:03}"))
+        .find(|k| db.shard_of(k) == broken)
+        .unwrap();
+    let zkeys: Vec<String> = (0..1000)
+        .map(|i| format!("z-{i:03}"))
+        .filter(|k| db.shard_of(k) == broken)
+        .take(3)
+        .collect();
+    let fillers: Vec<String> = (0..1000)
+        .map(|i| format!("m-{i:03}"))
+        .filter(|k| db.shard_of(k) != broken)
+        .take(5)
+        .collect();
+    db.put(afirst.as_bytes(), b"inline".to_vec()).unwrap();
+    for (n, z) in zkeys.iter().enumerate() {
+        db.put(z.as_bytes(), value(n, 2048)).unwrap();
+    }
+    for f in &fillers {
+        db.put(f.as_bytes(), b"inline-too".to_vec()).unwrap();
+    }
+    db.flush().unwrap();
+    delete_value_files(&env, &format!("iter-err-refill/shard-{broken:03}"));
+
+    // Priming succeeds (the broken shard's head is the inline `afirst`).
+    let mut it = db.scan(b"", None).unwrap();
+    // The popped entry survives the failed refill behind it...
+    let first = it.next().unwrap().unwrap();
+    assert_eq!(
+        first.key,
+        afirst.clone().into_bytes(),
+        "resolved entry was dropped"
+    );
+    // ...then the deferred refill error surfaces, and the iterator fuses.
+    assert!(matches!(it.next(), Some(Err(_))));
+    assert!(it.next().is_none());
+    assert!(it.next_entry().unwrap().is_none());
+}
+
+#[test]
+fn errored_shards_iterator_yields_err_then_fuses() {
+    let env: EnvRef = MemEnv::shared();
+    let db = sharded(env.clone(), "iter-err-shards");
+    load(&db, 30);
+    delete_value_files(&env, "iter-err-shards");
+
+    // The merge iterator primes one head per shard at construction, so
+    // with every shard broken the error can surface either at `scan`
+    // (priming) or at the first pull — both satisfy the contract; if an
+    // iterator was handed out, it must fuse after its first error.
+    match db.scan(b"", None) {
+        Err(_) => {}
+        Ok(mut it) => {
+            assert!(matches!(it.next(), Some(Err(_))));
+            assert!(it.next().is_none(), "errored merge iterator must fuse");
+            assert!(it.next_entry().unwrap().is_none());
+        }
+    }
+}

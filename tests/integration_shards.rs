@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scavenger::{
-    Db, DbShards, EngineMode, MemEnv, Options, ShardedOptions, ShardsReadOptions, WriteOptions,
+    Db, DbShards, EngineMode, MemEnv, Options, ReadOptions, ShardedOptions, WriteOptions,
 };
 use scavenger_env::EnvRef;
 
@@ -250,7 +250,7 @@ fn four_shards_match_single_db_under_random_ops() {
 /// Cross-shard scan ordering at bound edges: bounds exactly on keys,
 /// bounds between keys, empty ranges, a range owned entirely by one
 /// shard (every other shard's iterator is empty — "reverse-empty"), and
-/// `lower/upper_bound` through `ShardsReadOptions`.
+/// `lower/upper_bound` through the unified `ReadOptions`.
 #[test]
 fn cross_shard_scan_bound_edges() {
     let db = DbShards::open(sharded_opts(
@@ -320,24 +320,25 @@ fn cross_shard_scan_bound_edges() {
     assert_eq!(got[0].key, b"key0042");
     assert_eq!(got[0].value, bytes::Bytes::from(value(42, 600)));
 
-    // Bounds through ShardsReadOptions (and fill_cache=false path).
-    let ro = ShardsReadOptions {
+    // Bounds through the unified ReadOptions (and fill_cache=false path).
+    let ro = ReadOptions {
         lower_bound: Some(b"key0095".to_vec()),
         upper_bound: None,
         fill_cache: false,
-        ..ShardsReadOptions::default()
+        ..ReadOptions::default()
     };
     let got = db.scan_with(&ro).unwrap().collect_n(usize::MAX).unwrap();
     assert_eq!(got.len(), 5);
     assert!(got.windows(2).all(|w| w[0].key < w[1].key));
 
     // Bounded scan through a pinned view set: later writes invisible.
+    // The sharded view pins through the same ReadOptions type.
     let view = db.view();
     db.put("key0011", b"overwritten".to_vec()).unwrap();
-    let ro = ShardsReadOptions {
+    let ro = ReadOptions {
         lower_bound: Some(b"key0010".to_vec()),
         upper_bound: Some(b"key0012".to_vec()),
-        ..ShardsReadOptions::at_view(&view)
+        ..ReadOptions::pinned(&view)
     };
     let got = db.scan_with(&ro).unwrap().collect_n(usize::MAX).unwrap();
     assert_eq!(got.len(), 2);

@@ -156,12 +156,11 @@ fn read_options_select_read_point_and_bounds() {
         value(7, 600)
     );
 
-    // Bounded scan through the snapshot.
+    // Bounded scan through the snapshot (the pin rides in `ReadPin`).
     let opts = ReadOptions {
-        snapshot: Some(&snap),
         lower_bound: Some(b"key10".to_vec()),
         upper_bound: Some(b"key20".to_vec()),
-        ..ReadOptions::default()
+        ..ReadOptions::at_snapshot(&snap)
     };
     let mut it = db.scan_with(&opts).unwrap();
     let entries = it.collect_n(usize::MAX).unwrap();
