@@ -550,6 +550,28 @@ impl Db {
         Ok(jobs)
     }
 
+    /// Recover from read-only degraded mode after a permanent background
+    /// failure: re-verify (and if needed rewrite) the manifest, delete
+    /// orphan value files left behind by a crashed GC write stage, clear
+    /// the stored background error, and re-enable writes. Returns an
+    /// error — leaving the engine degraded — if verification fails.
+    pub fn resume(&self) -> Result<()> {
+        self.inner.lsm.resume()?;
+        self.inner.vstore.delete_orphans()?;
+        Ok(())
+    }
+
+    /// True while the engine is in read-only degraded mode (writes fail
+    /// fast with [`Error::ReadOnlyMode`]; see [`Db::resume`]).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.lsm.is_degraded()
+    }
+
+    /// The background error that degraded the engine, if any.
+    pub fn background_error(&self) -> Option<Error> {
+        self.inner.lsm.background_error()
+    }
+
     // ---------------- introspection ----------------
 
     /// The engine options.
@@ -608,6 +630,16 @@ impl Db {
             oldest_read_point: inner.lsm.oldest_read_point(),
             pinned_views: pinned_views as u64,
             live_snapshots: live_snapshots as u64,
+            bg_errors: counters
+                .bg_errors
+                .load(std::sync::atomic::Ordering::Relaxed),
+            bg_retries: counters
+                .bg_retries
+                .load(std::sync::atomic::Ordering::Relaxed),
+            degraded: inner.lsm.is_degraded(),
+            wal_tail_corruptions: counters
+                .wal_tail_corruptions
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 

@@ -287,6 +287,12 @@ pub trait Maintenance {
     /// returns the total number of jobs.
     fn run_gc_until_clean(&self) -> Result<usize>;
 
+    /// Recover from read-only degraded mode after a permanent
+    /// background failure: re-verify the manifest, clean orphan value
+    /// files, clear the stored error, and re-enable writes (every
+    /// shard, for a sharded store). See [`Db::resume`].
+    fn resume(&self) -> Result<()>;
+
     /// Aggregate statistics snapshot (set-wide for a sharded store).
     fn stats(&self) -> DbStats;
 
@@ -415,6 +421,10 @@ impl Maintenance for Db {
         Db::run_gc_until_clean(self)
     }
 
+    fn resume(&self) -> Result<()> {
+        Db::resume(self)
+    }
+
     fn stats(&self) -> DbStats {
         Db::stats(self)
     }
@@ -485,6 +495,10 @@ impl Maintenance for DbShards {
 
     fn run_gc_until_clean(&self) -> Result<usize> {
         DbShards::run_gc_until_clean(self)
+    }
+
+    fn resume(&self) -> Result<()> {
+        DbShards::resume(self)
     }
 
     fn stats(&self) -> DbStats {

@@ -989,23 +989,18 @@ impl GcRunner {
             .write_ns
             .fetch_add(t_write.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
-        // ---- Write-Index: push the new addresses through the write path
-        // (Titan's extra step, ~38% of GC time in the paper's Fig. 3) ----
-        let t_wi = Instant::now();
-        let rewritten = guarded.len() as u64;
-        if !guarded.is_empty() {
-            lsm.write_guarded(&guarded)?;
-        }
-        self.stats
-            .write_index_ns
-            .fetch_add(t_wi.elapsed().as_nanos() as u64, Ordering::Relaxed);
-
-        // ---- Commit ----
-        // The new blob files go live immediately; the collected files are
-        // only *queued* for deletion behind a barrier at the write-back
-        // commit sequence. Write-back has no inheritance edges, so an
-        // in-flight reader pinned below the barrier still resolves
-        // through the old file — deleting it now would dangle that read.
+        // ---- Commit the new files *before* writing back any address
+        // that points into them. The manifest edit is fsynced, so by the
+        // time a written-back reference can become durable (through the
+        // WAL) its target file is already registered. The reverse order
+        // has a crash window that recovers WAL records pointing at a
+        // file the manifest never heard of — open-time orphan cleanup
+        // unlinks the file and every recovered reference dangles. This
+        // way a crash between commit and write-back merely leaves an
+        // unreferenced file for a later GC pass to reclaim. (Same
+        // ordering also closes a live race under threaded background
+        // work: a reader must never observe a written-back address
+        // before the value store can resolve it.)
         let bundle = ValueEditBundle {
             new_files,
             deleted_files: Vec::new(),
@@ -1017,6 +1012,24 @@ impl GcRunner {
             lsm.apply_value_edit(bundle.clone())?;
             self.vstore.apply_bundle(&bundle);
         }
+
+        // ---- Write-Index: push the new addresses through the write path
+        // (Titan's extra step, ~38% of GC time in the paper's Fig. 3) ----
+        let t_wi = Instant::now();
+        let rewritten = guarded.len() as u64;
+        if !guarded.is_empty() {
+            lsm.write_guarded(&guarded)?;
+        }
+        self.stats
+            .write_index_ns
+            .fetch_add(t_wi.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // ---- Queue deletion ----
+        // The collected files are only *queued* for deletion behind a
+        // barrier at the write-back commit sequence. Write-back has no
+        // inheritance edges, so an in-flight reader pinned below the
+        // barrier still resolves through the old file — deleting it now
+        // would dangle that read.
         self.deferred.lock().push(DeferredDeletion {
             barrier: lsm.last_sequence(),
             files: candidate_files.clone(),

@@ -355,6 +355,17 @@ pub struct Options {
     pub wal: bool,
     /// Run background work inline (deterministic) or on threads.
     pub inline_background: bool,
+    /// How many times a *transient* background failure (flush,
+    /// compaction, GC) is retried — with bounded exponential backoff —
+    /// before the engine degrades to read-only mode. Permanent failures
+    /// (corruption, invariant violations) degrade immediately. A
+    /// degraded engine serves reads, scans, and pinned views; writes
+    /// fail fast with `Error::ReadOnlyMode` until
+    /// [`Db::resume`](crate::Db::resume) clears the state.
+    pub bg_retry_limit: usize,
+    /// Base delay of the exponential backoff between background retries
+    /// (`bg_retry_base * 2^attempt`).
+    pub bg_retry_base: std::time::Duration,
     /// Share this block cache instead of creating one per engine.
     /// [`DbShards`](crate::DbShards) hands every shard the same
     /// (16-way-sharded) cache so one memory budget covers the whole
@@ -551,6 +562,22 @@ macro_rules! knob_setters {
             self
         }
 
+        /// Transient background-failure retries before the engine
+        /// degrades to read-only mode.
+        #[must_use]
+        pub fn bg_retry_limit(mut self, v: usize) -> Self {
+            self.$($path).+.bg_retry_limit = v;
+            self
+        }
+
+        /// Base delay of the exponential backoff between background
+        /// retries.
+        #[must_use]
+        pub fn bg_retry_base(mut self, v: std::time::Duration) -> Self {
+            self.$($path).+.bg_retry_base = v;
+            self
+        }
+
         /// Share this block cache instead of creating one per engine.
         /// (On a sharded store this becomes the one cache every shard
         /// uses.)
@@ -656,6 +683,8 @@ impl Options {
             block_cache_bytes: 1024 * 1024,
             wal: true,
             inline_background: true,
+            bg_retry_limit: 3,
+            bg_retry_base: std::time::Duration::from_millis(10),
             block_cache: None,
             shared_throttle: None,
             space_usage: None,
@@ -694,6 +723,8 @@ impl Options {
         } else {
             scavenger_lsm::BackgroundMode::Threaded
         };
+        o.bg_retry_limit = self.bg_retry_limit;
+        o.bg_retry_base = self.bg_retry_base;
         o
     }
 }

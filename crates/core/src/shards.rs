@@ -308,9 +308,16 @@ impl DbShards {
                 shards: opts.num_shards,
                 seed: opts.route_seed,
             };
-            let mut f = env.new_writable(&meta_path, IoClass::Other)?;
-            f.append(meta.encode().as_bytes())?;
-            f.sync()?;
+            // Write-temp + fsync + atomic rename so a crash mid-create
+            // never leaves a torn SHARDS file: reopen either sees the
+            // complete meta or none at all (and re-creates it).
+            let tmp_path = format!("{meta_path}.tmp");
+            {
+                let mut f = env.new_writable(&tmp_path, IoClass::Other)?;
+                f.append(meta.encode().as_bytes())?;
+                f.sync()?;
+            }
+            env.rename(&tmp_path, &meta_path)?;
             meta
         };
 
@@ -561,6 +568,20 @@ impl DbShards {
             .sum())
     }
 
+    /// Recover every shard from read-only degraded mode (see
+    /// [`Db::resume`]): shards that are healthy are verified and left
+    /// untouched; degraded shards have their manifest re-verified, orphan
+    /// value files cleaned, and writes re-enabled. The first shard whose
+    /// verification fails aborts the sweep with its error.
+    pub fn resume(&self) -> Result<()> {
+        self.for_each_shard(|db| db.resume()).map(|_| ())
+    }
+
+    /// True if *any* shard is in read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.shards.iter().any(|s| s.is_degraded())
+    }
+
     /// Run `f` over every shard, fanning across up to
     /// [`gc_threads`](crate::Options::gc_threads) scoped workers (the
     /// same knob that sizes per-shard GC I/O fan-out); `gc_threads = 1`
@@ -623,6 +644,10 @@ impl DbShards {
         let mut merge_drops = 0;
         let mut pinned_views = 0;
         let mut live_snapshots = 0;
+        let mut bg_errors = 0;
+        let mut bg_retries = 0;
+        let mut degraded = false;
+        let mut wal_tail_corruptions = 0;
         let mut oldest_read_point = None;
         let mut amp_weighted = 0.0;
         let mut amp_weight = 0u64;
@@ -637,6 +662,10 @@ impl DbShards {
             merge_drops += s.merge_drops;
             pinned_views += s.pinned_views;
             live_snapshots += s.live_snapshots;
+            bg_errors += s.bg_errors;
+            bg_retries += s.bg_retries;
+            degraded |= s.degraded;
+            wal_tail_corruptions += s.wal_tail_corruptions;
             oldest_read_point = match (oldest_read_point, s.oldest_read_point) {
                 (Some(a), Some(b)) => Some(std::cmp::min(a, b)),
                 (a, b) => a.or(b),
@@ -672,6 +701,10 @@ impl DbShards {
             oldest_read_point,
             pinned_views,
             live_snapshots,
+            bg_errors,
+            bg_retries,
+            degraded,
+            wal_tail_corruptions,
         }
     }
 

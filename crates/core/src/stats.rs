@@ -344,6 +344,21 @@ pub struct DbStats {
     /// Beyond pinning versions like any read point, snapshots gate
     /// Titan's whole-job GC deferral.
     pub live_snapshots: u64,
+    /// Background jobs that exhausted their transient-failure retries (or
+    /// failed permanently) and degraded the engine to read-only mode.
+    pub bg_errors: u64,
+    /// Transient background-job failures that were retried with backoff
+    /// (see `Options::bg_retry_limit` / `Options::bg_retry_base`).
+    pub bg_retries: u64,
+    /// True while the engine is in read-only degraded mode after a
+    /// permanent background failure; writes fail fast with
+    /// [`Error::ReadOnlyMode`](scavenger_util::Error::ReadOnlyMode) until
+    /// `resume()` clears the condition. For a [`DbShards`](crate::DbShards)
+    /// set this is the OR across shards.
+    pub degraded: bool,
+    /// WAL files whose tail was found torn/corrupt during recovery; the
+    /// intact record prefix was replayed and the rest discarded.
+    pub wal_tail_corruptions: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,727 @@
+//! Deterministic fault injection and crash (power-loss) simulation.
+//!
+//! [`FaultEnv`] wraps any [`Env`] and injects failures according to a
+//! seeded, fully deterministic schedule: by op class, path substring,
+//! nth-matching-op, or seeded probability. Beyond returning plain errors
+//! it models three physical failure modes:
+//!
+//! * **Torn appends** — an injected write forwards only a seeded prefix
+//!   of the data before failing, leaving a partial record on "disk".
+//! * **Power loss** — the env tracks, per file, how many bytes have been
+//!   made durable by `sync()`. [`FaultEnv::crash`] truncates every file
+//!   touched since the last crash/heal back to its durable prefix
+//!   (optionally keeping a seeded slice of the unsynced tail, like a
+//!   real torn tail) and removes files that were never synced. Handles
+//!   opened before the crash are fenced: every subsequent operation on
+//!   them fails and forwards nothing to the inner env.
+//! * **fsyncgate** — after a failed `sync()`, later syncs on the same
+//!   handle report success but never advance the durable watermark,
+//!   mirroring the page-cache semantics that make retry-after-fsync-error
+//!   unsafe on real systems. A writer that keeps using the handle loses
+//!   the data at the next crash; rotating to a fresh file is the only
+//!   safe response.
+//!
+//! Determinism: the same seed and the same sequence of env calls produce
+//! the same fault schedule (the RNG is a hand-rolled splitmix64; no
+//! external dependencies). Metadata probes (`file_exists`, `file_size`,
+//! `list_prefix`, `create_dir_all`) pass through un-injected and do not
+//! advance the op counter. Renames and deletes are modeled as atomic and
+//! immediately durable (the LevelDB `CURRENT`-swap assumption); only
+//! file *contents* obey the synced-vs-unsynced distinction.
+//!
+//! Crash simulation rewrites surviving prefixes through the generic
+//! [`Env`] API, so it works over any inner env, but full hermeticity
+//! (stale pre-crash handles provably unable to touch surviving files) is
+//! guaranteed for [`MemEnv`](crate::MemEnv), the intended test substrate.
+
+use crate::io_stats::{IoClass, IoStats};
+use crate::{Env, EnvRef, RandomAccessFile, WritableFile};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scavenger_util::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Operation classes faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Creating a writable file or opening a file for random access.
+    Open,
+    /// Whole-file or positional reads.
+    Read,
+    /// Appends through a writable handle.
+    Write,
+    /// Durability syncs.
+    Sync,
+    /// Atomic renames.
+    Rename,
+    /// File deletions.
+    Delete,
+}
+
+/// When a matching rule fires.
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// Fire on every matching op.
+    Always,
+    /// Fire on the nth matching op (1-based), once.
+    Nth(u64),
+    /// Fire on each matching op with this probability (seeded RNG).
+    Probability(f64),
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The op fails with [`Error::Io`]; nothing is forwarded.
+    Fail,
+    /// Write only: a seeded prefix of the data is forwarded, then the op
+    /// fails (torn append). On other op classes this behaves like
+    /// [`FaultKind::Fail`].
+    Torn,
+    /// Simulate power loss at this op: all unsynced bytes are dropped
+    /// (see [`FaultEnv::crash`]) and the op fails. Subsequent ops fail
+    /// until [`FaultEnv::heal`] is called.
+    Crash,
+}
+
+/// A single fault-injection rule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Operation class this rule matches.
+    pub op: FaultOp,
+    /// If set, the path must contain this substring.
+    pub path_contains: Option<String>,
+    /// When the rule fires among matching ops.
+    pub trigger: Trigger,
+    /// Effect on the op when the rule fires.
+    pub kind: FaultKind,
+    /// Disarm the rule after its first firing.
+    pub one_shot: bool,
+}
+
+impl FaultRule {
+    /// A rule that fails every matching op (customize via struct update).
+    pub fn fail(op: FaultOp) -> Self {
+        FaultRule {
+            op,
+            path_contains: None,
+            trigger: Trigger::Always,
+            kind: FaultKind::Fail,
+            one_shot: false,
+        }
+    }
+}
+
+struct RuleState {
+    rule: FaultRule,
+    matched: u64,
+    fired: bool,
+}
+
+struct FaultState {
+    rng: u64,
+    rules: Vec<RuleState>,
+    /// Durable (synced) length per file touched since the last crash/heal.
+    /// Files absent from this map were untouched and are fully durable.
+    files: HashMap<String, u64>,
+    ops: u64,
+    crash_at: Option<u64>,
+    crashed: bool,
+    epoch: u64,
+    torn_tail: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Shared {
+    inner: EnvRef,
+    state: Mutex<FaultState>,
+}
+
+impl Shared {
+    /// Gate an injectable op. `Ok(None)` = proceed; `Ok(Some(r))` = torn
+    /// write with seed `r`; `Err` = the op fails (possibly post-crash).
+    fn decide(&self, op: FaultOp, path: &str, epoch: Option<u64>) -> Result<Option<u64>> {
+        let mut st = self.state.lock();
+        if let Some(e) = epoch {
+            if e != st.epoch {
+                return Err(Error::io(format!(
+                    "fault: stale handle for {path} (env crashed)"
+                )));
+            }
+        }
+        if st.crashed {
+            return Err(Error::io(format!("fault: env is crashed ({op:?} {path})")));
+        }
+        st.ops += 1;
+        if let Some(at) = st.crash_at {
+            if st.ops >= at {
+                let ops = st.ops;
+                self.crash_locked(&mut st);
+                return Err(Error::io(format!(
+                    "fault: injected crash at op {ops} ({op:?} {path})"
+                )));
+            }
+        }
+        let mut fire = None;
+        for i in 0..st.rules.len() {
+            let matches = {
+                let r = &st.rules[i];
+                let armed = !(r.fired && r.rule.one_shot);
+                let path_ok = match &r.rule.path_contains {
+                    Some(s) => path.contains(s.as_str()),
+                    None => true,
+                };
+                armed && r.rule.op == op && path_ok
+            };
+            if !matches {
+                continue;
+            }
+            st.rules[i].matched += 1;
+            let fired = match st.rules[i].rule.trigger {
+                Trigger::Always => true,
+                Trigger::Nth(n) => st.rules[i].matched == n,
+                Trigger::Probability(p) => {
+                    let r = splitmix64(&mut st.rng);
+                    ((r >> 11) as f64) / ((1u64 << 53) as f64) < p
+                }
+            };
+            if fired {
+                st.rules[i].fired = true;
+                fire = Some(st.rules[i].rule.kind);
+                break;
+            }
+        }
+        match fire {
+            None => Ok(None),
+            Some(FaultKind::Torn) if op == FaultOp::Write => {
+                let r = splitmix64(&mut st.rng);
+                Ok(Some(r))
+            }
+            Some(FaultKind::Crash) => {
+                let ops = st.ops;
+                self.crash_locked(&mut st);
+                Err(Error::io(format!(
+                    "fault: injected crash at op {ops} ({op:?} {path})"
+                )))
+            }
+            Some(_) => Err(Error::io(format!(
+                "fault: injected {op:?} failure on {path}"
+            ))),
+        }
+    }
+
+    /// Power loss: truncate every touched file to its durable prefix
+    /// (plus an optional seeded torn tail), remove never-synced files,
+    /// and fence all pre-crash handles.
+    fn crash_locked(&self, st: &mut FaultState) {
+        st.crashed = true;
+        st.epoch += 1;
+        st.crash_at = None;
+        st.rules.clear();
+        let files = std::mem::take(&mut st.files);
+        for (path, synced) in files {
+            let Ok(data) = self.inner.read_file(&path, IoClass::Other) else {
+                continue;
+            };
+            let mut keep = synced.min(data.len() as u64);
+            if st.torn_tail && (data.len() as u64) > keep {
+                let tail = data.len() as u64 - keep;
+                keep += splitmix64(&mut st.rng) % (tail + 1);
+            }
+            if keep == 0 {
+                let _ = self.inner.remove_file(&path);
+            } else if let Ok(mut w) = self.inner.new_writable(&path, IoClass::Other) {
+                // Rewriting (even when keep == len) gives the surviving
+                // file a fresh identity, so late buffer flushes from
+                // stale pre-crash handles land on an orphan, not on the
+                // durable image.
+                let _ = w.append(&data[..keep as usize]);
+                let _ = w.sync();
+            }
+        }
+    }
+}
+
+/// A deterministic fault-injecting wrapper around any [`Env`].
+///
+/// See the [module docs](self) for the failure model. Construct with
+/// [`FaultEnv::wrap`], configure via [`add_rule`](FaultEnv::add_rule) /
+/// [`crash_after_ops`](FaultEnv::crash_after_ops), and recover a crashed
+/// env with [`heal`](FaultEnv::heal) before reopening the engine on the
+/// surviving bytes.
+pub struct FaultEnv {
+    shared: Arc<Shared>,
+}
+
+impl FaultEnv {
+    /// Wrap `inner` with the given RNG seed.
+    pub fn wrap(inner: EnvRef, seed: u64) -> Arc<FaultEnv> {
+        Arc::new(FaultEnv {
+            shared: Arc::new(Shared {
+                inner,
+                state: Mutex::new(FaultState {
+                    rng: seed ^ 0x5ca7_e26e_5ca7_e26e,
+                    rules: Vec::new(),
+                    files: HashMap::new(),
+                    ops: 0,
+                    crash_at: None,
+                    crashed: false,
+                    epoch: 0,
+                    torn_tail: true,
+                }),
+            }),
+        })
+    }
+
+    /// Install a fault rule.
+    pub fn add_rule(&self, rule: FaultRule) {
+        self.shared.state.lock().rules.push(RuleState {
+            rule,
+            matched: 0,
+            fired: false,
+        });
+    }
+
+    /// Remove all installed rules (pending crash points stay armed).
+    pub fn clear_rules(&self) {
+        self.shared.state.lock().rules.clear();
+    }
+
+    /// Simulate power loss when the global op counter reaches
+    /// `self.op_count() + n` (n ≥ 1).
+    pub fn crash_after_ops(&self, n: u64) {
+        let mut st = self.shared.state.lock();
+        st.crash_at = Some(st.ops + n.max(1));
+    }
+
+    /// Simulate power loss now. Until [`heal`](FaultEnv::heal) every
+    /// injectable op fails and pre-crash handles are fenced forever.
+    pub fn crash(&self) {
+        let mut st = self.shared.state.lock();
+        self.shared.crash_locked(&mut st);
+    }
+
+    /// Clear the crashed flag, all rules, and all durability tracking so
+    /// the engine can be reopened on the surviving bytes.
+    pub fn heal(&self) {
+        let mut st = self.shared.state.lock();
+        st.crashed = false;
+        st.crash_at = None;
+        st.rules.clear();
+        st.files.clear();
+    }
+
+    /// Whether to keep a seeded slice of the unsynced tail at crash time
+    /// (torn tail, default `true`) instead of cutting exactly at the
+    /// durable watermark.
+    pub fn set_torn_tail(&self, on: bool) {
+        self.shared.state.lock().torn_tail = on;
+    }
+
+    /// True after a crash and before [`heal`](FaultEnv::heal).
+    pub fn crashed(&self) -> bool {
+        self.shared.state.lock().crashed
+    }
+
+    /// Number of injectable ops observed so far.
+    pub fn op_count(&self) -> u64 {
+        self.shared.state.lock().ops
+    }
+
+    /// The wrapped inner environment.
+    pub fn inner(&self) -> EnvRef {
+        self.shared.inner.clone()
+    }
+}
+
+struct FaultWritable {
+    inner: Box<dyn WritableFile>,
+    path: String,
+    shared: Arc<Shared>,
+    epoch: u64,
+    /// Bytes successfully forwarded to the inner file.
+    appended: u64,
+    /// A sync on this handle failed; later syncs "succeed" without
+    /// advancing the durable watermark (fsyncgate).
+    poisoned: bool,
+}
+
+impl WritableFile for FaultWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        match self
+            .shared
+            .decide(FaultOp::Write, &self.path, Some(self.epoch))?
+        {
+            None => {
+                self.inner.append(data)?;
+                self.appended += data.len() as u64;
+                Ok(())
+            }
+            Some(r) => {
+                let keep = if data.is_empty() {
+                    0
+                } else {
+                    (r % data.len() as u64) as usize
+                };
+                let _ = self.inner.append(&data[..keep]);
+                self.appended += keep as u64;
+                Err(Error::io(format!(
+                    "fault: torn append on {} ({} of {} bytes written)",
+                    self.path,
+                    keep,
+                    data.len()
+                )))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if let Err(e) = self
+            .shared
+            .decide(FaultOp::Sync, &self.path, Some(self.epoch))
+        {
+            self.poisoned = true;
+            return Err(e);
+        }
+        if self.poisoned {
+            // fsyncgate: the retried fsync reports success, but the
+            // watermark stays where the failed sync left it.
+            return Ok(());
+        }
+        if let Err(e) = self.inner.sync() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        let mut st = self.shared.state.lock();
+        if st.epoch == self.epoch {
+            st.files.insert(self.path.clone(), self.appended);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct FaultReadable {
+    inner: Arc<dyn RandomAccessFile>,
+    path: String,
+    shared: Arc<Shared>,
+    epoch: u64,
+}
+
+impl RandomAccessFile for FaultReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Bytes> {
+        self.shared
+            .decide(FaultOp::Read, &self.path, Some(self.epoch))?;
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for FaultEnv {
+    fn new_writable(&self, path: &str, class: IoClass) -> Result<Box<dyn WritableFile>> {
+        self.shared.decide(FaultOp::Open, path, None)?;
+        let inner = self.shared.inner.new_writable(path, class)?;
+        let mut st = self.shared.state.lock();
+        st.files.insert(path.to_string(), 0);
+        let epoch = st.epoch;
+        drop(st);
+        Ok(Box::new(FaultWritable {
+            inner,
+            path: path.to_string(),
+            shared: self.shared.clone(),
+            epoch,
+            appended: 0,
+            poisoned: false,
+        }))
+    }
+
+    fn open_random_access(&self, path: &str, class: IoClass) -> Result<Arc<dyn RandomAccessFile>> {
+        self.shared.decide(FaultOp::Open, path, None)?;
+        let inner = self.shared.inner.open_random_access(path, class)?;
+        let epoch = self.shared.state.lock().epoch;
+        Ok(Arc::new(FaultReadable {
+            inner,
+            path: path.to_string(),
+            shared: self.shared.clone(),
+            epoch,
+        }))
+    }
+
+    fn read_file(&self, path: &str, class: IoClass) -> Result<Bytes> {
+        self.shared.decide(FaultOp::Read, path, None)?;
+        self.shared.inner.read_file(path, class)
+    }
+
+    fn remove_file(&self, path: &str) -> Result<()> {
+        self.shared.decide(FaultOp::Delete, path, None)?;
+        self.shared.inner.remove_file(path)?;
+        self.shared.state.lock().files.remove(path);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.shared.decide(FaultOp::Rename, from, None)?;
+        self.shared.inner.rename(from, to)?;
+        let mut st = self.shared.state.lock();
+        if let Some(synced) = st.files.remove(from) {
+            st.files.insert(to.to_string(), synced);
+        } else {
+            st.files.remove(to);
+        }
+        Ok(())
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        self.shared.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.shared.inner.file_size(path)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>> {
+        self.shared.inner.list_prefix(prefix)
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<()> {
+        self.shared.inner.create_dir_all(path)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.shared.inner.io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemEnv;
+
+    fn fenv(seed: u64) -> (Arc<FaultEnv>, Arc<MemEnv>) {
+        let mem = MemEnv::shared();
+        (FaultEnv::wrap(mem.clone(), seed), mem)
+    }
+
+    #[test]
+    fn passthrough_when_no_rules() {
+        let (env, _) = fenv(1);
+        let mut w = env.new_writable("f", IoClass::Wal).unwrap();
+        w.append(b"hello").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(&env.read_file("f", IoClass::Wal).unwrap()[..], b"hello");
+        let r = env.open_random_access("f", IoClass::Wal).unwrap();
+        assert_eq!(&r.read_at(1, 3).unwrap()[..], b"ell");
+    }
+
+    #[test]
+    fn nth_rule_fires_exactly_once() {
+        let (env, _) = fenv(2);
+        env.add_rule(FaultRule {
+            op: FaultOp::Write,
+            path_contains: Some("wal".into()),
+            trigger: Trigger::Nth(2),
+            kind: FaultKind::Fail,
+            one_shot: true,
+        });
+        let mut w = env.new_writable("wal-1", IoClass::Wal).unwrap();
+        w.append(b"a").unwrap();
+        assert!(w.append(b"b").is_err(), "2nd matching write fails");
+        w.append(b"c").unwrap();
+        // Non-matching path is untouched.
+        let mut w2 = env.new_writable("other", IoClass::Other).unwrap();
+        w2.append(b"x").unwrap();
+    }
+
+    #[test]
+    fn probability_schedule_is_deterministic() {
+        let run = |seed| {
+            let (env, _) = fenv(seed);
+            env.add_rule(FaultRule {
+                op: FaultOp::Write,
+                path_contains: None,
+                trigger: Trigger::Probability(0.3),
+                kind: FaultKind::Fail,
+                one_shot: false,
+            });
+            let mut w = env.new_writable("f", IoClass::Other).unwrap();
+            (0..64).map(|_| w.append(b"x").is_err()).collect::<Vec<_>>()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same schedule");
+        assert_ne!(a, run(43), "different seed, different schedule");
+        assert!(a.iter().any(|&e| e) && !a.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn crash_drops_unsynced_bytes_and_unsynced_files() {
+        let (env, mem) = fenv(3);
+        env.set_torn_tail(false);
+        let mut synced = env.new_writable("db/synced", IoClass::Wal).unwrap();
+        synced.append(b"durable!").unwrap();
+        synced.sync().unwrap();
+        synced.append(b" volatile tail").unwrap();
+        let mut never = env.new_writable("db/never-synced", IoClass::Wal).unwrap();
+        never.append(b"gone").unwrap();
+        env.crash();
+        // Crashed env rejects everything; stale handles are fenced.
+        assert!(env.read_file("db/synced", IoClass::Wal).is_err());
+        assert!(synced.append(b"zombie").is_err());
+        assert!(never.sync().is_err());
+        drop(synced);
+        drop(never);
+        env.heal();
+        assert_eq!(
+            &env.read_file("db/synced", IoClass::Wal).unwrap()[..],
+            b"durable!",
+            "unsynced tail dropped"
+        );
+        assert!(!mem.file_exists("db/never-synced"), "unsynced file gone");
+        // Reopened handles work again.
+        let mut w = env.new_writable("db/new", IoClass::Wal).unwrap();
+        w.append(b"post-crash").unwrap();
+        w.sync().unwrap();
+    }
+
+    #[test]
+    fn torn_tail_keeps_a_prefix_of_the_unsynced_bytes() {
+        let (env, _) = fenv(7);
+        env.set_torn_tail(true);
+        let mut w = env.new_writable("f", IoClass::Wal).unwrap();
+        w.append(b"AAAA").unwrap();
+        w.sync().unwrap();
+        w.append(&[b'B'; 1000]).unwrap();
+        env.crash();
+        drop(w);
+        env.heal();
+        let d = env.read_file("f", IoClass::Wal).unwrap();
+        assert!(d.len() >= 4 && d.len() <= 1004);
+        assert_eq!(&d[..4], b"AAAA", "synced prefix always survives");
+        assert!(d[4..].iter().all(|&b| b == b'B'));
+    }
+
+    #[test]
+    fn torn_append_writes_partial_prefix() {
+        let (env, _) = fenv(11);
+        env.add_rule(FaultRule {
+            op: FaultOp::Write,
+            path_contains: None,
+            trigger: Trigger::Nth(2),
+            kind: FaultKind::Torn,
+            one_shot: true,
+        });
+        let mut w = env.new_writable("f", IoClass::Wal).unwrap();
+        w.append(b"first").unwrap();
+        assert!(w.append(&[b'X'; 100]).is_err());
+        w.sync().unwrap();
+        let d = env.read_file("f", IoClass::Wal).unwrap();
+        assert!(d.len() >= 5 && d.len() < 105, "partial tail: {}", d.len());
+        assert_eq!(&d[..5], b"first");
+    }
+
+    #[test]
+    fn fsyncgate_failed_sync_freezes_the_watermark() {
+        let (env, _) = fenv(13);
+        env.set_torn_tail(false);
+        env.add_rule(FaultRule {
+            op: FaultOp::Sync,
+            path_contains: None,
+            trigger: Trigger::Nth(2),
+            kind: FaultKind::Fail,
+            one_shot: true,
+        });
+        let mut w = env.new_writable("f", IoClass::Wal).unwrap();
+        w.append(b"good").unwrap();
+        w.sync().unwrap();
+        w.append(b" lost").unwrap();
+        assert!(w.sync().is_err(), "injected sync failure");
+        w.append(b" also lost").unwrap();
+        // The retried sync "succeeds" — but durability is gone.
+        w.sync().unwrap();
+        env.crash();
+        drop(w);
+        env.heal();
+        assert_eq!(
+            &env.read_file("f", IoClass::Wal).unwrap()[..],
+            b"good",
+            "bytes after the failed fsync never became durable"
+        );
+    }
+
+    #[test]
+    fn crash_after_ops_fires_and_counts() {
+        let (env, _) = fenv(17);
+        env.set_torn_tail(false);
+        let mut w = env.new_writable("f", IoClass::Wal).unwrap(); // op 1
+        w.append(b"a").unwrap(); // op 2
+        w.sync().unwrap(); // op 3
+        env.crash_after_ops(2);
+        w.append(b"b").unwrap(); // op 4
+        assert!(w.append(b"c").is_err(), "op 5 hits the crash point");
+        assert!(env.crashed());
+        env.heal();
+        assert_eq!(&env.read_file("f", IoClass::Wal).unwrap()[..], b"a");
+    }
+
+    #[test]
+    fn crash_rule_triggers_power_loss_on_matching_op() {
+        let (env, _) = fenv(19);
+        env.set_torn_tail(false);
+        env.add_rule(FaultRule {
+            op: FaultOp::Sync,
+            path_contains: Some("MANIFEST".into()),
+            trigger: Trigger::Nth(1),
+            kind: FaultKind::Crash,
+            one_shot: true,
+        });
+        let mut wal = env.new_writable("db/1.log", IoClass::Wal).unwrap();
+        wal.append(b"w").unwrap();
+        wal.sync().unwrap();
+        let mut m = env
+            .new_writable("db/MANIFEST-2", IoClass::Manifest)
+            .unwrap();
+        m.append(b"edit").unwrap();
+        assert!(m.sync().is_err(), "crash fires on the manifest sync");
+        assert!(env.crashed());
+        drop(m);
+        drop(wal);
+        env.heal();
+        assert_eq!(&env.read_file("db/1.log", IoClass::Wal).unwrap()[..], b"w");
+        assert!(
+            !env.file_exists("db/MANIFEST-2"),
+            "never-synced manifest dropped"
+        );
+    }
+
+    #[test]
+    fn rename_transfers_durability() {
+        let (env, _) = fenv(23);
+        env.set_torn_tail(false);
+        let mut w = env.new_writable("tmp", IoClass::Other).unwrap();
+        w.append(b"meta").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        env.rename("tmp", "SHARDS").unwrap();
+        env.crash();
+        env.heal();
+        assert_eq!(
+            &env.read_file("SHARDS", IoClass::Other).unwrap()[..],
+            b"meta"
+        );
+        assert!(!env.file_exists("tmp"));
+    }
+}

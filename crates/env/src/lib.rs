@@ -10,12 +10,16 @@
 //!   simulated seconds.
 //! * [`FsEnv`] — a thin `std::fs` implementation for running the
 //!   engine against a real filesystem.
+//! * [`FaultEnv`] — a deterministic, seeded fault-injection wrapper over
+//!   any env: injected errors, torn appends, fsyncgate semantics, and
+//!   power-loss crash simulation for the recovery test harness.
 //!
 //! The trait surface is deliberately small (append-only writable files,
 //! positional reads, whole-file reads, rename/remove/list) — exactly what
 //! an LSM-tree needs and nothing more.
 
 pub mod device;
+pub mod fault;
 pub mod fs;
 pub mod io_stats;
 pub mod mem;
@@ -25,6 +29,7 @@ use scavenger_util::Result;
 use std::sync::Arc;
 
 pub use device::DeviceModel;
+pub use fault::{FaultEnv, FaultKind, FaultOp, FaultRule, Trigger};
 pub use fs::FsEnv;
 pub use io_stats::{IoClass, IoStats, IoStatsSnapshot};
 pub use mem::MemEnv;

@@ -20,7 +20,7 @@ use crate::view::{
     read_superversion, scan_superversion, BatchReader, LsmView, ReadPointKind, ReadPointRegistry,
     ScanIter, Snapshot, SuperVersion,
 };
-use crate::wal::{read_all_records, LogWriter};
+use crate::wal::LogWriter;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 use scavenger_env::IoClass;
@@ -64,6 +64,11 @@ pub struct GuardedWrite {
 struct WriterState {
     wal: Option<LogWriter>,
     wal_number: u64,
+    /// A `sync()` on the current WAL failed. fsyncgate semantics: the
+    /// unsynced tail of that file can no longer be trusted to become
+    /// durable, so the writer must rotate to a fresh WAL before
+    /// accepting new records — never retry the fsync and report success.
+    wal_poisoned: bool,
 }
 
 struct ImmEntry {
@@ -90,6 +95,14 @@ pub struct LsmCounters {
     pub stalls: AtomicU64,
     /// Entries dropped by merges (exposed garbage events).
     pub merge_drops: AtomicU64,
+    /// Background jobs that failed permanently (after retries) and
+    /// degraded the engine to read-only mode.
+    pub bg_errors: AtomicU64,
+    /// Transient background-job failures that were retried.
+    pub bg_retries: AtomicU64,
+    /// WALs whose tail was torn or corrupt at recovery (the intact
+    /// prefix was replayed; the tail was dropped).
+    pub wal_tail_corruptions: AtomicU64,
 }
 
 struct Inner {
@@ -114,7 +127,14 @@ struct Inner {
     bg_cv: Condvar,
     stall_lock: Mutex<()>,
     stall_cv: Condvar,
+    /// Cause of the current degraded state (kept for error messages and
+    /// diagnostics; `degraded` is the gate).
     bg_error: Mutex<Option<Error>>,
+    /// Read-only degraded mode: set by a permanent background failure,
+    /// cleared by [`Lsm::resume`]. Writes fail fast with
+    /// [`Error::ReadOnlyMode`]; reads, scans, and pinned views keep
+    /// working.
+    degraded: AtomicBool,
     /// Key-SST files replaced by compactions, awaiting deletion once no
     /// in-flight reader's version references them.
     pending_deletions: Mutex<Vec<u64>>,
@@ -168,6 +188,7 @@ impl Lsm {
             writer: Mutex::new(WriterState {
                 wal: None,
                 wal_number: 0,
+                wal_poisoned: false,
             }),
             mem: RwLock::new(Arc::new(Memtable::new())),
             imms: RwLock::new(Vec::new()),
@@ -183,6 +204,7 @@ impl Lsm {
             stall_lock: Mutex::new(()),
             stall_cv: Condvar::new(),
             bg_error: Mutex::new(None),
+            degraded: AtomicBool::new(false),
             pending_deletions: Mutex::new(Vec::new()),
             closed: AtomicBool::new(false),
             vset: Mutex::new(vset),
@@ -431,10 +453,20 @@ impl Lsm {
     fn apply_locked(&self, ws: &mut WriterState, batch: &WriteBatch, sync: bool) -> Result<()> {
         let base = self.inner.seq.load(Ordering::SeqCst) + 1;
         if self.inner.opts.wal {
+            if ws.wal_poisoned {
+                self.rotate_poisoned_wal(ws)?;
+            }
             if let Some(wal) = ws.wal.as_mut() {
                 wal.add_record(&batch.encode(base))?;
                 if sync {
-                    wal.sync()?;
+                    if let Err(e) = wal.sync() {
+                        // fsyncgate: this WAL's unsynced tail may never
+                        // reach disk even if a later fsync "succeeds".
+                        // Poison the file; the next write rotates away
+                        // from it instead of retrying the sync.
+                        ws.wal_poisoned = true;
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -453,7 +485,7 @@ impl Lsm {
 
     fn after_write(&self) -> Result<()> {
         match self.inner.opts.background {
-            BackgroundMode::Inline => self.run_background_work(),
+            BackgroundMode::Inline => self.run_background_with_retries(),
             BackgroundMode::Threaded => {
                 let mut sig = self.inner.bg_signal.lock();
                 sig.work_pending = true;
@@ -481,16 +513,41 @@ impl Lsm {
         *self.inner.mem.write() = fresh.clone();
         self.install_sv_rotated(fresh, cur);
         if self.inner.opts.wal {
-            let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
-            let f = self
-                .inner
-                .opts
-                .env
-                .new_writable(&wal_path(&self.inner.opts.dir, n), IoClass::Wal)?;
-            ws.wal = Some(LogWriter::new(f));
-            ws.wal_number = n;
+            self.fresh_wal_locked(ws)?;
         }
         Ok(())
+    }
+
+    /// Point the writer at a brand-new WAL file (and clear any poison).
+    fn fresh_wal_locked(&self, ws: &mut WriterState) -> Result<()> {
+        let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
+        let f = self
+            .inner
+            .opts
+            .env
+            .new_writable(&wal_path(&self.inner.opts.dir, n), IoClass::Wal)?;
+        ws.wal = Some(LogWriter::new(f));
+        ws.wal_number = n;
+        ws.wal_poisoned = false;
+        Ok(())
+    }
+
+    /// Recover from a poisoned WAL (failed `sync()`): freeze the active
+    /// memtable — it holds everything the old WAL covered, so a flush
+    /// will persist it to SSTs — and rotate to a fresh WAL file. The
+    /// poisoned handle is abandoned, never fsynced again.
+    fn rotate_poisoned_wal(&self, ws: &mut WriterState) -> Result<()> {
+        let cur = self.inner.mem.read().clone();
+        if !cur.is_empty() {
+            self.inner.imms.write().push(ImmEntry {
+                mem: cur.clone(),
+                wal_number: ws.wal_number,
+            });
+            let fresh = Arc::new(Memtable::new());
+            *self.inner.mem.write() = fresh.clone();
+            self.install_sv_rotated(fresh, cur);
+        }
+        self.fresh_wal_locked(ws)
     }
 
     fn maybe_stall(&self) {
@@ -517,9 +574,103 @@ impl Lsm {
     }
 
     fn check_bg_error(&self) -> Result<()> {
-        match self.inner.bg_error.lock().clone() {
-            Some(e) => Err(e),
-            None => Ok(()),
+        if self.inner.degraded.load(Ordering::SeqCst) {
+            let cause = self
+                .inner
+                .bg_error
+                .lock()
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown background error".into());
+            return Err(Error::read_only(format!(
+                "engine degraded by background failure: {cause}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// True when the engine is in read-only degraded mode (a background
+    /// job failed permanently). Reads keep working; writes fail fast
+    /// with [`Error::ReadOnlyMode`] until [`Lsm::resume`] clears it.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The background error that degraded the engine, if any.
+    pub fn background_error(&self) -> Option<Error> {
+        self.inner.bg_error.lock().clone()
+    }
+
+    /// Transient failures (I/O hiccups) are worth retrying; corruption
+    /// and invariant violations are permanent.
+    fn is_transient(e: &Error) -> bool {
+        matches!(e, Error::Io(_))
+    }
+
+    /// Enter read-only degraded mode: record the cause, wake stalled
+    /// writers (they fail fast instead of waiting forever).
+    fn enter_degraded(&self, e: Error) {
+        self.inner
+            .counters
+            .bg_errors
+            .fetch_add(1, Ordering::Relaxed);
+        *self.inner.bg_error.lock() = Some(e);
+        self.inner.degraded.store(true, Ordering::SeqCst);
+        self.inner.stall_cv.notify_all();
+    }
+
+    /// Run background work, retrying transient failures with bounded
+    /// exponential backoff (`bg_retry_base * 2^attempt`, up to
+    /// `bg_retry_limit` retries). A permanent failure — or exhausted
+    /// retries — degrades the engine to read-only mode and returns the
+    /// error. Used by both the inline write path and the background
+    /// thread, so both execution modes share one error policy.
+    fn run_background_with_retries(&self) -> Result<()> {
+        let mut attempt = 0usize;
+        loop {
+            match self.run_background_work() {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let retryable = Self::is_transient(&e)
+                        && attempt < self.inner.opts.bg_retry_limit
+                        && !self.inner.closed.load(Ordering::SeqCst);
+                    if !retryable {
+                        self.enter_degraded(e.clone());
+                        return Err(e);
+                    }
+                    self.inner
+                        .counters
+                        .bg_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    let backoff = self
+                        .inner
+                        .opts
+                        .bg_retry_base
+                        .saturating_mul(1u32 << attempt.min(16));
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// Leave read-only degraded mode after the underlying cause is
+    /// fixed: verify (and if needed repair) the manifest, clear the
+    /// error, and restart background work. Returns an error — and stays
+    /// degraded — if the manifest cannot be verified.
+    pub fn resume(&self) -> Result<()> {
+        self.inner.vset.lock().verify_and_repair()?;
+        *self.inner.bg_error.lock() = None;
+        self.inner.degraded.store(false, Ordering::SeqCst);
+        self.inner.stall_cv.notify_all();
+        match self.inner.opts.background {
+            BackgroundMode::Inline => self.run_background_with_retries(),
+            BackgroundMode::Threaded => {
+                let mut sig = self.inner.bg_signal.lock();
+                sig.work_pending = true;
+                self.inner.bg_cv.notify_all();
+                Ok(())
+            }
         }
     }
 
@@ -701,7 +852,7 @@ impl Lsm {
             self.rotate_memtable(&mut ws)?;
         }
         match self.inner.opts.background {
-            BackgroundMode::Inline => self.run_background_work(),
+            BackgroundMode::Inline => self.run_background_with_retries(),
             BackgroundMode::Threaded => {
                 {
                     let mut sig = self.inner.bg_signal.lock();
@@ -1054,8 +1205,31 @@ impl Lsm {
             .collect();
         wals.sort_unstable();
         for n in &wals {
-            let data = opts.env.read_file(&wal_path(&opts.dir, *n), IoClass::Wal)?;
-            let (records, _torn) = read_all_records(data);
+            let path = wal_path(&opts.dir, *n);
+            let data = opts.env.read_file(&path, IoClass::Wal)?;
+            let total = data.len();
+            let mut reader = crate::wal::LogReader::new(data);
+            let mut records = Vec::new();
+            while let Some(r) = reader.next_record() {
+                records.push(r);
+            }
+            if reader.hit_corruption {
+                // Torn or corrupt tail: the intact prefix is replayed,
+                // the tail dropped. Count it and log the truncation
+                // offset so operators can tell power-loss truncation
+                // from silent data loss.
+                self.inner
+                    .counters
+                    .wal_tail_corruptions
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "scavenger: WAL {path} has a torn/corrupt tail: \
+                     replayed {} records, dropped {} bytes at offset {}",
+                    records.len(),
+                    reader.dropped_bytes,
+                    total - reader.dropped_bytes
+                );
+            }
             let mem = Memtable::new();
             let mut max_seq = self.inner.seq.load(Ordering::SeqCst);
             for rec in records {
@@ -1163,11 +1337,16 @@ impl Lsm {
                         }
                         sig.work_pending = false;
                     }
-                    if let Err(e) = db.run_background_work() {
-                        *db.inner.bg_error.lock() = Some(e);
-                        db.inner.stall_cv.notify_all();
-                        return;
+                    if db.inner.degraded.load(Ordering::SeqCst) {
+                        // Parked, not dead: `resume()` clears the flag
+                        // and re-signals, and this loop picks the
+                        // backlog back up.
+                        continue;
                     }
+                    // On permanent failure the helper has already moved
+                    // the engine to degraded mode; stay alive so resume
+                    // can restart work without respawning the thread.
+                    let _ = db.run_background_with_retries();
                 }
             })
             .expect("spawn background thread");

@@ -71,6 +71,13 @@ pub struct LsmOptions {
     pub background: BackgroundMode,
     /// Max immutable memtables before writes stall (Threaded mode).
     pub max_imm_memtables: usize,
+    /// How many times a *transient* background-job failure (flush,
+    /// compaction) is retried before the engine degrades to read-only
+    /// mode. Permanent failures (e.g. corruption) degrade immediately.
+    pub bg_retry_limit: usize,
+    /// Base delay for the bounded exponential backoff between background
+    /// retries (`base * 2^attempt`).
+    pub bg_retry_base: std::time::Duration,
     /// Value-store hook invoked by flush and compaction (KV separation,
     /// drop observation, BlobDB-style relocation). `None` = vanilla LSM.
     pub value_hook: Option<Arc<dyn ValueHook>>,
@@ -106,6 +113,8 @@ impl LsmOptions {
             wal: true,
             background: BackgroundMode::Inline,
             max_imm_memtables: 2,
+            bg_retry_limit: 3,
+            bg_retry_base: std::time::Duration::from_millis(10),
             value_hook: None,
             cow_superversion: true,
         }

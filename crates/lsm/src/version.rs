@@ -381,7 +381,6 @@ impl Version {
 
 /// Owns the current [`Version`], the counters, and the manifest log.
 pub struct VersionSet {
-    #[allow(dead_code)]
     env: EnvRef,
     dir: String,
     num_levels: usize,
@@ -392,6 +391,15 @@ pub struct VersionSet {
     pub log_number: u64,
     manifest: LogWriter,
     manifest_number: u64,
+    /// A manifest append or `sync()` failed. fsyncgate semantics: the
+    /// unsynced tail of that file may never become durable even if a
+    /// later fsync reports success, so the writer must rotate to a
+    /// fresh manifest file before committing anything else.
+    manifest_poisoned: bool,
+    /// Every committed value-store bundle, in commit order — the same
+    /// history a fresh open replays. Kept so a manifest rotation can
+    /// rewrite a complete snapshot without consulting the value store.
+    value_history: Vec<ValueEditBundle>,
     /// Weak handles to every version ever installed; used to decide when
     /// an obsolete file is no longer visible to any in-flight reader.
     live_versions: Vec<Weak<Version>>,
@@ -426,7 +434,18 @@ impl VersionSet {
                 .strip_prefix("MANIFEST-")
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| Error::corruption("bad CURRENT contents"))?;
-            let (records, _corrupt) = read_all_records(env.read_file(&mpath, IoClass::Manifest)?);
+            let data = env.read_file(&mpath, IoClass::Manifest)?;
+            let total = data.len();
+            let (records, corrupt) = read_all_records(data);
+            if corrupt {
+                // A torn manifest tail is the expected power-loss shape:
+                // the intact prefix is the committed history. Log it so
+                // operators can distinguish truncation from data loss.
+                eprintln!(
+                    "scavenger: manifest {mpath} has a torn/corrupt tail \
+                     (file is {total} bytes); recovering the intact prefix"
+                );
+            }
             for rec in records {
                 let edit = VersionEdit::decode(&rec)?;
                 if let Some(n) = edit.next_file_number {
@@ -493,6 +512,8 @@ impl VersionSet {
                 log_number,
                 manifest,
                 manifest_number,
+                manifest_poisoned: false,
+                value_history: value_replay.clone(),
                 live_versions,
             },
             value_replay,
@@ -531,19 +552,107 @@ impl VersionSet {
     }
 
     /// Log `edit` to the manifest and apply it to the current version.
+    ///
+    /// If a previous commit poisoned the manifest (failed append or
+    /// fsync), this first rotates to a fresh manifest file holding a
+    /// full snapshot — the poisoned file is abandoned, never fsynced
+    /// again, so a lying retried fsync can't silently commit its tail.
     pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<Arc<Version>> {
+        if self.manifest_poisoned {
+            self.rotate_manifest()?;
+        }
         edit.next_file_number = Some(self.next_file.load(Ordering::SeqCst));
         edit.last_sequence = Some(self.last_seq.load(Ordering::SeqCst));
         if let Some(n) = edit.log_number {
             self.log_number = self.log_number.max(n);
         }
         let next = self.current.apply(&edit)?;
-        self.manifest.add_record(&edit.encode())?;
-        self.manifest.sync()?;
+        if let Err(e) = self
+            .manifest
+            .add_record(&edit.encode())
+            .and_then(|()| self.manifest.sync())
+        {
+            self.manifest_poisoned = true;
+            return Err(e);
+        }
         self.current = Arc::new(next);
+        if !edit.value.is_empty() {
+            self.value_history.push(edit.value.clone());
+        }
         self.live_versions.push(Arc::downgrade(&self.current));
         self.live_versions.retain(|w| w.strong_count() > 0);
         Ok(self.current.clone())
+    }
+
+    /// Abandon the current manifest file and start a fresh one holding a
+    /// full snapshot of the committed state (index layout, counters, and
+    /// the complete value-store history), then swing `CURRENT` to it and
+    /// delete the old file. Mirrors the fresh-manifest logic at open.
+    fn rotate_manifest(&mut self) -> Result<()> {
+        let number = self.next_file.fetch_add(1, Ordering::SeqCst);
+        let mpath = manifest_path(&self.dir, number);
+        let mut manifest = LogWriter::new(self.env.new_writable(&mpath, IoClass::Manifest)?);
+        let mut snapshot = VersionEdit {
+            next_file_number: Some(self.next_file.load(Ordering::SeqCst)),
+            last_sequence: Some(self.last_seq.load(Ordering::SeqCst)),
+            log_number: Some(self.log_number),
+            ..VersionEdit::default()
+        };
+        for (level, files) in self.current.levels.iter().enumerate() {
+            for f in files {
+                snapshot.added.push((level, (**f).clone()));
+            }
+        }
+        manifest.add_record(&snapshot.encode())?;
+        for bundle in &self.value_history {
+            let edit = VersionEdit {
+                value: bundle.clone(),
+                ..VersionEdit::default()
+            };
+            manifest.add_record(&edit.encode())?;
+        }
+        manifest.sync()?;
+        set_current(&self.env, &self.dir, number)?;
+        let old = manifest_path(&self.dir, self.manifest_number);
+        let _ = self.env.remove_file(&old);
+        self.manifest = manifest;
+        self.manifest_number = number;
+        self.manifest_poisoned = false;
+        Ok(())
+    }
+
+    /// Verify the on-disk manifest is consistent with this version set —
+    /// and repair it first (rotate away from a poisoned writer) if a
+    /// previous commit failed. Used by `resume()` before clearing a
+    /// degraded state: `CURRENT` must point at this manifest and every
+    /// record in it must decode and apply cleanly.
+    pub fn verify_and_repair(&mut self) -> Result<()> {
+        if self.manifest_poisoned {
+            self.rotate_manifest()?;
+        }
+        let cur = current_path(&self.dir);
+        let name = String::from_utf8(self.env.read_file(&cur, IoClass::Manifest)?.to_vec())
+            .map_err(|_| Error::corruption("CURRENT not utf-8"))?;
+        let expect = format!("MANIFEST-{:06}", self.manifest_number);
+        if name.trim() != expect {
+            return Err(Error::corruption(format!(
+                "CURRENT points at {} but the live manifest is {expect}",
+                name.trim()
+            )));
+        }
+        let mpath = manifest_path(&self.dir, self.manifest_number);
+        let (records, corrupt) = read_all_records(self.env.read_file(&mpath, IoClass::Manifest)?);
+        if corrupt {
+            return Err(Error::corruption(format!(
+                "manifest {mpath} has a corrupt record"
+            )));
+        }
+        let mut version = Version::empty(self.num_levels);
+        for rec in records {
+            let edit = VersionEdit::decode(&rec)?;
+            version = version.apply(&edit)?;
+        }
+        Ok(())
     }
 
     /// File numbers visible to the current version or to any version an

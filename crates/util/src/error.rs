@@ -25,6 +25,10 @@ pub enum Error {
     InvalidArgument(String),
     /// An internal invariant was violated. Seeing this is a bug.
     Internal(String),
+    /// The engine is in read-only degraded mode after a permanent
+    /// background failure: writes fail fast with this error while reads,
+    /// scans, and pinned views keep working. `Db::resume()` clears it.
+    ReadOnlyMode(String),
 }
 
 impl Error {
@@ -53,9 +57,19 @@ impl Error {
         Error::Internal(msg.into())
     }
 
+    /// Convenience constructor for [`Error::ReadOnlyMode`].
+    pub fn read_only(msg: impl Into<String>) -> Self {
+        Error::ReadOnlyMode(msg.into())
+    }
+
     /// True if this error is [`Error::NotFound`].
     pub fn is_not_found(&self) -> bool {
         matches!(self, Error::NotFound(_))
+    }
+
+    /// True if this error is [`Error::ReadOnlyMode`].
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Error::ReadOnlyMode(_))
     }
 }
 
@@ -67,6 +81,7 @@ impl fmt::Display for Error {
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::ReadOnlyMode(m) => write!(f, "read-only mode: {m}"),
         }
     }
 }

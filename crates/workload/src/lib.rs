@@ -13,6 +13,7 @@
 //! The [`runner`] drives any store implementing [`KvStore`] and tracks the
 //! logical dataset size (the denominator of space amplification) exactly.
 
+pub mod crash;
 pub mod dist;
 pub mod keys;
 pub mod runner;

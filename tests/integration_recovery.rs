@@ -143,6 +143,168 @@ fn recovery_reconstructs_value_store_state() {
     }
 }
 
+fn blob_count(env: &Arc<scavenger_env::MemEnv>) -> usize {
+    env.list_prefix("db/")
+        .unwrap()
+        .iter()
+        .filter(|p| p.ends_with(".blob"))
+        .count()
+}
+
+/// Titan's write-back GC defers blob deletion while a read point
+/// predates the write-back barrier. That queue is in-memory: a crash
+/// loses it. The collected-but-undeleted files must survive the crash
+/// (they are still registered — a pre-crash reader could still address
+/// them) and must be re-collected after reopen, not leaked forever.
+#[test]
+fn titan_deferred_deletion_queue_is_recovered_after_crash() {
+    let env = MemEnv::shared();
+    let deferred_blobs;
+    {
+        let mut o = opts(env.clone(), EngineMode::Titan);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        for i in 0..100u64 {
+            db.put(format!("k{i:03}"), value(i, 0)).unwrap();
+        }
+        db.flush().unwrap();
+        // Partial overwrite: round-0 files keep live records, so GC
+        // must relocate (not just drop) and deletion is barrier-gated.
+        for i in 0..50u64 {
+            db.put(format!("k{i:03}"), value(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        // Pin a view, then advance the sequence so the write-back
+        // barrier postdates the pin. (A *snapshot* would defer the
+        // whole GC job; a transient pin gates only the deletion.)
+        let view = db.view();
+        for i in 0..5u64 {
+            db.put(format!("x{i:03}"), value(i, 2)).unwrap();
+        }
+        let exposed_before = db.stats().exposed_garbage_bytes;
+        let files_before = db.stats().value_files;
+        let jobs = db.run_gc_until_clean().unwrap();
+        assert!(jobs > 0, "churn must give write-back GC something to do");
+        let s = db.stats();
+        assert!(
+            s.value_files >= files_before,
+            "deferred files must stay registered while the pin predates \
+             the barrier ({files_before} files before GC, {} after)",
+            s.value_files
+        );
+        assert!(
+            s.exposed_garbage_bytes >= exposed_before,
+            "deferred files keep their exposed garbage until reaped"
+        );
+        deferred_blobs = blob_count(&env);
+        for i in 0..50u64 {
+            assert_eq!(
+                view.get(format!("k{i:03}")).unwrap().unwrap(),
+                bytes::Bytes::from(value(i, 1)),
+                "reader predating the barrier must still resolve"
+            );
+        }
+        // Drop without reaping: the queue dies with the process.
+    }
+    let mut o = opts(env.clone(), EngineMode::Titan);
+    o.auto_gc = false;
+    let db = Db::open(o).unwrap();
+    // The stale collected files are pure garbage now; GC re-collects
+    // them instead of leaking them forever.
+    let jobs = db.run_gc_until_clean().unwrap();
+    assert!(jobs > 0, "recovered garbage must be re-collected");
+    assert!(
+        blob_count(&env) < deferred_blobs,
+        "stale deferred blobs must be reclaimed after reopen \
+         ({deferred_blobs} before, {} after)",
+        blob_count(&env)
+    );
+    assert_eq!(db.stats().exposed_garbage_bytes, 0);
+    for i in 0..50u64 {
+        assert_eq!(
+            db.get(format!("k{i:03}")).unwrap().unwrap(),
+            bytes::Bytes::from(value(i, 1))
+        );
+    }
+    for i in 50..100u64 {
+        assert_eq!(
+            db.get(format!("k{i:03}")).unwrap().unwrap(),
+            bytes::Bytes::from(value(i, 0))
+        );
+    }
+}
+
+/// BlobDB deletes a blob file once fully exhausted through compaction.
+/// The manifest commit and the physical unlink are separate steps — a
+/// crash (or injected I/O failure) between them leaves orphan blob
+/// files on disk. Reopen must reap them via orphan cleanup.
+#[test]
+fn blobdb_orphaned_exhausted_files_are_reaped_on_reopen() {
+    use scavenger_env::{FaultEnv, FaultKind, FaultOp, FaultRule, Trigger};
+    let fault = FaultEnv::wrap(MemEnv::shared(), 0xb10b);
+    let env: EnvRef = fault.clone();
+    {
+        let mut o = opts(env.clone(), EngineMode::BlobDb);
+        o.auto_gc = false;
+        let db = Db::open(o).unwrap();
+        for i in 0..100u64 {
+            db.put(format!("k{i:03}"), value(i, 0)).unwrap();
+        }
+        db.flush().unwrap();
+        // Every physical blob unlink now fails: the overwrite round's
+        // inline flushes/compactions exhaust the round-0 files and
+        // commit their deletion to the manifest, but the files linger
+        // on disk.
+        fault.add_rule(FaultRule {
+            op: FaultOp::Delete,
+            path_contains: Some(".blob".to_string()),
+            trigger: Trigger::Always,
+            kind: FaultKind::Fail,
+            one_shot: false,
+        });
+        for i in 0..100u64 {
+            db.put(format!("k{i:03}"), value(i, 1)).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        let s = db.stats();
+        let on_disk = env
+            .list_prefix("db/")
+            .unwrap()
+            .iter()
+            .filter(|p| p.ends_with(".blob"))
+            .count();
+        assert!(
+            (on_disk as u64) > s.value_files,
+            "exhausted files must linger as orphans while unlinks fail \
+             ({on_disk} on disk, {} registered)",
+            s.value_files
+        );
+    }
+    fault.clear_rules();
+    let mut o = opts(env.clone(), EngineMode::BlobDb);
+    o.auto_gc = false;
+    let db = Db::open(o).unwrap();
+    let s = db.stats();
+    let on_disk = env
+        .list_prefix("db/")
+        .unwrap()
+        .iter()
+        .filter(|p| p.ends_with(".blob"))
+        .count();
+    assert_eq!(
+        on_disk as u64, s.value_files,
+        "reopen must reap orphaned exhausted blobs"
+    );
+    for i in 0..100u64 {
+        assert_eq!(
+            db.get(format!("k{i:03}")).unwrap().unwrap(),
+            bytes::Bytes::from(value(i, 1))
+        );
+    }
+}
+
 #[test]
 fn orphan_value_files_are_cleaned_on_open() {
     let env = MemEnv::shared();
