@@ -1,0 +1,355 @@
+//! Load generator for `scavenger-server`: drive N client connections
+//! with deterministic op streams and report throughput + latency.
+//!
+//! Two ways to run it:
+//!
+//! - **Self-contained benchmark** (no flags): starts an in-process
+//!   server over a fresh in-memory store and sweeps the full matrix —
+//!   read-heavy and write-heavy mixes at 1, 4, and 16 connections —
+//!   writing `BENCH_server.json` at the workspace root.
+//!
+//! - **External driver** (`--addr HOST:PORT`): drives a server started
+//!   elsewhere (the CI smoke job). `--shutdown` sends the graceful
+//!   shutdown request afterwards (`--conns 0 --shutdown` sends it
+//!   without driving any load); `--verify` replays the deterministic op
+//!   streams *without writing* — composing, per stripe, every matrix
+//!   config that touched it, in run order — and checks every expected
+//!   key over the wire. Run it against a restarted server to prove no
+//!   acked write was lost (the earlier driving run exits nonzero if any
+//!   op failed, which is what licenses "every op was acked" as the
+//!   oracle's premise).
+//!
+//! Each connection owns a disjoint key stripe (see
+//! `scavenger_workload::ops`), so verification is exact under
+//! arbitrary interleaving.
+
+use scavenger::{Db, EngineMode, MemEnv, Options};
+use scavenger_server::{Client, Server, ServerConfig};
+use scavenger_util::hist::Histogram;
+use scavenger_workload::ops::{AckOracle, ClientOp, OpMix, OpStream};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    addr: Option<String>,
+    conns: Vec<usize>,
+    ops_per_conn: u64,
+    stripe_len: u64,
+    seed: u64,
+    mixes: Vec<(&'static str, OpMix)>,
+    json: Option<String>,
+    shutdown: bool,
+    verify: bool,
+}
+
+const USAGE: &str = "usage: server_load [--addr HOST:PORT] [--conns N,N,...] \
+[--ops-per-conn N] [--stripe-len N] [--seed N] [--mix read|write|both] \
+[--json PATH] [--shutdown] [--verify]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        conns: vec![1, 4, 16],
+        ops_per_conn: 2000,
+        stripe_len: 10_000,
+        seed: 0x5caf_f01d,
+        mixes: vec![
+            ("read_heavy", OpMix::read_heavy()),
+            ("write_heavy", OpMix::write_heavy()),
+        ],
+        json: None,
+        shutdown: false,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")?),
+            "--conns" => {
+                args.conns = val("--conns")?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|e| format!("--conns: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--ops-per-conn" => {
+                args.ops_per_conn = val("--ops-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--ops-per-conn: {e}"))?;
+            }
+            "--stripe-len" => {
+                args.stripe_len = val("--stripe-len")?
+                    .parse()
+                    .map_err(|e| format!("--stripe-len: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--mix" => {
+                args.mixes = match val("--mix")?.as_str() {
+                    "read" => vec![("read_heavy", OpMix::read_heavy())],
+                    "write" => vec![("write_heavy", OpMix::write_heavy())],
+                    "both" => vec![
+                        ("read_heavy", OpMix::read_heavy()),
+                        ("write_heavy", OpMix::write_heavy()),
+                    ],
+                    other => return Err(format!("--mix: unknown mix {other}")),
+                };
+            }
+            "--json" => args.json = Some(val("--json")?),
+            "--shutdown" => args.shutdown = true,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+struct RunResult {
+    mix: &'static str,
+    conns: usize,
+    ops: u64,
+    secs: f64,
+    p50_us: f64,
+    p99_us: f64,
+    errors: u64,
+}
+
+/// One client thread: apply `ops_per_conn` ops from its stream,
+/// recording latency; returns the merged histogram and error count.
+fn drive_conn(
+    addr: &str,
+    seed: u64,
+    client_id: u64,
+    stripe_len: u64,
+    mix: OpMix,
+    ops_per_conn: u64,
+) -> Result<(Histogram, u64), String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("conn {client_id}: connect: {e}"))?;
+    let mut stream = OpStream::new(seed, client_id, stripe_len, mix);
+    let mut hist = Histogram::new();
+    let mut errors = 0u64;
+    for _ in 0..ops_per_conn {
+        let op = stream.next_op();
+        let start = Instant::now();
+        let outcome = match &op {
+            ClientOp::Get { key } => client.get(key).map(|_| ()),
+            ClientOp::Put { key, value } => client.put(key, value),
+            ClientOp::Delete { key } => client.delete(key),
+            ClientOp::Scan { lo, limit } => client.scan(None, lo, None, *limit).map(|_| ()),
+        };
+        hist.record(start.elapsed().as_micros() as u64);
+        if let Err(e) = outcome {
+            errors += 1;
+            if errors <= 3 {
+                eprintln!("server_load: conn {client_id} {} failed: {e}", op.label());
+            }
+        }
+    }
+    Ok((hist, errors))
+}
+
+/// Re-derive each stripe's expected final state and check it over the
+/// wire (assuming every op of the driving run was acked — the driving
+/// run exits nonzero otherwise, which is what licenses that premise).
+///
+/// The matrix runs its (mix, conns) configs *sequentially over the same
+/// stripes*: client id `c` participates in every config with more than
+/// `c` connections, and within a config each stripe is touched by
+/// exactly one thread. So a stripe's final state is the in-run-order
+/// composition of the streams from every config that included it — not
+/// any single config's stream in isolation.
+fn verify(addr: &str, args: &Args) -> Result<usize, String> {
+    let max_conns = args.conns.iter().copied().max().unwrap_or(0);
+    let mut checked = 0;
+    for client_id in 0..max_conns as u64 {
+        let mut oracle = AckOracle::new();
+        for (_, mix) in &args.mixes {
+            for &conns in &args.conns {
+                if client_id < conns as u64 {
+                    let mut stream = OpStream::new(args.seed, client_id, args.stripe_len, *mix);
+                    for _ in 0..args.ops_per_conn {
+                        oracle.ack(&stream.next_op());
+                    }
+                }
+            }
+        }
+        if oracle.is_empty() {
+            continue;
+        }
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("verify conn {client_id}: {e}"))?;
+        let mut wire_err: Option<String> = None;
+        let n = oracle
+            .check(|key| match client.get(key) {
+                Ok(v) => v,
+                Err(e) => {
+                    wire_err.get_or_insert(format!("get failed during verify: {e}"));
+                    None
+                }
+            })
+            .map_err(|e| format!("conn {client_id}: {e}"))?;
+        if let Some(e) = wire_err {
+            return Err(format!("conn {client_id}: {e}"));
+        }
+        checked += n;
+    }
+    Ok(checked)
+}
+
+fn run_matrix(addr: &str, args: &Args) -> Result<Vec<RunResult>, String> {
+    let mut results = Vec::new();
+    for (mix_name, mix) in &args.mixes {
+        for &conns in &args.conns {
+            let start = Instant::now();
+            let workers: Vec<_> = (0..conns as u64)
+                .map(|client_id| {
+                    let addr = addr.to_string();
+                    let (seed, stripe, mix, ops) =
+                        (args.seed, args.stripe_len, *mix, args.ops_per_conn);
+                    std::thread::spawn(move || drive_conn(&addr, seed, client_id, stripe, mix, ops))
+                })
+                .collect();
+            let mut hist = Histogram::new();
+            let mut errors = 0u64;
+            for w in workers {
+                let (h, e) = w.join().map_err(|_| "worker panicked".to_string())??;
+                hist.merge(&h);
+                errors += e;
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let ops = args.ops_per_conn * conns as u64;
+            let r = RunResult {
+                mix: mix_name,
+                conns,
+                ops,
+                secs,
+                p50_us: hist.percentile(50.0),
+                p99_us: hist.percentile(99.0),
+                errors,
+            };
+            eprintln!(
+                "server_load: {mix_name} conns={conns} {:.1} Kops/s p50={:.0}us p99={:.0}us errors={errors}",
+                ops as f64 / secs / 1e3,
+                r.p50_us,
+                r.p99_us
+            );
+            results.push(r);
+        }
+    }
+    Ok(results)
+}
+
+fn write_json(path: &str, results: &[RunResult]) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out =
+        format!("{{\n  \"bench\": \"server\",\n  \"cores\": {cores},\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"conns\": {}, \"ops\": {}, \"secs\": {:.3}, \"kops\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}, \"errors\": {}}}{}\n",
+            r.mix,
+            r.conns,
+            r.ops,
+            r.secs,
+            r.ops as f64 / r.secs / 1e3,
+            r.p50_us,
+            r.p99_us,
+            r.errors,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn default_json_path() -> String {
+    std::env::var("SERVER_LOAD_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_server.json")
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Self-contained mode: host the server ourselves over MemEnv.
+    let (addr, handle) = match &args.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let db = Db::open(Options::new(
+                MemEnv::shared(),
+                "bench-server",
+                EngineMode::Scavenger,
+            ))
+            .expect("open in-memory store");
+            let handle =
+                Server::start(db, ServerConfig::default()).expect("start in-process server");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let mut failed = false;
+
+    if args.verify {
+        match verify(&addr, &args) {
+            Ok(n) => eprintln!("server_load: verify: {n} keys match expected state"),
+            Err(e) => {
+                eprintln!("server_load: VERIFY FAILED: {e}");
+                failed = true;
+            }
+        }
+    } else if args.conns.iter().all(|&c| c == 0) {
+        eprintln!("server_load: no connections requested; skipping load matrix");
+    } else {
+        match run_matrix(&addr, &args) {
+            Ok(results) => {
+                let total_errors: u64 = results.iter().map(|r| r.errors).sum();
+                if total_errors > 0 {
+                    eprintln!("server_load: {total_errors} ops failed");
+                    failed = true;
+                }
+                let path = args.json.clone().unwrap_or_else(default_json_path);
+                if let Err(e) = write_json(&path, &results) {
+                    eprintln!("server_load: writing {path}: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("server_load: wrote {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("server_load: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if args.shutdown {
+        match Client::connect(&addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => eprintln!("server_load: shutdown requested"),
+            Err(e) => {
+                eprintln!("server_load: shutdown request failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(h) = handle {
+        h.shutdown_and_wait();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -296,6 +296,15 @@ pub trait Maintenance {
     /// Aggregate statistics snapshot (set-wide for a sharded store).
     fn stats(&self) -> DbStats;
 
+    /// Per-member statistics, indexed by shard: one element for a
+    /// single engine, one per shard for a sharded store (each shard's
+    /// `io` counters are its own metered attribution). The metrics
+    /// exposition layer uses this to label series per shard without
+    /// knowing the handle type.
+    fn per_shard_stats(&self) -> Vec<DbStats> {
+        vec![self.stats()]
+    }
+
     /// On-disk space breakdown (summed across shards for a sharded
     /// store).
     fn space(&self) -> SpaceBreakdown;
@@ -503,6 +512,10 @@ impl Maintenance for DbShards {
 
     fn stats(&self) -> DbStats {
         DbShards::stats(self)
+    }
+
+    fn per_shard_stats(&self) -> Vec<DbStats> {
+        DbShards::shard_stats(self)
     }
 
     fn space(&self) -> SpaceBreakdown {

@@ -342,6 +342,10 @@ impl DbShards {
         for i in 0..meta.shards {
             let mut shard_opts = opts.base.clone();
             shard_opts.dir = shard_dir(&root, i);
+            // Per-shard I/O attribution: every shard runs under its own
+            // metered wrapper, so `shard.stats().io` counts only that
+            // shard's traffic (the shared env keeps the global totals).
+            shard_opts.env = Arc::new(scavenger_env::MeteredEnv::new(env.clone()));
             shard_opts.block_cache = Some(cache.clone());
             shard_opts.shared_throttle = Some(throttle.clone());
             shard_opts.space_usage = Some(space_usage.clone());
@@ -625,13 +629,15 @@ impl DbShards {
     }
 
     /// Aggregate statistics across the whole shard set — the sharded
-    /// analogue of [`Db::stats`]: counters and space sum over shards,
-    /// I/O and the throttle counter are read once from the shared
-    /// environment/throttle (every shard shares them), the cache hit
-    /// ratio comes from the shared block cache, `index_space_amp` is
-    /// the ksst-byte-weighted mean, and `oldest_read_point` is the
-    /// minimum across shards (sequences are per-shard, so it is a
-    /// conservative "oldest anywhere" gauge).
+    /// analogue of [`Db::stats`]: counters, space, and I/O sum over
+    /// shards (each shard runs under its own
+    /// [`MeteredEnv`](scavenger_env::MeteredEnv), so `io` is true
+    /// shard-set attribution rather than the env-global snapshot), the
+    /// throttle counter is read once from the shared throttle, the
+    /// cache hit ratio comes from the shared block cache,
+    /// `index_space_amp` is the ksst-byte-weighted mean, and
+    /// `oldest_read_point` is the minimum across shards (sequences are
+    /// per-shard, so it is a conservative "oldest anywhere" gauge).
     pub fn stats(&self) -> DbStats {
         let per_shard = self.shard_stats();
         let mut gc = GcStepTimes::default();
@@ -651,7 +657,9 @@ impl DbShards {
         let mut oldest_read_point = None;
         let mut amp_weighted = 0.0;
         let mut amp_weight = 0u64;
+        let mut io = scavenger_env::IoStatsSnapshot::default();
         for s in &per_shard {
+            io.accumulate(&s.io);
             gc.accumulate(&s.gc);
             space.accumulate(&s.space);
             exposed_garbage_bytes += s.exposed_garbage_bytes;
@@ -682,7 +690,11 @@ impl DbShards {
             .file_size(&format!("{}/SHARDS", self.inner.root))
             .unwrap_or(0);
         DbStats {
-            io: self.inner.env.io_stats().snapshot(),
+            // Sum of the per-shard metered counters — true shard-set
+            // attribution, not the env-global snapshot (which also
+            // counts whatever else shares the env). Only the SHARDS
+            // meta-file I/O escapes attribution, by construction.
+            io,
             gc,
             space,
             index_space_amp: if amp_weight == 0 {

@@ -361,6 +361,204 @@ pub struct DbStats {
     pub wal_tail_corruptions: u64,
 }
 
+// ---------------- Prometheus exposition ----------------
+
+/// Append one metric line in Prometheus text exposition format:
+/// `name{labels} value`. `labels` is the raw label-pair string (e.g.
+/// `r#"class="wal",shard="3""#`), or `""` for none — the braces are
+/// omitted entirely in that case.
+pub fn prom_line(out: &mut String, name: &str, labels: &str, value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+    out.push(' ');
+    if value.fract() == 0.0 && value.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", value as i64));
+    } else {
+        out.push_str(&format!("{value}"));
+    }
+    out.push('\n');
+}
+
+/// Append a `# HELP` / `# TYPE` header for a metric.
+pub fn prom_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Append per-[`IoClass`](scavenger_env::IoClass) I/O counters in
+/// exposition format, one series per class, with `extra_labels`
+/// (e.g. `r#"shard="2""#`) appended to each class label.
+pub fn render_io_prometheus(out: &mut String, io: &IoStatsSnapshot, extra_labels: &str) {
+    for class in scavenger_env::io_stats::ALL_IO_CLASSES {
+        let c = io.class(class);
+        let labels = if extra_labels.is_empty() {
+            format!("class=\"{}\"", class.label())
+        } else {
+            format!("class=\"{}\",{extra_labels}", class.label())
+        };
+        prom_line(
+            out,
+            "scavenger_io_read_bytes_total",
+            &labels,
+            c.read_bytes as f64,
+        );
+        prom_line(
+            out,
+            "scavenger_io_read_ops_total",
+            &labels,
+            c.read_ops as f64,
+        );
+        prom_line(
+            out,
+            "scavenger_io_write_bytes_total",
+            &labels,
+            c.write_bytes as f64,
+        );
+        prom_line(
+            out,
+            "scavenger_io_write_ops_total",
+            &labels,
+            c.write_ops as f64,
+        );
+    }
+}
+
+impl DbStats {
+    /// Render this snapshot in Prometheus text exposition format,
+    /// appending `labels` to every series. Covers the per-class I/O
+    /// counters, the GC step breakdown, the space breakdown, and every
+    /// scalar gauge — the engine half of a `/metrics` scrape (the
+    /// server layer adds its own connection/latency series on top).
+    pub fn render_prometheus(&self, out: &mut String, labels: &str) {
+        let DbStats {
+            io,
+            gc,
+            space,
+            index_space_amp,
+            exposed_garbage_bytes,
+            value_store_bytes,
+            value_files,
+            cache_hit_ratio,
+            flushes,
+            compactions,
+            merge_drops,
+            throttle_stalls,
+            oldest_read_point,
+            pinned_views,
+            live_snapshots,
+            bg_errors,
+            bg_retries,
+            degraded,
+            wal_tail_corruptions,
+        } = self;
+        render_io_prometheus(out, io, labels);
+        let g = |out: &mut String, name: &str, v: f64| prom_line(out, name, labels, v);
+        g(out, "scavenger_gc_runs_total", gc.runs as f64);
+        g(
+            out,
+            "scavenger_gc_files_collected_total",
+            gc.files_collected as f64,
+        );
+        g(
+            out,
+            "scavenger_gc_records_scanned_total",
+            gc.records_scanned as f64,
+        );
+        g(
+            out,
+            "scavenger_gc_records_valid_total",
+            gc.records_valid as f64,
+        );
+        g(
+            out,
+            "scavenger_gc_reclaimed_bytes_total",
+            gc.reclaimed_bytes as f64,
+        );
+        for (step, ns) in [
+            ("read", gc.read_ns),
+            ("lookup", gc.lookup_ns),
+            ("write", gc.write_ns),
+            ("write_index", gc.write_index_ns),
+        ] {
+            let step_labels = if labels.is_empty() {
+                format!("step=\"{step}\"")
+            } else {
+                format!("step=\"{step}\",{labels}")
+            };
+            prom_line(
+                out,
+                "scavenger_gc_step_seconds_total",
+                &step_labels,
+                ns as f64 / 1e9,
+            );
+        }
+        for (kind, bytes) in [
+            ("ksst", space.ksst_bytes),
+            ("value", space.value_bytes),
+            ("wal", space.wal_bytes),
+            ("manifest", space.manifest_bytes),
+            ("other", space.other_bytes),
+        ] {
+            let kind_labels = if labels.is_empty() {
+                format!("kind=\"{kind}\"")
+            } else {
+                format!("kind=\"{kind}\",{labels}")
+            };
+            prom_line(out, "scavenger_space_bytes", &kind_labels, bytes as f64);
+        }
+        g(out, "scavenger_index_space_amp", *index_space_amp);
+        g(
+            out,
+            "scavenger_exposed_garbage_bytes",
+            *exposed_garbage_bytes as f64,
+        );
+        g(
+            out,
+            "scavenger_value_store_bytes",
+            *value_store_bytes as f64,
+        );
+        g(out, "scavenger_value_files", *value_files as f64);
+        g(out, "scavenger_cache_hit_ratio", *cache_hit_ratio);
+        g(out, "scavenger_flushes_total", *flushes as f64);
+        g(out, "scavenger_compactions_total", *compactions as f64);
+        g(out, "scavenger_merge_drops_total", *merge_drops as f64);
+        g(
+            out,
+            "scavenger_throttle_stalls_total",
+            *throttle_stalls as f64,
+        );
+        // Absent ⇒ no reader in flight; emit presence + value so a
+        // scraper can tell "no pin" from "pinned at sequence 0".
+        g(
+            out,
+            "scavenger_oldest_read_point_present",
+            if oldest_read_point.is_some() {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        g(
+            out,
+            "scavenger_oldest_read_point",
+            oldest_read_point.unwrap_or(0) as f64,
+        );
+        g(out, "scavenger_pinned_views", *pinned_views as f64);
+        g(out, "scavenger_live_snapshots", *live_snapshots as f64);
+        g(out, "scavenger_bg_errors_total", *bg_errors as f64);
+        g(out, "scavenger_bg_retries_total", *bg_retries as f64);
+        g(out, "scavenger_degraded", if *degraded { 1.0 } else { 0.0 });
+        g(
+            out,
+            "scavenger_wal_tail_corruptions_total",
+            *wal_tail_corruptions as f64,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +612,27 @@ mod tests {
             other_bytes: 5,
         };
         assert_eq!(s.total(), 15);
+    }
+
+    #[test]
+    fn prom_line_formats_labels_and_integers() {
+        let mut out = String::new();
+        prom_line(&mut out, "m", "", 3.0);
+        prom_line(&mut out, "m", "a=\"b\"", 0.5);
+        assert_eq!(out, "m 3\nm{a=\"b\"} 0.5\n");
+    }
+
+    #[test]
+    fn io_render_emits_every_class_with_extra_labels() {
+        let io = IoStatsSnapshot::default();
+        let mut out = String::new();
+        render_io_prometheus(&mut out, &io, "shard=\"1\"");
+        assert!(out.contains("scavenger_io_read_bytes_total{class=\"wal\",shard=\"1\"} 0"));
+        assert!(out.contains("class=\"gc-write\""));
+        assert_eq!(
+            out.lines().count(),
+            4 * scavenger_env::io_stats::NUM_IO_CLASSES
+        );
     }
 
     #[test]

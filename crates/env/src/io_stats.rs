@@ -162,6 +162,24 @@ impl IoStatsSnapshot {
         out
     }
 
+    /// Add `other`'s per-class counters into `self` — used by the
+    /// sharded engine to fold per-shard metered snapshots into one
+    /// set-wide view.
+    pub fn accumulate(&mut self, other: &IoStatsSnapshot) {
+        for i in 0..NUM_IO_CLASSES {
+            let ClassSnapshot {
+                read_bytes,
+                read_ops,
+                write_bytes,
+                write_ops,
+            } = other.classes[i];
+            self.classes[i].read_bytes += read_bytes;
+            self.classes[i].read_ops += read_ops;
+            self.classes[i].write_bytes += write_bytes;
+            self.classes[i].write_ops += write_ops;
+        }
+    }
+
     /// Total bytes read across all classes.
     pub fn total_read_bytes(&self) -> u64 {
         self.classes.iter().map(|c| c.read_bytes).sum()

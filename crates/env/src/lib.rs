@@ -13,6 +13,9 @@
 //! * [`FaultEnv`] — a deterministic, seeded fault-injection wrapper over
 //!   any env: injected errors, torn appends, fsyncgate semantics, and
 //!   power-loss crash simulation for the recovery test harness.
+//! * [`MeteredEnv`] — a transparent wrapper charging all I/O through it
+//!   to a private counter set; the sharded engine uses one per shard so
+//!   I/O can be attributed shard-by-shard instead of env-globally.
 //!
 //! The trait surface is deliberately small (append-only writable files,
 //! positional reads, whole-file reads, rename/remove/list) — exactly what
@@ -23,6 +26,7 @@ pub mod fault;
 pub mod fs;
 pub mod io_stats;
 pub mod mem;
+pub mod metered;
 
 use bytes::Bytes;
 use scavenger_util::Result;
@@ -33,6 +37,7 @@ pub use fault::{FaultEnv, FaultKind, FaultOp, FaultRule, Trigger};
 pub use fs::FsEnv;
 pub use io_stats::{IoClass, IoStats, IoStatsSnapshot};
 pub use mem::MemEnv;
+pub use metered::MeteredEnv;
 
 /// An append-only file being written (WAL, SST under construction, manifest).
 pub trait WritableFile: Send {

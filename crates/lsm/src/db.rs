@@ -122,6 +122,12 @@ struct Inner {
     /// Serializes superversion rebuild+store so a slow installer cannot
     /// overwrite a newer bundle with a stale one.
     sv_install: Mutex<()>,
+    /// Serializes [`Lsm::run_background_work`]: in inline mode every
+    /// writer thread runs flushes/compactions on its own stack, and two
+    /// threads picking the same imm to flush would double-flush it (one
+    /// panics on the missing registration). Held for the whole
+    /// flush-until-quiet loop.
+    bg_work: Mutex<()>,
     counters: LsmCounters,
     bg_signal: Mutex<BgSignal>,
     bg_cv: Condvar,
@@ -195,6 +201,7 @@ impl Lsm {
             read_points: ReadPointRegistry::new(seq.clone()),
             sv: RwLock::new(Arc::new(SuperVersion::empty(opts.num_levels))),
             sv_install: Mutex::new(()),
+            bg_work: Mutex::new(()),
             seq,
             file_counter,
             picker: Mutex::new(PickerState::new(opts.num_levels)),
@@ -831,8 +838,12 @@ impl Lsm {
     // ---------------- background work ----------------
 
     /// Run flushes and compactions until no work remains (inline mode);
-    /// also callable directly by tests/harnesses.
+    /// also callable directly by tests/harnesses. Safe to call from
+    /// concurrent writer threads: the whole loop runs under `bg_work`,
+    /// so one thread drains the queue while latecomers wait and then
+    /// see an empty (or refilled) queue.
     pub fn run_background_work(&self) -> Result<()> {
+        let _guard = self.inner.bg_work.lock();
         loop {
             let flushed = self.flush_one_imm()?;
             let compacted = self.maybe_compact_once()?;

@@ -1,0 +1,202 @@
+//! A blocking client for the framed protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests are synchronous
+//! (send a frame, read the reply). Error frames come back as typed
+//! [`Error`]s via [`WireCode::to_error`], so `err.is_read_only()`
+//! detects a degraded server and [`WireCode::of`] recovers the exact
+//! wire code (`RATE_LIMITED`, `PIN_EXPIRED`, ...) client-side.
+
+use crate::protocol::{
+    read_frame, write_frame, BatchOp, Request, Response, WireCode, DEFAULT_MAX_FRAME,
+};
+use scavenger_util::{Error, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a scavenger server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to a server's data-plane address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Send one request and read one response frame.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(Error::io("server closed the connection")),
+        }
+    }
+
+    fn expect_done(resp: Response) -> Result<()> {
+        match resp {
+            Response::Done => Ok(()),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Point lookup against the latest state.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_impl(None, key)
+    }
+
+    /// Point lookup through a pinned server-side snapshot.
+    pub fn get_pinned(&mut self, snap: u64, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_impl(Some(snap), key)
+    }
+
+    fn get_impl(&mut self, snap: Option<u64>, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.request(&Request::Get {
+            snap,
+            key: key.to_vec(),
+        })? {
+            Response::Value { value } => Ok(value),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Insert or overwrite one key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let resp = self.request(&Request::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
+        Self::expect_done(resp)
+    }
+
+    /// Delete one key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        let resp = self.request(&Request::Delete { key: key.to_vec() })?;
+        Self::expect_done(resp)
+    }
+
+    /// Apply an atomic batch.
+    pub fn write(&mut self, ops: Vec<BatchOp>) -> Result<()> {
+        let resp = self.request(&Request::Write { ops })?;
+        Self::expect_done(resp)
+    }
+
+    /// Bounded scan; collects the streamed chunks into one vector.
+    /// `limit = 0` means unlimited.
+    pub fn scan(
+        &mut self,
+        snap: Option<u64>,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        limit: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        write_frame(
+            &mut self.stream,
+            &Request::Scan {
+                snap,
+                lo: lo.to_vec(),
+                hi: hi.map(|h| h.to_vec()),
+                limit,
+            }
+            .encode(),
+        )?;
+        let mut out = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::ScanChunk { entries, last } => {
+                    out.extend(entries);
+                    if last {
+                        return Ok(out);
+                    }
+                }
+                Response::Err { code, message } => return Err(code.to_error(&message)),
+                other => {
+                    return Err(Error::internal(format!("unexpected response {other:?}")));
+                }
+            }
+        }
+    }
+
+    /// Open a server-side snapshot; returns its id.
+    pub fn snap_open(&mut self) -> Result<u64> {
+        match self.request(&Request::SnapOpen)? {
+            Response::SnapId { id } => Ok(id),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Close a server-side snapshot.
+    pub fn snap_close(&mut self, id: u64) -> Result<()> {
+        let resp = self.request(&Request::SnapClose { id })?;
+        Self::expect_done(resp)
+    }
+
+    /// Flush the engine's memtables.
+    pub fn flush(&mut self) -> Result<()> {
+        let resp = self.request(&Request::Flush)?;
+        Self::expect_done(resp)
+    }
+
+    /// Run one GC pass; returns `(jobs, files_collected,
+    /// records_rewritten, bytes_reclaimed)`.
+    pub fn run_gc(&mut self) -> Result<(u32, u64, u64, u64)> {
+        match self.request(&Request::RunGc)? {
+            Response::GcDone {
+                jobs,
+                files_collected,
+                records_rewritten,
+                bytes_reclaimed,
+            } => Ok((jobs, files_collected, records_rewritten, bytes_reclaimed)),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the Prometheus exposition text over the data plane.
+    pub fn stats(&mut self) -> Result<String> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { text } => Ok(text),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ask the server to begin its graceful shutdown.
+    pub fn shutdown(&mut self) -> Result<()> {
+        let resp = self.request(&Request::Shutdown)?;
+        Self::expect_done(resp)
+    }
+}
+
+/// True if `err` is a rate-limit rejection from the server.
+pub fn is_rate_limited(err: &Error) -> bool {
+    WireCode::of(err) == Some(WireCode::RateLimited)
+}
+
+/// True if `err` reports an unknown/expired snapshot pin.
+pub fn is_pin_expired(err: &Error) -> bool {
+    WireCode::of(err) == Some(WireCode::PinExpired)
+}

@@ -1,0 +1,41 @@
+//! `scavenger-server`: the network service layer over the unified
+//! [`Engine`](scavenger::Engine) surface.
+//!
+//! The storage engine below this crate is a library; this crate makes
+//! it a service. One generic [`Server`] hosts any engine handle —
+//! a single [`Db`](scavenger::Db) or a sharded
+//! [`DbShards`](scavenger::DbShards), chosen at startup — behind a
+//! hand-rolled length-prefixed binary protocol on plain TCP
+//! (`std::net` + threads; the workspace builds without a registry, so
+//! there is no async runtime or protobuf to lean on).
+//!
+//! Module map:
+//!
+//! - [`protocol`] — frame codec, request/response types, and the
+//!   exhaustive [`Error`](scavenger_util::Error) → [`WireCode`]
+//!   mapping (typed errors on the wire, including `DEGRADED` for a
+//!   read-only engine).
+//! - [`service`] — the server itself: accept loop, connection cap,
+//!   token-bucket rate limiting, slow-query log, pin-table-backed
+//!   snapshots, graceful drain, and the `/metrics` HTTP listener.
+//! - [`client`] — a blocking client used by the load generator, the
+//!   integration tests, and anyone scripting against the server.
+//! - [`pins`] — TTL'd server-side snapshot table.
+//! - [`rate_limit`] — the token bucket.
+//! - [`metrics`] — service-layer counters and Prometheus rendering.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod pins;
+pub mod protocol;
+pub mod rate_limit;
+pub mod service;
+
+pub use client::{is_pin_expired, is_rate_limited, Client};
+pub use metrics::{render_metrics, ServerMetrics};
+pub use pins::PinTable;
+pub use protocol::{BatchOp, Request, Response, WireCode};
+pub use rate_limit::TokenBucket;
+pub use service::{scrape_metrics, ServeEngine, Server, ServerConfig, ServerHandle};

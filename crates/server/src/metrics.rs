@@ -1,0 +1,266 @@
+//! Server-side counters and the Prometheus exposition page.
+//!
+//! [`ServerMetrics`] is the service layer's own telemetry — connection
+//! accounting, rate-limit and slow-query counters, per-op latency
+//! histograms. [`render_metrics`] stitches it together with the
+//! engine's [`DbStats`] exposition (including
+//! per-shard I/O attribution from `Maintenance::per_shard_stats`) into
+//! the single text page served on the `/metrics` HTTP listener and the
+//! `Stats` wire request.
+
+use parking_lot::Mutex;
+use scavenger::stats::{prom_header, prom_line, render_io_prometheus};
+use scavenger::{DbStats, Maintenance};
+use scavenger_util::hist::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Request-op classes tracked by the per-op latency histograms.
+pub const OP_LABELS: [&str; 5] = ["get", "put", "delete", "write", "scan"];
+
+/// Live counters for the service layer. All methods are lock-free or
+/// take a short histogram lock; safe to share across connection
+/// threads via `Arc`.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub conns_total: AtomicU64,
+    /// Connections currently being served.
+    pub conns_active: AtomicU64,
+    /// Connections rejected at accept time (connection cap).
+    pub conns_rejected: AtomicU64,
+    /// Requests rejected by a token bucket.
+    pub rate_limited: AtomicU64,
+    /// Requests whose latency crossed the slow-query threshold.
+    pub slow_queries: AtomicU64,
+    /// Requests answered, by outcome.
+    pub requests_ok: AtomicU64,
+    /// Requests answered with an error frame.
+    pub requests_err: AtomicU64,
+    /// Pinned-read requests that named an unknown/expired snapshot id.
+    pub pin_misses: AtomicU64,
+    /// Per-op latency histograms (microseconds), indexed like
+    /// [`OP_LABELS`].
+    latency_us: [Mutex<Histogram>; 5],
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// Record one request's latency under its op label. Ops outside
+    /// [`OP_LABELS`] (maintenance, snapshots) are counted in
+    /// `requests_ok`/`requests_err` but not histogrammed.
+    pub fn record_latency(&self, op: &str, latency: Duration) {
+        if let Some(idx) = OP_LABELS.iter().position(|l| *l == op) {
+            self.latency_us[idx]
+                .lock()
+                .record(latency.as_micros() as u64);
+        }
+    }
+
+    /// Snapshot one op's histogram (for rendering and tests).
+    pub fn latency_snapshot(&self, op: &str) -> Option<Histogram> {
+        let idx = OP_LABELS.iter().position(|l| *l == op)?;
+        Some(self.latency_us[idx].lock().clone())
+    }
+
+    /// Append the service-layer series to a Prometheus page.
+    pub fn render(&self, out: &mut String, pinned: usize) {
+        prom_header(
+            out,
+            "scavenger_server_connections_total",
+            "counter",
+            "Connections accepted since start.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_connections_total",
+            "",
+            self.conns_total.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_connections_active",
+            "gauge",
+            "Connections currently open.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_connections_active",
+            "",
+            self.conns_active.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_connections_rejected_total",
+            "counter",
+            "Connections refused at accept time by the connection cap.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_connections_rejected_total",
+            "",
+            self.conns_rejected.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_rate_limited_total",
+            "counter",
+            "Requests rejected by a token bucket.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_rate_limited_total",
+            "",
+            self.rate_limited.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_slow_queries_total",
+            "counter",
+            "Requests slower than the slow-query threshold.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_slow_queries_total",
+            "",
+            self.slow_queries.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_requests_total",
+            "counter",
+            "Requests answered, by outcome.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_requests_total",
+            "outcome=\"ok\"",
+            self.requests_ok.load(Ordering::Relaxed) as f64,
+        );
+        prom_line(
+            out,
+            "scavenger_server_requests_total",
+            "outcome=\"error\"",
+            self.requests_err.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_pin_misses_total",
+            "counter",
+            "Pinned reads that named an unknown or expired snapshot id.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_pin_misses_total",
+            "",
+            self.pin_misses.load(Ordering::Relaxed) as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_pinned_snapshots",
+            "gauge",
+            "Snapshots currently held in the server pin table.",
+        );
+        prom_line(out, "scavenger_server_pinned_snapshots", "", pinned as f64);
+
+        prom_header(
+            out,
+            "scavenger_server_op_latency_us",
+            "summary",
+            "Per-op request latency in microseconds.",
+        );
+        for (idx, op) in OP_LABELS.iter().enumerate() {
+            let h = self.latency_us[idx].lock();
+            if h.count() == 0 {
+                continue;
+            }
+            for (q, p) in [("0.5", 50.0), ("0.99", 99.0)] {
+                prom_line(
+                    out,
+                    "scavenger_server_op_latency_us",
+                    &format!("op=\"{op}\",quantile=\"{q}\""),
+                    h.percentile(p),
+                );
+            }
+            prom_line(
+                out,
+                "scavenger_server_op_latency_us_count",
+                &format!("op=\"{op}\""),
+                h.count() as f64,
+            );
+            prom_line(
+                out,
+                "scavenger_server_op_latency_us_sum",
+                &format!("op=\"{op}\""),
+                h.sum() as f64,
+            );
+        }
+    }
+}
+
+/// Render the full `/metrics` page: engine stats (aggregate), per-shard
+/// I/O attribution, and service-layer counters.
+pub fn render_metrics<E: Maintenance>(
+    engine: &E,
+    metrics: &ServerMetrics,
+    pinned: usize,
+) -> String {
+    let mut out = String::new();
+    let stats: DbStats = engine.stats();
+    stats.render_prometheus(&mut out, "");
+
+    // Per-shard I/O: one series set per member, labelled by shard
+    // index. For an unsharded engine this is a single shard="0" set
+    // mirroring the aggregate.
+    let shards = engine.per_shard_stats();
+    prom_header(
+        &mut out,
+        "scavenger_shard_count",
+        "gauge",
+        "Members reporting per-shard statistics.",
+    );
+    prom_line(&mut out, "scavenger_shard_count", "", shards.len() as f64);
+    for (i, s) in shards.iter().enumerate() {
+        render_io_prometheus(&mut out, &s.io, &format!("shard=\"{i}\""));
+    }
+
+    metrics.render(&mut out, pinned);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_counters_and_latency_quantiles() {
+        let m = ServerMetrics::new();
+        m.conns_total.store(5, Ordering::Relaxed);
+        m.rate_limited.store(2, Ordering::Relaxed);
+        m.record_latency("get", Duration::from_micros(100));
+        m.record_latency("get", Duration::from_micros(300));
+        let mut out = String::new();
+        m.render(&mut out, 3);
+        assert!(out.contains("scavenger_server_connections_total 5\n"));
+        assert!(out.contains("scavenger_server_rate_limited_total 2\n"));
+        assert!(out.contains("scavenger_server_pinned_snapshots 3\n"));
+        assert!(out.contains("op=\"get\",quantile=\"0.99\""));
+        assert!(out.contains("scavenger_server_op_latency_us_count{op=\"get\"} 2\n"));
+        // Ops never recorded are omitted rather than emitting zeros.
+        assert!(!out.contains("op=\"scan\""));
+    }
+
+    #[test]
+    fn unknown_op_label_is_ignored() {
+        let m = ServerMetrics::new();
+        m.record_latency("flush", Duration::from_micros(1));
+        for op in OP_LABELS {
+            assert_eq!(m.latency_snapshot(op).unwrap().count(), 0);
+        }
+        assert!(m.latency_snapshot("flush").is_none());
+    }
+}

@@ -1,0 +1,730 @@
+//! The TCP server: accept loop, connection threads, graceful drain.
+//!
+//! [`Server::start`] takes any engine handle behind the
+//! [`ServeEngine`] bound — [`Db`](scavenger::Db) and
+//! [`DbShards`](scavenger::DbShards) both qualify — and serves the
+//! framed protocol from [`crate::protocol`] on a TCP listener, with an
+//! optional second listener speaking just enough HTTP/1.0 to answer
+//! `GET /metrics` with Prometheus exposition text.
+//!
+//! Production behaviors, in the order a request meets them:
+//!
+//! 1. **Connection cap** — at accept time, a connection over
+//!    [`ServerConfig::max_conns`] gets a typed `CONN_LIMIT` error
+//!    frame and is closed; it never reaches a worker thread.
+//! 2. **Rate limiting** — every data op takes a token from the global
+//!    bucket *and* the connection's own bucket; an empty bucket means
+//!    an immediate `RATE_LIMITED` error frame (no queueing, no sleep).
+//! 3. **Slow-query log** — any request slower than
+//!    [`ServerConfig::slow_query_threshold`] is logged to stderr with
+//!    its op, key size, and latency, and counted in `/metrics`.
+//! 4. **Graceful drain** — shutdown (wire request or
+//!    [`ServerHandle::shutdown_and_wait`]) stops the accept loop,
+//!    lets in-flight requests finish (idle connections notice the flag
+//!    at their next read-timeout tick), answers anything that arrives
+//!    after the flag with `SHUTTING_DOWN`, joins every worker, drops
+//!    the pin table (releasing GC read points), and flushes the engine
+//!    before returning — acknowledged writes survive a reopen.
+
+use crate::metrics::{render_metrics, ServerMetrics};
+use crate::pins::PinTable;
+use crate::protocol::{write_frame, FrameBuffer, Request, Response, WireCode, DEFAULT_MAX_FRAME};
+use crate::rate_limit::TokenBucket;
+use scavenger::{Bytes, Engine, PinnedReader, WriteBatch};
+use scavenger_util::{Error, Result};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engines the server can host: the full [`Engine`] surface, cloneable
+/// across connection threads, with snapshots that may live in the
+/// shared pin table.
+pub trait ServeEngine: Engine + Clone + Send + Sync + 'static
+where
+    Self::Snap: Send + Sync,
+{
+}
+
+impl<E> ServeEngine for E
+where
+    E: Engine + Clone + Send + Sync + 'static,
+    E::Snap: Send + Sync,
+{
+}
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Data-plane listen address (use port 0 to let the OS pick).
+    pub addr: String,
+    /// Metrics HTTP listen address, or `None` to disable the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Maximum concurrent connections; further accepts are rejected
+    /// with `CONN_LIMIT`.
+    pub max_conns: usize,
+    /// Global sustained requests/second across all connections
+    /// (`0.0` = unlimited).
+    pub global_rate: f64,
+    /// Global burst size.
+    pub global_burst: f64,
+    /// Per-connection sustained requests/second (`0.0` = unlimited).
+    pub conn_rate: f64,
+    /// Per-connection burst size.
+    pub conn_burst: f64,
+    /// Requests at or above this latency are logged and counted.
+    pub slow_query_threshold: Duration,
+    /// Idle server-side snapshots expire after this long.
+    pub pin_ttl: Duration,
+    /// Maximum frame payload accepted or produced.
+    pub max_frame: usize,
+    /// Entries per streamed `ScanChunk` frame.
+    pub scan_chunk: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            metrics_addr: None,
+            max_conns: 256,
+            global_rate: 0.0,
+            global_burst: 0.0,
+            conn_rate: 0.0,
+            conn_burst: 0.0,
+            slow_query_threshold: Duration::from_millis(100),
+            pin_ttl: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+            scan_chunk: 256,
+        }
+    }
+}
+
+/// How often idle loops re-check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+struct Shared<E: ServeEngine>
+where
+    E::Snap: Send + Sync,
+{
+    engine: E,
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    pins: PinTable<E::Snap>,
+    global_bucket: TokenBucket,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown_and_wait`](ServerHandle::shutdown_and_wait) requests
+/// shutdown but does not wait for the drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    accept_join: Option<JoinHandle<()>>,
+    metrics_join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bound data-plane address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bound metrics address, if the endpoint is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The server's live counters (shared with the worker threads).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// True once shutdown has been requested (wire or local).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and block until the drain completes: accept
+    /// loop stopped, every connection joined, pin table dropped,
+    /// engine flushed.
+    pub fn shutdown_and_wait(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+
+    /// Block until the server shuts down by itself (a wire `Shutdown`
+    /// request, typically). Used by the binary's main thread.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        if let Some(j) = self.metrics_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+}
+
+/// The server entry point; see the module docs for behavior.
+pub struct Server;
+
+impl Server {
+    /// Bind the listeners and spawn the accept loop. Returns once the
+    /// server is ready to take connections.
+    pub fn start<E: ServeEngine>(engine: E, cfg: ServerConfig) -> Result<ServerHandle>
+    where
+        E::Snap: Send + Sync,
+    {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new());
+        let shared = Arc::new(Shared {
+            global_bucket: TokenBucket::new(cfg.global_rate, cfg.global_burst),
+            pins: PinTable::new(cfg.pin_ttl),
+            engine,
+            metrics: metrics.clone(),
+            shutdown: shutdown.clone(),
+            cfg,
+        });
+
+        let accept_shared = shared.clone();
+        let accept_join = std::thread::Builder::new()
+            .name("scv-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| Error::io(format!("spawn accept thread: {e}")))?;
+
+        let metrics_join = match metrics_listener {
+            Some(l) => {
+                let m_shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("scv-metrics".to_string())
+                        .spawn(move || metrics_loop(l, m_shared))
+                        .map_err(|e| Error::io(format!("spawn metrics thread: {e}")))?,
+                )
+            }
+            None => None,
+        };
+
+        Ok(ServerHandle {
+            addr,
+            metrics_addr,
+            shutdown,
+            metrics,
+            accept_join: Some(accept_join),
+            metrics_join: Some(metrics_join).flatten(),
+        })
+    }
+}
+
+fn accept_loop<E: ServeEngine>(listener: TcpListener, shared: Arc<Shared<E>>)
+where
+    E::Snap: Send + Sync,
+{
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                workers.retain(|j| !j.is_finished());
+                let m = &shared.metrics;
+                let admitted = m
+                    .conns_active
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        if (n as usize) < shared.cfg.max_conns {
+                            Some(n + 1)
+                        } else {
+                            None
+                        }
+                    })
+                    .is_ok();
+                if !admitted {
+                    m.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_conn(stream);
+                    continue;
+                }
+                m.conns_total.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = shared.clone();
+                match std::thread::Builder::new()
+                    .name("scv-conn".to_string())
+                    .spawn(move || {
+                        serve_conn(stream, &conn_shared);
+                        conn_shared
+                            .metrics
+                            .conns_active
+                            .fetch_sub(1, Ordering::SeqCst);
+                    }) {
+                    Ok(j) => workers.push(j),
+                    Err(_) => {
+                        shared.metrics.conns_active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+    // Drain: workers notice the flag at their next tick and exit once
+    // their in-flight request (if any) has been answered.
+    for j in workers {
+        let _ = j.join();
+    }
+    // All GC read points held on behalf of clients are released before
+    // the final flush.
+    shared.pins.clear();
+    if let Err(e) = shared.engine.flush() {
+        eprintln!("scavenger-server: flush on shutdown failed: {e}");
+    }
+}
+
+/// Tell an over-cap client why it is being dropped: one typed error
+/// frame, best-effort, then close.
+fn reject_conn(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let payload = Response::error(WireCode::ConnLimit, "server at connection limit").encode();
+    let _ = write_frame(&mut stream, &payload);
+}
+
+fn serve_conn<E: ServeEngine>(mut stream: TcpStream, shared: &Shared<E>)
+where
+    E::Snap: Send + Sync,
+{
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let conn_bucket = TokenBucket::new(shared.cfg.conn_rate, shared.cfg.conn_burst);
+    let mut frames = FrameBuffer::new(shared.cfg.max_frame);
+    let mut read_buf = vec![0u8; 64 << 10];
+    loop {
+        match stream.read(&mut read_buf) {
+            Ok(0) => return,
+            Ok(n) => frames.extend(&read_buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) && frames.buffered() == 0 {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        loop {
+            let payload = match frames.pop() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is unrecoverable after a bad length
+                    // prefix: answer and close.
+                    let _ = send(
+                        &mut stream,
+                        &Response::error(WireCode::Protocol, e.to_string()),
+                    );
+                    return;
+                }
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let _ = send(
+                    &mut stream,
+                    &Response::error(WireCode::ShuttingDown, "server is draining"),
+                );
+                return;
+            }
+            let req = match Request::decode(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Opcode-level garbage: the stream itself is still
+                    // framed correctly, but trust is gone — close.
+                    let _ = send(
+                        &mut stream,
+                        &Response::error(WireCode::Protocol, e.to_string()),
+                    );
+                    return;
+                }
+            };
+            if !handle_request(&mut stream, shared, &conn_bucket, req) {
+                return;
+            }
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> Result<()> {
+    write_frame(stream, &resp.encode())
+}
+
+/// True if this op consumes rate-limit tokens (the data plane; control
+/// and observability ops stay reachable on a saturated server).
+fn is_data_op(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Get { .. }
+            | Request::Put { .. }
+            | Request::Delete { .. }
+            | Request::Write { .. }
+            | Request::Scan { .. }
+    )
+}
+
+/// Handle one request; returns `false` when the connection should
+/// close (shutdown request or write failure).
+fn handle_request<E: ServeEngine>(
+    stream: &mut TcpStream,
+    shared: &Shared<E>,
+    conn_bucket: &TokenBucket,
+    req: Request,
+) -> bool
+where
+    E::Snap: Send + Sync,
+{
+    let m = &shared.metrics;
+    if is_data_op(&req) && !(shared.global_bucket.try_take() && conn_bucket.try_take()) {
+        m.rate_limited.fetch_add(1, Ordering::Relaxed);
+        m.requests_err.fetch_add(1, Ordering::Relaxed);
+        return send(
+            stream,
+            &Response::error(WireCode::RateLimited, "rate limit exceeded"),
+        )
+        .is_ok();
+    }
+
+    let label = req.label();
+    let key_bytes = request_key_bytes(&req);
+    let start = Instant::now();
+    let keep_open = dispatch(stream, shared, req);
+    let elapsed = start.elapsed();
+
+    m.record_latency(label, elapsed);
+    if elapsed >= shared.cfg.slow_query_threshold {
+        m.slow_queries.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "scavenger-server: slow query op={label} key_bytes={key_bytes} latency_us={}",
+            elapsed.as_micros()
+        );
+    }
+    keep_open
+}
+
+/// Key payload size for the slow-query log: key length for point ops,
+/// total key bytes for batches, lower-bound length for scans.
+fn request_key_bytes(req: &Request) -> usize {
+    match req {
+        Request::Get { key, .. } | Request::Put { key, .. } | Request::Delete { key } => key.len(),
+        Request::Write { ops } => ops
+            .iter()
+            .map(|op| match op {
+                crate::protocol::BatchOp::Put { key, .. }
+                | crate::protocol::BatchOp::Delete { key } => key.len(),
+            })
+            .sum(),
+        Request::Scan { lo, .. } => lo.len(),
+        _ => 0,
+    }
+}
+
+fn dispatch<E: ServeEngine>(stream: &mut TcpStream, shared: &Shared<E>, req: Request) -> bool
+where
+    E::Snap: Send + Sync,
+{
+    let m = &shared.metrics;
+    let ok = |resp: Response, stream: &mut TcpStream| {
+        if matches!(resp, Response::Err { .. }) {
+            m.requests_err.fetch_add(1, Ordering::Relaxed);
+        } else {
+            m.requests_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        send(stream, &resp).is_ok()
+    };
+
+    match req {
+        Request::Ping => ok(Response::Pong, stream),
+        Request::Get { snap, key } => {
+            let result = match snap {
+                None => shared.engine.get(&key),
+                Some(id) => match shared.pins.get(id) {
+                    Some(s) => s.get(&key),
+                    None => {
+                        m.pin_misses.fetch_add(1, Ordering::Relaxed);
+                        return ok(
+                            Response::error(
+                                WireCode::PinExpired,
+                                format!("snapshot {id} unknown or expired"),
+                            ),
+                            stream,
+                        );
+                    }
+                },
+            };
+            let resp = match result {
+                Ok(v) => Response::Value {
+                    value: v.map(|b| b.as_ref().to_vec()),
+                },
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::Put { key, value } => {
+            let resp = match shared.engine.put(&key, Bytes::from(value)) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::Delete { key } => {
+            let resp = match shared.engine.delete(&key) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::Write { ops } => {
+            let mut batch = WriteBatch::new();
+            for op in ops {
+                match op {
+                    crate::protocol::BatchOp::Put { key, value } => {
+                        batch.put(key, Bytes::from(value))
+                    }
+                    crate::protocol::BatchOp::Delete { key } => batch.delete(key),
+                }
+            }
+            let resp = match shared.engine.write(batch) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::Scan {
+            snap,
+            lo,
+            hi,
+            limit,
+        } => {
+            let hi_ref = hi.as_deref();
+            let iter = match snap {
+                None => shared.engine.scan(&lo, hi_ref),
+                Some(id) => match shared.pins.get(id) {
+                    Some(s) => s.scan(&lo, hi_ref),
+                    None => {
+                        m.pin_misses.fetch_add(1, Ordering::Relaxed);
+                        return ok(
+                            Response::error(
+                                WireCode::PinExpired,
+                                format!("snapshot {id} unknown or expired"),
+                            ),
+                            stream,
+                        );
+                    }
+                },
+            };
+            let iter = match iter {
+                Ok(it) => it,
+                Err(e) => return ok(Response::from_error(&e), stream),
+            };
+            stream_scan(stream, shared, iter, limit)
+        }
+        Request::SnapOpen => {
+            let id = shared.pins.open(shared.engine.snapshot());
+            ok(Response::SnapId { id }, stream)
+        }
+        Request::SnapClose { id } => {
+            let resp = if shared.pins.close(id) {
+                Response::Done
+            } else {
+                m.pin_misses.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    WireCode::PinExpired,
+                    format!("snapshot {id} unknown or expired"),
+                )
+            };
+            ok(resp, stream)
+        }
+        Request::Flush => {
+            let resp = match shared.engine.flush() {
+                Ok(()) => Response::Done,
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::RunGc => {
+            let resp = match shared.engine.run_gc() {
+                Ok(report) => {
+                    let agg = report.aggregate();
+                    Response::GcDone {
+                        jobs: report.jobs() as u32,
+                        files_collected: agg.files_collected as u64,
+                        records_rewritten: agg.records_rewritten,
+                        bytes_reclaimed: agg.bytes_reclaimed,
+                    }
+                }
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::Stats => {
+            let text = render_metrics(&shared.engine, &shared.metrics, shared.pins.len());
+            ok(Response::Stats { text }, stream)
+        }
+        Request::Shutdown => {
+            let sent = ok(Response::Done, stream);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = sent;
+            false
+        }
+    }
+}
+
+/// Stream a scan as chunked frames; the final chunk carries
+/// `last = true`. An iterator error mid-stream is sent as a trailing
+/// error frame (clients treat it as terminating the scan).
+fn stream_scan<E: ServeEngine>(
+    stream: &mut TcpStream,
+    shared: &Shared<E>,
+    iter: E::Iter,
+    limit: u32,
+) -> bool
+where
+    E::Snap: Send + Sync,
+{
+    let m = &shared.metrics;
+    let chunk_cap = shared.cfg.scan_chunk.max(1);
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut remaining = if limit == 0 { u64::MAX } else { limit as u64 };
+    for entry in iter {
+        if remaining == 0 {
+            break;
+        }
+        match entry {
+            Ok(e) => {
+                entries.push((e.key, e.value.as_ref().to_vec()));
+                remaining -= 1;
+                if entries.len() >= chunk_cap {
+                    let chunk = Response::ScanChunk {
+                        entries: std::mem::take(&mut entries),
+                        last: false,
+                    };
+                    if send(stream, &chunk).is_err() {
+                        return false;
+                    }
+                }
+            }
+            Err(e) => {
+                m.requests_err.fetch_add(1, Ordering::Relaxed);
+                return send(stream, &Response::from_error(&e)).is_ok();
+            }
+        }
+    }
+    m.requests_ok.fetch_add(1, Ordering::Relaxed);
+    send(
+        stream,
+        &Response::ScanChunk {
+            entries,
+            last: true,
+        },
+    )
+    .is_ok()
+}
+
+// ---------------- metrics endpoint ----------------
+
+fn metrics_loop<E: ServeEngine>(listener: TcpListener, shared: Arc<Shared<E>>)
+where
+    E::Snap: Send + Sync,
+{
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_metrics_conn(stream, &shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Answer one HTTP/1.0 request on the metrics listener. Only
+/// `GET /metrics` exists; everything else is a 404.
+fn serve_metrics_conn<E: ServeEngine>(mut stream: TcpStream, shared: &Shared<E>)
+where
+    E::Snap: Send + Sync,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 << 10 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let first_line = req.split(|b| *b == b'\r').next().unwrap_or(&[]);
+    let (status, body) = if first_line.starts_with(b"GET /metrics") {
+        (
+            "200 OK",
+            render_metrics(&shared.engine, &shared.metrics, shared.pins.len()),
+        )
+    } else {
+        ("404 Not Found", "only GET /metrics is served\n".to_string())
+    };
+    let resp = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+}
+
+/// Fetch `GET /metrics` from a running server over plain TCP; returns
+/// the body. Used by the load generator and tests (no HTTP client
+/// dependency exists in this workspace).
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let Some(split) = resp.find("\r\n\r\n") else {
+        return Err(Error::io("malformed http response from metrics endpoint"));
+    };
+    if !resp.starts_with("HTTP/1.0 200") {
+        return Err(Error::io(format!(
+            "metrics endpoint returned: {}",
+            resp.lines().next().unwrap_or("")
+        )));
+    }
+    Ok(resp[split + 4..].to_string())
+}

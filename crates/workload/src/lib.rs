@@ -16,6 +16,7 @@
 pub mod crash;
 pub mod dist;
 pub mod keys;
+pub mod ops;
 pub mod runner;
 pub mod values;
 pub mod ycsb;

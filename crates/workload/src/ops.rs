@@ -1,0 +1,339 @@
+//! Deterministic client op streams and an ack oracle, for driving a
+//! server over the network.
+//!
+//! Each simulated client owns a disjoint **key stripe**, so concurrent
+//! clients never write the same key and every client can verify its
+//! own acknowledged writes exactly — no cross-client races to reason
+//! about. An [`OpStream`] yields a reproducible op sequence (same
+//! seed → same ops); the driver applies each op and reports successes
+//! to an [`AckOracle`], which accumulates the expected final state of
+//! the stripe. After a shutdown + reopen, [`AckOracle::check`]
+//! replays the expectations against the store: any acknowledged write
+//! that is missing or stale is a durability bug.
+
+use crate::dist::KeyDist;
+use crate::keys::encode_key;
+use crate::values::{make_value, ValueGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One operation to issue against the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Point lookup.
+    Get {
+        /// Encoded key.
+        key: Vec<u8>,
+    },
+    /// Insert or overwrite.
+    Put {
+        /// Encoded key.
+        key: Vec<u8>,
+        /// Deterministic value (key id + version baked in).
+        value: Vec<u8>,
+    },
+    /// Delete.
+    Delete {
+        /// Encoded key.
+        key: Vec<u8>,
+    },
+    /// Short bounded scan.
+    Scan {
+        /// Inclusive lower bound.
+        lo: Vec<u8>,
+        /// Maximum entries.
+        limit: u32,
+    },
+}
+
+impl ClientOp {
+    /// Short label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClientOp::Get { .. } => "get",
+            ClientOp::Put { .. } => "put",
+            ClientOp::Delete { .. } => "delete",
+            ClientOp::Scan { .. } => "scan",
+        }
+    }
+
+    /// True for ops that mutate the store.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ClientOp::Put { .. } | ClientOp::Delete { .. })
+    }
+}
+
+/// Relative op-class weights.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Weight of point reads.
+    pub get: u32,
+    /// Weight of puts.
+    pub put: u32,
+    /// Weight of deletes.
+    pub delete: u32,
+    /// Weight of short scans.
+    pub scan: u32,
+}
+
+impl OpMix {
+    /// 90% reads with a write trickle — the serving-path mix.
+    pub fn read_heavy() -> OpMix {
+        OpMix {
+            get: 90,
+            put: 8,
+            delete: 1,
+            scan: 1,
+        }
+    }
+
+    /// Ingest-dominated: 80% puts with deletes and verification reads.
+    pub fn write_heavy() -> OpMix {
+        OpMix {
+            get: 10,
+            put: 80,
+            delete: 8,
+            scan: 2,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.put + self.delete + self.scan
+    }
+}
+
+/// A deterministic op generator over one client's key stripe.
+pub struct OpStream {
+    rng: StdRng,
+    mix: OpMix,
+    stripe_base: u64,
+    stripe_len: u64,
+    dist: KeyDist,
+    values: ValueGen,
+    /// Per-key put counter: versions increase monotonically so stale
+    /// values are distinguishable from fresh ones.
+    versions: HashMap<u64, u64>,
+}
+
+impl OpStream {
+    /// Stream for client `client_id`: keys `[client_id * stripe_len,
+    /// (client_id + 1) * stripe_len)`, Zipfian-skewed within the
+    /// stripe. Same `(seed, client_id, stripe_len, mix)` → same ops.
+    pub fn new(seed: u64, client_id: u64, stripe_len: u64, mix: OpMix) -> OpStream {
+        assert!(stripe_len > 0, "stripe must hold at least one key");
+        assert!(mix.total() > 0, "op mix must have positive weight");
+        OpStream {
+            // Distinct, deterministic per client.
+            rng: StdRng::seed_from_u64(seed ^ client_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            mix,
+            stripe_base: client_id * stripe_len,
+            stripe_len,
+            dist: KeyDist::zipfian(stripe_len, 0.99),
+            values: ValueGen::mixed_ratio(9, 1),
+            versions: HashMap::new(),
+        }
+    }
+
+    /// Key id (within the global space) for a local stripe offset.
+    fn key_id(&mut self) -> u64 {
+        self.stripe_base + self.dist.next(&mut self.rng, self.stripe_len)
+    }
+
+    /// Produce the next op.
+    pub fn next_op(&mut self) -> ClientOp {
+        let mut pick = self.rng.gen_range(0..self.mix.total());
+        if pick < self.mix.get {
+            return ClientOp::Get {
+                key: encode_key(self.key_id()),
+            };
+        }
+        pick -= self.mix.get;
+        if pick < self.mix.put {
+            let id = self.key_id();
+            let version = {
+                let v = self.versions.entry(id).or_insert(0);
+                *v += 1;
+                *v
+            };
+            let size = self.values.next_size(&mut self.rng);
+            return ClientOp::Put {
+                value: make_value(id, version, size),
+                key: encode_key(id),
+            };
+        }
+        pick -= self.mix.put;
+        if pick < self.mix.delete {
+            return ClientOp::Delete {
+                key: encode_key(self.key_id()),
+            };
+        }
+        ClientOp::Scan {
+            lo: encode_key(self.key_id()),
+            limit: 1 + self.rng.gen_range(0..32),
+        }
+    }
+}
+
+/// Expected final state of one client's stripe, built from
+/// acknowledged writes only.
+#[derive(Default)]
+pub struct AckOracle {
+    /// key → `Some(value)` for an acked put, `None` for an acked
+    /// delete; unacked ops leave no entry.
+    expected: HashMap<Vec<u8>, Option<Vec<u8>>>,
+    acked_writes: u64,
+}
+
+impl AckOracle {
+    /// Empty oracle.
+    pub fn new() -> AckOracle {
+        AckOracle::default()
+    }
+
+    /// Record a successfully acknowledged op. Reads are ignored.
+    pub fn ack(&mut self, op: &ClientOp) {
+        match op {
+            ClientOp::Put { key, value } => {
+                self.expected.insert(key.clone(), Some(value.clone()));
+                self.acked_writes += 1;
+            }
+            ClientOp::Delete { key } => {
+                self.expected.insert(key.clone(), None);
+                self.acked_writes += 1;
+            }
+            ClientOp::Get { .. } | ClientOp::Scan { .. } => {}
+        }
+    }
+
+    /// Number of acknowledged writes recorded.
+    pub fn acked_writes(&self) -> u64 {
+        self.acked_writes
+    }
+
+    /// Number of keys with an expectation.
+    pub fn len(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// True if no writes were acked.
+    pub fn is_empty(&self) -> bool {
+        self.expected.is_empty()
+    }
+
+    /// Verify every expectation against a point-lookup function
+    /// (typically a freshly reopened store). Returns the number of
+    /// keys checked, or a description of the first divergence.
+    pub fn check(&self, mut lookup: impl FnMut(&[u8]) -> Option<Vec<u8>>) -> Result<usize, String> {
+        for (key, want) in &self.expected {
+            let got = lookup(key);
+            if got != *want {
+                return Err(format!(
+                    "acked write lost: key {:?} expected {} got {}",
+                    String::from_utf8_lossy(key),
+                    match want {
+                        Some(v) => format!("{} bytes", v.len()),
+                        None => "deleted".to_string(),
+                    },
+                    match got {
+                        Some(v) => format!("{} bytes", v.len()),
+                        None => "absent".to_string(),
+                    },
+                ));
+            }
+        }
+        Ok(self.expected.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = OpStream::new(42, 3, 1000, OpMix::write_heavy());
+        let mut b = OpStream::new(42, 3, 1000, OpMix::write_heavy());
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn stripes_are_disjoint() {
+        let mut a = OpStream::new(7, 0, 100, OpMix::write_heavy());
+        let mut b = OpStream::new(7, 1, 100, OpMix::write_heavy());
+        let key_of = |op: &ClientOp| match op {
+            ClientOp::Get { key }
+            | ClientOp::Put { key, .. }
+            | ClientOp::Delete { key }
+            | ClientOp::Scan { lo: key, .. } => crate::keys::decode_key(key).unwrap(),
+        };
+        for _ in 0..500 {
+            assert!(key_of(&a.next_op()) < 100);
+            let k = key_of(&b.next_op());
+            assert!((100..200).contains(&k));
+        }
+    }
+
+    #[test]
+    fn mix_weights_shape_the_stream() {
+        let mut s = OpStream::new(1, 0, 1000, OpMix::read_heavy());
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..2000 {
+            if s.next_op().is_write() {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+        }
+        assert!(
+            reads > writes * 4,
+            "read-heavy mix produced {reads} reads vs {writes} writes"
+        );
+    }
+
+    #[test]
+    fn put_versions_increase_per_key() {
+        let mut s = OpStream::new(
+            9,
+            0,
+            1,
+            OpMix {
+                get: 0,
+                put: 1,
+                delete: 0,
+                scan: 0,
+            },
+        );
+        let mut last = Vec::new();
+        for _ in 0..10 {
+            if let ClientOp::Put { value, .. } = s.next_op() {
+                assert_ne!(value, last, "versions must change the value bytes");
+                last = value;
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_tracks_last_acked_state_only() {
+        let mut o = AckOracle::new();
+        let k = encode_key(5);
+        o.ack(&ClientOp::Put {
+            key: k.clone(),
+            value: b"v1".to_vec(),
+        });
+        o.ack(&ClientOp::Get { key: k.clone() });
+        o.ack(&ClientOp::Put {
+            key: k.clone(),
+            value: b"v2".to_vec(),
+        });
+        assert_eq!(o.acked_writes(), 2);
+        assert_eq!(o.check(|_| Some(b"v2".to_vec())), Ok(1));
+        assert!(o.check(|_| Some(b"v1".to_vec())).is_err());
+        o.ack(&ClientOp::Delete { key: k });
+        assert_eq!(o.check(|_| None), Ok(1));
+        assert!(o.check(|_| Some(b"v2".to_vec())).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! End-to-end service-layer tests: real TCP connections against a
+//! [`Server`] hosting either engine handle — a single [`Db`] and a
+//! 4-shard [`DbShards`] — through ONE generic suite (the same
+//! write-once-run-anywhere discipline as `engine_conformance`).
+//!
+//! Covered here, over actual sockets (no in-process shortcuts):
+//! acked-write durability across graceful shutdown + reopen with four
+//! concurrent clients, strict snapshot consistency under concurrent
+//! writers, token-bucket rejection, pin-table TTL expiry, the
+//! connection cap, and the `/metrics` endpoint (including per-shard
+//! I/O attribution).
+
+use scavenger::{Db, DbShards, EngineMode, MemEnv, Options, ShardedOptions};
+use scavenger_server::{
+    is_pin_expired, is_rate_limited, scrape_metrics, Client, ServeEngine, Server, ServerConfig,
+};
+use scavenger_workload::ops::{AckOracle, ClientOp, OpMix, OpStream};
+use std::time::Duration;
+
+const CLIENTS: u64 = 4;
+const OPS_PER_CLIENT: u64 = 250;
+const STRIPE: u64 = 500;
+
+fn small_cfg() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+/// Drive one client over TCP with its deterministic stream; every
+/// acked op goes into the returned oracle.
+fn drive(addr: std::net::SocketAddr, client_id: u64) -> AckOracle {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut stream = OpStream::new(7, client_id, STRIPE, OpMix::write_heavy());
+    let mut oracle = AckOracle::new();
+    for _ in 0..OPS_PER_CLIENT {
+        let op = stream.next_op();
+        let acked = match &op {
+            ClientOp::Get { key } => client.get(key).is_ok(),
+            ClientOp::Put { key, value } => client.put(key, value).is_ok(),
+            ClientOp::Delete { key } => client.delete(key).is_ok(),
+            ClientOp::Scan { lo, limit } => client.scan(None, lo, None, *limit).is_ok(),
+        };
+        assert!(acked, "unlimited server rejected {}", op.label());
+        oracle.ack(&op);
+    }
+    oracle
+}
+
+/// Acked writes from 4 concurrent TCP clients must be readable from
+/// the reopened engine after a graceful shutdown.
+fn durability_across_shutdown<E: ServeEngine>(engine: E, reopen: impl FnOnce() -> E)
+where
+    E::Snap: Send + Sync,
+{
+    let handle = Server::start(engine, small_cfg()).expect("start server");
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|id| std::thread::spawn(move || drive(addr, id)))
+        .collect();
+    let oracles: Vec<AckOracle> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    // Graceful drain: joins every connection, drops pins, flushes.
+    handle.shutdown_and_wait();
+
+    let db = reopen();
+    for (id, oracle) in oracles.iter().enumerate() {
+        assert!(oracle.acked_writes() > 0, "client {id} never wrote");
+        let checked = oracle
+            .check(|key| db.get(key).unwrap().map(|b| b.as_ref().to_vec()))
+            .unwrap_or_else(|e| panic!("client {id}: {e}"));
+        assert!(checked > 0);
+    }
+}
+
+/// A pinned snapshot must keep answering with its frozen state no
+/// matter how hard concurrent clients overwrite the same keys.
+fn snapshot_strict_consistency<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+{
+    let handle = Server::start(engine, small_cfg()).expect("start server");
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    for i in 0..20u32 {
+        setup
+            .put(format!("snapkey{i:02}").as_bytes(), b"frozen")
+            .unwrap();
+    }
+    let snap = setup.snap_open().unwrap();
+
+    let writer_done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer_flag = writer_done.clone();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        for round in 0..50u32 {
+            for i in 0..20u32 {
+                c.put(
+                    format!("snapkey{i:02}").as_bytes(),
+                    format!("overwrite-{round}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        writer_flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+
+    let mut reader = Client::connect(addr).unwrap();
+    let mut saw_live_change = false;
+    while !writer_done.load(std::sync::atomic::Ordering::SeqCst) {
+        // Pinned reads: always the frozen value.
+        let v = reader.get_pinned(snap, b"snapkey07").unwrap();
+        assert_eq!(v.as_deref(), Some(&b"frozen"[..]), "snapshot read moved");
+        // Pinned scan: every entry still frozen, all 20 present.
+        let entries = reader
+            .scan(Some(snap), b"snapkey", Some(b"snapkez"), 0)
+            .unwrap();
+        assert_eq!(entries.len(), 20);
+        assert!(entries.iter().all(|(_, v)| v == b"frozen"));
+        // Unpinned reads observe the writer eventually.
+        if reader.get(b"snapkey07").unwrap().as_deref() != Some(&b"frozen"[..]) {
+            saw_live_change = true;
+        }
+    }
+    writer.join().unwrap();
+    assert!(saw_live_change, "live reads never saw the writer");
+    // After the dust settles the pin still answers with day-one state.
+    assert_eq!(
+        reader.get_pinned(snap, b"snapkey00").unwrap().as_deref(),
+        Some(&b"frozen"[..])
+    );
+    reader.snap_close(snap).unwrap();
+    let err = reader.get_pinned(snap, b"snapkey00").unwrap_err();
+    assert!(is_pin_expired(&err), "closed pin should be gone: {err}");
+    handle.shutdown_and_wait();
+}
+
+/// An empty token bucket must reject with a typed RATE_LIMITED error,
+/// and the connection must remain usable afterwards.
+fn rate_limiter_rejects<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+{
+    let cfg = ServerConfig {
+        global_rate: 20.0,
+        global_burst: 5.0,
+        ..small_cfg()
+    };
+    let handle = Server::start(engine, cfg).expect("start server");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut rejected = 0;
+    let mut accepted = 0;
+    for i in 0..60u32 {
+        match client.put(format!("rl{i:02}").as_bytes(), b"x") {
+            Ok(()) => accepted += 1,
+            Err(e) => {
+                assert!(is_rate_limited(&e), "unexpected error class: {e}");
+                rejected += 1;
+            }
+        }
+    }
+    assert!(accepted >= 5, "burst should admit at least the bucket size");
+    assert!(rejected > 0, "60 rapid writes never tripped a 20/s limit");
+    // Throttled, not broken: the connection still serves pings and the
+    // counter shows up in metrics.
+    client.ping().unwrap();
+    assert_eq!(
+        handle
+            .metrics()
+            .rate_limited
+            .load(std::sync::atomic::Ordering::Relaxed),
+        rejected
+    );
+    handle.shutdown_and_wait();
+}
+
+/// Idle pins expire after the TTL and come back as PIN_EXPIRED.
+fn pin_ttl_expires<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+{
+    let cfg = ServerConfig {
+        pin_ttl: Duration::from_millis(100),
+        ..small_cfg()
+    };
+    let handle = Server::start(engine, cfg).expect("start server");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.put(b"ttl-key", b"v").unwrap();
+    let snap = client.snap_open().unwrap();
+    assert!(client.get_pinned(snap, b"ttl-key").unwrap().is_some());
+    std::thread::sleep(Duration::from_millis(300));
+    let err = client.get_pinned(snap, b"ttl-key").unwrap_err();
+    assert!(is_pin_expired(&err), "expected TTL expiry, got: {err}");
+    handle.shutdown_and_wait();
+}
+
+/// Connections beyond the cap get a typed CONN_LIMIT error frame.
+fn connection_cap_rejects<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+{
+    let cfg = ServerConfig {
+        max_conns: 2,
+        ..small_cfg()
+    };
+    let handle = Server::start(engine, cfg).expect("start server");
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+    // Third connection: accepted at the TCP level, then told why it is
+    // being turned away.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let err = c.ping().unwrap_err();
+    assert!(
+        err.to_string().contains("connection limit"),
+        "expected connection-cap rejection, got: {err}"
+    );
+    // The admitted connections are unaffected.
+    a.ping().unwrap();
+    b.ping().unwrap();
+    assert!(
+        handle
+            .metrics()
+            .conns_rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    handle.shutdown_and_wait();
+}
+
+/// The /metrics endpoint serves engine + per-shard + server series.
+fn metrics_endpoint_serves<E: ServeEngine>(engine: E, want_shards: usize)
+where
+    E::Snap: Send + Sync,
+{
+    let cfg = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..small_cfg()
+    };
+    let handle = Server::start(engine, cfg).expect("start server");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for i in 0..50u32 {
+        client
+            .put(format!("mkey{i:03}").as_bytes(), &[7u8; 256])
+            .unwrap();
+    }
+    client.flush().unwrap();
+    let _ = client.get(b"mkey007").unwrap();
+    let snap = client.snap_open().unwrap();
+
+    let text = scrape_metrics(handle.metrics_addr().unwrap()).expect("scrape");
+    // Engine series.
+    assert!(text.contains("scavenger_gc_runs_total"), "missing gc stats");
+    assert!(
+        text.contains("scavenger_space_bytes"),
+        "missing space stats"
+    );
+    // Per-shard I/O attribution: one series set per member.
+    assert!(text.contains(&format!("scavenger_shard_count {want_shards}")));
+    for shard in 0..want_shards {
+        assert!(
+            text.contains(&format!("shard=\"{shard}\"")),
+            "missing I/O series for shard {shard}"
+        );
+    }
+    // Server series, reflecting the traffic just sent.
+    assert!(text.contains("scavenger_server_connections_active 1"));
+    assert!(text.contains("scavenger_server_pinned_snapshots 1"));
+    assert!(text.contains("op=\"put\",quantile=\"0.99\""));
+    // The wire Stats request returns the same exposition text shape.
+    let wire_text = client.stats().unwrap();
+    assert!(wire_text.contains("scavenger_server_requests_total"));
+
+    client.snap_close(snap).unwrap();
+    handle.shutdown_and_wait();
+}
+
+// ---------------- instantiations ----------------
+
+fn open_db(env: scavenger::EnvRef, dir: &str) -> Db {
+    Options::builder(env, dir, EngineMode::Scavenger)
+        .memtable_size(32 * 1024)
+        .open()
+        .unwrap()
+}
+
+fn open_shards(env: scavenger::EnvRef, dir: &str) -> DbShards {
+    ShardedOptions::builder(env, dir, EngineMode::Scavenger)
+        .num_shards(4)
+        .memtable_size(32 * 1024)
+        .open()
+        .unwrap()
+}
+
+#[test]
+fn durability_single_db() {
+    let env = MemEnv::shared();
+    let reopen_env = env.clone();
+    durability_across_shutdown(open_db(env, "srv-dur"), move || {
+        open_db(reopen_env, "srv-dur")
+    });
+}
+
+#[test]
+fn durability_sharded() {
+    let env = MemEnv::shared();
+    let reopen_env = env.clone();
+    durability_across_shutdown(open_shards(env, "srv-dur-sh"), move || {
+        open_shards(reopen_env, "srv-dur-sh")
+    });
+}
+
+#[test]
+fn snapshot_consistency_single_db() {
+    snapshot_strict_consistency(open_db(MemEnv::shared(), "srv-snap"));
+}
+
+#[test]
+fn snapshot_consistency_sharded() {
+    snapshot_strict_consistency(open_shards(MemEnv::shared(), "srv-snap-sh"));
+}
+
+#[test]
+fn rate_limit_single_db() {
+    rate_limiter_rejects(open_db(MemEnv::shared(), "srv-rl"));
+}
+
+#[test]
+fn rate_limit_sharded() {
+    rate_limiter_rejects(open_shards(MemEnv::shared(), "srv-rl-sh"));
+}
+
+#[test]
+fn pin_ttl_single_db() {
+    pin_ttl_expires(open_db(MemEnv::shared(), "srv-ttl"));
+}
+
+#[test]
+fn pin_ttl_sharded() {
+    pin_ttl_expires(open_shards(MemEnv::shared(), "srv-ttl-sh"));
+}
+
+#[test]
+fn conn_cap_single_db() {
+    connection_cap_rejects(open_db(MemEnv::shared(), "srv-cap"));
+}
+
+#[test]
+fn metrics_single_db() {
+    metrics_endpoint_serves(open_db(MemEnv::shared(), "srv-met"), 1);
+}
+
+#[test]
+fn metrics_sharded() {
+    metrics_endpoint_serves(open_shards(MemEnv::shared(), "srv-met-sh"), 4);
+}
