@@ -1,0 +1,192 @@
+//! Write-path throughput bench: 1 vs 4 concurrent writers, sync vs
+//! nosync, on a single `Db` and a 4-shard `DbShards`, over a real
+//! filesystem so WAL fsync has its true cost.
+//!
+//! The headline number is group-commit leverage: 4 contending sync
+//! writers going through the commit queue (one WAL record + one fsync
+//! per *group*) against the serialized baseline (an external mutex
+//! forcing one commit + one fsync per *write* — the pre-group-commit
+//! write path). The bench also records the `group_commit_*` counters of
+//! the contended run so the amortization is visible, not inferred.
+//!
+//! Writes `<workspace>/BENCH_write_path.json` (override with
+//! `WRITE_PATH_JSON`). Env knobs: `WRITE_PATH_SYNC_OPS` (ops per sync
+//! config, default 1200), `WRITE_PATH_NOSYNC_OPS` (ops per nosync
+//! config, default 30000), `WRITE_PATH_DIR` (scratch dir, default a
+//! fresh dir under the system temp dir).
+
+use criterion::black_box;
+use scavenger::{
+    Db, DbShards, Engine, EngineMode, EnvRef, FsEnv, Options, ShardedOptions, WriteOptions,
+};
+use std::io::Write as _;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+fn opts(env: EnvRef, dir: &str) -> Options {
+    let mut o = Options::new(env, dir, EngineMode::Scavenger);
+    // Flush/compaction off the writer threads; no GC write-back noise.
+    o.inline_background = false;
+    o.auto_gc = false;
+    o
+}
+
+/// Drive `total_ops` single-key puts split across `threads` writers and
+/// return aggregate nanoseconds per op. `serialize` wraps every write
+/// in an external mutex: one commit and (for sync) one fsync per write,
+/// the serialized baseline group commit is measured against.
+fn bench_writers<E: Engine + Clone + Send + Sync>(
+    db: &E,
+    threads: usize,
+    sync: bool,
+    serialize: bool,
+    total_ops: usize,
+    tag: &str,
+) -> f64 {
+    let per = total_ops / threads;
+    let wo = WriteOptions::with_sync(sync);
+    let gate = Arc::new(Mutex::new(()));
+    let barrier = Barrier::new(threads);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let db = db.clone();
+            let gate = gate.clone();
+            let barrier = &barrier;
+            let wo = &wo;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..per {
+                    let key = format!("{tag}-w{w}-k{i:07}");
+                    let value = bytes::Bytes::from(vec![(i % 251) as u8; 100]);
+                    if serialize {
+                        let _g = gate.lock().unwrap();
+                        black_box(db.put_with(wo, key.as_bytes(), value).unwrap());
+                    } else {
+                        black_box(db.put_with(wo, key.as_bytes(), value).unwrap());
+                    }
+                }
+            });
+        }
+    });
+    t.elapsed().as_nanos() as f64 / (per * threads) as f64
+}
+
+fn ops_per_sec(ns_per_op: f64) -> f64 {
+    1e9 / ns_per_op
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sync_ops = env_usize("WRITE_PATH_SYNC_OPS", 1200);
+    let nosync_ops = env_usize("WRITE_PATH_NOSYNC_OPS", 30_000);
+    let scratch = std::env::var("WRITE_PATH_DIR").unwrap_or_else(|_| {
+        std::env::temp_dir()
+            .join(format!("scavenger-write-path-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let env: EnvRef = Arc::new(FsEnv::new(&scratch).expect("open FsEnv"));
+
+    // ---- single Db ----
+    let db = Db::open(opts(env.clone(), "wp-db")).unwrap();
+    let db_sync_w1 = bench_writers(&db, 1, true, false, sync_ops, "s1");
+    let before = db.stats();
+    let db_sync_w4 = bench_writers(&db, 4, true, false, sync_ops, "s4");
+    let stats = db.stats();
+    // Deltas, so the counters describe the contended run alone.
+    let (gc_groups, gc_batches, gc_saved, gc_max) = (
+        stats.group_commit_groups - before.group_commit_groups,
+        stats.group_commit_batches - before.group_commit_batches,
+        stats.group_commit_fsyncs_saved - before.group_commit_fsyncs_saved,
+        stats.group_commit_max_group,
+    );
+    let db_sync_w4_ser = bench_writers(&db, 4, true, true, sync_ops, "ss");
+    let db_nosync_w1 = bench_writers(&db, 1, false, false, nosync_ops, "n1");
+    let db_nosync_w4 = bench_writers(&db, 4, false, false, nosync_ops, "n4");
+    drop(db);
+
+    // ---- 4-shard DbShards ----
+    let mut so = ShardedOptions::new(env.clone(), "wp-shards", EngineMode::Scavenger);
+    so.base = opts(env, "wp-shards");
+    so.num_shards = 4;
+    let shards = DbShards::open(so).unwrap();
+    let sh_sync_w1 = bench_writers(&shards, 1, true, false, sync_ops, "hs1");
+    let sh_sync_w4 = bench_writers(&shards, 4, true, false, sync_ops, "hs4");
+    let sh_nosync_w1 = bench_writers(&shards, 1, false, false, nosync_ops, "hn1");
+    let sh_nosync_w4 = bench_writers(&shards, 4, false, false, nosync_ops, "hn4");
+    drop(shards);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let vs_serialized = db_sync_w4_ser / db_sync_w4;
+    let vs_single = db_sync_w1 / db_sync_w4;
+    println!(
+        "write_path[db sync]: 1w {:.0} ops/s, 4w {:.0} ops/s ({vs_single:.2}x), \
+         4w serialized {:.0} ops/s (group-commit {vs_serialized:.2}x)",
+        ops_per_sec(db_sync_w1),
+        ops_per_sec(db_sync_w4),
+        ops_per_sec(db_sync_w4_ser),
+    );
+    println!(
+        "write_path[db nosync]: 1w {:.0} ops/s, 4w {:.0} ops/s",
+        ops_per_sec(db_nosync_w1),
+        ops_per_sec(db_nosync_w4),
+    );
+    println!(
+        "write_path[shards4 sync]: 1w {:.0} ops/s, 4w {:.0} ops/s",
+        ops_per_sec(sh_sync_w1),
+        ops_per_sec(sh_sync_w4),
+    );
+    println!(
+        "write_path[shards4 nosync]: 1w {:.0} ops/s, 4w {:.0} ops/s",
+        ops_per_sec(sh_nosync_w1),
+        ops_per_sec(sh_nosync_w4),
+    );
+    println!(
+        "write_path[group commit @ 4w sync]: {gc_groups} groups for {gc_batches} batches, \
+         max group {gc_max}, {gc_saved} fsyncs saved"
+    );
+
+    let path = std::env::var("WRITE_PATH_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_write_path.json")
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"write_path\",\n  \"cores\": {cores},\n  \
+         \"sync_ops\": {sync_ops},\n  \"nosync_ops\": {nosync_ops},\n  \"ops_per_sec\": {{\n    \
+         \"db_sync_w1\": {:.0},\n    \"db_sync_w4\": {:.0},\n    \
+         \"db_sync_w4_serialized\": {:.0},\n    \
+         \"db_nosync_w1\": {:.0},\n    \"db_nosync_w4\": {:.0},\n    \
+         \"shards4_sync_w1\": {:.0},\n    \"shards4_sync_w4\": {:.0},\n    \
+         \"shards4_nosync_w1\": {:.0},\n    \"shards4_nosync_w4\": {:.0}\n  }},\n  \
+         \"group_speedup\": {{\n    \"db_sync_w4_vs_serialized\": {vs_serialized:.2},\n    \
+         \"db_sync_w4_vs_w1\": {vs_single:.2}\n  }},\n  \
+         \"group_commit\": {{\n    \"groups\": {gc_groups},\n    \"batches\": {gc_batches},\n    \
+         \"max_group\": {gc_max},\n    \"fsyncs_saved\": {gc_saved}\n  }}\n}}\n",
+        ops_per_sec(db_sync_w1),
+        ops_per_sec(db_sync_w4),
+        ops_per_sec(db_sync_w4_ser),
+        ops_per_sec(db_nosync_w1),
+        ops_per_sec(db_nosync_w4),
+        ops_per_sec(sh_sync_w1),
+        ops_per_sec(sh_sync_w4),
+        ops_per_sec(sh_nosync_w1),
+        ops_per_sec(sh_nosync_w4),
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("write_path: baseline written to {path}"),
+        Err(e) => eprintln!("write_path: failed to write {path}: {e}"),
+    }
+}

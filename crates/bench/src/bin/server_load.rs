@@ -136,8 +136,8 @@ fn drive_conn(
         let start = Instant::now();
         let outcome = match &op {
             ClientOp::Get { key } => client.get(key).map(|_| ()),
-            ClientOp::Put { key, value } => client.put(key, value),
-            ClientOp::Delete { key } => client.delete(key),
+            ClientOp::Put { key, value } => client.put(key, value).map(|_| ()),
+            ClientOp::Delete { key } => client.delete(key).map(|_| ()),
             ClientOp::Scan { lo, limit } => client.scan(None, lo, None, *limit).map(|_| ()),
         };
         hist.record(start.elapsed().as_micros() as u64);

@@ -29,7 +29,9 @@ pub struct EngineKvStore<'a, E>(pub &'a E);
 
 impl<E: KvRead + KvWrite> KvStore for EngineKvStore<'_, E> {
     fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.0.put(key, scavenger::Bytes::copy_from_slice(value))
+        self.0
+            .put(key, scavenger::Bytes::copy_from_slice(value))
+            .map(|_| ())
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
@@ -37,7 +39,7 @@ impl<E: KvRead + KvWrite> KvStore for EngineKvStore<'_, E> {
     }
 
     fn delete(&self, key: &[u8]) -> Result<()> {
-        KvWrite::delete(self.0, key)
+        KvWrite::delete(self.0, key).map(|_| ())
     }
 
     fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {

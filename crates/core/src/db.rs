@@ -7,14 +7,14 @@ use crate::hook::{EngineHook, HookConfig};
 use crate::options::{EngineMode, GcScheme, Options};
 use crate::stats::{DbStats, GcStats, SpaceBreakdown};
 use crate::throttle::{Throttle, MAX_THROTTLE_ROUNDS};
-use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
+use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use crate::vstore::ValueStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scavenger_lsm::filename::{parse_path, FileKind};
 use scavenger_lsm::{Lsm, LsmReadResult, ValueEditBundle, WriteBatch};
 use scavenger_table::btable::BlockCache;
-use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
+use scavenger_util::ikey::{ValueRef, ValueType};
 use scavenger_util::{Error, Result};
 use std::sync::Arc;
 
@@ -190,7 +190,7 @@ impl Db {
     // ---------------- writes ----------------
 
     /// Insert or overwrite a key (default [`WriteOptions`]).
-    pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<()> {
+    pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<WriteReceipt> {
         self.put_with(&WriteOptions::default(), key, value)
     }
 
@@ -200,45 +200,48 @@ impl Db {
         opts: &WriteOptions,
         key: impl AsRef<[u8]>,
         value: impl Into<Bytes>,
-    ) -> Result<()> {
+    ) -> Result<WriteReceipt> {
         let mut b = WriteBatch::new();
         b.put(key.as_ref(), value.into());
         self.write_with(opts, b)
     }
 
     /// Delete a key (default [`WriteOptions`]).
-    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<WriteReceipt> {
         self.delete_with(&WriteOptions::default(), key)
     }
 
     /// Delete a key with explicit options.
-    pub fn delete_with(&self, opts: &WriteOptions, key: impl AsRef<[u8]>) -> Result<()> {
+    pub fn delete_with(&self, opts: &WriteOptions, key: impl AsRef<[u8]>) -> Result<WriteReceipt> {
         let mut b = WriteBatch::new();
         b.delete(key.as_ref());
         self.write_with(opts, b)
     }
 
     /// Apply a batch atomically (default [`WriteOptions`]).
-    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+    pub fn write(&self, batch: WriteBatch) -> Result<WriteReceipt> {
         self.write_with(&WriteOptions::default(), batch)
     }
 
     /// Apply a batch atomically with explicit options: `sync = false`
     /// skips the per-write WAL fsync, `disable_throttle = true` bypasses
-    /// space-aware admission throttling.
-    pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+    /// space-aware admission throttling. The returned [`WriteReceipt`]
+    /// reports the batch's commit point, its group-commit company, and
+    /// whether an fsync covered it.
+    pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         if !opts.disable_throttle {
             self.enforce_space_limit()?;
         }
         let credit = (batch.byte_size() as f64 * self.inner.opts.gc_bandwidth_factor) as i64;
-        self.inner.lsm.write_opts(batch, opts.sync)?;
+        let receipt = self.inner.lsm.write_opts(opts, batch)?;
         {
             let mut c = self.inner.gc_credits.lock();
             // Cap the accumulator so an idle period cannot bank unbounded
             // GC bandwidth.
             *c = (*c + credit).min(64 * 1024 * 1024);
         }
-        self.post_write_maintenance()
+        self.post_write_maintenance()?;
+        Ok(receipt)
     }
 
     /// The usage the throttle compares against the space limit: this
@@ -440,17 +443,6 @@ impl Db {
         }
     }
 
-    /// Value of `key` at a specific sequence.
-    ///
-    /// Legacy entry point: the sequence itself pins nothing — strictness
-    /// requires a live [`Snapshot`] or [`ReadView`] registering it.
-    /// Prefer [`Snapshot::get`] / [`ReadView::get`].
-    pub fn get_at(&self, key: impl AsRef<[u8]>, seq: SeqNo) -> Result<Option<Bytes>> {
-        let key = key.as_ref();
-        self.inner
-            .resolve_read(key, self.inner.lsm.get_at(key, seq)?)
-    }
-
     /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`),
     /// resolving separated values, through a transient pinned view (the
     /// iterator owns the pin).
@@ -474,16 +466,6 @@ impl Db {
                 "sharded pin passed to a single-engine scan",
             )),
         }
-    }
-
-    /// Range scan at a specific sequence (legacy entry point — see
-    /// [`get_at`](Db::get_at); prefer [`Snapshot::scan`] /
-    /// [`ReadView::scan`]).
-    pub fn scan_at(&self, lo: &[u8], hi: Option<&[u8]>, seq: SeqNo) -> Result<DbScanIter> {
-        Ok(DbScanIter::new(
-            self.inner.lsm.scan_at(lo, hi, seq)?,
-            self.inner.clone(),
-        ))
     }
 
     // ---------------- maintenance ----------------
@@ -639,6 +621,18 @@ impl Db {
             degraded: inner.lsm.is_degraded(),
             wal_tail_corruptions: counters
                 .wal_tail_corruptions
+                .load(std::sync::atomic::Ordering::Relaxed),
+            group_commit_groups: counters
+                .group_commit_groups
+                .load(std::sync::atomic::Ordering::Relaxed),
+            group_commit_batches: counters
+                .group_commit_batches
+                .load(std::sync::atomic::Ordering::Relaxed),
+            group_commit_max_group: counters
+                .group_commit_max_group
+                .load(std::sync::atomic::Ordering::Relaxed),
+            group_commit_fsyncs_saved: counters
+                .group_commit_fsyncs_saved
                 .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
@@ -1079,7 +1073,9 @@ mod tests {
         // The snapshot's version was rewritten by GC but must remain
         // reachable through inheritance.
         assert_eq!(
-            db.get_at("k", snap.sequence()).unwrap().unwrap(),
+            db.get_with(&crate::view::ReadOptions::pinned(&snap), "k")
+                .unwrap()
+                .unwrap(),
             Bytes::from(value(1, 4096))
         );
         assert_eq!(db.get("k").unwrap().unwrap(), Bytes::from(value(103, 4096)));

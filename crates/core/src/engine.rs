@@ -64,7 +64,7 @@ use crate::db::{Db, DbScanIter, ScanEntry};
 use crate::gc::GcOutcome;
 use crate::shards::{DbShards, ShardsScanIter, ShardsSnapshot, ShardsView};
 use crate::stats::{DbStats, SpaceBreakdown};
-use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions};
+use crate::view::{ReadOptions, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use bytes::Bytes;
 use scavenger_lsm::WriteBatch;
 use scavenger_util::Result;
@@ -190,12 +190,15 @@ pub trait KvRead {
     fn snapshot(&self) -> Self::Snap;
 }
 
-/// Write half of the unified engine surface.
+/// Write half of the unified engine surface. Every write returns a
+/// [`WriteReceipt`] describing where the batch landed (its highest
+/// sequence number), how many writer batches shared its commit group,
+/// and whether the commit was covered by an fsync.
 ///
 /// ```
-/// use scavenger::{DbShards, EngineMode, KvWrite, MemEnv, ShardedOptions, WriteBatch};
+/// use scavenger::{DbShards, EngineMode, KvWrite, MemEnv, ShardedOptions, WriteBatch, WriteReceipt};
 ///
-/// fn bulk<E: KvWrite>(db: &E) -> scavenger::Result<()> {
+/// fn bulk<E: KvWrite>(db: &E) -> scavenger::Result<WriteReceipt> {
 ///     let mut batch = WriteBatch::new();
 ///     batch.put("a", scavenger::Bytes::from(vec![1u8; 600]));
 ///     batch.put("b", scavenger::Bytes::from_static(b"inline"));
@@ -207,29 +210,29 @@ pub trait KvRead {
 ///     .num_shards(2)
 ///     .open()
 ///     .unwrap();
-/// bulk(&db).unwrap();
+/// assert!(bulk(&db).unwrap().synced);
 /// assert!(db.get("a").unwrap().is_none());
 /// ```
 pub trait KvWrite {
     /// Insert or overwrite a key (default [`WriteOptions`]).
-    fn put(&self, key: &[u8], value: Bytes) -> Result<()> {
+    fn put(&self, key: &[u8], value: Bytes) -> Result<WriteReceipt> {
         self.put_with(&WriteOptions::default(), key, value)
     }
 
     /// Insert or overwrite a key with explicit options.
-    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()>;
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<WriteReceipt>;
 
     /// Delete a key (default [`WriteOptions`]).
-    fn delete(&self, key: &[u8]) -> Result<()> {
+    fn delete(&self, key: &[u8]) -> Result<WriteReceipt> {
         self.delete_with(&WriteOptions::default(), key)
     }
 
     /// Delete a key with explicit options.
-    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()>;
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<WriteReceipt>;
 
     /// Apply a batch (default [`WriteOptions`]). Atomicity scope is as
     /// documented on [`write_with`](KvWrite::write_with).
-    fn write(&self, batch: WriteBatch) -> Result<()> {
+    fn write(&self, batch: WriteBatch) -> Result<WriteReceipt> {
         self.write_with(&WriteOptions::default(), batch)
     }
 
@@ -247,7 +250,11 @@ pub trait KvWrite {
     /// shard layer ("Cross-shard batch atomicity is per shard"); until
     /// it lands, multi-shard writers needing all-or-nothing semantics
     /// must keep each batch's keys on one shard.
-    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()>;
+    ///
+    /// A sharded handle returns one aggregate [`WriteReceipt`]: `seq`
+    /// and `group_len` are the maxima across the touched shards, and
+    /// `synced` is true only if every sub-batch commit was synced.
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt>;
 }
 
 /// Maintenance and introspection half of the unified engine surface:
@@ -400,15 +407,15 @@ impl KvRead for Db {
 }
 
 impl KvWrite for Db {
-    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()> {
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<WriteReceipt> {
         Db::put_with(self, opts, key, value)
     }
 
-    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<WriteReceipt> {
         Db::delete_with(self, opts, key)
     }
 
-    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         Db::write_with(self, opts, batch)
     }
 }
@@ -476,15 +483,15 @@ impl KvRead for DbShards {
 }
 
 impl KvWrite for DbShards {
-    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<()> {
+    fn put_with(&self, opts: &WriteOptions, key: &[u8], value: Bytes) -> Result<WriteReceipt> {
         DbShards::put_with(self, opts, key, value)
     }
 
-    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<()> {
+    fn delete_with(&self, opts: &WriteOptions, key: &[u8]) -> Result<WriteReceipt> {
         DbShards::delete_with(self, opts, key)
     }
 
-    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+    fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         DbShards::write_with(self, opts, batch)
     }
 }

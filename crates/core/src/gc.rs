@@ -1018,7 +1018,9 @@ impl GcRunner {
         let t_wi = Instant::now();
         let rewritten = guarded.len() as u64;
         if !guarded.is_empty() {
-            lsm.write_guarded(&guarded)?;
+            // Write-back is durability-critical (old value files are
+            // queued for deletion below), so the default synced options.
+            lsm.write_guarded(&scavenger_lsm::WriteOptions::default(), &guarded)?;
         }
         self.stats
             .write_index_ns

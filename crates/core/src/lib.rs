@@ -83,7 +83,7 @@ pub use options::{
 pub use shards::{DbShards, ShardedOptions, ShardedOptionsBuilder, ShardsSnapshot, ShardsView};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
 pub use throttle::Throttle;
-pub use view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
+pub use view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 
 // Re-export the write-batch type (and the byte buffer it carries) so
 // `Db::write(WriteBatch)` is callable from the crate root alone, with

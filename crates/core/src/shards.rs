@@ -43,7 +43,7 @@ use crate::engine::GcReport;
 use crate::options::{knob_setters, Options};
 use crate::stats::{DbStats, GcStepTimes, SpaceBreakdown};
 use crate::throttle::Throttle;
-use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions};
+use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use scavenger_env::IoClass;
@@ -399,7 +399,7 @@ impl DbShards {
     // ---------------- writes ----------------
 
     /// Insert or overwrite a key (routed; default [`WriteOptions`]).
-    pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<()> {
+    pub fn put(&self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) -> Result<WriteReceipt> {
         let key = key.as_ref();
         self.inner.shards[self.inner.shard_of(key)].put(key, value)
     }
@@ -410,26 +410,26 @@ impl DbShards {
         opts: &WriteOptions,
         key: impl AsRef<[u8]>,
         value: impl Into<Bytes>,
-    ) -> Result<()> {
+    ) -> Result<WriteReceipt> {
         let key = key.as_ref();
         self.inner.shards[self.inner.shard_of(key)].put_with(opts, key, value)
     }
 
     /// Delete a key (routed; default [`WriteOptions`]).
-    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+    pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<WriteReceipt> {
         let key = key.as_ref();
         self.inner.shards[self.inner.shard_of(key)].delete(key)
     }
 
     /// Delete a key with explicit options.
-    pub fn delete_with(&self, opts: &WriteOptions, key: impl AsRef<[u8]>) -> Result<()> {
+    pub fn delete_with(&self, opts: &WriteOptions, key: impl AsRef<[u8]>) -> Result<WriteReceipt> {
         let key = key.as_ref();
         self.inner.shards[self.inner.shard_of(key)].delete_with(opts, key)
     }
 
     /// Apply a batch (default [`WriteOptions`]). See
     /// [`write_with`](DbShards::write_with) for atomicity scope.
-    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+    pub fn write(&self, batch: WriteBatch) -> Result<WriteReceipt> {
         self.write_with(&WriteOptions::default(), batch)
     }
 
@@ -438,7 +438,14 @@ impl DbShards {
     /// Atomicity is per shard, not across shards — a crash can land a
     /// multi-shard batch partially, exactly like writing to N separate
     /// stores.
-    pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+    ///
+    /// The returned [`WriteReceipt`] is an aggregate over the touched
+    /// shards: sequences are per-shard namespaces, so `seq` and
+    /// `group_len` are the maxima across sub-batch receipts, and
+    /// `synced` is true only if **every** sub-batch commit was covered
+    /// by an fsync. An empty batch returns an inert receipt
+    /// (`group_len == 0`, `synced == false`).
+    pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         let n = self.inner.meta.shards;
         let mut per_shard: Vec<WriteBatch> = (0..n).map(|_| WriteBatch::new()).collect();
         for e in batch.entries() {
@@ -455,12 +462,26 @@ impl DbShards {
                 }
             }
         }
+        let mut agg = WriteReceipt {
+            seq: 0,
+            group_len: 0,
+            synced: false,
+        };
+        let mut first = true;
         for (i, b) in per_shard.into_iter().enumerate() {
             if !b.is_empty() {
-                self.inner.shards[i].write_with(opts, b)?;
+                let r = self.inner.shards[i].write_with(opts, b)?;
+                agg.seq = agg.seq.max(r.seq);
+                agg.group_len = agg.group_len.max(r.group_len);
+                agg.synced = if first {
+                    r.synced
+                } else {
+                    agg.synced && r.synced
+                };
+                first = false;
             }
         }
-        Ok(())
+        Ok(agg)
     }
 
     // ---------------- reads ----------------
@@ -654,6 +675,10 @@ impl DbShards {
         let mut bg_retries = 0;
         let mut degraded = false;
         let mut wal_tail_corruptions = 0;
+        let mut group_commit_groups = 0;
+        let mut group_commit_batches = 0;
+        let mut group_commit_max_group = 0;
+        let mut group_commit_fsyncs_saved = 0;
         let mut oldest_read_point = None;
         let mut amp_weighted = 0.0;
         let mut amp_weight = 0u64;
@@ -674,6 +699,10 @@ impl DbShards {
             bg_retries += s.bg_retries;
             degraded |= s.degraded;
             wal_tail_corruptions += s.wal_tail_corruptions;
+            group_commit_groups += s.group_commit_groups;
+            group_commit_batches += s.group_commit_batches;
+            group_commit_max_group = group_commit_max_group.max(s.group_commit_max_group);
+            group_commit_fsyncs_saved += s.group_commit_fsyncs_saved;
             oldest_read_point = match (oldest_read_point, s.oldest_read_point) {
                 (Some(a), Some(b)) => Some(std::cmp::min(a, b)),
                 (a, b) => a.or(b),
@@ -717,6 +746,12 @@ impl DbShards {
             bg_retries,
             degraded,
             wal_tail_corruptions,
+            group_commit_groups,
+            group_commit_batches,
+            // Max, not sum: the gauge answers "largest group anywhere",
+            // and per-shard groups never merge across shards.
+            group_commit_max_group,
+            group_commit_fsyncs_saved,
         }
     }
 

@@ -359,6 +359,18 @@ pub struct DbStats {
     /// WAL files whose tail was found torn/corrupt during recovery; the
     /// intact record prefix was replayed and the rest discarded.
     pub wal_tail_corruptions: u64,
+    /// Commit groups formed by the group-commit write path (each group is
+    /// one WAL record, one memtable pass, and at most one fsync).
+    pub group_commit_groups: u64,
+    /// Writer batches committed through those groups. Equal to
+    /// `group_commit_groups` when writers never contend; greater under
+    /// concurrency.
+    pub group_commit_batches: u64,
+    /// Largest number of batches ever merged into a single group.
+    pub group_commit_max_group: u64,
+    /// Fsyncs elided by riding a group leader's sync: for every synced
+    /// group this grows by `sync_riders - 1`.
+    pub group_commit_fsyncs_saved: u64,
 }
 
 // ---------------- Prometheus exposition ----------------
@@ -453,6 +465,10 @@ impl DbStats {
             bg_retries,
             degraded,
             wal_tail_corruptions,
+            group_commit_groups,
+            group_commit_batches,
+            group_commit_max_group,
+            group_commit_fsyncs_saved,
         } = self;
         render_io_prometheus(out, io, labels);
         let g = |out: &mut String, name: &str, v: f64| prom_line(out, name, labels, v);
@@ -555,6 +571,26 @@ impl DbStats {
             out,
             "scavenger_wal_tail_corruptions_total",
             *wal_tail_corruptions as f64,
+        );
+        g(
+            out,
+            "scavenger_group_commit_groups_total",
+            *group_commit_groups as f64,
+        );
+        g(
+            out,
+            "scavenger_group_commit_batches_total",
+            *group_commit_batches as f64,
+        );
+        g(
+            out,
+            "scavenger_group_commit_max_group",
+            *group_commit_max_group as f64,
+        );
+        g(
+            out,
+            "scavenger_group_commit_fsyncs_saved_total",
+            *group_commit_fsyncs_saved as f64,
         );
     }
 }

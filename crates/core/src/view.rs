@@ -1,32 +1,42 @@
 //! Pinned read views and per-call read/write options — the public
 //! consistency surface of the engine.
 //!
-//! # Migration from the `get_at` / `scan_at` pattern
+//! # Pinned reads only (the `get_at` / `scan_at` surface is gone)
 //!
 //! Earlier versions exposed snapshot reads as a bare sequence number:
 //! take a [`Snapshot`], then call `db.get_at(key, snapshot.sequence())`
-//! or `db.scan_at(lo, hi, snapshot.sequence())`. That pattern still
-//! works, but the sequence alone never pinned anything — reads walked
-//! the live structures, and an unregistered sequence could observe a
-//! version whose value a concurrent GC had already retired (the old
-//! `Db::get` papered over this with a retry loop).
-//!
-//! The view API replaces it:
+//! or `db.scan_at(lo, hi, snapshot.sequence())`. The sequence alone
+//! never pinned anything — reads walked the live structures, and an
+//! unregistered sequence could observe a version whose value a
+//! concurrent GC had already retired (the old `Db::get` papered over
+//! this with a retry loop). Those entry points have been removed; every
+//! historical read now goes through a *registered* pin:
 //!
 //! * [`Db::view`](crate::db::Db::view) returns a [`ReadView`] — an
 //!   atomically pinned superversion (active memtable + immutable
 //!   memtables + SST version + visible sequence) whose reads are
 //!   strictly consistent for the view's whole lifetime.
-//! * [`Snapshot`] is now an RAII handle *owning* a registered view: call
-//!   [`Snapshot::get`] / [`Snapshot::scan`] directly instead of passing
-//!   `sequence()` around. Dropping the snapshot unregisters it.
+//! * [`Snapshot`] is an RAII handle *owning* a registered view: call
+//!   [`Snapshot::get`] / [`Snapshot::scan`] directly, or pass the
+//!   snapshot to [`Db::get_with`](crate::db::Db::get_with) /
+//!   [`Db::scan_with`](crate::db::Db::scan_with) via
+//!   [`ReadPin::Snapshot`] (`ReadOptions::pinned(&snap)`). Dropping the
+//!   snapshot unregisters it.
+//! * Code that previously carried a `SeqNo` around should carry the
+//!   [`Snapshot`] (or [`ReadView`]) itself: the handle *is* the read
+//!   point, and holding it is what keeps every version it can see
+//!   resolvable. [`Snapshot::sequence`] remains available for
+//!   diagnostics and ordering comparisons.
 //! * [`ReadOptions`] / [`WriteOptions`] carry per-call knobs
 //!   ([`Db::get_with`](crate::db::Db::get_with),
 //!   [`Db::scan_with`](crate::db::Db::scan_with),
 //!   [`Db::put_with`](crate::db::Db::put_with),
 //!   [`Db::write_with`](crate::db::Db::write_with)); the plain
 //!   `get`/`put`/`scan` entry points are thin wrappers over the
-//!   defaults.
+//!   defaults. [`WriteOptions`] is defined in the LSM crate and
+//!   re-exported here: one write-options type travels from the server
+//!   wire protocol all the way to the WAL append, and every write
+//!   returns a [`WriteReceipt`] describing its commit group.
 
 use crate::db::{DbInner, DbScanIter};
 use crate::shards::{ShardsSnapshot, ShardsView};
@@ -98,9 +108,9 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// The snapshot's sequence number (still accepted by the legacy
-    /// [`Db::get_at`](crate::db::Db::get_at) /
-    /// [`Db::scan_at`](crate::db::Db::scan_at) entry points).
+    /// The snapshot's sequence number (diagnostics and ordering
+    /// comparisons — reads go through the snapshot itself, which is the
+    /// registered pin).
     pub fn sequence(&self) -> SeqNo {
         self.view.sequence()
     }
@@ -269,7 +279,9 @@ impl<'a> ReadOptions<'a> {
 
 /// Per-call write options for [`Db::put_with`](crate::db::Db::put_with),
 /// [`Db::delete_with`](crate::db::Db::delete_with), and
-/// [`Db::write_with`](crate::db::Db::write_with).
+/// [`Db::write_with`](crate::db::Db::write_with) — re-exported from the
+/// LSM crate so the same struct travels from the server wire protocol
+/// down to the WAL append.
 ///
 /// ```
 /// use scavenger::{Db, EngineMode, MemEnv, Options, WriteOptions};
@@ -283,25 +295,18 @@ impl<'a> ReadOptions<'a> {
 /// db.flush().unwrap(); // flush makes the batch durable
 /// assert_eq!(db.get(b"key042").unwrap().unwrap().as_ref(), &[42u8; 256][..]);
 /// ```
-#[derive(Debug, Clone)]
-pub struct WriteOptions {
-    /// Fsync the WAL record before acknowledging the write. With `false`
-    /// the record is appended but not synced — group durability is traded
-    /// for latency, and a crash may lose the unsynced tail. Default
-    /// `true`.
-    pub sync: bool,
-    /// Skip space-aware write throttling (paper §III-D) for this write.
-    /// Maintenance writes that must land even while the store is over its
-    /// space limit (e.g. tombstones that *reclaim* space) use this.
-    /// Default `false`.
-    pub disable_throttle: bool,
-}
+pub use scavenger_lsm::WriteOptions;
 
-impl Default for WriteOptions {
-    fn default() -> Self {
-        WriteOptions {
-            sync: true,
-            disable_throttle: false,
-        }
-    }
-}
+/// Typed acknowledgment returned by every write — the sequence range it
+/// committed at, how many batches shared its commit group, and whether
+/// an fsync covered it. Re-exported from the LSM crate.
+///
+/// ```
+/// use scavenger::{Db, EngineMode, MemEnv, Options};
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "wr-demo", EngineMode::Scavenger)).unwrap();
+/// let receipt = db.put(b"k", b"v".to_vec()).unwrap();
+/// assert!(receipt.synced);
+/// assert_eq!(receipt.group_len, 1); // no concurrent riders
+/// ```
+pub use scavenger_lsm::WriteReceipt;

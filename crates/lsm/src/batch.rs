@@ -1,4 +1,6 @@
-//! Write batches: the atomic unit of the write path.
+//! Write batches: the atomic unit of the write path — plus the shared
+//! per-call [`WriteOptions`] and the typed [`WriteReceipt`] every commit
+//! returns.
 //!
 //! A batch serializes to one WAL record:
 //!
@@ -8,7 +10,10 @@
 //! ```
 //!
 //! (Tombstones carry no value field.) Sequence numbers are assigned when
-//! the batch is committed: entry `i` receives `base_seq + i`.
+//! the batch is committed: entry `i` receives `base_seq + i`. Under group
+//! commit several batches are merged (see [`WriteBatch::append`]) into a
+//! single record, so a torn tail at recovery drops the whole group as a
+//! unit — never a partial group.
 
 use bytes::Bytes;
 use scavenger_util::coding::{
@@ -17,6 +22,65 @@ use scavenger_util::coding::{
 };
 use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
 use scavenger_util::{Error, Result};
+
+/// Per-call write options: the single options type carried from the
+/// server wire protocol down to the WAL append.
+///
+/// Every write entry point — `Lsm::write_opts`, the engine facade's
+/// `put_with`/`delete_with`/`write_with`, the `KvWrite` trait, and the
+/// server's Put/Delete/Write requests — takes this struct; there are no
+/// bare-bool durability knobs anywhere on the write path.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Fsync the WAL before acknowledging the write. With `false` the
+    /// record is appended but not synced — group durability is traded
+    /// for latency, and a crash may lose the unsynced tail. Under group
+    /// commit a single fsync covers every `sync = true` rider in the
+    /// group. Default `true`.
+    pub sync: bool,
+    /// Skip space-aware write throttling (paper §III-D) for this write.
+    /// Maintenance writes that must land even while the store is over
+    /// its space limit (e.g. tombstones that *reclaim* space) use this.
+    /// Ignored below the engine facade (the LSM layer has no throttle).
+    /// Default `false`.
+    pub disable_throttle: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            sync: true,
+            disable_throttle: false,
+        }
+    }
+}
+
+impl WriteOptions {
+    /// Options with an explicit durability choice (other knobs default).
+    pub fn with_sync(sync: bool) -> Self {
+        WriteOptions {
+            sync,
+            ..WriteOptions::default()
+        }
+    }
+}
+
+/// Typed acknowledgment of a committed write, replacing the bare
+/// `SeqNo` the legacy write path returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Highest sequence number assigned to this batch (its commit
+    /// point; the batch occupies the contiguous range ending here).
+    pub seq: SeqNo,
+    /// Number of batches in the commit group that carried this write
+    /// (1 = no riders; 0 = the batch was empty and nothing committed).
+    pub group_len: u64,
+    /// True when an fsync covered this write before it was
+    /// acknowledged — either requested by this writer or ridden for
+    /// free on a `sync = true` group member that committed after it in
+    /// the same WAL record.
+    pub synced: bool,
+}
 
 /// One batched operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +160,14 @@ impl WriteBatch {
     /// The queued operations.
     pub fn entries(&self) -> &[BatchEntry] {
         &self.entries
+    }
+
+    /// Move every operation of `other` onto the end of this batch,
+    /// preserving order. Group commit merges all queued batches through
+    /// this before encoding, so the whole group becomes one WAL record.
+    pub fn append(&mut self, other: WriteBatch) {
+        self.byte_size += other.byte_size;
+        self.entries.extend(other.entries);
     }
 
     /// Serialize with the given base sequence number.
@@ -197,6 +269,35 @@ mod tests {
         let mut enc = b.encode(1);
         enc.push(0xff);
         assert!(WriteBatch::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn append_merges_batches_in_order() {
+        let mut a = WriteBatch::new();
+        a.put(b"k1", Bytes::from_static(b"v1"));
+        let mut b = WriteBatch::new();
+        b.delete(b"k2");
+        b.put(b"k3", Bytes::from_static(b"v3"));
+        let combined_size = a.byte_size() + b.byte_size();
+        a.append(b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.byte_size(), combined_size);
+        assert_eq!(a.entries()[0].key, b"k1");
+        assert_eq!(a.entries()[1].key, b"k2");
+        assert_eq!(a.entries()[1].vtype, ValueType::Deletion);
+        assert_eq!(a.entries()[2].key, b"k3");
+        // The merged batch round-trips as one record.
+        let (seq, d) = WriteBatch::decode(&a.encode(77)).unwrap();
+        assert_eq!(seq, 77);
+        assert_eq!(d.count(), 3);
+    }
+
+    #[test]
+    fn write_options_defaults_are_durable() {
+        let o = WriteOptions::default();
+        assert!(o.sync);
+        assert!(!o.disable_throttle);
+        assert!(!WriteOptions::with_sync(false).sync);
     }
 
     #[test]

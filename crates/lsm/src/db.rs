@@ -7,7 +7,7 @@
 //! and a read pins one bundle + registers its sequence instead of walking
 //! the live structures.
 
-use crate::batch::WriteBatch;
+use crate::batch::{WriteBatch, WriteOptions, WriteReceipt};
 use crate::compaction::{pick_compaction, run_output_job, Compaction, PickerState};
 use crate::filename::{parse_path, table_path, wal_path, FileKind};
 use crate::hooks::{FileNumAlloc, JobKind, PassthroughSession, ValueSession};
@@ -71,6 +71,52 @@ struct WriterState {
     wal_poisoned: bool,
 }
 
+/// One writer's slot in the commit queue: its batch (taken by the
+/// group leader), its durability request, and the result slot the
+/// leader fills before waking it.
+struct GroupMember {
+    batch: Mutex<Option<WriteBatch>>,
+    sync: bool,
+    result: Mutex<Option<Result<WriteReceipt>>>,
+}
+
+impl GroupMember {
+    fn new(batch: WriteBatch, sync: bool) -> GroupMember {
+        GroupMember {
+            batch: Mutex::new(Some(batch)),
+            sync,
+            result: Mutex::new(None),
+        }
+    }
+
+    fn take_batch(&self) -> WriteBatch {
+        self.batch
+            .lock()
+            .take()
+            .expect("group member's batch taken twice")
+    }
+
+    fn fill(&self, res: Result<WriteReceipt>) {
+        *self.result.lock() = Some(res);
+    }
+
+    fn take_result(&self) -> Option<Result<WriteReceipt>> {
+        self.result.lock().take()
+    }
+}
+
+/// The commit queue shared by all writers. The first writer to find no
+/// leader active becomes the leader: it drains the queue, commits every
+/// queued batch as one group (one WAL record, at most one fsync, one
+/// memtable pass), fills each member's result slot, and hands
+/// leadership off. Guarded by `Inner::group` with `Inner::group_cv` for
+/// follower wakeup.
+#[derive(Default)]
+struct GroupState {
+    queue: Vec<Arc<GroupMember>>,
+    leader_active: bool,
+}
+
 struct ImmEntry {
     mem: Arc<Memtable>,
     wal_number: u64,
@@ -103,6 +149,19 @@ pub struct LsmCounters {
     /// WALs whose tail was torn or corrupt at recovery (the intact
     /// prefix was replayed; the tail was dropped).
     pub wal_tail_corruptions: AtomicU64,
+    /// Commit groups written (each is one WAL record + at most one
+    /// fsync, regardless of how many batches rode in it).
+    pub group_commit_groups: AtomicU64,
+    /// Batches committed through the group-commit path. Under writer
+    /// contention this exceeds `group_commit_groups` — the gap is the
+    /// amortization win.
+    pub group_commit_batches: AtomicU64,
+    /// Largest number of batches ever committed in one group.
+    pub group_commit_max_group: AtomicU64,
+    /// Fsyncs avoided by riders: for every group that synced, each
+    /// `sync = true` member beyond the first would have paid its own
+    /// fsync on the serialized path.
+    pub group_commit_fsyncs_saved: AtomicU64,
 }
 
 struct Inner {
@@ -128,6 +187,11 @@ struct Inner {
     /// panics on the missing registration). Held for the whole
     /// flush-until-quiet loop.
     bg_work: Mutex<()>,
+    /// The group-commit queue (see [`GroupState`]).
+    group: Mutex<GroupState>,
+    /// Wakes queued followers when a leader finishes a group (their
+    /// result slot is filled) or hands leadership off.
+    group_cv: Condvar,
     counters: LsmCounters,
     bg_signal: Mutex<BgSignal>,
     bg_cv: Condvar,
@@ -202,6 +266,8 @@ impl Lsm {
             sv: RwLock::new(Arc::new(SuperVersion::empty(opts.num_levels))),
             sv_install: Mutex::new(()),
             bg_work: Mutex::new(()),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
             seq,
             file_counter,
             picker: Mutex::new(PickerState::new(opts.num_levels)),
@@ -394,35 +460,104 @@ impl Lsm {
         LsmView::new(self.superversion(), self.inner.tcache.clone(), pin)
     }
 
-    // ---------------- write path ----------------
+    // ---------------- write path (group commit) ----------------
 
-    /// Apply a batch atomically with a synced WAL record. Returns the
-    /// last sequence it received.
-    pub fn write(&self, batch: WriteBatch) -> Result<SeqNo> {
-        self.write_opts(batch, true)
+    /// Apply a batch atomically with a synced WAL record (default
+    /// [`WriteOptions`]).
+    pub fn write(&self, batch: WriteBatch) -> Result<WriteReceipt> {
+        self.write_opts(&WriteOptions::default(), batch)
     }
 
-    /// Apply a batch atomically. With `sync = false` the WAL record is
-    /// appended but not fsynced — a crash may lose the tail, durability
-    /// is traded for latency (RocksDB's `WriteOptions::sync = false`).
-    pub fn write_opts(&self, batch: WriteBatch, sync: bool) -> Result<SeqNo> {
+    /// Apply a batch atomically through the group-commit queue.
+    ///
+    /// The writer enqueues its batch; the first writer to find no
+    /// leader active becomes the leader, drains the queue, and commits
+    /// every queued batch as one group: one WAL record covering all of
+    /// them, a single fsync if any member asked for `sync = true`, one
+    /// memtable pass, and contiguous per-batch sequence ranges.
+    /// Followers sleep until the leader fills their result slot.
+    ///
+    /// Failure is group-scoped: a failed WAL append or fsync fails
+    /// every member with the same error and poisons the WAL (the next
+    /// write rotates away from it — fsyncgate semantics, never retried).
+    /// Because the group is one WAL record, a crash tears it as a unit:
+    /// recovery replays all of it or none of it.
+    pub fn write_opts(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         if batch.is_empty() {
-            return Ok(self.last_sequence());
+            return Ok(WriteReceipt {
+                seq: self.last_sequence(),
+                group_len: 0,
+                synced: false,
+            });
         }
         self.check_bg_error()?;
         self.maybe_stall();
-        {
-            let mut ws = self.inner.writer.lock();
-            self.apply_locked(&mut ws, &batch, sync)?;
+        let member = Arc::new(GroupMember::new(batch, opts.sync));
+        let mut st = self.inner.group.lock();
+        st.queue.push(member.clone());
+        loop {
+            if let Some(res) = member.take_result() {
+                // A leader committed this batch while we waited; that
+                // leader also drives the background work.
+                drop(st);
+                return res;
+            }
+            if !st.leader_active {
+                break;
+            }
+            self.inner.group_cv.wait(&mut st);
         }
-        self.after_write()?;
-        Ok(self.last_sequence())
+        // Become the leader: drain the queue (our own batch included)
+        // and commit it as one group.
+        st.leader_active = true;
+        let members: Vec<Arc<GroupMember>> = std::mem::take(&mut st.queue);
+        drop(st);
+
+        let outcome = {
+            let mut ws = self.inner.writer.lock();
+            let batches: Vec<WriteBatch> = members.iter().map(|m| m.take_batch()).collect();
+            let syncs: Vec<bool> = members.iter().map(|m| m.sync).collect();
+            self.commit_group(&mut ws, batches, &syncs)
+        };
+        match outcome {
+            Ok(receipts) => {
+                for (m, r) in members.iter().zip(receipts) {
+                    m.fill(Ok(r));
+                }
+            }
+            Err(e) => {
+                // The whole group fails as a unit.
+                for m in &members {
+                    m.fill(Err(e.clone()));
+                }
+            }
+        }
+        {
+            let mut st = self.inner.group.lock();
+            st.leader_active = false;
+            // Wake committed followers and let one queued straggler
+            // take over as the next leader.
+            self.inner.group_cv.notify_all();
+        }
+        let res = member
+            .take_result()
+            .expect("leader's own batch must be committed with its group");
+        if res.is_ok() {
+            // Only the leader runs background work for the group;
+            // followers are already gone with their receipts.
+            self.after_write()?;
+        }
+        res
     }
 
     /// Titan-style conditional write-back (paper §II-B): each entry is
     /// applied only if the key's newest version is still a reference to
     /// `expected`. Returns how many entries were applied.
-    pub fn write_guarded(&self, writes: &[GuardedWrite]) -> Result<usize> {
+    ///
+    /// Guarded writes bypass the commit queue — the check must stay
+    /// atomic with the apply, so the whole read-check-write runs under
+    /// the writer lock as a group of one.
+    pub fn write_guarded(&self, opts: &WriteOptions, writes: &[GuardedWrite]) -> Result<usize> {
         self.check_bg_error()?;
         self.maybe_stall();
         let applied;
@@ -448,7 +583,7 @@ impl Lsm {
             }
             applied = batch.count();
             if applied > 0 {
-                self.apply_locked(&mut ws, &batch, true)?;
+                self.commit_group(&mut ws, vec![batch], &[opts.sync])?;
             }
         }
         if applied > 0 {
@@ -457,14 +592,36 @@ impl Lsm {
         Ok(applied)
     }
 
-    fn apply_locked(&self, ws: &mut WriterState, batch: &WriteBatch, sync: bool) -> Result<()> {
+    /// Commit one group under the writer lock: merge the batches into a
+    /// single WAL record (so a torn tail drops the group as a unit),
+    /// fsync once if any member requested it, apply to the memtable in
+    /// one pass, and assign each batch its contiguous sequence range.
+    /// Returns one receipt per batch, in queue order.
+    fn commit_group(
+        &self,
+        ws: &mut WriterState,
+        batches: Vec<WriteBatch>,
+        syncs: &[bool],
+    ) -> Result<Vec<WriteReceipt>> {
+        debug_assert_eq!(batches.len(), syncs.len());
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
         let base = self.inner.seq.load(Ordering::SeqCst) + 1;
+        let sync = syncs.iter().any(|s| *s);
+        let group_len = batches.len() as u64;
+        let mut merged = WriteBatch::new();
+        let mut batch_ends = Vec::with_capacity(batches.len());
+        for b in batches {
+            merged.append(b);
+            batch_ends.push(base + merged.count() as u64 - 1);
+        }
         if self.inner.opts.wal {
             if ws.wal_poisoned {
                 self.rotate_poisoned_wal(ws)?;
             }
             if let Some(wal) = ws.wal.as_mut() {
-                wal.add_record(&batch.encode(base))?;
+                wal.add_record(&merged.encode(base))?;
                 if sync {
                     if let Err(e) = wal.sync() {
                         // fsyncgate: this WAL's unsynced tail may never
@@ -478,16 +635,36 @@ impl Lsm {
             }
         }
         let mem = self.inner.mem.read().clone();
-        for (i, e) in batch.entries().iter().enumerate() {
+        for (i, e) in merged.entries().iter().enumerate() {
             mem.insert(&e.key, base + i as u64, e.vtype, e.value.clone());
         }
         self.inner
             .seq
-            .store(base + batch.count() as u64 - 1, Ordering::SeqCst);
+            .store(base + merged.count() as u64 - 1, Ordering::SeqCst);
+
+        let c = &self.inner.counters;
+        c.group_commit_groups.fetch_add(1, Ordering::Relaxed);
+        c.group_commit_batches
+            .fetch_add(group_len, Ordering::Relaxed);
+        c.group_commit_max_group
+            .fetch_max(group_len, Ordering::Relaxed);
+        if sync {
+            let riders = syncs.iter().filter(|s| **s).count() as u64;
+            c.group_commit_fsyncs_saved
+                .fetch_add(riders - 1, Ordering::Relaxed);
+        }
+
         if mem.approx_size() >= self.inner.opts.memtable_size {
             self.rotate_memtable(ws)?;
         }
-        Ok(())
+        Ok(batch_ends
+            .into_iter()
+            .map(|seq| WriteReceipt {
+                seq,
+                group_len,
+                synced: sync,
+            })
+            .collect())
     }
 
     fn after_write(&self) -> Result<()> {
@@ -1418,6 +1595,106 @@ mod tests {
     }
 
     #[test]
+    fn write_receipt_reports_range_and_durability() {
+        let db = open(test_opts("db"));
+        let mut b = WriteBatch::new();
+        b.put(b"a", Bytes::from_static(b"1"));
+        b.put(b"b", Bytes::from_static(b"2"));
+        b.delete(b"c");
+        let r = db.write(b).unwrap();
+        assert_eq!(r.seq, db.last_sequence());
+        assert_eq!(r.group_len, 1, "uncontended write is its own group");
+        assert!(r.synced);
+
+        let mut b = WriteBatch::new();
+        b.put(b"d", Bytes::from_static(b"4"));
+        let r2 = db.write_opts(&WriteOptions::with_sync(false), b).unwrap();
+        assert_eq!(r2.seq, r.seq + 1, "ranges stay contiguous");
+        assert!(!r2.synced, "no sync rider in the group");
+
+        let c = db.counters();
+        assert_eq!(c.group_commit_groups.load(Ordering::Relaxed), 2);
+        assert_eq!(c.group_commit_batches.load(Ordering::Relaxed), 2);
+        assert_eq!(c.group_commit_max_group.load(Ordering::Relaxed), 1);
+        assert_eq!(c.group_commit_fsyncs_saved.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn empty_write_receipt_is_inert() {
+        let db = open(test_opts("db"));
+        put(&db, "k", "v");
+        let r = db.write(WriteBatch::new()).unwrap();
+        assert_eq!(r.seq, db.last_sequence());
+        assert_eq!(r.group_len, 0);
+        assert!(!r.synced);
+        assert_eq!(
+            db.counters().group_commit_groups.load(Ordering::Relaxed),
+            1,
+            "empty batches never reach the commit queue"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_form_groups_with_contiguous_ranges() {
+        let db = Arc::new(open(test_opts("db")));
+        let threads = 8;
+        let per_thread = 50;
+        let receipts: Vec<(usize, usize, WriteReceipt)> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let db = db.clone();
+                handles.push(s.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..per_thread {
+                        let mut b = WriteBatch::new();
+                        b.put(
+                            format!("t{t:02}k{i:03}").as_bytes(),
+                            Bytes::from(vec![t as u8; 32]),
+                        );
+                        b.put(
+                            format!("t{t:02}k{i:03}x").as_bytes(),
+                            Bytes::from(vec![i as u8; 32]),
+                        );
+                        let opts = WriteOptions::with_sync(i % 2 == 0);
+                        out.push((t, i, db.write_opts(&opts, b).unwrap()));
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Every batch owns a contiguous 2-sequence range ending at its
+        // receipt seq; across all writers the end sequences are unique
+        // and the ranges tile [first, last] without overlap.
+        let mut ends: Vec<SeqNo> = receipts.iter().map(|(_, _, r)| r.seq).collect();
+        ends.sort_unstable();
+        ends.dedup();
+        assert_eq!(ends.len(), threads * per_thread, "no duplicated ranges");
+        for pair in ends.windows(2) {
+            assert_eq!(pair[1] - pair[0], 2, "2-entry batches tile the range");
+        }
+        // No lost keys: every written key resolves to its value.
+        for (t, i, _) in &receipts {
+            match db.get(format!("t{t:02}k{i:03}").as_bytes()).unwrap() {
+                LsmReadResult::Found { value, .. } => {
+                    assert_eq!(&value[..], &vec![*t as u8; 32][..]);
+                }
+                other => panic!("t{t} i{i}: {other:?}"),
+            }
+        }
+        let c = db.counters();
+        let batches = c.group_commit_batches.load(Ordering::Relaxed);
+        assert_eq!(batches, (threads * per_thread) as u64);
+        assert!(
+            c.group_commit_groups.load(Ordering::Relaxed) <= batches,
+            "groups can never exceed batches"
+        );
+    }
+
+    #[test]
     fn put_get_delete_within_memtable() {
         let db = open(test_opts("db"));
         put(&db, "k1", "v1");
@@ -1651,18 +1928,21 @@ mod tests {
         // k2 gets overwritten by the user before GC write-back.
         put(&db, "k2", "user-update");
         let applied = db
-            .write_guarded(&[
-                GuardedWrite {
-                    key: b"k1".to_vec(),
-                    expected: old_ref,
-                    replacement: new_ref,
-                },
-                GuardedWrite {
-                    key: b"k2".to_vec(),
-                    expected: old_ref,
-                    replacement: new_ref,
-                },
-            ])
+            .write_guarded(
+                &WriteOptions::default(),
+                &[
+                    GuardedWrite {
+                        key: b"k1".to_vec(),
+                        expected: old_ref,
+                        replacement: new_ref,
+                    },
+                    GuardedWrite {
+                        key: b"k2".to_vec(),
+                        expected: old_ref,
+                        replacement: new_ref,
+                    },
+                ],
+            )
             .unwrap();
         assert_eq!(applied, 1, "only k1 still points at the old ref");
         match db.get(b"k1").unwrap() {

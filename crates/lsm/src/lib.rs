@@ -33,7 +33,7 @@ pub mod version;
 pub mod view;
 pub mod wal;
 
-pub use batch::WriteBatch;
+pub use batch::{WriteBatch, WriteOptions, WriteReceipt};
 pub use db::{GuardedWrite, Lsm, LsmReadResult};
 pub use hooks::{
     DropCause, FileNumAlloc, JobKind, NewValueFile, ValueEditBundle, ValueHook, ValueSession,

@@ -31,6 +31,7 @@ const LAST: u8 = 4;
 pub struct LogWriter {
     file: Box<dyn WritableFile>,
     block_offset: usize,
+    syncs: u64,
 }
 
 impl LogWriter {
@@ -39,6 +40,7 @@ impl LogWriter {
         LogWriter {
             file,
             block_offset: 0,
+            syncs: 0,
         }
     }
 
@@ -87,7 +89,16 @@ impl LogWriter {
 
     /// Durably sync the log.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync()
+        self.file.sync()?;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Successful syncs issued on this log. Group commit amortizes one
+    /// fsync across every `sync = true` rider in a group; tests assert
+    /// the amortization through this counter.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     /// Bytes written so far.

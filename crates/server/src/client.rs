@@ -4,11 +4,15 @@
 //! (send a frame, read the reply). Error frames come back as typed
 //! [`Error`]s via [`WireCode::to_error`], so `err.is_read_only()`
 //! detects a degraded server and [`WireCode::of`] recovers the exact
-//! wire code (`RATE_LIMITED`, `PIN_EXPIRED`, ...) client-side.
+//! wire code (`RATE_LIMITED`, `PIN_EXPIRED`, ...) client-side. Writes
+//! return the engine's [`WriteReceipt`] reconstructed from the
+//! [`Response::Written`] frame, so a caller can check `synced` (and
+//! observe group-commit amortization through `group_len`) end to end.
 
 use crate::protocol::{
     read_frame, write_frame, BatchOp, Request, Response, WireCode, DEFAULT_MAX_FRAME,
 };
+use scavenger::WriteReceipt;
 use scavenger_util::{Error, Result};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -52,6 +56,22 @@ impl Client {
         }
     }
 
+    fn expect_written(resp: Response) -> Result<WriteReceipt> {
+        match resp {
+            Response::Written {
+                seq,
+                group_len,
+                synced,
+            } => Ok(WriteReceipt {
+                seq,
+                group_len,
+                synced,
+            }),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         match self.request(&Request::Ping)? {
@@ -82,25 +102,44 @@ impl Client {
         }
     }
 
-    /// Insert or overwrite one key.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+    /// Insert or overwrite one key (durable: `sync = true`).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<WriteReceipt> {
+        self.put_sync(key, value, true)
+    }
+
+    /// Insert or overwrite one key with an explicit sync flag.
+    pub fn put_sync(&mut self, key: &[u8], value: &[u8], sync: bool) -> Result<WriteReceipt> {
         let resp = self.request(&Request::Put {
             key: key.to_vec(),
             value: value.to_vec(),
+            sync,
         })?;
-        Self::expect_done(resp)
+        Self::expect_written(resp)
     }
 
-    /// Delete one key.
-    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
-        let resp = self.request(&Request::Delete { key: key.to_vec() })?;
-        Self::expect_done(resp)
+    /// Delete one key (durable: `sync = true`).
+    pub fn delete(&mut self, key: &[u8]) -> Result<WriteReceipt> {
+        self.delete_sync(key, true)
     }
 
-    /// Apply an atomic batch.
-    pub fn write(&mut self, ops: Vec<BatchOp>) -> Result<()> {
-        let resp = self.request(&Request::Write { ops })?;
-        Self::expect_done(resp)
+    /// Delete one key with an explicit sync flag.
+    pub fn delete_sync(&mut self, key: &[u8], sync: bool) -> Result<WriteReceipt> {
+        let resp = self.request(&Request::Delete {
+            key: key.to_vec(),
+            sync,
+        })?;
+        Self::expect_written(resp)
+    }
+
+    /// Apply an atomic batch (durable: `sync = true`).
+    pub fn write(&mut self, ops: Vec<BatchOp>) -> Result<WriteReceipt> {
+        self.write_sync(ops, true)
+    }
+
+    /// Apply an atomic batch with an explicit sync flag.
+    pub fn write_sync(&mut self, ops: Vec<BatchOp>, sync: bool) -> Result<WriteReceipt> {
+        let resp = self.request(&Request::Write { ops, sync })?;
+        Self::expect_written(resp)
     }
 
     /// Bounded scan; collects the streamed chunks into one vector.

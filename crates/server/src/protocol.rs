@@ -202,16 +202,24 @@ pub enum Request {
         key: Vec<u8>,
         /// Value bytes.
         value: Vec<u8>,
+        /// Require the commit to be fsync-covered before replying
+        /// (rides the engine's group-commit path: one fsync may cover
+        /// many concurrent writers).
+        sync: bool,
     },
     /// Delete one key.
     Delete {
         /// User key.
         key: Vec<u8>,
+        /// Require the commit to be fsync-covered before replying.
+        sync: bool,
     },
     /// Atomic batch (per shard — the engine's `write_with` contract).
     Write {
         /// Operations applied as one batch.
         ops: Vec<BatchOp>,
+        /// Require the commit to be fsync-covered before replying.
+        sync: bool,
     },
     /// Bounded range scan, streamed back as [`Response::ScanChunk`]
     /// frames (the last one has `last = true`).
@@ -253,8 +261,20 @@ pub enum Response {
         /// The value, or `None` if the key is absent/deleted.
         value: Option<Vec<u8>>,
     },
-    /// Generic success (writes, flush, snapshot close, shutdown ack).
+    /// Generic success (flush, snapshot close, shutdown ack).
     Done,
+    /// Reply to a write ([`Request::Put`] / [`Request::Delete`] /
+    /// [`Request::Write`]): the engine's
+    /// [`WriteReceipt`](scavenger::WriteReceipt) on the wire.
+    Written {
+        /// Highest sequence number the write landed at (max across
+        /// shards on a sharded engine).
+        seq: u64,
+        /// Writer batches sharing the commit group (max across shards).
+        group_len: u64,
+        /// True if the commit was covered by an fsync before replying.
+        synced: bool,
+    },
     /// One chunk of a streamed scan.
     ScanChunk {
         /// Key/value pairs in key order.
@@ -332,6 +352,7 @@ const OP_SCAN_CHUNK: u8 = 0x84;
 const OP_SNAP_ID: u8 = 0x85;
 const OP_STATS_TEXT: u8 = 0x86;
 const OP_GC_DONE: u8 = 0x87;
+const OP_WRITTEN: u8 = 0x88;
 const OP_ERR: u8 = 0xff;
 
 const BATCH_PUT: u8 = 0;
@@ -354,6 +375,14 @@ fn get_u8(src: &mut &[u8]) -> Result<u8> {
     let v = src[0];
     *src = &src[1..];
     Ok(v)
+}
+
+fn get_bool(src: &mut &[u8]) -> Result<bool> {
+    match get_u8(src)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(perr(format!("bad bool tag {t}"))),
+    }
 }
 
 fn get_opt_slice(src: &mut &[u8]) -> Result<Option<Vec<u8>>> {
@@ -393,17 +422,20 @@ impl Request {
                 put_opt_u64(&mut out, snap);
                 put_length_prefixed_slice(&mut out, key);
             }
-            Request::Put { key, value } => {
+            Request::Put { key, value, sync } => {
                 out.push(OP_PUT);
+                out.push(u8::from(*sync));
                 put_length_prefixed_slice(&mut out, key);
                 put_length_prefixed_slice(&mut out, value);
             }
-            Request::Delete { key } => {
+            Request::Delete { key, sync } => {
                 out.push(OP_DELETE);
+                out.push(u8::from(*sync));
                 put_length_prefixed_slice(&mut out, key);
             }
-            Request::Write { ops } => {
+            Request::Write { ops, sync } => {
                 out.push(OP_WRITE);
+                out.push(u8::from(*sync));
                 put_varint32(&mut out, ops.len() as u32);
                 for op in ops {
                     match op {
@@ -455,14 +487,23 @@ impl Request {
                 snap: get_opt_u64(&mut src)?,
                 key: get_length_prefixed_slice(&mut src)?.to_vec(),
             },
-            OP_PUT => Request::Put {
-                key: get_length_prefixed_slice(&mut src)?.to_vec(),
-                value: get_length_prefixed_slice(&mut src)?.to_vec(),
-            },
-            OP_DELETE => Request::Delete {
-                key: get_length_prefixed_slice(&mut src)?.to_vec(),
-            },
+            OP_PUT => {
+                let sync = get_bool(&mut src)?;
+                Request::Put {
+                    key: get_length_prefixed_slice(&mut src)?.to_vec(),
+                    value: get_length_prefixed_slice(&mut src)?.to_vec(),
+                    sync,
+                }
+            }
+            OP_DELETE => {
+                let sync = get_bool(&mut src)?;
+                Request::Delete {
+                    key: get_length_prefixed_slice(&mut src)?.to_vec(),
+                    sync,
+                }
+            }
             OP_WRITE => {
+                let sync = get_bool(&mut src)?;
                 let n = get_varint32(&mut src)?;
                 // Cap pre-allocation by what the body could possibly
                 // hold (1 byte per op minimum) — a lying count must not
@@ -480,7 +521,7 @@ impl Request {
                         t => return Err(perr(format!("bad batch op tag {t}"))),
                     }
                 }
-                Request::Write { ops }
+                Request::Write { ops, sync }
             }
             OP_SCAN => Request::Scan {
                 snap: get_opt_u64(&mut src)?,
@@ -534,6 +575,16 @@ impl Response {
                 put_opt_slice(&mut out, value);
             }
             Response::Done => out.push(OP_DONE),
+            Response::Written {
+                seq,
+                group_len,
+                synced,
+            } => {
+                out.push(OP_WRITTEN);
+                put_varint64(&mut out, *seq);
+                put_varint64(&mut out, *group_len);
+                out.push(u8::from(*synced));
+            }
             Response::ScanChunk { entries, last } => {
                 out.push(OP_SCAN_CHUNK);
                 out.push(u8::from(*last));
@@ -582,12 +633,13 @@ impl Response {
                 value: get_opt_slice(&mut src)?,
             },
             OP_DONE => Response::Done,
+            OP_WRITTEN => Response::Written {
+                seq: get_varint64(&mut src)?,
+                group_len: get_varint64(&mut src)?,
+                synced: get_bool(&mut src)?,
+            },
             OP_SCAN_CHUNK => {
-                let last = match get_u8(&mut src)? {
-                    0 => false,
-                    1 => true,
-                    t => return Err(perr(format!("bad bool tag {t}"))),
-                };
+                let last = get_bool(&mut src)?;
                 let n = get_varint32(&mut src)?;
                 let mut entries = Vec::with_capacity((n as usize).min(src.len()));
                 for _ in 0..n {
@@ -849,9 +901,14 @@ mod tests {
             Just(Request::RunGc),
             Just(Request::Stats),
             Just(Request::Shutdown),
-            bytes_strategy().prop_map(|key| Request::Delete { key }),
-            (bytes_strategy(), bytes_strategy())
-                .prop_map(|(key, value)| Request::Put { key, value }),
+            (bytes_strategy(), proptest::strategy::any::<bool>())
+                .prop_map(|(key, sync)| Request::Delete { key, sync }),
+            (
+                bytes_strategy(),
+                bytes_strategy(),
+                proptest::strategy::any::<bool>()
+            )
+                .prop_map(|(key, value, sync)| Request::Put { key, value, sync }),
             (proptest::strategy::any::<bool>(), bytes_strategy()).prop_map(|(pinned, key)| {
                 Request::Get {
                     snap: pinned.then_some(42),
@@ -859,21 +916,26 @@ mod tests {
                 }
             }),
             proptest::strategy::any::<u64>().prop_map(|id| Request::SnapClose { id }),
-            proptest::collection::vec((bytes_strategy(), bytes_strategy()), 0..8).prop_map(|kvs| {
-                Request::Write {
-                    ops: kvs
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, (key, value))| {
-                            if i % 3 == 0 {
-                                BatchOp::Delete { key }
-                            } else {
-                                BatchOp::Put { key, value }
-                            }
-                        })
-                        .collect(),
-                }
-            }),
+            (
+                proptest::collection::vec((bytes_strategy(), bytes_strategy()), 0..8),
+                proptest::strategy::any::<bool>()
+            )
+                .prop_map(|(kvs, sync)| {
+                    Request::Write {
+                        ops: kvs
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, (key, value))| {
+                                if i % 3 == 0 {
+                                    BatchOp::Delete { key }
+                                } else {
+                                    BatchOp::Put { key, value }
+                                }
+                            })
+                            .collect(),
+                        sync,
+                    }
+                }),
             (
                 proptest::strategy::any::<bool>(),
                 bytes_strategy(),
@@ -897,6 +959,16 @@ mod tests {
             Just(Response::Value { value: None }),
             bytes_strategy().prop_map(|v| Response::Value { value: Some(v) }),
             proptest::strategy::any::<u64>().prop_map(|id| Response::SnapId { id }),
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<bool>()
+            )
+                .prop_map(|(seq, group_len, synced)| Response::Written {
+                    seq,
+                    group_len,
+                    synced,
+                }),
             (
                 proptest::strategy::any::<bool>(),
                 proptest::collection::vec((bytes_strategy(), bytes_strategy()), 0..8)

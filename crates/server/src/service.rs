@@ -30,7 +30,7 @@ use crate::metrics::{render_metrics, ServerMetrics};
 use crate::pins::PinTable;
 use crate::protocol::{write_frame, FrameBuffer, Request, Response, WireCode, DEFAULT_MAX_FRAME};
 use crate::rate_limit::TokenBucket;
-use scavenger::{Bytes, Engine, PinnedReader, WriteBatch};
+use scavenger::{Bytes, Engine, PinnedReader, WriteBatch, WriteOptions, WriteReceipt};
 use scavenger_util::{Error, Result};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -384,6 +384,15 @@ fn send(stream: &mut TcpStream, resp: &Response) -> Result<()> {
     write_frame(stream, &resp.encode())
 }
 
+/// Put the engine's [`WriteReceipt`] on the wire.
+fn written(r: WriteReceipt) -> Response {
+    Response::Written {
+        seq: r.seq,
+        group_len: r.group_len,
+        synced: r.synced,
+    }
+}
+
 /// True if this op consumes rate-limit tokens (the data plane; control
 /// and observability ops stay reachable on a saturated server).
 fn is_data_op(req: &Request) -> bool {
@@ -440,8 +449,10 @@ where
 /// total key bytes for batches, lower-bound length for scans.
 fn request_key_bytes(req: &Request) -> usize {
     match req {
-        Request::Get { key, .. } | Request::Put { key, .. } | Request::Delete { key } => key.len(),
-        Request::Write { ops } => ops
+        Request::Get { key, .. } | Request::Put { key, .. } | Request::Delete { key, .. } => {
+            key.len()
+        }
+        Request::Write { ops, .. } => ops
             .iter()
             .map(|op| match op {
                 crate::protocol::BatchOp::Put { key, .. }
@@ -494,21 +505,23 @@ where
             };
             ok(resp, stream)
         }
-        Request::Put { key, value } => {
-            let resp = match shared.engine.put(&key, Bytes::from(value)) {
-                Ok(()) => Response::Done,
+        Request::Put { key, value, sync } => {
+            let opts = WriteOptions::with_sync(sync);
+            let resp = match shared.engine.put_with(&opts, &key, Bytes::from(value)) {
+                Ok(r) => written(r),
                 Err(e) => Response::from_error(&e),
             };
             ok(resp, stream)
         }
-        Request::Delete { key } => {
-            let resp = match shared.engine.delete(&key) {
-                Ok(()) => Response::Done,
+        Request::Delete { key, sync } => {
+            let opts = WriteOptions::with_sync(sync);
+            let resp = match shared.engine.delete_with(&opts, &key) {
+                Ok(r) => written(r),
                 Err(e) => Response::from_error(&e),
             };
             ok(resp, stream)
         }
-        Request::Write { ops } => {
+        Request::Write { ops, sync } => {
             let mut batch = WriteBatch::new();
             for op in ops {
                 match op {
@@ -518,8 +531,9 @@ where
                     crate::protocol::BatchOp::Delete { key } => batch.delete(key),
                 }
             }
-            let resp = match shared.engine.write(batch) {
-                Ok(()) => Response::Done,
+            let opts = WriteOptions::with_sync(sync);
+            let resp = match shared.engine.write_with(&opts, batch) {
+                Ok(r) => written(r),
                 Err(e) => Response::from_error(&e),
             };
             ok(resp, stream)

@@ -39,13 +39,15 @@ use scavenger_workload::KvStore;
 
 impl<E: KvRead + KvWrite> KvStore for Adapter<'_, E> {
     fn put(&self, key: &[u8], value: &[u8]) -> scavenger::Result<()> {
-        self.0.put_with(&self.1, key, value.to_vec().into())
+        self.0
+            .put_with(&self.1, key, value.to_vec().into())
+            .map(|_| ())
     }
     fn get(&self, key: &[u8]) -> scavenger::Result<Option<Vec<u8>>> {
         Ok(self.0.get(key)?.map(|b| b.to_vec()))
     }
     fn delete(&self, key: &[u8]) -> scavenger::Result<()> {
-        self.0.delete_with(&self.1, key)
+        self.0.delete_with(&self.1, key).map(|_| ())
     }
     fn scan(&self, start: &[u8], limit: usize) -> scavenger::Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let opts = ReadOptions {

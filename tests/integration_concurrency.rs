@@ -196,9 +196,12 @@ fn snapshot_isolation_under_concurrent_churn() {
     churn.join().unwrap();
     let v = snap.get("k037").unwrap().unwrap();
     assert_eq!(decode(&v), (37, 0));
-    // The legacy sequence-based entry point agrees while the snapshot
-    // keeps the sequence registered.
-    let v = db.get_at("k037", snap.sequence()).unwrap().unwrap();
+    // The pinned-options entry point agrees with the snapshot's own
+    // read surface.
+    let v = db
+        .get_with(&ReadOptions::pinned(&snap), "k037")
+        .unwrap()
+        .unwrap();
     assert_eq!(decode(&v), (37, 0));
     drop(snap);
 }

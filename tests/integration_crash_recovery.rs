@@ -83,21 +83,25 @@ fn apply_op<E: Engine>(db: &E, op: &CrashOp) -> scavenger::Result<()> {
             stamp,
             len,
             sync,
-        } => db.put_with(
-            &WriteOptions {
-                sync,
-                ..Default::default()
-            },
-            &crash::key_bytes(key),
-            crash::value_bytes(key, stamp, len).into(),
-        ),
-        CrashOp::Delete { key, sync } => db.delete_with(
-            &WriteOptions {
-                sync,
-                ..Default::default()
-            },
-            &crash::key_bytes(key),
-        ),
+        } => db
+            .put_with(
+                &WriteOptions {
+                    sync,
+                    ..Default::default()
+                },
+                &crash::key_bytes(key),
+                crash::value_bytes(key, stamp, len).into(),
+            )
+            .map(|_| ()),
+        CrashOp::Delete { key, sync } => db
+            .delete_with(
+                &WriteOptions {
+                    sync,
+                    ..Default::default()
+                },
+                &crash::key_bytes(key),
+            )
+            .map(|_| ()),
         CrashOp::Flush => db.flush(),
         CrashOp::Gc => db.run_gc().map(|_| ()),
     }

@@ -12,13 +12,13 @@ struct Store<'a>(&'a Db);
 
 impl KvStore for Store<'_> {
     fn put(&self, key: &[u8], value: &[u8]) -> scavenger::Result<()> {
-        self.0.put(key, value.to_vec())
+        self.0.put(key, value.to_vec()).map(|_| ())
     }
     fn get(&self, key: &[u8]) -> scavenger::Result<Option<Vec<u8>>> {
         Ok(self.0.get(key)?.map(|b| b.to_vec()))
     }
     fn delete(&self, key: &[u8]) -> scavenger::Result<()> {
-        self.0.delete(key)
+        self.0.delete(key).map(|_| ())
     }
     fn scan(&self, start: &[u8], limit: usize) -> scavenger::Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut it = self.0.scan(start, None)?;

@@ -39,11 +39,20 @@ type Survivor = (Vec<u8>, Vec<u8>, Option<Vec<u8>>);
 /// observable result of hot/cold routing and write batching.
 type FileSet = Vec<(u64, bool, u64, u64)>;
 
-fn surviving_records(db: &Db, snap_seq: u64) -> Vec<Survivor> {
+fn surviving_records(db: &Db, snap: Option<&scavenger::Snapshot>) -> Vec<Survivor> {
     let mut out = Vec::new();
     let mut it = db.scan(b"", None).unwrap();
     while let Some(e) = it.next_entry().unwrap() {
-        let snap_view = db.get_at(&e.key, snap_seq).unwrap().map(|b| b.to_vec());
+        // Pinned read through the snapshot when one is held; otherwise
+        // the latest state (nothing writes concurrently here, so that
+        // is the same epoch the scan observed).
+        let snap_view = match snap {
+            Some(s) => db
+                .get_with(&scavenger::ReadOptions::pinned(s), &e.key)
+                .unwrap(),
+            None => db.get(&e.key).unwrap(),
+        }
+        .map(|b| b.to_vec());
         out.push((e.key, e.value.to_vec(), snap_view));
     }
     out
@@ -106,11 +115,7 @@ fn run_workload(
         assert!(outcomes.len() < 256, "runaway GC");
     }
 
-    let snap_seq = snap
-        .as_ref()
-        .map(|s| s.sequence())
-        .unwrap_or_else(|| db.lsm().last_sequence());
-    let survivors = surviving_records(&db, snap_seq);
+    let survivors = surviving_records(&db, snap.as_ref());
     let files = value_file_set(&db);
     drop(snap);
     (outcomes, survivors, files)
@@ -406,7 +411,9 @@ fn replay(
                 )
                 .unwrap();
             }
-            Op::Delete(k) => db.delete(format!("key{k:03}")).unwrap(),
+            Op::Delete(k) => {
+                db.delete(format!("key{k:03}")).unwrap();
+            }
             Op::Snapshot => snapshots.push(db.snapshot()),
             Op::DropSnapshot => {
                 snapshots.pop();
@@ -422,11 +429,7 @@ fn replay(
         }
     }
     db.flush().unwrap();
-    let snap_seq = snapshots
-        .first()
-        .map(|s| s.sequence())
-        .unwrap_or_else(|| db.lsm().last_sequence());
-    let survivors = surviving_records(&db, snap_seq);
+    let survivors = surviving_records(&db, snapshots.first());
     let files = value_file_set(&db);
     drop(snapshots);
     (outcomes, survivors, files)

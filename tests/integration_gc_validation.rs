@@ -30,11 +30,19 @@ type Survivor = (Vec<u8>, Vec<u8>, Option<Vec<u8>>);
 
 /// The full engine-observable state a read can distinguish: every live
 /// `(key, value)` pair via scan, plus the snapshot's view of every key.
-fn surviving_records(db: &Db, snap_seq: u64) -> Vec<Survivor> {
+fn surviving_records(db: &Db, snap: Option<&scavenger::Snapshot>) -> Vec<Survivor> {
     let mut out = Vec::new();
     let mut it = db.scan(b"", None).unwrap();
     while let Some(e) = it.next_entry().unwrap() {
-        let snap_view = db.get_at(&e.key, snap_seq).unwrap().map(|b| b.to_vec());
+        // Pinned read through the snapshot when one is held; the latest
+        // state otherwise (nothing writes concurrently here).
+        let snap_view = match snap {
+            Some(s) => db
+                .get_with(&scavenger::ReadOptions::pinned(s), &e.key)
+                .unwrap(),
+            None => db.get(&e.key).unwrap(),
+        }
+        .map(|b| b.to_vec());
         out.push((e.key, e.value.to_vec(), snap_view));
     }
     out
@@ -90,11 +98,7 @@ fn run_workload(mode: EngineMode, validate: GcValidateMode) -> (Vec<GcOutcome>, 
         assert!(outcomes.len() < 256, "runaway GC");
     }
 
-    let snap_seq = snap
-        .as_ref()
-        .map(|s| s.sequence())
-        .unwrap_or_else(|| db.lsm().last_sequence());
-    let survivors = surviving_records(&db, snap_seq);
+    let survivors = surviving_records(&db, snap.as_ref());
     drop(snap);
     (outcomes, survivors)
 }
@@ -158,7 +162,9 @@ fn snapshot_pinned_records_survive_in_all_modes() {
         db.compact_all().unwrap();
         db.run_gc_until_clean().unwrap();
         assert_eq!(
-            db.get_at("pinned", snap.sequence()).unwrap().unwrap(),
+            db.get_with(&scavenger::ReadOptions::pinned(&snap), "pinned")
+                .unwrap()
+                .unwrap(),
             bytes::Bytes::from(value(1, 4096)),
             "{validate:?}: snapshot version lost"
         );

@@ -152,7 +152,7 @@ where
     let mut accepted = 0;
     for i in 0..60u32 {
         match client.put(format!("rl{i:02}").as_bytes(), b"x") {
-            Ok(()) => accepted += 1,
+            Ok(_) => accepted += 1,
             Err(e) => {
                 assert!(is_rate_limited(&e), "unexpected error class: {e}");
                 rejected += 1;

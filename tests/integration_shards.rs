@@ -92,15 +92,15 @@ enum Snap {
 impl Engine {
     fn put(&self, k: String, v: Vec<u8>) {
         match self {
-            Engine::Single(db) => db.put(k, v).unwrap(),
-            Engine::Sharded(db) => db.put(k, v).unwrap(),
+            Engine::Single(db) => db.put(k, v).map(|_| ()).unwrap(),
+            Engine::Sharded(db) => db.put(k, v).map(|_| ()).unwrap(),
         }
     }
 
     fn delete(&self, k: String) {
         match self {
-            Engine::Single(db) => db.delete(k).unwrap(),
-            Engine::Sharded(db) => db.delete(k).unwrap(),
+            Engine::Single(db) => db.delete(k).map(|_| ()).unwrap(),
+            Engine::Sharded(db) => db.delete(k).map(|_| ()).unwrap(),
         }
     }
 
