@@ -1,0 +1,280 @@
+//! Transaction-commit cost bench: optimistic `Transaction::commit`
+//! against the raw `write_with` batch path it rides on, at 1 and 4
+//! threads and at 0% vs ~10% conflict rates, on a single `Db` and a
+//! 4-shard `DbShards` over a real filesystem.
+//!
+//! The headline numbers are the within-run overhead ratios
+//! (`txn_vs_raw_*`): what read-set validation (plus, on the sharded
+//! handle, the 2PC coordinator) costs relative to an equivalent raw
+//! two-key batch. Ratios of back-to-back measurements on the same
+//! machine largely cancel host effects, which is what CI's regression
+//! guard compares. Conflicted commits retry, so the contended configs
+//! also report how many conflicts the 10% hot-set mix actually forced.
+//!
+//! Writes `<workspace>/BENCH_txn.json` (override with `TXN_JSON`).
+//! Env knobs: `TXN_OPS` (committed txns per config, default 3000),
+//! `TXN_DIR` (scratch dir, default under the system temp dir).
+
+use criterion::black_box;
+use scavenger::{
+    Db, DbShards, Engine, EngineMode, EnvRef, FsEnv, Options, ShardedOptions, Transactional,
+    WriteBatch, WriteOptions,
+};
+use std::io::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const HOT_KEYS: u32 = 4;
+const COLD_KEYS: u32 = 64;
+
+fn opts(env: EnvRef, dir: &str) -> Options {
+    let mut o = Options::new(env, dir, EngineMode::Scavenger);
+    o.inline_background = false;
+    o.auto_gc = false;
+    o
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hot_key(j: u32) -> Vec<u8> {
+    format!("hot{j:02}").into_bytes()
+}
+
+fn cold_key(thread: usize, j: u32) -> Vec<u8> {
+    format!("c{thread:02}-{j:04}").into_bytes()
+}
+
+fn seed_keys<E: Engine>(db: &E, threads: usize) {
+    for j in 0..HOT_KEYS {
+        db.put(&hot_key(j), 0u64.to_le_bytes().to_vec().into())
+            .unwrap();
+    }
+    for t in 0..threads {
+        for j in 0..COLD_KEYS {
+            db.put(&cold_key(t, j), 0u64.to_le_bytes().to_vec().into())
+                .unwrap();
+        }
+    }
+}
+
+/// The two keys transaction number `i` of `thread` touches:
+/// from the shared hot set with probability `conflict_pct`%, else from
+/// the thread's private range (0% cross-thread conflict).
+fn pick_keys(rng: &mut u64, thread: usize, conflict_pct: u64) -> (Vec<u8>, Vec<u8>) {
+    if splitmix64(rng) % 100 < conflict_pct {
+        let a = (splitmix64(rng) % u64::from(HOT_KEYS)) as u32;
+        let b = (a + 1 + (splitmix64(rng) % u64::from(HOT_KEYS - 1)) as u32) % HOT_KEYS;
+        (hot_key(a), hot_key(b))
+    } else {
+        let a = (splitmix64(rng) % u64::from(COLD_KEYS)) as u32;
+        let b = (a + 1 + (splitmix64(rng) % u64::from(COLD_KEYS - 1)) as u32) % COLD_KEYS;
+        (cold_key(thread, a), cold_key(thread, b))
+    }
+}
+
+/// Commit `per_thread` transactions per thread (read two counters,
+/// write both back bumped), retrying conflicts. Returns (ns per
+/// committed txn, total conflicts).
+fn bench_txn<E: Engine + Transactional + Send + Sync>(
+    db: &E,
+    threads: usize,
+    conflict_pct: u64,
+    per_thread: usize,
+) -> (f64, u64) {
+    let wo = WriteOptions::with_sync(false);
+    let barrier = Barrier::new(threads);
+    let t = Instant::now();
+    let conflicts: u64 = std::thread::scope(|s| {
+        let workers: Vec<_> =
+            (0..threads)
+                .map(|w| {
+                    let db = db.clone();
+                    let barrier = &barrier;
+                    let wo = &wo;
+                    s.spawn(move || {
+                        let mut rng = 0xbe7c ^ (w as u64) << 40 ^ conflict_pct << 8;
+                        let mut conflicts = 0u64;
+                        barrier.wait();
+                        for _ in 0..per_thread {
+                            let (ka, kb) = pick_keys(&mut rng, w, conflict_pct);
+                            loop {
+                                let mut txn = db.begin();
+                                let va = txn.get(&ka).unwrap().map_or(0, |v| {
+                                    u64::from_le_bytes(v.as_ref().try_into().unwrap())
+                                });
+                                let vb = txn.get(&kb).unwrap().map_or(0, |v| {
+                                    u64::from_le_bytes(v.as_ref().try_into().unwrap())
+                                });
+                                txn.put(&ka, (va + 1).to_le_bytes().to_vec());
+                                txn.put(&kb, (vb + 1).to_le_bytes().to_vec());
+                                match txn.commit_with(wo) {
+                                    Ok(r) => {
+                                        black_box(r);
+                                        break;
+                                    }
+                                    Err(e) if e.is_txn_conflict() => conflicts += 1,
+                                    Err(e) => panic!("commit failed: {e}"),
+                                }
+                            }
+                        }
+                        conflicts
+                    })
+                })
+                .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+    let ns = t.elapsed().as_nanos() as f64 / (per_thread * threads) as f64;
+    (ns, conflicts)
+}
+
+/// The raw baseline: the same two-key read-modify-write, but through
+/// `get` + `write_with` with no read-set validation — what a caller
+/// would hand-roll without transactions (and without their atomic
+/// conflict safety).
+fn bench_raw<E: Engine + Clone + Send + Sync>(db: &E, threads: usize, per_thread: usize) -> f64 {
+    let wo = WriteOptions::with_sync(false);
+    let barrier = Barrier::new(threads);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let db = db.clone();
+            let barrier = &barrier;
+            let wo = &wo;
+            s.spawn(move || {
+                let mut rng = 0x4a11 ^ (w as u64) << 40;
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let (ka, kb) = pick_keys(&mut rng, w, 0);
+                    let va = db
+                        .get(&ka)
+                        .unwrap()
+                        .map_or(0, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+                    let vb = db
+                        .get(&kb)
+                        .unwrap()
+                        .map_or(0, |v| u64::from_le_bytes(v.as_ref().try_into().unwrap()));
+                    let mut batch = WriteBatch::new();
+                    batch.put(&ka, scavenger::Bytes::from((va + 1).to_le_bytes().to_vec()));
+                    batch.put(&kb, scavenger::Bytes::from((vb + 1).to_le_bytes().to_vec()));
+                    black_box(db.write_with(wo, batch).unwrap());
+                }
+            });
+        }
+    });
+    t.elapsed().as_nanos() as f64 / (per_thread * threads) as f64
+}
+
+fn per_sec(ns: f64) -> f64 {
+    1e9 / ns
+}
+
+fn main() {
+    let ops: usize = std::env::var("TXN_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
+    let scratch = std::env::var("TXN_DIR").unwrap_or_else(|_| {
+        std::env::temp_dir()
+            .join(format!("scavenger-txn-bench-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let env: EnvRef = Arc::new(FsEnv::new(&scratch).expect("open FsEnv"));
+
+    // ---- single Db ----
+    let db = Db::open(opts(env.clone(), "txn-db")).unwrap();
+    seed_keys(&db, 4);
+    let db_raw_w1 = bench_raw(&db, 1, ops);
+    let (db_txn_w1, _) = bench_txn(&db, 1, 0, ops);
+    let (db_txn_w4_c0, db_c0_conflicts) = bench_txn(&db, 4, 0, ops / 4);
+    let (db_txn_w4_c10, db_c10_conflicts) = bench_txn(&db, 4, 10, ops / 4);
+    let db_stats = db.stats();
+    drop(db);
+
+    // ---- 4-shard DbShards ----
+    let mut so = ShardedOptions::new(env.clone(), "txn-shards", EngineMode::Scavenger);
+    so.base = opts(env, "txn-shards");
+    so.num_shards = 4;
+    let shards = DbShards::open(so).unwrap();
+    seed_keys(&shards, 4);
+    let sh_raw_w1 = bench_raw(&shards, 1, ops);
+    let (sh_txn_w1, _) = bench_txn(&shards, 1, 0, ops);
+    let (sh_txn_w4_c0, _) = bench_txn(&shards, 4, 0, ops / 4);
+    let (sh_txn_w4_c10, sh_c10_conflicts) = bench_txn(&shards, 4, 10, ops / 4);
+    let sh_stats = shards.stats();
+    drop(shards);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Within-run overhead ratios (throughput, txn relative to raw).
+    let db_overhead = db_txn_w1 / db_raw_w1;
+    let sh_overhead = sh_txn_w1 / sh_raw_w1;
+    println!(
+        "txn[db]: raw 1t {:.0}/s; txn 1t {:.0}/s ({db_overhead:.2}x raw cost), \
+         4t c0 {:.0}/s, 4t c10 {:.0}/s ({db_c10_conflicts} conflicts)",
+        per_sec(db_raw_w1),
+        per_sec(db_txn_w1),
+        per_sec(db_txn_w4_c0),
+        per_sec(db_txn_w4_c10),
+    );
+    println!(
+        "txn[shards4]: raw 1t {:.0}/s; txn 1t {:.0}/s ({sh_overhead:.2}x raw cost), \
+         4t c0 {:.0}/s, 4t c10 {:.0}/s ({sh_c10_conflicts} conflicts); \
+         {} 2PC commits, {} txn conflicts counted",
+        per_sec(sh_raw_w1),
+        per_sec(sh_txn_w1),
+        per_sec(sh_txn_w4_c0),
+        per_sec(sh_txn_w4_c10),
+        sh_stats.txn_2pc_commits,
+        sh_stats.txn_conflicts,
+    );
+    assert_eq!(
+        db_c0_conflicts, 0,
+        "disjoint per-thread key ranges must never conflict"
+    );
+
+    let path = std::env::var("TXN_JSON").unwrap_or_else(|_| {
+        let root = std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| format!("{d}/../.."))
+            .unwrap_or_else(|_| ".".into());
+        format!("{root}/BENCH_txn.json")
+    });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"txn\",\n  \"cores\": {cores},\n  \"ops\": {ops},\n  \
+         \"txns_per_sec\": {{\n    \
+         \"db_raw_w1\": {:.0},\n    \"db_txn_w1\": {:.0},\n    \
+         \"db_txn_w4_c0\": {:.0},\n    \"db_txn_w4_c10\": {:.0},\n    \
+         \"shards4_raw_w1\": {:.0},\n    \"shards4_txn_w1\": {:.0},\n    \
+         \"shards4_txn_w4_c0\": {:.0},\n    \"shards4_txn_w4_c10\": {:.0}\n  }},\n  \
+         \"txn_cost_vs_raw\": {{\n    \"db_w1\": {db_overhead:.2},\n    \
+         \"shards4_w1\": {sh_overhead:.2}\n  }},\n  \
+         \"conflicts\": {{\n    \"db_w4_c10\": {db_c10_conflicts},\n    \
+         \"shards4_w4_c10\": {sh_c10_conflicts}\n  }},\n  \
+         \"counters\": {{\n    \"db_txn_commits\": {},\n    \
+         \"shards4_txn_commits\": {},\n    \"shards4_txn_2pc_commits\": {}\n  }}\n}}\n",
+        per_sec(db_raw_w1),
+        per_sec(db_txn_w1),
+        per_sec(db_txn_w4_c0),
+        per_sec(db_txn_w4_c10),
+        per_sec(sh_raw_w1),
+        per_sec(sh_txn_w1),
+        per_sec(sh_txn_w4_c0),
+        per_sec(sh_txn_w4_c10),
+        db_stats.txn_commits,
+        sh_stats.txn_commits,
+        sh_stats.txn_2pc_commits,
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("txn: baseline written to {path}"),
+        Err(e) => eprintln!("txn: failed to write {path}: {e}"),
+    }
+}

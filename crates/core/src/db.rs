@@ -7,6 +7,7 @@ use crate::hook::{EngineHook, HookConfig};
 use crate::options::{EngineMode, GcScheme, Options};
 use crate::stats::{DbStats, GcStats, SpaceBreakdown};
 use crate::throttle::{Throttle, MAX_THROTTLE_ROUNDS};
+use crate::txn::TxnCounters;
 use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use crate::vstore::ValueStore;
 use bytes::Bytes;
@@ -14,7 +15,7 @@ use parking_lot::Mutex;
 use scavenger_lsm::filename::{parse_path, FileKind};
 use scavenger_lsm::{Lsm, LsmReadResult, ValueEditBundle, WriteBatch};
 use scavenger_table::btable::BlockCache;
-use scavenger_util::ikey::{ValueRef, ValueType};
+use scavenger_util::ikey::{SeqNo, ValueRef, ValueType};
 use scavenger_util::{Error, Result};
 use std::sync::Arc;
 
@@ -42,6 +43,8 @@ pub(crate) struct DbInner {
     /// Byte credits for paced auto-GC (see `Options::gc_bandwidth_factor`).
     gc_credits: Mutex<i64>,
     cache: Arc<BlockCache>,
+    /// Optimistic-transaction commit/conflict counters.
+    txn: TxnCounters,
 }
 
 impl DbInner {
@@ -183,6 +186,7 @@ impl Db {
                 gc_lock: Mutex::new(()),
                 gc_credits: Mutex::new(0),
                 cache,
+                txn: TxnCounters::default(),
             }),
         })
     }
@@ -242,6 +246,34 @@ impl Db {
         }
         self.post_write_maintenance()?;
         Ok(receipt)
+    }
+
+    /// Validate a transaction's read set under the LSM writer lock and,
+    /// if every read is still current, commit its write buffer through
+    /// the group-commit path. Backing for
+    /// [`Transactional::txn_commit`](crate::Transactional).
+    pub(crate) fn txn_commit_raw(
+        &self,
+        reads: &[(Vec<u8>, SeqNo)],
+        batch: WriteBatch,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt> {
+        if !opts.disable_throttle {
+            self.enforce_space_limit()?;
+        }
+        match self.inner.lsm.write_validated(opts, batch, reads) {
+            Ok(receipt) => {
+                self.inner.txn.committed();
+                self.post_write_maintenance()?;
+                Ok(receipt)
+            }
+            Err(e) => {
+                if e.is_txn_conflict() {
+                    self.inner.txn.conflicted();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// The usage the throttle compares against the space limit: this
@@ -634,6 +666,11 @@ impl Db {
             group_commit_fsyncs_saved: counters
                 .group_commit_fsyncs_saved
                 .load(std::sync::atomic::Ordering::Relaxed),
+            txn_commits: inner.txn.commits(),
+            txn_conflicts: inner.txn.conflicts(),
+            // Single-handle stores never touch the 2PC coordinator.
+            txn_2pc_commits: 0,
+            txn_2pc_rollforwards: 0,
         }
     }
 

@@ -202,7 +202,7 @@ pub trait KvRead {
 ///     let mut batch = WriteBatch::new();
 ///     batch.put("a", scavenger::Bytes::from(vec![1u8; 600]));
 ///     batch.put("b", scavenger::Bytes::from_static(b"inline"));
-///     db.write(batch)?; // atomic per shard — see `write_with`
+///     db.write(batch)?; // atomic even across shards — see `write_with`
 ///     db.delete(b"a")
 /// }
 ///
@@ -240,20 +240,23 @@ pub trait KvWrite {
     ///
     /// # Atomicity
     ///
-    /// A batch is atomic **per shard**, not globally: a single [`Db`]
-    /// applies the whole batch in one WAL record, while a [`DbShards`]
-    /// splits it by routing and commits each sub-batch to its shard
-    /// independently — a crash between sub-batch commits can land a
-    /// multi-shard batch partially, exactly like writing to N separate
-    /// stores. Cross-shard crash atomicity (a global WAL epoch or a
-    /// 2PC-style commit record) is a tracked ROADMAP follow-up of the
-    /// shard layer ("Cross-shard batch atomicity is per shard"); until
-    /// it lands, multi-shard writers needing all-or-nothing semantics
-    /// must keep each batch's keys on one shard.
+    /// A batch is atomic on **both** handles, crashes included. A
+    /// single [`Db`] applies it in one WAL record. A [`DbShards`]
+    /// splits it by routing: a batch whose keys all land on one shard
+    /// takes that shard's fast path (one WAL record, zero extra I/O),
+    /// while a multi-shard batch goes through the set's two-phase
+    /// commit coordinator — a synced `Prepare` record carrying the full
+    /// redo payload, the per-shard sub-batch commits (forced durable),
+    /// then a `Commit` record. Recovery replays the coordinator log and
+    /// rolls committed-but-unapplied sub-batches forward, so a crash at
+    /// any point surfaces the whole batch or none of it.
     ///
-    /// A sharded handle returns one aggregate [`WriteReceipt`]: `seq`
-    /// and `group_len` are the maxima across the touched shards, and
-    /// `synced` is true only if every sub-batch commit was synced.
+    /// The price of that guarantee: a multi-shard batch is always
+    /// synced (its receipt reports `synced = true` even under
+    /// `sync = false` options), and its receipt aggregates `seq` as the
+    /// maximum across touched shards with `group_len` summed. A
+    /// single-target batch (and every write on a single [`Db`]) keeps
+    /// the requested sync behavior unchanged.
     fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt>;
 }
 

@@ -69,6 +69,7 @@ pub mod options;
 pub mod shards;
 pub mod stats;
 pub mod throttle;
+pub mod txn;
 pub mod view;
 pub mod vstore;
 
@@ -83,6 +84,7 @@ pub use options::{
 pub use shards::{DbShards, ShardedOptions, ShardedOptionsBuilder, ShardsSnapshot, ShardsView};
 pub use stats::{DbStats, GcStats, GcStepTimes, SpaceBreakdown};
 pub use throttle::Throttle;
+pub use txn::{Transaction, Transactional};
 pub use view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 
 // Re-export the write-batch type (and the byte buffer it carries) so

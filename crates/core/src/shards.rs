@@ -35,14 +35,21 @@
 //! a coordinated set. Each member view is strictly consistent for its
 //! shard; the set is taken at one call site, which is as much cross-shard
 //! ordering as a store without a global sequence can promise —
-//! single-key consistency is exactly [`Db`]'s, and a multi-shard batch
-//! write is atomic per shard, not across shards.
+//! single-key consistency is exactly [`Db`]'s.
+//!
+//! Multi-shard batch writes are **crash-atomic across shards**: a
+//! two-phase-commit coordinator log at the store root records the full
+//! redo payload before any shard is touched, and recovery at open rolls
+//! prepared-but-uncommitted batches forward (see [`crate::txn`]).
+//! Single-shard batches skip the coordinator entirely — the common case
+//! pays zero extra I/O.
 
 use crate::db::{Db, DbScanIter, ScanEntry};
 use crate::engine::GcReport;
 use crate::options::{knob_setters, Options};
 use crate::stats::{DbStats, GcStepTimes, SpaceBreakdown};
 use crate::throttle::Throttle;
+use crate::txn::{Coordinator, TxnCounters};
 use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -242,6 +249,15 @@ struct ShardsInner {
     cache: Arc<BlockCache>,
     /// Cross-shard maintenance fan-out width (from `base.gc_threads`).
     maintenance_threads: usize,
+    /// Two-phase-commit log for multi-shard batches (see [`crate::txn`]).
+    coord: Coordinator,
+    /// Serializes optimistic-transaction commits: validation and apply
+    /// happen under this lock, so committed transactions serialize
+    /// against each other even when they span shards.
+    txn_lock: Mutex<()>,
+    /// Optimistic-transaction commit/conflict counters (shard-set level;
+    /// the per-shard `Db` counters stay zero — commits route here).
+    txn: TxnCounters,
 }
 
 impl ShardsInner {
@@ -351,6 +367,12 @@ impl DbShards {
             shard_opts.space_usage = Some(space_usage.clone());
             shards.push(Db::open(shard_opts)?);
         }
+
+        // All shards are open: complete any multi-shard batch whose 2PC
+        // prepare is durable but whose commit never landed (crash
+        // mid-fan-out), then start a fresh coordinator log.
+        let coord = Coordinator::open(&env, &root, &shards)?;
+
         Ok(DbShards {
             inner: Arc::new(ShardsInner {
                 shards,
@@ -360,6 +382,9 @@ impl DbShards {
                 throttle,
                 cache,
                 maintenance_threads: opts.base.gc_threads.max(1),
+                coord,
+                txn_lock: Mutex::new(()),
+                txn: TxnCounters::default(),
             }),
         })
     }
@@ -433,18 +458,24 @@ impl DbShards {
         self.write_with(&WriteOptions::default(), batch)
     }
 
-    /// Apply a batch: entries are split by shard (preserving per-key
-    /// order) and each sub-batch is applied atomically **to its shard**.
-    /// Atomicity is per shard, not across shards — a crash can land a
-    /// multi-shard batch partially, exactly like writing to N separate
-    /// stores.
+    /// Apply a batch atomically: entries are split by shard (preserving
+    /// per-key order). A batch that lands on **one** shard commits
+    /// through that shard's write path directly — the fast path, zero
+    /// coordination I/O. A batch spanning **multiple** shards commits
+    /// through the two-phase-commit coordinator: the full redo payload
+    /// is fsynced to the coordinator log before any shard is touched,
+    /// every sub-batch is applied with a forced WAL sync, and recovery
+    /// at the next open rolls a prepared-but-uncommitted batch forward
+    /// — so a crash can never surface half the batch durably.
     ///
     /// The returned [`WriteReceipt`] is an aggregate over the touched
     /// shards: sequences are per-shard namespaces, so `seq` and
-    /// `group_len` are the maxima across sub-batch receipts, and
-    /// `synced` is true only if **every** sub-batch commit was covered
-    /// by an fsync. An empty batch returns an inert receipt
-    /// (`group_len == 0`, `synced == false`).
+    /// `group_len` are maxima/sums across sub-batch receipts. A
+    /// multi-shard receipt always reports `synced == true` (the 2PC
+    /// commit record asserts every part is durable, so shard syncs are
+    /// forced regardless of `opts.sync`); a single-shard receipt
+    /// reports whatever its shard's commit did. An empty batch returns
+    /// an inert receipt (`group_len == 0`, `synced == false`).
     pub fn write_with(&self, opts: &WriteOptions, batch: WriteBatch) -> Result<WriteReceipt> {
         let n = self.inner.meta.shards;
         let mut per_shard: Vec<WriteBatch> = (0..n).map(|_| WriteBatch::new()).collect();
@@ -462,26 +493,57 @@ impl DbShards {
                 }
             }
         }
-        let mut agg = WriteReceipt {
-            seq: 0,
-            group_len: 0,
-            synced: false,
-        };
-        let mut first = true;
-        for (i, b) in per_shard.into_iter().enumerate() {
-            if !b.is_empty() {
-                let r = self.inner.shards[i].write_with(opts, b)?;
-                agg.seq = agg.seq.max(r.seq);
-                agg.group_len = agg.group_len.max(r.group_len);
-                agg.synced = if first {
-                    r.synced
-                } else {
-                    agg.synced && r.synced
-                };
-                first = false;
+        let mut parts: Vec<(usize, WriteBatch)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .collect();
+        match parts.len() {
+            0 => Ok(WriteReceipt {
+                seq: 0,
+                group_len: 0,
+                synced: false,
+            }),
+            1 => {
+                let (i, b) = parts.pop().expect("len checked");
+                self.inner.shards[i].write_with(opts, b)
+            }
+            _ => self.inner.coord.commit(&self.inner.shards, parts, opts),
+        }
+    }
+
+    /// Validate a transaction's read set against current per-shard
+    /// sequences and, if every read is still current, apply its write
+    /// buffer through [`write_with`](DbShards::write_with) (2PC when it
+    /// spans shards). Commits serialize on the store-wide transaction
+    /// lock, so concurrent transactions are serializable against each
+    /// other; raw non-transactional writes can still land between
+    /// validation and apply, as documented on
+    /// [`Transactional`](crate::Transactional).
+    pub(crate) fn txn_commit_raw(
+        &self,
+        reads: &[(Vec<u8>, scavenger_util::ikey::SeqNo)],
+        batch: WriteBatch,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt> {
+        let inner = &self.inner;
+        let _commit_guard = inner.txn_lock.lock();
+        for (key, read_seq) in reads {
+            let shard = inner.shard_of(key);
+            if let Some(seq) = inner.shards[shard].lsm().latest_seq(key)? {
+                if seq > *read_seq {
+                    inner.txn.conflicted();
+                    return Err(Error::txn_conflict(format!(
+                        "key {:?} was written at sequence {seq} on shard {shard}, after \
+                         the transaction's read point {read_seq}",
+                        String::from_utf8_lossy(key)
+                    )));
+                }
             }
         }
-        Ok(agg)
+        let receipt = self.write_with(opts, batch)?;
+        inner.txn.committed();
+        Ok(receipt)
     }
 
     // ---------------- reads ----------------
@@ -712,12 +774,9 @@ impl DbShards {
         }
         // Reuse the per-shard breakdowns computed above instead of
         // re-walking every shard directory through self.space(); only
-        // the routing meta file is added on top.
-        space.other_bytes += self
-            .inner
-            .env
-            .file_size(&format!("{}/SHARDS", self.inner.root))
-            .unwrap_or(0);
+        // the root-level files (routing meta, coordinator log) are
+        // added on top.
+        space.other_bytes += self.root_file_bytes();
         DbStats {
             // Sum of the per-shard metered counters — true shard-set
             // attribution, not the env-global snapshot (which also
@@ -752,22 +811,44 @@ impl DbShards {
             // and per-shard groups never merge across shards.
             group_commit_max_group,
             group_commit_fsyncs_saved,
+            // Transactions commit at the shard-set level, so the
+            // per-shard counters summed above are zero by construction
+            // — these come straight from the set-level state.
+            txn_commits: self.inner.txn.commits(),
+            txn_conflicts: self.inner.txn.conflicts(),
+            txn_2pc_commits: self
+                .inner
+                .coord
+                .commits
+                .load(std::sync::atomic::Ordering::Relaxed),
+            txn_2pc_rollforwards: self
+                .inner
+                .coord
+                .rollforwards
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 
-    /// Aggregate on-disk space across every shard (plus the routing
-    /// meta file, under `other_bytes`).
+    /// Aggregate on-disk space across every shard (plus the root-level
+    /// routing meta and coordinator log, under `other_bytes`).
     pub fn space(&self) -> SpaceBreakdown {
         let mut total = SpaceBreakdown::default();
         for s in &self.inner.shards {
             total.accumulate(&s.space());
         }
-        total.other_bytes += self
-            .inner
-            .env
-            .file_size(&format!("{}/SHARDS", self.inner.root))
-            .unwrap_or(0);
+        total.other_bytes += self.root_file_bytes();
         total
+    }
+
+    /// Bytes of the store-level files living at the root (the `SHARDS`
+    /// routing meta and the 2PC coordinator log).
+    fn root_file_bytes(&self) -> u64 {
+        let env = &self.inner.env;
+        let root = &self.inner.root;
+        env.file_size(&format!("{root}/SHARDS")).unwrap_or(0)
+            + env
+                .file_size(&format!("{root}/{}", crate::txn::COORD_LOG))
+                .unwrap_or(0)
     }
 }
 
@@ -811,6 +892,14 @@ impl ShardsView {
     /// The per-shard views, indexed by shard.
     pub fn shard_views(&self) -> &[ReadView] {
         &self.views
+    }
+
+    /// The sequence a transaction's conflict check for `key` compares
+    /// against: the owning shard's view sequence (sequences are
+    /// per-shard namespaces, so the key's shard is the only one that
+    /// matters).
+    pub(crate) fn read_seq_for(&self, key: &[u8]) -> scavenger_util::ikey::SeqNo {
+        self.views[self.inner.shard_of(key)].sequence()
     }
 }
 

@@ -371,6 +371,21 @@ pub struct DbStats {
     /// Fsyncs elided by riding a group leader's sync: for every synced
     /// group this grows by `sync_riders - 1`.
     pub group_commit_fsyncs_saved: u64,
+    /// Optimistic transactions committed through this handle (validated
+    /// read set, batch applied). For a [`DbShards`](crate::DbShards) set
+    /// this sums the set-level commits with any per-shard commits.
+    pub txn_commits: u64,
+    /// Optimistic transactions rejected at commit-time validation: a
+    /// read-set key was overwritten after the transaction's read point.
+    pub txn_conflicts: u64,
+    /// Multi-shard batches committed through the two-phase coordinator
+    /// log (prepare + commit records). Always 0 on a single
+    /// [`Db`](crate::Db);
+    /// single-shard batches bypass the coordinator entirely.
+    pub txn_2pc_commits: u64,
+    /// Prepared-but-uncommitted coordinator transactions rolled forward
+    /// during recovery (crash between prepare and the last shard apply).
+    pub txn_2pc_rollforwards: u64,
 }
 
 // ---------------- Prometheus exposition ----------------
@@ -469,6 +484,10 @@ impl DbStats {
             group_commit_batches,
             group_commit_max_group,
             group_commit_fsyncs_saved,
+            txn_commits,
+            txn_conflicts,
+            txn_2pc_commits,
+            txn_2pc_rollforwards,
         } = self;
         render_io_prometheus(out, io, labels);
         let g = |out: &mut String, name: &str, v: f64| prom_line(out, name, labels, v);
@@ -591,6 +610,18 @@ impl DbStats {
             out,
             "scavenger_group_commit_fsyncs_saved_total",
             *group_commit_fsyncs_saved as f64,
+        );
+        g(out, "scavenger_txn_commits_total", *txn_commits as f64);
+        g(out, "scavenger_txn_conflicts_total", *txn_conflicts as f64);
+        g(
+            out,
+            "scavenger_txn_2pc_commits_total",
+            *txn_2pc_commits as f64,
+        );
+        g(
+            out,
+            "scavenger_txn_2pc_rollforwards_total",
+            *txn_2pc_rollforwards as f64,
         );
     }
 }

@@ -1,0 +1,708 @@
+//! Optimistic transactions and the cross-shard two-phase-commit
+//! coordinator.
+//!
+//! Two layers live here:
+//!
+//! 1. **[`Transaction`]** — an optimistic-concurrency-control (OCC)
+//!    transaction generic over any [`Transactional`] engine handle
+//!    ([`Db`] or [`DbShards`]). Reads pin a
+//!    view at begin time and record a *read set* (key → the sequence the
+//!    view reads at); writes buffer locally and are invisible to other
+//!    readers until commit. Commit validates the read set — every read
+//!    key must still have no version newer than the transaction's read
+//!    point — and then applies the write buffer atomically through the
+//!    engine's write path. Validation failure surfaces as
+//!    [`Error::TxnConflict`] with nothing written; the caller re-runs
+//!    the transaction against current state.
+//!
+//! 2. **`Coordinator`** — the two-phase-commit log that makes a
+//!    multi-shard [`DbShards`] batch crash-atomic. A
+//!    `Prepare` record carrying the full redo payload (per-shard
+//!    sub-batch bytes + CRC digest + the shard's sequence floor) is
+//!    fsynced *before* any shard write; each shard sub-batch is then
+//!    applied with a forced WAL sync; finally a `Commit` record is
+//!    appended without sync (losing it is safe — see below). Recovery at
+//!    [`DbShards::open`](crate::DbShards::open) replays the log:
+//!    prepared-but-uncommitted transactions **roll forward**, re-applying
+//!    each entry only if the key has no durable version newer than the
+//!    prepare-time floor (a newer version means the entry was already
+//!    applied, or was legally superseded by a later write — either way
+//!    re-applying would resurrect stale data). Torn or corrupt records
+//!    describe transactions whose prepare never became durable, i.e.
+//!    nothing was applied — they are discarded.
+//!
+//! The coordinator log lives at `<root>/COORDLOG` so fault-injection
+//! rules can target it by substring.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scavenger_env::{EnvRef, IoClass};
+use scavenger_lsm::wal::{read_all_records, LogWriter};
+use scavenger_lsm::WriteBatch;
+use scavenger_util::coding::{
+    get_fixed32, get_fixed64, get_length_prefixed_slice, get_varint32, put_fixed32, put_fixed64,
+    put_length_prefixed_slice, put_varint32,
+};
+use scavenger_util::ikey::{SeqNo, ValueType};
+use scavenger_util::{crc32c, Error, Result};
+
+use crate::db::{Db, ScanEntry};
+use crate::engine::{KvRead, KvWrite, PinnedReader};
+use crate::shards::DbShards;
+use crate::view::{WriteOptions, WriteReceipt};
+
+// ---------------------------------------------------------------------------
+// Transactional trait + Transaction
+// ---------------------------------------------------------------------------
+
+/// Engines that support optimistic transactions.
+///
+/// Implemented by [`Db`] and [`DbShards`];
+/// code written against this trait runs unchanged on both, like the
+/// rest of the [`Engine`](crate::Engine) surface. This is a separate
+/// trait (rather than methods on `KvWrite`) because [`Transaction`] is
+/// generic over the concrete handle — adding it to the object-safe
+/// trait triple would break `dyn Engine`.
+///
+/// ## Isolation
+///
+/// Reads inside a transaction see the engine at begin time (snapshot
+/// isolation) plus the transaction's own buffered writes. Commit-time
+/// validation rejects the transaction if any key it *read* has a newer
+/// version than its read point, so transactions that commit are
+/// serializable against each other (write-write conflicts are a special
+/// case: blind writes alone never conflict, matching classic OCC — add
+/// the key to the read set with [`Transaction::get`] to get write-write
+/// detection). Range scans record the keys they return, not the range
+/// itself, so phantoms (keys *inserted* into a scanned range after
+/// begin) are not detected.
+///
+/// On [`DbShards`], commits are validated and applied under a global
+/// transaction mutex, so transactions serialize against each other;
+/// raw non-transactional writes racing a commit can land between
+/// validation and apply, exactly as they can on a single [`Db`]
+/// between any two independent writes.
+pub trait Transactional: KvRead + KvWrite + Clone {
+    /// Begin an optimistic transaction: pins a view of the engine at
+    /// the current sequence and returns an empty transaction against
+    /// it.
+    fn begin(&self) -> Transaction<Self> {
+        Transaction::new(self)
+    }
+
+    /// The sequence a commit-time conflict check for `key` compares
+    /// against under `view`. Implementation detail of [`Transaction`].
+    #[doc(hidden)]
+    fn txn_read_seq(view: &Self::View, key: &[u8]) -> SeqNo;
+
+    /// Validate `reads` against current state and, if every read is
+    /// still current, atomically apply `batch`. Implementation detail
+    /// of [`Transaction::commit_with`].
+    #[doc(hidden)]
+    fn txn_commit(
+        &self,
+        reads: &[(Vec<u8>, SeqNo)],
+        batch: WriteBatch,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt>;
+}
+
+impl Transactional for Db {
+    fn txn_read_seq(view: &Self::View, _key: &[u8]) -> SeqNo {
+        view.sequence()
+    }
+
+    fn txn_commit(
+        &self,
+        reads: &[(Vec<u8>, SeqNo)],
+        batch: WriteBatch,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt> {
+        self.txn_commit_raw(reads, batch, opts)
+    }
+}
+
+impl Transactional for DbShards {
+    fn txn_read_seq(view: &Self::View, key: &[u8]) -> SeqNo {
+        view.read_seq_for(key)
+    }
+
+    fn txn_commit(
+        &self,
+        reads: &[(Vec<u8>, SeqNo)],
+        batch: WriteBatch,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt> {
+        self.txn_commit_raw(reads, batch, opts)
+    }
+}
+
+/// An optimistic transaction over an engine handle.
+///
+/// Created by [`Transactional::begin`]. Reads ([`get`](Self::get),
+/// [`scan`](Self::scan)) see the engine as of begin time plus this
+/// transaction's own writes; writes ([`put`](Self::put),
+/// [`delete`](Self::delete)) buffer locally. [`commit`](Self::commit)
+/// validates the read set and applies the buffer atomically —
+/// all-or-nothing even across shards — or fails with
+/// [`Error::TxnConflict`] having written nothing.
+/// [`rollback`](Self::rollback) (or just dropping the transaction)
+/// discards the buffer.
+///
+/// ```
+/// use scavenger::{Db, EngineMode, Options, Transactional};
+/// use scavenger_env::MemEnv;
+///
+/// let db = Db::open(Options::new(MemEnv::shared(), "txn-demo", EngineMode::Scavenger)).unwrap();
+/// db.put(b"balance", &b"100"[..]).unwrap();
+///
+/// let mut txn = db.begin();
+/// let v = txn.get(b"balance").unwrap().unwrap();
+/// assert_eq!(v.as_ref(), b"100");
+/// txn.put(b"balance", &b"90"[..]);
+/// txn.put(b"audit", &b"spent 10"[..]);
+/// txn.commit().unwrap(); // both keys land atomically, or neither
+/// ```
+pub struct Transaction<E: Transactional> {
+    engine: E,
+    view: E::View,
+    /// Key → the sequence the pinned view reads it at. Commit fails if
+    /// any of these keys gains a newer version before validation.
+    reads: BTreeMap<Vec<u8>, SeqNo>,
+    /// Key → buffered write (`None` = delete).
+    writes: BTreeMap<Vec<u8>, Option<Bytes>>,
+}
+
+impl<E: Transactional> Transaction<E> {
+    fn new(engine: &E) -> Self {
+        Transaction {
+            engine: engine.clone(),
+            view: engine.view(),
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Read `key`: the transaction's own buffered write if there is
+    /// one, else the value at the transaction's read point. Either way
+    /// the key joins the read set, so the commit fails if another
+    /// writer changes it first.
+    pub fn get(&mut self, key: impl AsRef<[u8]>) -> Result<Option<Bytes>> {
+        let key = key.as_ref();
+        let seq = E::txn_read_seq(&self.view, key);
+        self.reads.entry(key.to_vec()).or_insert(seq);
+        if let Some(buffered) = self.writes.get(key) {
+            return Ok(buffered.clone());
+        }
+        self.view.get(key)
+    }
+
+    /// Buffer a put of `key` → `value`. Visible to this transaction's
+    /// own reads immediately; visible to everyone else only after
+    /// [`commit`](Self::commit).
+    pub fn put(&mut self, key: impl AsRef<[u8]>, value: impl Into<Bytes>) {
+        self.writes
+            .insert(key.as_ref().to_vec(), Some(value.into()));
+    }
+
+    /// Buffer a delete of `key`.
+    pub fn delete(&mut self, key: impl AsRef<[u8]>) {
+        self.writes.insert(key.as_ref().to_vec(), None);
+    }
+
+    /// Range scan over `[lo, hi)` (unbounded when `hi` is `None`) at
+    /// the transaction's read point, overlaid with the transaction's
+    /// own buffered writes. The result is materialized; every *base*
+    /// key the scan observes joins the read set. Keys newly inserted
+    /// into the range by other writers after begin are not tracked
+    /// (no phantom protection).
+    pub fn scan(&mut self, lo: &[u8], hi: Option<&[u8]>) -> Result<Vec<ScanEntry>> {
+        let base: Vec<ScanEntry> = self.view.scan(lo, hi)?.collect::<Result<Vec<_>>>()?;
+        let hi_bound = match hi {
+            Some(h) => Bound::Excluded(h),
+            None => Bound::Unbounded,
+        };
+        let mut overlay = self
+            .writes
+            .range::<[u8], _>((Bound::Included(lo), hi_bound))
+            .peekable();
+        let mut out = Vec::new();
+        for entry in base {
+            // Overlay-only keys strictly before this base key.
+            while let Some((k, v)) = overlay.peek() {
+                if k.as_slice() >= entry.key.as_slice() {
+                    break;
+                }
+                if let Some(v) = v {
+                    out.push(ScanEntry {
+                        key: (*k).clone(),
+                        value: v.clone(),
+                    });
+                }
+                overlay.next();
+            }
+            let seq = E::txn_read_seq(&self.view, &entry.key);
+            self.reads.entry(entry.key.clone()).or_insert(seq);
+            if let Some((k, v)) = overlay.peek() {
+                if k.as_slice() == entry.key.as_slice() {
+                    // Buffered write shadows the base version.
+                    if let Some(v) = v {
+                        out.push(ScanEntry {
+                            key: entry.key.clone(),
+                            value: v.clone(),
+                        });
+                    }
+                    overlay.next();
+                    continue;
+                }
+            }
+            out.push(entry);
+        }
+        for (k, v) in overlay {
+            if let Some(v) = v {
+                out.push(ScanEntry {
+                    key: k.clone(),
+                    value: v.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of distinct keys in the read set (validated at commit).
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of distinct keys in the write buffer.
+    pub fn write_set_len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Commit with default [`WriteOptions`]. See
+    /// [`commit_with`](Self::commit_with).
+    pub fn commit(self) -> Result<WriteReceipt> {
+        self.commit_with(&WriteOptions::default())
+    }
+
+    /// Validate the read set and atomically apply the write buffer.
+    ///
+    /// Returns [`Error::TxnConflict`] — with **nothing written** — if
+    /// any key this transaction read has a version newer than its read
+    /// point. A read-only transaction (empty write buffer) still
+    /// validates, so it can be used as a consistency check; an empty
+    /// transaction commits trivially.
+    pub fn commit_with(self, opts: &WriteOptions) -> Result<WriteReceipt> {
+        let Transaction {
+            engine,
+            view,
+            reads,
+            writes,
+        } = self;
+        // The pinned view's job is done: validation compares against
+        // durable per-key sequences, not the pin. Release it first so
+        // the read point never blocks the commit's own maintenance.
+        drop(view);
+        let mut batch = WriteBatch::new();
+        for (key, value) in &writes {
+            match value {
+                Some(v) => batch.put(key, v.clone()),
+                None => batch.delete(key),
+            }
+        }
+        let reads: Vec<(Vec<u8>, SeqNo)> = reads.into_iter().collect();
+        engine.txn_commit(&reads, batch, opts)
+    }
+
+    /// Discard the transaction: buffered writes are dropped, nothing
+    /// is written. Equivalent to dropping the value; provided for
+    /// explicitness.
+    pub fn rollback(self) {}
+}
+
+/// Transaction counters shared by both engine handles (surfaced through
+/// [`DbStats`](crate::DbStats)).
+#[derive(Default)]
+pub(crate) struct TxnCounters {
+    /// Transactions that passed validation and committed.
+    pub commits: AtomicU64,
+    /// Transactions rejected at commit time with [`Error::TxnConflict`].
+    pub conflicts: AtomicU64,
+}
+
+impl TxnCounters {
+    pub fn committed(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn conflicted(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase-commit coordinator
+// ---------------------------------------------------------------------------
+
+/// File name of the coordinator log under the `DbShards` root. The name
+/// is substring-targetable by fault-injection rules (`"COORD"`).
+pub(crate) const COORD_LOG: &str = "COORDLOG";
+
+/// Rotate (truncate) the coordinator log once it exceeds this size and
+/// no transaction is in flight.
+const COORD_ROTATE_BYTES: u64 = 1 << 20;
+
+const PREPARE_TAG: u8 = 1;
+const COMMIT_TAG: u8 = 2;
+
+/// One shard's slice of a prepared multi-shard transaction.
+#[derive(Debug)]
+struct PreparedPart {
+    /// Index into the `DbShards` shard vector.
+    shard: usize,
+    /// The shard's last sequence at prepare time. Roll-forward re-applies
+    /// an entry only if its key has no version newer than this floor.
+    floor: SeqNo,
+    /// The redo payload: the sub-batch destined for this shard.
+    batch: WriteBatch,
+}
+
+#[derive(Debug)]
+struct PrepareRecord {
+    txn_id: u64,
+    parts: Vec<PreparedPart>,
+}
+
+#[derive(Debug)]
+enum CoordRecord {
+    Prepare(PrepareRecord),
+    Commit(u64),
+}
+
+fn encode_prepare(txn_id: u64, parts: &[(usize, WriteBatch)], floors: &[SeqNo]) -> Vec<u8> {
+    let mut buf = vec![PREPARE_TAG];
+    put_fixed64(&mut buf, txn_id);
+    put_varint32(&mut buf, parts.len() as u32);
+    for ((shard, batch), floor) in parts.iter().zip(floors) {
+        put_varint32(&mut buf, *shard as u32);
+        put_fixed64(&mut buf, *floor);
+        let bytes = batch.encode(0);
+        put_fixed32(&mut buf, crc32c::value(&bytes));
+        put_length_prefixed_slice(&mut buf, &bytes);
+    }
+    buf
+}
+
+fn encode_commit(txn_id: u64) -> Vec<u8> {
+    let mut buf = vec![COMMIT_TAG];
+    put_fixed64(&mut buf, txn_id);
+    buf
+}
+
+fn decode_record(mut src: &[u8]) -> Result<CoordRecord> {
+    let (&tag, rest) = src
+        .split_first()
+        .ok_or_else(|| Error::corruption("empty coordinator record"))?;
+    src = rest;
+    match tag {
+        PREPARE_TAG => {
+            let txn_id = get_fixed64(&mut src)?;
+            let n = get_varint32(&mut src)? as usize;
+            let mut parts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let shard = get_varint32(&mut src)? as usize;
+                let floor = get_fixed64(&mut src)?;
+                let digest = get_fixed32(&mut src)?;
+                let bytes = get_length_prefixed_slice(&mut src)?;
+                if crc32c::value(bytes) != digest {
+                    return Err(Error::corruption(format!(
+                        "coordinator prepare {txn_id}: sub-batch digest mismatch"
+                    )));
+                }
+                let (_, batch) = WriteBatch::decode(bytes)?;
+                parts.push(PreparedPart {
+                    shard,
+                    floor,
+                    batch,
+                });
+            }
+            Ok(CoordRecord::Prepare(PrepareRecord { txn_id, parts }))
+        }
+        COMMIT_TAG => Ok(CoordRecord::Commit(get_fixed64(&mut src)?)),
+        other => Err(Error::corruption(format!(
+            "unknown coordinator record tag {other}"
+        ))),
+    }
+}
+
+struct CoordState {
+    log: LogWriter,
+    next_txn: u64,
+    /// Prepared-but-not-yet-resolved transactions. The log only rotates
+    /// when this is zero, so rotation never drops a live prepare.
+    outstanding: usize,
+}
+
+/// The `DbShards` two-phase-commit coordinator: owns the coordinator
+/// log and drives prepare → per-shard apply → commit for multi-shard
+/// batches, plus roll-forward recovery at open.
+pub(crate) struct Coordinator {
+    env: EnvRef,
+    path: String,
+    state: Mutex<CoordState>,
+    /// Multi-shard batches committed through the 2PC path.
+    pub commits: AtomicU64,
+    /// Prepared transactions completed by roll-forward at open.
+    pub rollforwards: AtomicU64,
+}
+
+impl Coordinator {
+    /// Recover any outstanding prepared transactions against `shards`
+    /// (which must already be open), then start a fresh coordinator
+    /// log. Called from `DbShards::open`.
+    pub fn open(env: &EnvRef, root: &str, shards: &[Db]) -> Result<Coordinator> {
+        let path = format!("{root}/{COORD_LOG}");
+        let rollforwards = AtomicU64::new(0);
+        if env.file_exists(&path) {
+            let data = env.read_file(&path, IoClass::Wal)?;
+            let (records, _torn_tail) = read_all_records(data);
+            let mut prepared: BTreeMap<u64, PrepareRecord> = BTreeMap::new();
+            for rec in &records {
+                match decode_record(rec) {
+                    Ok(CoordRecord::Prepare(p)) => {
+                        prepared.insert(p.txn_id, p);
+                    }
+                    Ok(CoordRecord::Commit(id)) => {
+                        prepared.remove(&id);
+                    }
+                    // A torn or corrupt record describes a transaction
+                    // whose prepare never became durable — nothing was
+                    // applied to any shard, so discarding it preserves
+                    // all-or-nothing.
+                    Err(_) => {}
+                }
+            }
+            for p in prepared.values() {
+                Self::roll_forward(shards, p)?;
+                rollforwards.fetch_add(1, Ordering::Relaxed);
+            }
+            env.remove_file(&path)?;
+        }
+        let log = LogWriter::new(env.new_writable(&path, IoClass::Wal)?);
+        Ok(Coordinator {
+            env: env.clone(),
+            path,
+            state: Mutex::new(CoordState {
+                log,
+                next_txn: 1,
+                outstanding: 0,
+            }),
+            commits: AtomicU64::new(0),
+            rollforwards,
+        })
+    }
+
+    /// Complete a prepared transaction found in the log at open: apply
+    /// each sub-batch entry whose key has no durable version newer than
+    /// the prepare-time floor. A newer version means the entry already
+    /// landed before the crash (the common case) or was superseded by a
+    /// later durable write — re-applying would resurrect stale data.
+    fn roll_forward(shards: &[Db], p: &PrepareRecord) -> Result<()> {
+        let opts = WriteOptions {
+            sync: true,
+            disable_throttle: true,
+        };
+        for part in &p.parts {
+            let db = shards.get(part.shard).ok_or_else(|| {
+                Error::corruption(format!(
+                    "coordinator prepare {} references shard {} of {}",
+                    p.txn_id,
+                    part.shard,
+                    shards.len()
+                ))
+            })?;
+            let mut redo = WriteBatch::new();
+            for e in part.batch.entries() {
+                let newer = db
+                    .lsm()
+                    .latest_seq(&e.key)?
+                    .is_some_and(|seq| seq > part.floor);
+                if newer {
+                    continue;
+                }
+                match e.vtype {
+                    ValueType::Value => redo.put(&e.key, e.value.clone()),
+                    ValueType::Deletion => redo.delete(&e.key),
+                    ValueType::ValueRef => {
+                        return Err(Error::corruption(
+                            "coordinator log contains a value-reference entry",
+                        ))
+                    }
+                }
+            }
+            if !redo.is_empty() {
+                db.write_with(&opts, redo)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commit a multi-shard batch (≥ 2 non-empty parts) atomically:
+    /// fsync a prepare record carrying the full redo payload, apply
+    /// each sub-batch to its shard with a forced WAL sync, then append
+    /// an (unsynced) commit record. If a shard apply fails, the error
+    /// is surfaced and the prepare stays outstanding — the next open
+    /// rolls the batch forward, so the write's fate is *indeterminate
+    /// until restart*, never partially durable forever.
+    ///
+    /// Shard syncs are forced regardless of `opts.sync` because the
+    /// commit record asserts "every part is durable"; this is why a
+    /// multi-shard receipt always reports `synced = true`.
+    pub fn commit(
+        &self,
+        shards: &[Db],
+        parts: Vec<(usize, WriteBatch)>,
+        opts: &WriteOptions,
+    ) -> Result<WriteReceipt> {
+        debug_assert!(
+            parts.len() >= 2,
+            "single-shard batches skip the coordinator"
+        );
+        let txn_id;
+        {
+            let mut st = self.state.lock();
+            txn_id = st.next_txn;
+            st.next_txn += 1;
+            let floors: Vec<SeqNo> = parts
+                .iter()
+                .map(|(s, _)| shards[*s].lsm().last_sequence())
+                .collect();
+            let rec = encode_prepare(txn_id, &parts, &floors);
+            st.log.add_record(&rec)?;
+            st.log.sync()?;
+            st.outstanding += 1;
+        }
+        let shard_opts = WriteOptions {
+            sync: true,
+            disable_throttle: opts.disable_throttle,
+        };
+        let mut seq = 0;
+        let mut group_len = 0;
+        let mut apply_err: Option<Error> = None;
+        for (shard, batch) in parts {
+            match shards[shard].write_with(&shard_opts, batch) {
+                Ok(r) => {
+                    seq = seq.max(r.seq);
+                    group_len += r.group_len;
+                }
+                Err(e) => {
+                    apply_err = Some(e);
+                    break;
+                }
+            }
+        }
+        {
+            let mut st = self.state.lock();
+            st.outstanding -= 1;
+            if apply_err.is_none() {
+                // Losing this record is safe: roll-forward is idempotent
+                // under the per-key floor guard. So it rides the next
+                // prepare's fsync instead of paying its own.
+                st.log.add_record(&encode_commit(txn_id))?;
+                if st.outstanding == 0 && st.log.len() > COORD_ROTATE_BYTES {
+                    self.rotate_locked(&mut st)?;
+                }
+            }
+        }
+        if let Some(e) = apply_err {
+            return Err(e);
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(WriteReceipt {
+            seq,
+            group_len,
+            synced: true,
+        })
+    }
+
+    /// Replace the log with an empty one. Only legal with zero
+    /// outstanding prepares: every record is then resolved history, and
+    /// a crash between delete and recreate just means an absent log at
+    /// the next open (treated as empty).
+    fn rotate_locked(&self, st: &mut CoordState) -> Result<()> {
+        self.env.remove_file(&self.path)?;
+        st.log = LogWriter::new(self.env.new_writable(&self.path, IoClass::Wal)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_parts() -> Vec<(usize, WriteBatch)> {
+        let mut b0 = WriteBatch::new();
+        b0.put(b"alpha", &b"1"[..]);
+        b0.delete(b"beta");
+        let mut b3 = WriteBatch::new();
+        b3.put(b"gamma", &b"33"[..]);
+        vec![(0, b0), (3, b3)]
+    }
+
+    #[test]
+    fn prepare_record_roundtrip() {
+        let parts = sample_parts();
+        let rec = encode_prepare(42, &parts, &[17, 900]);
+        match decode_record(&rec).unwrap() {
+            CoordRecord::Prepare(p) => {
+                assert_eq!(p.txn_id, 42);
+                assert_eq!(p.parts.len(), 2);
+                assert_eq!(p.parts[0].shard, 0);
+                assert_eq!(p.parts[0].floor, 17);
+                assert_eq!(p.parts[0].batch.count(), 2);
+                assert_eq!(p.parts[1].shard, 3);
+                assert_eq!(p.parts[1].floor, 900);
+                assert_eq!(p.parts[1].batch.entries()[0].key, b"gamma");
+            }
+            CoordRecord::Commit(_) => panic!("decoded as commit"),
+        }
+    }
+
+    #[test]
+    fn commit_record_roundtrip() {
+        match decode_record(&encode_commit(7)).unwrap() {
+            CoordRecord::Commit(id) => assert_eq!(id, 7),
+            CoordRecord::Prepare(_) => panic!("decoded as prepare"),
+        }
+    }
+
+    #[test]
+    fn corrupt_sub_batch_is_rejected() {
+        let rec = encode_prepare(1, &sample_parts(), &[0, 0]);
+        // Flip a byte in the tail (inside the last sub-batch payload):
+        // the digest check must reject the whole record.
+        let mut bad = rec.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let err = decode_record(&bad).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err}");
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(decode_record(&[9, 0, 0]).is_err());
+        assert!(decode_record(&[]).is_err());
+    }
+}

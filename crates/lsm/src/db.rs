@@ -17,8 +17,8 @@ use crate::options::{BackgroundMode, LsmOptions};
 use crate::tcache::{open_ktable, TableCache};
 use crate::version::{Version, VersionEdit, VersionSet};
 use crate::view::{
-    read_superversion, scan_superversion, BatchReader, LsmView, ReadPointKind, ReadPointRegistry,
-    ScanIter, Snapshot, SuperVersion,
+    latest_version_seq, read_superversion, scan_superversion, BatchReader, LsmView, ReadPointKind,
+    ReadPointRegistry, ScanIter, Snapshot, SuperVersion,
 };
 use crate::wal::LogWriter;
 use bytes::Bytes;
@@ -590,6 +590,72 @@ impl Lsm {
             self.after_write()?;
         }
         Ok(applied)
+    }
+
+    /// Sequence of the newest version of `key` — **including
+    /// tombstones** (unlike [`get`](Lsm::get), which folds a tombstone
+    /// into `Deleted` without its sequence). `None` if no version of the
+    /// key exists. This is the read-set validation primitive for
+    /// optimistic transactions: a read of `key` at sequence `s` is still
+    /// valid iff `latest_seq(key) <= s`.
+    pub fn latest_seq(&self, key: &[u8]) -> Result<Option<SeqNo>> {
+        let _pin = self.inner.read_points.pin_transient();
+        let sv = self.superversion();
+        latest_version_seq(&sv, &self.inner.tcache, key)
+    }
+
+    /// Validated commit for optimistic transactions: atomically check
+    /// that every `(key, read_seq)` pair in `reads` is still current —
+    /// no version of `key` (write *or* tombstone) newer than `read_seq`
+    /// — and, only if all checks pass, commit `batch` through the WAL
+    /// and memtable. The whole check-then-commit runs under the writer
+    /// lock (a group of one, like [`write_guarded`](Lsm::write_guarded)),
+    /// so no write can interleave between validation and apply: commits
+    /// through this path are serializable with every other write.
+    ///
+    /// A stale read returns [`Error::TxnConflict`] and writes nothing.
+    pub fn write_validated(
+        &self,
+        opts: &WriteOptions,
+        batch: WriteBatch,
+        reads: &[(Vec<u8>, SeqNo)],
+    ) -> Result<WriteReceipt> {
+        self.check_bg_error()?;
+        self.maybe_stall();
+        let receipt;
+        {
+            let mut ws = self.inner.writer.lock();
+            for (key, read_seq) in reads {
+                // The writer lock is held: `latest_seq` sees the stable
+                // newest version, and nothing can commit between the
+                // check and the apply below.
+                if let Some(seq) = self.latest_seq(key)? {
+                    if seq > *read_seq {
+                        return Err(Error::txn_conflict(format!(
+                            "key {:?} was written at sequence {seq}, after the \
+                             transaction's read point {read_seq}",
+                            String::from_utf8_lossy(key)
+                        )));
+                    }
+                }
+            }
+            if batch.is_empty() {
+                // A read-only transaction: validation is the whole
+                // commit.
+                return Ok(WriteReceipt {
+                    seq: self.last_sequence(),
+                    group_len: 0,
+                    synced: false,
+                });
+            }
+            let receipts = self.commit_group(&mut ws, vec![batch], &[opts.sync])?;
+            receipt = receipts
+                .into_iter()
+                .next()
+                .expect("commit_group returns one receipt per batch");
+        }
+        self.after_write()?;
+        Ok(receipt)
     }
 
     /// Commit one group under the writer lock: merge the batches into a

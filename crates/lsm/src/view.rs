@@ -35,7 +35,7 @@ use crate::tcache::TableCache;
 use crate::version::Version;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use scavenger_util::ikey::{make_internal_key, parse_internal_key, SeqNo, ValueType};
+use scavenger_util::ikey::{make_internal_key, parse_internal_key, SeqNo, ValueType, MAX_SEQNO};
 use scavenger_util::Result;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -410,6 +410,72 @@ pub(crate) fn read_superversion(
         }
     }
     Ok(LsmReadResult::NotFound)
+}
+
+/// Sequence of the newest version of `key` in a pinned superversion —
+/// **including tombstones**, which [`read_superversion`] folds into
+/// `Deleted` without a sequence. This is the read-set validation
+/// primitive for optimistic transactions: a key conflicts iff its newest
+/// version (write *or* delete) is newer than the transaction's read
+/// point, so the walk must not lose the tombstone's sequence. Returns
+/// `None` when no version of the key exists anywhere.
+pub(crate) fn latest_version_seq(
+    sv: &SuperVersion,
+    tcache: &Arc<TableCache>,
+    key: &[u8],
+) -> Result<Option<SeqNo>> {
+    let read_seq = MAX_SEQNO;
+    match sv.mem.get(key, read_seq) {
+        MemGet::Found { seq, .. } | MemGet::Deleted(seq) => return Ok(Some(seq)),
+        MemGet::NotFound => {}
+    }
+    for imm in &sv.imms {
+        match imm.get(key, read_seq) {
+            MemGet::Found { seq, .. } | MemGet::Deleted(seq) => return Ok(Some(seq)),
+            MemGet::NotFound => {}
+        }
+    }
+    let version = &sv.version;
+    let target = make_internal_key(key, read_seq, ValueType::ValueRef);
+    for f in &version.levels[0] {
+        if !f.user_range_contains(key) {
+            continue;
+        }
+        if let Some(seq) = table_version_seq(tcache, f.file_number, &target, key)? {
+            return Ok(Some(seq));
+        }
+    }
+    for level in 1..version.levels.len() {
+        let files = &version.levels[level];
+        if files.is_empty() {
+            continue;
+        }
+        let idx =
+            files.partition_point(|f| scavenger_util::ikey::extract_user_key(&f.largest) < key);
+        if idx < files.len() && files[idx].user_range_contains(key) {
+            if let Some(seq) = table_version_seq(tcache, files[idx].file_number, &target, key)? {
+                return Ok(Some(seq));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Sequence of the newest version (any type) of `key` in one table.
+fn table_version_seq(
+    tcache: &Arc<TableCache>,
+    file_number: u64,
+    target: &[u8],
+    key: &[u8],
+) -> Result<Option<SeqNo>> {
+    let table = tcache.get(file_number)?;
+    if let Some((ikey, _)) = table.get(target)? {
+        let parsed = parse_internal_key(&ikey)?;
+        if parsed.user_key == key {
+            return Ok(Some(parsed.seq));
+        }
+    }
+    Ok(None)
 }
 
 fn table_get(

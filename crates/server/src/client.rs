@@ -228,6 +228,71 @@ impl Client {
         let resp = self.request(&Request::Shutdown)?;
         Self::expect_done(resp)
     }
+
+    // ---------------- transactions ----------------
+
+    /// Begin a server-side optimistic transaction; returns its id.
+    /// The transaction follows snapshot TTL rules: left idle past the
+    /// server's `pin_ttl` it expires (discarding its buffered writes)
+    /// and further ops report `PIN_EXPIRED`.
+    pub fn txn_begin(&mut self) -> Result<u64> {
+        match self.request(&Request::TxnBegin)? {
+            Response::TxnId { id } => Ok(id),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Read a key inside a transaction (joins its read set).
+    pub fn txn_get(&mut self, txn: u64, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.request(&Request::TxnGet {
+            txn,
+            key: key.to_vec(),
+        })? {
+            Response::Value { value } => Ok(value),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Buffer a put inside a transaction.
+    pub fn txn_put(&mut self, txn: u64, key: &[u8], value: &[u8]) -> Result<()> {
+        let resp = self.request(&Request::TxnPut {
+            txn,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
+        Self::expect_done(resp)
+    }
+
+    /// Buffer a delete inside a transaction.
+    pub fn txn_delete(&mut self, txn: u64, key: &[u8]) -> Result<()> {
+        let resp = self.request(&Request::TxnDelete {
+            txn,
+            key: key.to_vec(),
+        })?;
+        Self::expect_done(resp)
+    }
+
+    /// Commit a transaction (durable: `sync = true`). On conflict the
+    /// error satisfies [`Error::is_txn_conflict`] (also
+    /// [`is_txn_conflict`]) and nothing was written — re-run the
+    /// transaction from [`txn_begin`](Client::txn_begin).
+    pub fn txn_commit(&mut self, txn: u64) -> Result<WriteReceipt> {
+        self.txn_commit_sync(txn, true)
+    }
+
+    /// Commit a transaction with an explicit sync flag.
+    pub fn txn_commit_sync(&mut self, txn: u64, sync: bool) -> Result<WriteReceipt> {
+        let resp = self.request(&Request::TxnCommit { txn, sync })?;
+        Self::expect_written(resp)
+    }
+
+    /// Discard a transaction without writing.
+    pub fn txn_rollback(&mut self, txn: u64) -> Result<()> {
+        let resp = self.request(&Request::TxnRollback { txn })?;
+        Self::expect_done(resp)
+    }
 }
 
 /// True if `err` is a rate-limit rejection from the server.
@@ -238,4 +303,11 @@ pub fn is_rate_limited(err: &Error) -> bool {
 /// True if `err` reports an unknown/expired snapshot pin.
 pub fn is_pin_expired(err: &Error) -> bool {
     WireCode::of(err) == Some(WireCode::PinExpired)
+}
+
+/// True if `err` is a transaction-conflict rejection (the typed
+/// [`Error::TxnConflict`] also survives the wire, so
+/// `err.is_txn_conflict()` works equally).
+pub fn is_txn_conflict(err: &Error) -> bool {
+    WireCode::of(err) == Some(WireCode::TxnConflict)
 }

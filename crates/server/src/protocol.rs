@@ -65,10 +65,14 @@ pub enum WireCode {
     PinExpired = 10,
     /// Server is draining: it stopped taking new requests for shutdown.
     ShuttingDown = 11,
+    /// Optimistic transaction failed commit-time validation
+    /// ([`Error::TxnConflict`]): nothing was written, the client
+    /// re-runs the transaction.
+    TxnConflict = 12,
 }
 
 /// All wire codes, for iteration in tests.
-pub const ALL_WIRE_CODES: [WireCode; 11] = [
+pub const ALL_WIRE_CODES: [WireCode; 12] = [
     WireCode::NotFound,
     WireCode::Corruption,
     WireCode::Io,
@@ -80,6 +84,7 @@ pub const ALL_WIRE_CODES: [WireCode; 11] = [
     WireCode::ConnLimit,
     WireCode::PinExpired,
     WireCode::ShuttingDown,
+    WireCode::TxnConflict,
 ];
 
 impl WireCode {
@@ -98,6 +103,7 @@ impl WireCode {
             WireCode::ConnLimit => "CONN_LIMIT",
             WireCode::PinExpired => "PIN_EXPIRED",
             WireCode::ShuttingDown => "SHUTTING_DOWN",
+            WireCode::TxnConflict => "TXN_CONFLICT",
         }
     }
 
@@ -121,6 +127,7 @@ impl WireCode {
             Error::InvalidArgument(_) => WireCode::InvalidArgument,
             Error::Internal(_) => WireCode::Internal,
             Error::ReadOnlyMode(_) => WireCode::Degraded,
+            Error::TxnConflict(_) => WireCode::TxnConflict,
         }
     }
 
@@ -138,6 +145,7 @@ impl WireCode {
             WireCode::InvalidArgument | WireCode::Protocol => Error::InvalidArgument(msg),
             WireCode::Internal => Error::Internal(msg),
             WireCode::Degraded => Error::ReadOnlyMode(msg),
+            WireCode::TxnConflict => Error::TxnConflict(msg),
             WireCode::RateLimited
             | WireCode::ConnLimit
             | WireCode::PinExpired
@@ -154,7 +162,8 @@ impl WireCode {
             | Error::Io(m)
             | Error::InvalidArgument(m)
             | Error::Internal(m)
-            | Error::ReadOnlyMode(m) => m,
+            | Error::ReadOnlyMode(m)
+            | Error::TxnConflict(m) => m,
         };
         let rest = msg.strip_prefix("[wire:")?;
         let end = rest.find(']')?;
@@ -249,6 +258,48 @@ pub enum Request {
     /// Begin graceful shutdown: stop accepting, drain in-flight
     /// requests, drop the pin table, flush, exit.
     Shutdown,
+    /// Begin a server-side optimistic transaction; answered with
+    /// [`Response::TxnId`]. The transaction lives in the server's
+    /// transaction table until committed, rolled back, or TTL-expired.
+    TxnBegin,
+    /// Read a key inside a transaction (records it in the read set).
+    TxnGet {
+        /// Id from [`Response::TxnId`].
+        txn: u64,
+        /// User key.
+        key: Vec<u8>,
+    },
+    /// Buffer a put inside a transaction.
+    TxnPut {
+        /// Id from [`Response::TxnId`].
+        txn: u64,
+        /// User key.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Buffer a delete inside a transaction.
+    TxnDelete {
+        /// Id from [`Response::TxnId`].
+        txn: u64,
+        /// User key.
+        key: Vec<u8>,
+    },
+    /// Validate and commit a transaction. Answers
+    /// [`Response::Written`] on success, or a
+    /// [`WireCode::TxnConflict`] error (nothing written) on validation
+    /// failure. Either way the transaction id is consumed.
+    TxnCommit {
+        /// Id from [`Response::TxnId`].
+        txn: u64,
+        /// Require the commit to be fsync-covered before replying.
+        sync: bool,
+    },
+    /// Discard a transaction without writing.
+    TxnRollback {
+        /// Id from [`Response::TxnId`].
+        txn: u64,
+    },
 }
 
 /// A server response frame.
@@ -285,6 +336,11 @@ pub enum Response {
     /// Reply to [`Request::SnapOpen`].
     SnapId {
         /// Server-side snapshot id for subsequent pinned reads.
+        id: u64,
+    },
+    /// Reply to [`Request::TxnBegin`].
+    TxnId {
+        /// Server-side transaction id for subsequent txn ops.
         id: u64,
     },
     /// Reply to [`Request::Stats`]: Prometheus exposition text.
@@ -344,6 +400,12 @@ const OP_FLUSH: u8 = 0x09;
 const OP_RUN_GC: u8 = 0x0a;
 const OP_STATS: u8 = 0x0b;
 const OP_SHUTDOWN: u8 = 0x0c;
+const OP_TXN_BEGIN: u8 = 0x0d;
+const OP_TXN_GET: u8 = 0x0e;
+const OP_TXN_PUT: u8 = 0x0f;
+const OP_TXN_DELETE: u8 = 0x10;
+const OP_TXN_COMMIT: u8 = 0x11;
+const OP_TXN_ROLLBACK: u8 = 0x12;
 
 const OP_PONG: u8 = 0x81;
 const OP_VALUE: u8 = 0x82;
@@ -353,6 +415,7 @@ const OP_SNAP_ID: u8 = 0x85;
 const OP_STATS_TEXT: u8 = 0x86;
 const OP_GC_DONE: u8 = 0x87;
 const OP_WRITTEN: u8 = 0x88;
+const OP_TXN_ID: u8 = 0x89;
 const OP_ERR: u8 = 0xff;
 
 const BATCH_PUT: u8 = 0;
@@ -472,6 +535,32 @@ impl Request {
             Request::RunGc => out.push(OP_RUN_GC),
             Request::Stats => out.push(OP_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::TxnBegin => out.push(OP_TXN_BEGIN),
+            Request::TxnGet { txn, key } => {
+                out.push(OP_TXN_GET);
+                put_fixed64(&mut out, *txn);
+                put_length_prefixed_slice(&mut out, key);
+            }
+            Request::TxnPut { txn, key, value } => {
+                out.push(OP_TXN_PUT);
+                put_fixed64(&mut out, *txn);
+                put_length_prefixed_slice(&mut out, key);
+                put_length_prefixed_slice(&mut out, value);
+            }
+            Request::TxnDelete { txn, key } => {
+                out.push(OP_TXN_DELETE);
+                put_fixed64(&mut out, *txn);
+                put_length_prefixed_slice(&mut out, key);
+            }
+            Request::TxnCommit { txn, sync } => {
+                out.push(OP_TXN_COMMIT);
+                put_fixed64(&mut out, *txn);
+                out.push(u8::from(*sync));
+            }
+            Request::TxnRollback { txn } => {
+                out.push(OP_TXN_ROLLBACK);
+                put_fixed64(&mut out, *txn);
+            }
         }
         out
     }
@@ -537,6 +626,27 @@ impl Request {
             OP_RUN_GC => Request::RunGc,
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_TXN_BEGIN => Request::TxnBegin,
+            OP_TXN_GET => Request::TxnGet {
+                txn: get_fixed64(&mut src)?,
+                key: get_length_prefixed_slice(&mut src)?.to_vec(),
+            },
+            OP_TXN_PUT => Request::TxnPut {
+                txn: get_fixed64(&mut src)?,
+                key: get_length_prefixed_slice(&mut src)?.to_vec(),
+                value: get_length_prefixed_slice(&mut src)?.to_vec(),
+            },
+            OP_TXN_DELETE => Request::TxnDelete {
+                txn: get_fixed64(&mut src)?,
+                key: get_length_prefixed_slice(&mut src)?.to_vec(),
+            },
+            OP_TXN_COMMIT => Request::TxnCommit {
+                txn: get_fixed64(&mut src)?,
+                sync: get_bool(&mut src)?,
+            },
+            OP_TXN_ROLLBACK => Request::TxnRollback {
+                txn: get_fixed64(&mut src)?,
+            },
             op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
         };
         if !src.is_empty() {
@@ -560,6 +670,12 @@ impl Request {
             Request::RunGc => "run_gc",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::TxnBegin => "txn_begin",
+            Request::TxnGet { .. } => "txn_get",
+            Request::TxnPut { .. } => "txn_put",
+            Request::TxnDelete { .. } => "txn_delete",
+            Request::TxnCommit { .. } => "txn_commit",
+            Request::TxnRollback { .. } => "txn_rollback",
         }
     }
 }
@@ -596,6 +712,10 @@ impl Response {
             }
             Response::SnapId { id } => {
                 out.push(OP_SNAP_ID);
+                put_fixed64(&mut out, *id);
+            }
+            Response::TxnId { id } => {
+                out.push(OP_TXN_ID);
                 put_fixed64(&mut out, *id);
             }
             Response::Stats { text } => {
@@ -650,6 +770,9 @@ impl Response {
                 Response::ScanChunk { entries, last }
             }
             OP_SNAP_ID => Response::SnapId {
+                id: get_fixed64(&mut src)?,
+            },
+            OP_TXN_ID => Response::TxnId {
                 id: get_fixed64(&mut src)?,
             },
             OP_STATS_TEXT => Response::Stats {
@@ -788,6 +911,7 @@ mod tests {
             Error::invalid_argument("opt"),
             Error::internal("bug"),
             Error::read_only("degraded"),
+            Error::txn_conflict("k1 moved"),
         ];
         for err in &errs {
             let code = WireCode::from_error(err);
@@ -803,6 +927,11 @@ mod tests {
         let degraded = WireCode::from_error(&Error::read_only("x"));
         assert_eq!(degraded, WireCode::Degraded);
         assert!(degraded.to_error("x").is_read_only());
+        // TxnConflict survives typed too, so client-side retry loops
+        // can branch on `is_txn_conflict()` across the wire.
+        let conflict = WireCode::from_error(&Error::txn_conflict("x"));
+        assert_eq!(conflict, WireCode::TxnConflict);
+        assert!(conflict.to_error("x").is_txn_conflict());
     }
 
     #[test]
@@ -949,6 +1078,23 @@ mod tests {
                     hi: bounded.then_some(hi),
                     limit: limit % 10_000,
                 }),
+            Just(Request::TxnBegin),
+            (proptest::strategy::any::<u64>(), bytes_strategy())
+                .prop_map(|(txn, key)| Request::TxnGet { txn, key }),
+            (
+                proptest::strategy::any::<u64>(),
+                bytes_strategy(),
+                bytes_strategy()
+            )
+                .prop_map(|(txn, key, value)| Request::TxnPut { txn, key, value }),
+            (proptest::strategy::any::<u64>(), bytes_strategy())
+                .prop_map(|(txn, key)| Request::TxnDelete { txn, key }),
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<bool>()
+            )
+                .prop_map(|(txn, sync)| Request::TxnCommit { txn, sync }),
+            proptest::strategy::any::<u64>().prop_map(|txn| Request::TxnRollback { txn }),
         ]
     }
 
@@ -959,6 +1105,7 @@ mod tests {
             Just(Response::Value { value: None }),
             bytes_strategy().prop_map(|v| Response::Value { value: Some(v) }),
             proptest::strategy::any::<u64>().prop_map(|id| Response::SnapId { id }),
+            proptest::strategy::any::<u64>().prop_map(|id| Response::TxnId { id }),
             (
                 proptest::strategy::any::<u64>(),
                 proptest::strategy::any::<u64>(),

@@ -30,7 +30,10 @@ use crate::metrics::{render_metrics, ServerMetrics};
 use crate::pins::PinTable;
 use crate::protocol::{write_frame, FrameBuffer, Request, Response, WireCode, DEFAULT_MAX_FRAME};
 use crate::rate_limit::TokenBucket;
-use scavenger::{Bytes, Engine, PinnedReader, WriteBatch, WriteOptions, WriteReceipt};
+use parking_lot::Mutex;
+use scavenger::{
+    Bytes, Engine, PinnedReader, Transaction, Transactional, WriteBatch, WriteOptions, WriteReceipt,
+};
 use scavenger_util::{Error, Result};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -39,19 +42,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Engines the server can host: the full [`Engine`] surface, cloneable
-/// across connection threads, with snapshots that may live in the
-/// shared pin table.
-pub trait ServeEngine: Engine + Clone + Send + Sync + 'static
+/// Engines the server can host: the full [`Engine`] surface plus
+/// optimistic transactions ([`Transactional`]), cloneable across
+/// connection threads, with snapshots and transaction views that may
+/// live in the shared pin/transaction tables.
+pub trait ServeEngine: Engine + Transactional + Clone + Send + Sync + 'static
 where
     Self::Snap: Send + Sync,
+    Self::View: Send,
 {
 }
 
 impl<E> ServeEngine for E
 where
-    E: Engine + Clone + Send + Sync + 'static,
+    E: Engine + Transactional + Clone + Send + Sync + 'static,
     E::Snap: Send + Sync,
+    E::View: Send,
 {
 }
 
@@ -108,11 +114,18 @@ const POLL_TICK: Duration = Duration::from_millis(20);
 struct Shared<E: ServeEngine>
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     engine: E,
     cfg: ServerConfig,
     metrics: Arc<ServerMetrics>,
     pins: PinTable<E::Snap>,
+    /// Server-side transactions, keyed like snapshots (clients cannot
+    /// hold a [`Transaction`] across the network, so the server does).
+    /// The inner `Option` lets commit/rollback *take* the transaction
+    /// out while other requests still resolve the id to a typed error
+    /// instead of a race.
+    txns: PinTable<Mutex<Option<Transaction<E>>>>,
     global_bucket: TokenBucket,
     shutdown: Arc<AtomicBool>,
 }
@@ -190,6 +203,7 @@ impl Server {
     pub fn start<E: ServeEngine>(engine: E, cfg: ServerConfig) -> Result<ServerHandle>
     where
         E::Snap: Send + Sync,
+        E::View: Send,
     {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -213,6 +227,7 @@ impl Server {
         let shared = Arc::new(Shared {
             global_bucket: TokenBucket::new(cfg.global_rate, cfg.global_burst),
             pins: PinTable::new(cfg.pin_ttl),
+            txns: PinTable::new(cfg.pin_ttl),
             engine,
             metrics: metrics.clone(),
             shutdown: shutdown.clone(),
@@ -252,6 +267,7 @@ impl Server {
 fn accept_loop<E: ServeEngine>(listener: TcpListener, shared: Arc<Shared<E>>)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -301,8 +317,11 @@ where
         let _ = j.join();
     }
     // All GC read points held on behalf of clients are released before
-    // the final flush.
+    // the final flush — including uncommitted transactions, whose
+    // buffered writes are discarded (a client that never committed has
+    // nothing durable to lose).
     shared.pins.clear();
+    shared.txns.clear();
     if let Err(e) = shared.engine.flush() {
         eprintln!("scavenger-server: flush on shutdown failed: {e}");
     }
@@ -319,6 +338,7 @@ fn reject_conn(mut stream: TcpStream) {
 fn serve_conn<E: ServeEngine>(mut stream: TcpStream, shared: &Shared<E>)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
         return;
@@ -403,6 +423,10 @@ fn is_data_op(req: &Request) -> bool {
             | Request::Delete { .. }
             | Request::Write { .. }
             | Request::Scan { .. }
+            | Request::TxnGet { .. }
+            | Request::TxnPut { .. }
+            | Request::TxnDelete { .. }
+            | Request::TxnCommit { .. }
     )
 }
 
@@ -416,6 +440,7 @@ fn handle_request<E: ServeEngine>(
 ) -> bool
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let m = &shared.metrics;
     if is_data_op(&req) && !(shared.global_bucket.try_take() && conn_bucket.try_take()) {
@@ -449,9 +474,12 @@ where
 /// total key bytes for batches, lower-bound length for scans.
 fn request_key_bytes(req: &Request) -> usize {
     match req {
-        Request::Get { key, .. } | Request::Put { key, .. } | Request::Delete { key, .. } => {
-            key.len()
-        }
+        Request::Get { key, .. }
+        | Request::Put { key, .. }
+        | Request::Delete { key, .. }
+        | Request::TxnGet { key, .. }
+        | Request::TxnPut { key, .. }
+        | Request::TxnDelete { key, .. } => key.len(),
         Request::Write { ops, .. } => ops
             .iter()
             .map(|op| match op {
@@ -467,6 +495,7 @@ fn request_key_bytes(req: &Request) -> usize {
 fn dispatch<E: ServeEngine>(stream: &mut TcpStream, shared: &Shared<E>, req: Request) -> bool
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let m = &shared.metrics;
     let ok = |resp: Response, stream: &mut TcpStream| {
@@ -615,7 +644,92 @@ where
             let _ = sent;
             false
         }
+        Request::TxnBegin => {
+            let id = shared.txns.open(Mutex::new(Some(shared.engine.begin())));
+            ok(Response::TxnId { id }, stream)
+        }
+        Request::TxnGet { txn, key } => {
+            let resp = match shared.txns.get(txn) {
+                Some(cell) => match cell.lock().as_mut() {
+                    Some(t) => match t.get(&key) {
+                        Ok(v) => Response::Value {
+                            value: v.map(|b| b.as_ref().to_vec()),
+                        },
+                        Err(e) => Response::from_error(&e),
+                    },
+                    None => txn_gone(m, txn),
+                },
+                None => txn_gone(m, txn),
+            };
+            ok(resp, stream)
+        }
+        Request::TxnPut { txn, key, value } => {
+            let resp = match shared.txns.get(txn) {
+                Some(cell) => match cell.lock().as_mut() {
+                    Some(t) => {
+                        t.put(key, Bytes::from(value));
+                        Response::Done
+                    }
+                    None => txn_gone(m, txn),
+                },
+                None => txn_gone(m, txn),
+            };
+            ok(resp, stream)
+        }
+        Request::TxnDelete { txn, key } => {
+            let resp = match shared.txns.get(txn) {
+                Some(cell) => match cell.lock().as_mut() {
+                    Some(t) => {
+                        t.delete(key);
+                        Response::Done
+                    }
+                    None => txn_gone(m, txn),
+                },
+                None => txn_gone(m, txn),
+            };
+            ok(resp, stream)
+        }
+        Request::TxnCommit { txn, sync } => {
+            // Take ownership out of the cell (commit consumes the
+            // transaction), then drop the table entry; a concurrent
+            // request for the same id resolves to a typed error.
+            let taken = shared.txns.get(txn).and_then(|cell| cell.lock().take());
+            let resp = match taken {
+                Some(t) => {
+                    shared.txns.close(txn);
+                    let opts = WriteOptions::with_sync(sync);
+                    match t.commit_with(&opts) {
+                        Ok(r) => written(r),
+                        Err(e) => Response::from_error(&e),
+                    }
+                }
+                None => txn_gone(m, txn),
+            };
+            ok(resp, stream)
+        }
+        Request::TxnRollback { txn } => {
+            let taken = shared.txns.get(txn).and_then(|cell| cell.lock().take());
+            let resp = match taken {
+                Some(t) => {
+                    shared.txns.close(txn);
+                    t.rollback();
+                    Response::Done
+                }
+                None => txn_gone(m, txn),
+            };
+            ok(resp, stream)
+        }
     }
+}
+
+/// Typed error for a transaction id that is unknown, TTL-expired, or
+/// already committed/rolled back.
+fn txn_gone(m: &ServerMetrics, id: u64) -> Response {
+    m.pin_misses.fetch_add(1, Ordering::Relaxed);
+    Response::error(
+        WireCode::PinExpired,
+        format!("transaction {id} unknown, expired, or already resolved"),
+    )
 }
 
 /// Stream a scan as chunked frames; the final chunk carries
@@ -629,6 +743,7 @@ fn stream_scan<E: ServeEngine>(
 ) -> bool
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let m = &shared.metrics;
     let chunk_cap = shared.cfg.scan_chunk.max(1);
@@ -674,6 +789,7 @@ where
 fn metrics_loop<E: ServeEngine>(listener: TcpListener, shared: Arc<Shared<E>>)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -689,6 +805,7 @@ where
 fn serve_metrics_conn<E: ServeEngine>(mut stream: TcpStream, shared: &Shared<E>)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));

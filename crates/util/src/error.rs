@@ -29,6 +29,11 @@ pub enum Error {
     /// background failure: writes fail fast with this error while reads,
     /// scans, and pinned views keep working. `Db::resume()` clears it.
     ReadOnlyMode(String),
+    /// An optimistic transaction failed commit-time validation: a key in
+    /// its read set was overwritten after the transaction's read point.
+    /// Nothing was written — the caller retries by re-running the
+    /// transaction against current state.
+    TxnConflict(String),
 }
 
 impl Error {
@@ -71,6 +76,16 @@ impl Error {
     pub fn is_read_only(&self) -> bool {
         matches!(self, Error::ReadOnlyMode(_))
     }
+
+    /// Convenience constructor for [`Error::TxnConflict`].
+    pub fn txn_conflict(msg: impl Into<String>) -> Self {
+        Error::TxnConflict(msg.into())
+    }
+
+    /// True if this error is [`Error::TxnConflict`].
+    pub fn is_txn_conflict(&self) -> bool {
+        matches!(self, Error::TxnConflict(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -82,6 +97,7 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::ReadOnlyMode(m) => write!(f, "read-only mode: {m}"),
+            Error::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
         }
     }
 }

@@ -46,6 +46,31 @@ pub enum CrashOp {
     /// Run one GC pass (no logical state change; exercises the value
     /// store's crash surface).
     Gc,
+    /// Atomically write all three keys (drawn from the dedicated
+    /// [`txn_key_bytes`] space, which only this op touches) with the
+    /// same stamp, through the engine's atomic-batch path with
+    /// `sync = true`. On a sharded store the keys usually straddle
+    /// shards, exercising the 2PC coordinator; recovery must surface
+    /// the batch all-or-nothing ([`check_txn_atomic`]).
+    TxnBatch {
+        /// Three distinct key indices in the txn key space.
+        keys: [u32; 3],
+        /// Version stamp shared by every member (unique per op).
+        stamp: u64,
+        /// Value payload length for every member.
+        len: usize,
+    },
+}
+
+/// Size of the dedicated transactional key space ([`txn_key_bytes`]).
+/// Small on purpose: batches overlap heavily, so partial application
+/// would collide with concurrent history and be caught.
+pub const TXN_KEY_SPACE: u32 = 12;
+
+/// Key bytes for txn-batch key index `k` — a namespace disjoint from
+/// [`key_bytes`], touched only by [`CrashOp::TxnBatch`].
+pub fn txn_key_bytes(k: u32) -> Vec<u8> {
+    format!("txn{k:04}").into_bytes()
 }
 
 /// The logical key space state: key bytes → expected value bytes.
@@ -95,7 +120,7 @@ pub fn gen_ops(seed: u64, n: usize, key_space: u32) -> Vec<CrashOp> {
         let roll = splitmix64(&mut rng) % 100;
         let key = (splitmix64(&mut rng) % u64::from(key_space.max(1))) as u32;
         let sync = splitmix64(&mut rng).is_multiple_of(3);
-        if roll < 70 {
+        if roll < 62 {
             // Size classes: small (inline), medium, large (separated).
             let len = match splitmix64(&mut rng) % 3 {
                 0 => 64 + (splitmix64(&mut rng) % 128) as usize,
@@ -107,6 +132,23 @@ pub fn gen_ops(seed: u64, n: usize, key_space: u32) -> Vec<CrashOp> {
                 stamp: (i as u64) << 20 | (seed & 0xf_ffff),
                 len,
                 sync,
+            });
+        } else if roll < 72 {
+            // Three distinct keys from the (small) txn space — on a
+            // 4-shard store they straddle shards more often than not.
+            let a = (splitmix64(&mut rng) % u64::from(TXN_KEY_SPACE)) as u32;
+            let mut b = (splitmix64(&mut rng) % u64::from(TXN_KEY_SPACE)) as u32;
+            while b == a {
+                b = (b + 1) % TXN_KEY_SPACE;
+            }
+            let mut c = (splitmix64(&mut rng) % u64::from(TXN_KEY_SPACE)) as u32;
+            while c == a || c == b {
+                c = (c + 1) % TXN_KEY_SPACE;
+            }
+            ops.push(CrashOp::TxnBatch {
+                keys: [a, b, c],
+                stamp: (i as u64) << 20 | (seed & 0xf_ffff),
+                len: 64 + (splitmix64(&mut rng) % 700) as usize,
             });
         } else if roll < 85 {
             ops.push(CrashOp::Delete { key, sync });
@@ -139,6 +181,11 @@ pub fn apply_more(model: &mut Model, ops: &[CrashOp]) {
                 model.remove(&key_bytes(key));
             }
             CrashOp::Flush | CrashOp::Gc => {}
+            CrashOp::TxnBatch { keys, stamp, len } => {
+                for k in keys {
+                    model.insert(txn_key_bytes(k), value_bytes(k, stamp, len));
+                }
+            }
         }
     }
 }
@@ -159,6 +206,10 @@ pub fn durable_floor(ops: &[CrashOp], acked: usize) -> usize {
             // itself mutates nothing, so covering `i` is equivalent
             // and keeps the arithmetic uniform.
             CrashOp::Flush => floor = i + 1,
+            // Txn batches are always applied with `sync = true` (and
+            // the 2PC path forces a sync regardless), so an ack makes
+            // the whole prefix durable like any synced write.
+            CrashOp::TxnBatch { .. } => floor = i + 1,
             _ => {}
         }
     }
@@ -272,7 +323,9 @@ pub fn check_per_key_consistent(
                     key, stamp, len, ..
                 }) => Some(value_bytes(*key, *stamp, *len)),
                 Some(CrashOp::Delete { .. }) => None,
-                Some(CrashOp::Flush | CrashOp::Gc) => unreachable!("only mutations collected"),
+                Some(CrashOp::Flush | CrashOp::Gc | CrashOp::TxnBatch { .. }) => {
+                    unreachable!("only per-key mutations collected")
+                }
             };
             if got == state.as_ref() {
                 ok = true;
@@ -289,16 +342,117 @@ pub fn check_per_key_consistent(
             ));
         }
     }
-    // No invented keys.
+    // No invented keys. Txn-space keys are validated (prefix, stamp,
+    // atomicity) by [`check_txn_atomic`]; here just confirm membership.
+    let txn_keys: std::collections::BTreeSet<u32> = ops
+        .iter()
+        .take(attempted)
+        .filter_map(|o| match o {
+            CrashOp::TxnBatch { keys, .. } => Some(keys),
+            _ => None,
+        })
+        .flatten()
+        .copied()
+        .collect();
     for k in recovered.keys() {
-        let parsed = std::str::from_utf8(k)
-            .ok()
-            .and_then(|s| s.strip_prefix("key"))
-            .and_then(|n| n.parse::<u32>().ok());
-        if parsed.is_none_or(|n| !per_key.contains_key(&n)) {
+        let s = std::str::from_utf8(k).unwrap_or("");
+        let ok = if let Some(n) = s.strip_prefix("key") {
+            n.parse::<u32>().is_ok_and(|n| per_key.contains_key(&n))
+        } else if let Some(n) = s.strip_prefix("txn") {
+            n.parse::<u32>().is_ok_and(|n| txn_keys.contains(&n))
+        } else {
+            false
+        };
+        if !ok {
             return Err(format!(
                 "recovered key {} was never written",
                 String::from_utf8_lossy(k)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// All-or-nothing oracle for [`CrashOp::TxnBatch`]: no recovered state
+/// may reflect a *partial* batch, acked or not — that is the 2PC
+/// coordinator's whole guarantee.
+///
+/// Each txn key's recovered value identifies (via its embedded stamp)
+/// the last batch applied on it, and per-shard WAL recovery is
+/// prefix-ordered per key, so batch `i` was applied on key `k` iff
+/// `k`'s visible batch index is `>= i`. The oracle checks, for every
+/// batch in `ops[..attempted]`:
+///
+/// * **atomicity** — all member keys agree on whether the batch
+///   applied;
+/// * **durability** — an acknowledged batch (index `< acked`; txn
+///   batches are always synced) applied on *all* members;
+/// * **honesty** — every recovered txn value byte-matches a batch that
+///   actually wrote that key.
+pub fn check_txn_atomic(
+    recovered: &Model,
+    ops: &[CrashOp],
+    acked: usize,
+    attempted: usize,
+) -> Result<(), String> {
+    let attempted = attempted.min(ops.len());
+    // (global op index, keys, stamp, len) of every batch in scope.
+    let batches: Vec<(usize, [u32; 3], u64, usize)> = ops
+        .iter()
+        .take(attempted)
+        .enumerate()
+        .filter_map(|(i, o)| match *o {
+            CrashOp::TxnBatch { keys, stamp, len } => Some((i, keys, stamp, len)),
+            _ => None,
+        })
+        .collect();
+    // Visible batch position per txn key: index into `batches` of the
+    // batch the key's recovered value came from.
+    let mut visible: BTreeMap<u32, usize> = BTreeMap::new();
+    for k in 0..TXN_KEY_SPACE {
+        let Some(v) = recovered.get(&txn_key_bytes(k)) else {
+            continue;
+        };
+        if v.len() < 16 {
+            return Err(format!("txn key {k} recovered {}B, too short", v.len()));
+        }
+        let stamp = u64::from_le_bytes(v[8..16].try_into().unwrap());
+        let pos = batches
+            .iter()
+            .position(|(_, keys, s, _)| *s == stamp && keys.contains(&k))
+            .ok_or_else(|| {
+                format!("txn key {k} recovered stamp {stamp:#x} from no batch writing it")
+            })?;
+        let (_, _, s, len) = batches[pos];
+        if *v != value_bytes(k, s, len) {
+            return Err(format!("txn key {k} value bytes mismatch stamp {stamp:#x}"));
+        }
+        visible.insert(k, pos);
+    }
+    for (pos, &(op_idx, keys, stamp, _)) in batches.iter().enumerate() {
+        let applied: Vec<bool> = keys
+            .iter()
+            .map(|k| {
+                visible.get(k).is_some_and(|&v| {
+                    // Applied iff the key's visible batch is this one or
+                    // a later batch also containing the key.
+                    v >= pos && batches[v].1.contains(k)
+                })
+            })
+            .collect();
+        let n = applied.iter().filter(|a| **a).count();
+        if n != 0 && n != keys.len() {
+            return Err(format!(
+                "batch op {op_idx} stamp {stamp:#x} partially applied: \
+                 {n}/{} members visible (keys {keys:?})",
+                keys.len()
+            ));
+        }
+        if op_idx < acked && n != keys.len() {
+            return Err(format!(
+                "acked synced batch op {op_idx} stamp {stamp:#x} lost \
+                 ({n}/{} members visible, keys {keys:?})",
+                keys.len()
             ));
         }
     }

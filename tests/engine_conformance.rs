@@ -9,7 +9,7 @@
 
 use scavenger::{
     Db, DbShards, Engine, EngineMode, MemEnv, Options, PinnedReader, ReadOptions, ReadPin,
-    ShardedOptions, WriteBatch, WriteOptions,
+    ShardedOptions, Transactional, WriteBatch, WriteOptions,
 };
 
 fn key(i: usize) -> String {
@@ -281,6 +281,193 @@ fn wrong_flavor_pins_are_rejected() {
     assert!(shards.get_with(&ReadOptions::pinned(&view), "k").is_err());
     assert!(shards.get_with(&ReadOptions::pinned(&snap), "k").is_err());
     assert!(shards.scan_with(&ReadOptions::pinned(&view)).is_err());
+}
+
+/// Everything the generic driver can observe about an engine's
+/// transaction surface. Same discipline as [`Observation`]: purely
+/// trait-level, no handle-specific branching.
+#[derive(Debug, PartialEq, Eq)]
+struct TxnObservation {
+    /// Latest values after a committed multi-key transaction.
+    committed_gets: Vec<(String, Option<Vec<u8>>)>,
+    /// Latest values after a rolled-back transaction (must be untouched).
+    rollback_gets: Vec<(String, Option<Vec<u8>>)>,
+    /// A write-write conflict (read key overwritten mid-txn) aborted.
+    ww_conflicted: bool,
+    /// A read-write conflict (read-set key moved; txn wrote elsewhere)
+    /// aborted.
+    rw_conflicted: bool,
+    /// Values an in-flight transaction read while concurrent raw writes
+    /// churned the same keys: its begin-time snapshot plus its own
+    /// buffered writes.
+    si_reads: Vec<Option<Vec<u8>>>,
+    /// Scan inside a transaction: begin-time base overlaid with the
+    /// transaction's own puts and deletes.
+    txn_scan: Vec<(Vec<u8>, Vec<u8>)>,
+    /// (commits, conflicts) growth observed via `stats()`.
+    counters: (u64, u64),
+}
+
+/// The generic transaction suite: commit visibility, rollback
+/// invisibility, W-W and R-W conflicts, snapshot-isolation reads — one
+/// body for both handles.
+fn drive_txn<E>(db: &E) -> TxnObservation
+where
+    E: Engine + Transactional,
+{
+    for i in 0..20 {
+        db.put(key(i).as_bytes(), value(i, 256).into()).unwrap();
+    }
+    let base = db.stats();
+
+    // Commit visibility: a multi-key read-modify-write transaction
+    // (keys straddle shards on the sharded handle) lands atomically.
+    let mut t = db.begin();
+    let seen = t.get(key(0).as_bytes()).unwrap().unwrap();
+    assert_eq!(seen.as_ref(), value(0, 256).as_slice());
+    t.put(key(100).as_bytes(), value(100, 300));
+    t.put(key(101).as_bytes(), value(101, 300));
+    t.delete(key(1).as_bytes());
+    let receipt = t.commit().unwrap();
+    assert!(receipt.synced, "default commit is durable");
+    let committed_gets = [0, 1, 100, 101]
+        .into_iter()
+        .map(|i| {
+            (
+                key(i),
+                db.get(key(i).as_bytes()).unwrap().map(|b| b.to_vec()),
+            )
+        })
+        .collect();
+
+    // Rollback invisibility: buffered writes die with the transaction.
+    let mut t = db.begin();
+    t.put(key(102).as_bytes(), value(102, 300));
+    t.delete(key(2).as_bytes());
+    t.rollback();
+    let rollback_gets = [2, 102]
+        .into_iter()
+        .map(|i| {
+            (
+                key(i),
+                db.get(key(i).as_bytes()).unwrap().map(|b| b.to_vec()),
+            )
+        })
+        .collect();
+
+    // W-W conflict: the transaction read key 3, then a raw writer
+    // overwrote it; the commit (which also writes key 3) must abort
+    // with nothing written.
+    let mut t = db.begin();
+    let _ = t.get(key(3).as_bytes()).unwrap();
+    db.put(key(3).as_bytes(), value(9003, 256).into()).unwrap();
+    t.put(key(3).as_bytes(), value(7003, 256));
+    t.put(key(103).as_bytes(), value(103, 256));
+    let err = t.commit().expect_err("stale read-modify-write must abort");
+    let ww_conflicted = err.is_txn_conflict();
+    assert_eq!(
+        db.get(key(3).as_bytes()).unwrap().unwrap().as_ref(),
+        value(9003, 256).as_slice(),
+        "aborted txn must write nothing"
+    );
+    assert!(
+        db.get(key(103).as_bytes()).unwrap().is_none(),
+        "aborted txn must write nothing, not even unconflicted keys"
+    );
+
+    // R-W conflict: the read set alone is validated — the transaction
+    // never writes key 4, but having read it and committing elsewhere
+    // must still abort once key 4 moves (no write skew on read keys).
+    let mut t = db.begin();
+    let _ = t.get(key(4).as_bytes()).unwrap();
+    db.delete(key(4).as_bytes()).unwrap();
+    t.put(key(104).as_bytes(), value(104, 256));
+    let err = t.commit().expect_err("moved read-set key must abort");
+    let rw_conflicted = err.is_txn_conflict();
+
+    // Snapshot isolation: reads stay at begin time under concurrent
+    // churn, the txn's own writes shadow them, and scan merges both.
+    let mut t = db.begin();
+    let pre = t.get(key(10).as_bytes()).unwrap();
+    for i in 10..14 {
+        db.put(key(i).as_bytes(), value(8000 + i, 256).into())
+            .unwrap();
+    }
+    let mut si_reads = vec![pre];
+    si_reads.push(t.get(key(10).as_bytes()).unwrap()); // begin-time, not 8010
+    t.put(key(11).as_bytes(), value(7011, 256));
+    si_reads.push(t.get(key(11).as_bytes()).unwrap()); // own write wins
+    t.delete(key(12).as_bytes());
+    si_reads.push(t.get(key(12).as_bytes()).unwrap()); // own delete wins
+    let si_reads = si_reads
+        .into_iter()
+        .map(|b| b.map(|b| b.to_vec()))
+        .collect();
+    let txn_scan = t
+        .scan(key(10).as_bytes(), Some(key(14).as_bytes()))
+        .unwrap()
+        .into_iter()
+        .map(|e| (e.key, e.value.to_vec()))
+        .collect();
+    // Reading churned keys poisoned the read set; this commit conflicts
+    // (counted below), leaving the raw writes in place.
+    assert!(t
+        .commit()
+        .expect_err("churned read set must abort")
+        .is_txn_conflict());
+
+    let stats = db.stats();
+    TxnObservation {
+        committed_gets,
+        rollback_gets,
+        ww_conflicted,
+        rw_conflicted,
+        si_reads,
+        txn_scan,
+        counters: (
+            stats.txn_commits - base.txn_commits,
+            stats.txn_conflicts - base.txn_conflicts,
+        ),
+    }
+}
+
+/// Acceptance: the transaction suite observes identical results on a
+/// single `Db` and a 4-shard `DbShards` in every mode, and the typed
+/// counters agree.
+#[test]
+fn txn_conformance_db_and_4shard_dbshards_match() {
+    for mode in [EngineMode::Scavenger, EngineMode::Titan, EngineMode::Terark] {
+        let s = drive_txn(&single(&format!("txnconf-single-{mode:?}"), mode));
+        let m = drive_txn(&sharded(&format!("txnconf-sharded-{mode:?}"), mode));
+        assert_eq!(s, m, "{mode:?}: txn observations diverged");
+
+        assert!(s.ww_conflicted, "{mode:?}: W-W conflict not typed");
+        assert!(s.rw_conflicted, "{mode:?}: R-W conflict not typed");
+        // Commit visibility and rollback invisibility, by value.
+        assert_eq!(s.committed_gets[0].1.as_deref(), Some(&value(0, 256)[..]));
+        assert_eq!(s.committed_gets[1].1, None, "txn delete must commit");
+        assert_eq!(s.committed_gets[2].1.as_deref(), Some(&value(100, 300)[..]));
+        assert_eq!(s.committed_gets[3].1.as_deref(), Some(&value(101, 300)[..]));
+        assert_eq!(s.rollback_gets[0].1.as_deref(), Some(&value(2, 256)[..]));
+        assert_eq!(s.rollback_gets[1].1, None, "rolled-back put leaked");
+        // Snapshot isolation: begin-time value, then own write/delete.
+        assert_eq!(s.si_reads[0].as_deref(), Some(&value(10, 256)[..]));
+        assert_eq!(s.si_reads[1].as_deref(), Some(&value(10, 256)[..]));
+        assert_eq!(s.si_reads[2].as_deref(), Some(&value(7011, 256)[..]));
+        assert_eq!(s.si_reads[3], None);
+        // Scan: keys 10 (base), 11 (own put), 13 (base); 12 deleted.
+        assert_eq!(
+            s.txn_scan,
+            vec![
+                (key(10).into_bytes(), value(10, 256)),
+                (key(11).into_bytes(), value(7011, 256)),
+                (key(13).into_bytes(), value(13, 256)),
+            ],
+            "{mode:?}: txn scan overlay wrong"
+        );
+        // 1 committed txn; 3 conflicted (W-W, R-W, churned-scan).
+        assert_eq!(s.counters, (1, 3), "{mode:?}: txn counters wrong");
+    }
 }
 
 /// `WriteBatch` (and the `Bytes` alias it uses) are reachable from the

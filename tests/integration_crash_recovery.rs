@@ -104,6 +104,23 @@ fn apply_op<E: Engine>(db: &E, op: &CrashOp) -> scavenger::Result<()> {
             .map(|_| ()),
         CrashOp::Flush => db.flush(),
         CrashOp::Gc => db.run_gc().map(|_| ()),
+        CrashOp::TxnBatch { keys, stamp, len } => {
+            let mut batch = scavenger::WriteBatch::new();
+            for k in keys {
+                batch.put(
+                    crash::txn_key_bytes(k),
+                    bytes::Bytes::from(crash::value_bytes(k, stamp, len)),
+                );
+            }
+            db.write_with(
+                &WriteOptions {
+                    sync: true,
+                    ..Default::default()
+                },
+                batch,
+            )
+            .map(|_| ())
+        }
     }
 }
 
@@ -133,6 +150,11 @@ const CRASH_POINTS: &[(FaultOp, &str)] = &[
     (FaultOp::Write, ".vsst"),
     (FaultOp::Write, ".blob"),
     (FaultOp::Rename, "CURRENT"),
+    // 2PC coordinator log (sharded handle only; no-op on a single Db,
+    // where the op-count fuse still forces a crash): power loss while
+    // appending a Prepare/Commit record and during the prepare fsync.
+    (FaultOp::Write, "COORD"),
+    (FaultOp::Sync, "COORD"),
 ];
 
 fn run_cycle<E: Engine, O: Fn(EnvRef) -> scavenger::Result<E>>(
@@ -189,6 +211,10 @@ fn run_cycle<E: Engine, O: Fn(EnvRef) -> scavenger::Result<E>>(
     let db = open(env.clone()).unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
     let recovered = recovered_model(&db, &ctx);
     let floor = crash::durable_floor(&ops, acked);
+    // All-or-nothing: no crash point — including mid-2PC on the sharded
+    // handle — may surface a partially applied txn batch.
+    crash::check_txn_atomic(&recovered, &ops, acked, attempted)
+        .unwrap_or_else(|e| panic!("{ctx}: txn batch atomicity violated: {e}"));
     let matched = if per_key_only {
         crash::check_per_key_consistent(&recovered, &ops, acked, attempted)
             .unwrap_or_else(|e| panic!("{ctx}: per-key consistency violated: {e}"));

@@ -283,6 +283,23 @@ fn apply_op<E: Engine>(db: &E, op: &CrashOp) -> scavenger::Result<()> {
             .map(|_| ()),
         CrashOp::Flush => db.flush(),
         CrashOp::Gc => db.run_gc().map(|_| ()),
+        CrashOp::TxnBatch { keys, stamp, len } => {
+            let mut batch = scavenger::WriteBatch::new();
+            for k in keys {
+                batch.put(
+                    crash::txn_key_bytes(k),
+                    bytes::Bytes::from(crash::value_bytes(k, stamp, len)),
+                );
+            }
+            db.write_with(
+                &WriteOptions {
+                    sync: true,
+                    ..Default::default()
+                },
+                batch,
+            )
+            .map(|_| ())
+        }
     }
 }
 

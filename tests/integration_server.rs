@@ -53,6 +53,7 @@ fn drive(addr: std::net::SocketAddr, client_id: u64) -> AckOracle {
 fn durability_across_shutdown<E: ServeEngine>(engine: E, reopen: impl FnOnce() -> E)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let handle = Server::start(engine, small_cfg()).expect("start server");
     let addr = handle.addr();
@@ -78,6 +79,7 @@ where
 fn snapshot_strict_consistency<E: ServeEngine>(engine: E)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let handle = Server::start(engine, small_cfg()).expect("start server");
     let addr = handle.addr();
@@ -140,6 +142,7 @@ where
 fn rate_limiter_rejects<E: ServeEngine>(engine: E)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let cfg = ServerConfig {
         global_rate: 20.0,
@@ -178,6 +181,7 @@ where
 fn pin_ttl_expires<E: ServeEngine>(engine: E)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let cfg = ServerConfig {
         pin_ttl: Duration::from_millis(100),
@@ -198,6 +202,7 @@ where
 fn connection_cap_rejects<E: ServeEngine>(engine: E)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let cfg = ServerConfig {
         max_conns: 2,
@@ -233,6 +238,7 @@ where
 fn metrics_endpoint_serves<E: ServeEngine>(engine: E, want_shards: usize)
 where
     E::Snap: Send + Sync,
+    E::View: Send,
 {
     let cfg = ServerConfig {
         metrics_addr: Some("127.0.0.1:0".to_string()),
