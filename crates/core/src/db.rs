@@ -12,6 +12,7 @@ use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteR
 use crate::vstore::ValueStore;
 use bytes::Bytes;
 use parking_lot::Mutex;
+use scavenger_env::usage::{SpaceTracker, UsageEnv};
 use scavenger_lsm::filename::{parse_path, FileKind};
 use scavenger_lsm::{Lsm, LsmReadResult, ValueEditBundle, WriteBatch};
 use scavenger_table::btable::BlockCache;
@@ -45,6 +46,12 @@ pub(crate) struct DbInner {
     cache: Arc<BlockCache>,
     /// Optimistic-transaction commit/conflict counters.
     txn: TxnCounters,
+    /// Incremental space-usage counter over this store's directory,
+    /// maintained by a [`UsageEnv`] layer wrapped around the
+    /// environment at open. `None` only when the opener installed its
+    /// own `space_usage` source (a [`DbShards`](crate::DbShards) set
+    /// sums per-shard trackers instead).
+    space_tracker: Option<Arc<SpaceTracker>>,
 }
 
 impl DbInner {
@@ -84,7 +91,20 @@ pub struct Db {
 
 impl Db {
     /// Open (or recover) a database.
-    pub fn open(opts: Options) -> Result<Db> {
+    pub fn open(mut opts: Options) -> Result<Db> {
+        // Meter this store's directory once at open, then keep the
+        // usage current incrementally as the env layer sees appends,
+        // deletes, and renames — space-aware admission (§III-D) reads
+        // an atomic instead of walking O(files) per write. Skipped when
+        // the opener brings its own usage source (shard sets install a
+        // tracker-summing closure).
+        let space_tracker = if opts.space_usage.is_none() {
+            let (env, tracker) = UsageEnv::wrap(opts.env.clone(), &format!("{}/", opts.dir))?;
+            opts.env = env;
+            Some(tracker)
+        } else {
+            None
+        };
         let cache = opts.block_cache.clone().unwrap_or_else(|| {
             Arc::new(BlockCache::with_capacity(opts.block_cache_bytes.max(4096)))
         });
@@ -187,6 +207,7 @@ impl Db {
                 gc_credits: Mutex::new(0),
                 cache,
                 txn: TxnCounters::default(),
+                space_tracker,
             }),
         })
     }
@@ -281,10 +302,36 @@ impl Db {
     /// source (a [`DbShards`](crate::DbShards) set sums every shard so
     /// one budget covers the whole store).
     fn throttled_usage(&self) -> u64 {
-        match &self.inner.opts.space_usage {
-            Some(usage) => usage(),
-            None => self.space().total(),
+        if let Some(usage) = &self.inner.opts.space_usage {
+            return usage();
         }
+        if let Some(tracker) = &self.inner.space_tracker {
+            return tracker.total();
+        }
+        self.space().total()
+    }
+
+    /// Bytes held only because something pins them: WAL history
+    /// retained for registered change-stream subscribers, plus (under
+    /// BlobDB's compaction-triggered scheme) exhausted value files
+    /// whose reaping is deferred while a read point is live. Reclaiming
+    /// cannot free these — the throttle discounts them when deciding
+    /// whether stalling writers can still help.
+    pub fn pinned_bytes(&self) -> u64 {
+        let inner = &self.inner;
+        let mut pinned = inner.lsm.change_log().pinned_bytes();
+        if inner.opts.features.gc == GcScheme::CompactionTriggered
+            && inner.lsm.oldest_read_point().is_some()
+        {
+            pinned += inner
+                .vstore
+                .all_files()
+                .iter()
+                .filter(|m| m.is_exhausted())
+                .map(|m| m.size)
+                .sum::<u64>();
+        }
+        pinned
     }
 
     /// Space-aware throttling (paper §III-D): before admitting a write,
@@ -297,10 +344,21 @@ impl Db {
         if !inner.throttle.over_limit(self.throttled_usage()) {
             return Ok(());
         }
+        // Discount pinned bytes (CDC-retained WAL history, read-point-
+        // deferred blob files): reclamation cannot touch them, so when
+        // the *reclaimable* footprint is under the limit, stalling
+        // writers on GC rounds would burn I/O for nothing.
+        if !inner
+            .throttle
+            .over_limit(self.throttled_usage().saturating_sub(self.pinned_bytes()))
+        {
+            return Ok(());
+        }
         inner.throttle.note_activation();
         let aggressive = inner.throttle.aggressive_threshold(inner.opts.gc_threshold);
         for _ in 0..MAX_THROTTLE_ROUNDS {
-            if !inner.throttle.over_limit(self.throttled_usage()) {
+            let reclaimable = self.throttled_usage().saturating_sub(self.pinned_bytes());
+            if !inner.throttle.over_limit(reclaimable) {
                 return Ok(());
             }
             let mut progressed = false;
@@ -328,7 +386,10 @@ impl Db {
                 }
             }
         }
-        if inner.throttle.over_limit(self.throttled_usage()) {
+        if inner
+            .throttle
+            .over_limit(self.throttled_usage().saturating_sub(self.pinned_bytes()))
+        {
             inner
                 .throttle
                 .unresolved
@@ -624,6 +685,7 @@ impl Db {
         let version = inner.lsm.current_version();
         let counters = inner.lsm.counters();
         let (pinned_views, live_snapshots) = inner.lsm.read_point_counts();
+        let cdc = inner.lsm.change_log().stats();
         DbStats {
             io: inner.opts.env.io_stats().snapshot(),
             gc: inner.gc_stats.snapshot(),
@@ -671,6 +733,12 @@ impl Db {
             // Single-handle stores never touch the 2PC coordinator.
             txn_2pc_commits: 0,
             txn_2pc_rollforwards: 0,
+            cdc_events_published: cdc.events_published,
+            cdc_subscribers: cdc.subscribers,
+            cdc_retained_wal_bytes: cdc.retained_wal_bytes,
+            cdc_lag_seqs: cdc.lag_seqs,
+            cdc_catchup_reads: cdc.catchup_reads,
+            pinned_bytes: self.pinned_bytes(),
         }
     }
 

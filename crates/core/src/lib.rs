@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod changes;
 pub mod db;
 pub mod dropcache;
 pub mod engine;
@@ -73,6 +74,10 @@ pub mod txn;
 pub mod view;
 pub mod vstore;
 
+pub use changes::{
+    ChangeOp, ChangeRecord, ChangeStream, ChangeSubscriber, DbChangeStream, ResumeToken,
+    ShardsChangeStream, SubscribeFrom,
+};
 pub use db::{Db, DbScanIter, ScanEntry};
 pub use dropcache::DropCache;
 pub use engine::{Engine, GcReport, KvRead, KvWrite, Maintenance, PinnedReader};

@@ -381,6 +381,20 @@ pub struct Options {
     /// closure summing all shard directories so the limit is one global
     /// budget.
     pub space_usage: Option<SpaceUsageFn>,
+    /// Change-data-capture WAL retention budget, in bytes. Closed WAL
+    /// segments are kept on disk for change-stream catch-up instead of
+    /// being deleted, up to this many bytes of *speculative* history.
+    /// History a registered subscriber still needs is always retained
+    /// regardless of this budget (and accounted as pinned bytes toward
+    /// the §III-D throttle). `0` (the default) disables speculative
+    /// retention; change streams still work, but a disconnected
+    /// subscriber can only resume as far back as live subscribers and
+    /// the in-memory ring preserve.
+    pub cdc_retention: u64,
+    /// Byte budget of the in-memory change-event ring serving tailing
+    /// subscribers; cursors that fall below the ring's floor catch up
+    /// from retained WAL segments.
+    pub cdc_ring_bytes: u64,
 }
 
 /// Generates the shared per-engine knob setters for the two typed
@@ -578,6 +592,22 @@ macro_rules! knob_setters {
             self
         }
 
+        /// Change-data-capture WAL retention budget in bytes (`0`
+        /// disables speculative retention; subscriber-pinned history is
+        /// always kept).
+        #[must_use]
+        pub fn cdc_retention(mut self, v: u64) -> Self {
+            self.$($path).+.cdc_retention = v;
+            self
+        }
+
+        /// Byte budget of the in-memory change-event ring.
+        #[must_use]
+        pub fn cdc_ring_bytes(mut self, v: u64) -> Self {
+            self.$($path).+.cdc_ring_bytes = v;
+            self
+        }
+
         /// Share this block cache instead of creating one per engine.
         /// (On a sharded store this becomes the one cache every shard
         /// uses.)
@@ -688,6 +718,8 @@ impl Options {
             block_cache: None,
             shared_throttle: None,
             space_usage: None,
+            cdc_retention: 0,
+            cdc_ring_bytes: 1024 * 1024,
         }
     }
 
@@ -725,6 +757,8 @@ impl Options {
         };
         o.bg_retry_limit = self.bg_retry_limit;
         o.bg_retry_base = self.bg_retry_base;
+        o.cdc_retention = self.cdc_retention;
+        o.cdc_ring_bytes = self.cdc_ring_bytes;
         o
     }
 }

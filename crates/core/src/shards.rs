@@ -53,6 +53,7 @@ use crate::txn::{Coordinator, TxnCounters};
 use crate::view::{ReadOptions, ReadPin, ReadView, Snapshot, WriteOptions, WriteReceipt};
 use bytes::Bytes;
 use parking_lot::Mutex;
+use scavenger_env::usage::UsageEnv;
 use scavenger_env::IoClass;
 use scavenger_lsm::WriteBatch;
 use scavenger_table::btable::BlockCache;
@@ -338,8 +339,11 @@ impl DbShards {
         };
 
         // One block cache and one throttle for the whole set; the usage
-        // source sums every file under the root, so the §III-D limit is
-        // a single global budget no matter which shard admits the write.
+        // source sums every shard's incremental space tracker plus a
+        // root-level tracker (routing meta, coordinator log), so the
+        // §III-D limit is a single global budget no matter which shard
+        // admits the write — and checking it is O(shards) atomic loads,
+        // not a directory walk.
         let cache = opts.base.block_cache.clone().unwrap_or_else(|| {
             Arc::new(BlockCache::with_capacity(
                 opts.base.block_cache_bytes.max(4096),
@@ -349,19 +353,36 @@ impl DbShards {
             opts.base.space_limit,
             opts.base.throttle_gc_factor,
         ));
-        let usage_env = env.clone();
-        let usage_prefix = format!("{root}/");
+        let shard_prefixes: Vec<String> = (0..meta.shards)
+            .map(|i| format!("{}/", shard_dir(&root, i)))
+            .collect();
+        let (root_env, root_tracker) =
+            UsageEnv::wrap_excluding(env.clone(), &format!("{root}/"), shard_prefixes.clone())?;
+
+        // Build every shard's env layer first (metered for per-shard I/O
+        // attribution, usage-tracked for space), so the usage closure can
+        // close over the complete tracker set before any shard opens.
+        let mut shard_envs = Vec::with_capacity(meta.shards);
+        let mut trackers = vec![root_tracker];
+        for prefix in &shard_prefixes {
+            let metered: scavenger_env::EnvRef =
+                Arc::new(scavenger_env::MeteredEnv::new(env.clone()));
+            let (shard_env, tracker) = UsageEnv::wrap(metered, prefix)?;
+            shard_envs.push(shard_env);
+            trackers.push(tracker);
+        }
         let space_usage: crate::options::SpaceUsageFn =
-            Arc::new(move || usage_env.total_file_bytes(&usage_prefix).unwrap_or(0));
+            Arc::new(move || trackers.iter().map(|t| t.total()).sum());
 
         let mut shards = Vec::with_capacity(meta.shards);
-        for i in 0..meta.shards {
+        for shard_env in shard_envs {
+            let i = shards.len();
             let mut shard_opts = opts.base.clone();
             shard_opts.dir = shard_dir(&root, i);
             // Per-shard I/O attribution: every shard runs under its own
             // metered wrapper, so `shard.stats().io` counts only that
             // shard's traffic (the shared env keeps the global totals).
-            shard_opts.env = Arc::new(scavenger_env::MeteredEnv::new(env.clone()));
+            shard_opts.env = shard_env;
             shard_opts.block_cache = Some(cache.clone());
             shard_opts.shared_throttle = Some(throttle.clone());
             shard_opts.space_usage = Some(space_usage.clone());
@@ -370,15 +391,17 @@ impl DbShards {
 
         // All shards are open: complete any multi-shard batch whose 2PC
         // prepare is durable but whose commit never landed (crash
-        // mid-fan-out), then start a fresh coordinator log.
-        let coord = Coordinator::open(&env, &root, &shards)?;
+        // mid-fan-out), then start a fresh coordinator log. The
+        // coordinator writes through the root usage wrapper so its log
+        // bytes count toward the global budget.
+        let coord = Coordinator::open(&root_env, &root, &shards)?;
 
         Ok(DbShards {
             inner: Arc::new(ShardsInner {
                 shards,
                 meta,
                 root,
-                env,
+                env: root_env,
                 throttle,
                 cache,
                 maintenance_threads: opts.base.gc_threads.max(1),
@@ -744,6 +767,12 @@ impl DbShards {
         let mut oldest_read_point = None;
         let mut amp_weighted = 0.0;
         let mut amp_weight = 0u64;
+        let mut cdc_events_published = 0;
+        let mut cdc_subscribers = 0;
+        let mut cdc_retained_wal_bytes = 0;
+        let mut cdc_lag_seqs = 0;
+        let mut cdc_catchup_reads = 0;
+        let mut pinned_bytes = 0;
         let mut io = scavenger_env::IoStatsSnapshot::default();
         for s in &per_shard {
             io.accumulate(&s.io);
@@ -771,6 +800,15 @@ impl DbShards {
             };
             amp_weighted += s.index_space_amp * s.space.ksst_bytes as f64;
             amp_weight += s.space.ksst_bytes;
+            cdc_events_published += s.cdc_events_published;
+            cdc_subscribers += s.cdc_subscribers;
+            cdc_retained_wal_bytes += s.cdc_retained_wal_bytes;
+            // Max, not sum: per-shard sequences are independent
+            // namespaces, so "how far behind is the slowest subscriber"
+            // is the worst shard, not an addition across them.
+            cdc_lag_seqs = cdc_lag_seqs.max(s.cdc_lag_seqs);
+            cdc_catchup_reads += s.cdc_catchup_reads;
+            pinned_bytes += s.pinned_bytes;
         }
         // Reuse the per-shard breakdowns computed above instead of
         // re-walking every shard directory through self.space(); only
@@ -826,6 +864,12 @@ impl DbShards {
                 .coord
                 .rollforwards
                 .load(std::sync::atomic::Ordering::Relaxed),
+            cdc_events_published,
+            cdc_subscribers,
+            cdc_retained_wal_bytes,
+            cdc_lag_seqs,
+            cdc_catchup_reads,
+            pinned_bytes,
         }
     }
 

@@ -386,6 +386,31 @@ pub struct DbStats {
     /// Prepared-but-uncommitted coordinator transactions rolled forward
     /// during recovery (crash between prepare and the last shard apply).
     pub txn_2pc_rollforwards: u64,
+    /// Change events published to the CDC ring at group-commit apply
+    /// time (counter; includes internal relocation events the
+    /// subscriber API filters out).
+    pub cdc_events_published: u64,
+    /// Registered change-stream cursors (gauge). For a
+    /// [`DbShards`](crate::DbShards) set this sums per-shard cursors,
+    /// so one merged subscription counts once per shard.
+    pub cdc_subscribers: u64,
+    /// WAL bytes retained beyond the durability horizon for change-
+    /// stream catch-up — the CDC share of [`DbStats::pinned_bytes`].
+    pub cdc_retained_wal_bytes: u64,
+    /// How far the slowest registered subscriber trails the commit head
+    /// in sequence numbers (gauge; max across shards, 0 when caught up
+    /// or no subscribers).
+    pub cdc_lag_seqs: u64,
+    /// Cursor polls served from retained WAL segments rather than the
+    /// in-memory ring (counter) — nonzero means subscribers fell behind
+    /// the ring and took the catch-up path.
+    pub cdc_catchup_reads: u64,
+    /// Bytes the engine is currently holding *only* because something
+    /// pins them — WAL history retained for change streams plus value
+    /// files whose reclamation is deferred by read points (gauge).
+    /// Space-aware throttling (§III-D) discounts these: reclamation
+    /// cannot get rid of them, so stalling writers on them is pointless.
+    pub pinned_bytes: u64,
 }
 
 // ---------------- Prometheus exposition ----------------
@@ -488,6 +513,12 @@ impl DbStats {
             txn_conflicts,
             txn_2pc_commits,
             txn_2pc_rollforwards,
+            cdc_events_published,
+            cdc_subscribers,
+            cdc_retained_wal_bytes,
+            cdc_lag_seqs,
+            cdc_catchup_reads,
+            pinned_bytes,
         } = self;
         render_io_prometheus(out, io, labels);
         let g = |out: &mut String, name: &str, v: f64| prom_line(out, name, labels, v);
@@ -623,6 +654,24 @@ impl DbStats {
             "scavenger_txn_2pc_rollforwards_total",
             *txn_2pc_rollforwards as f64,
         );
+        g(
+            out,
+            "scavenger_cdc_events_published_total",
+            *cdc_events_published as f64,
+        );
+        g(out, "scavenger_cdc_subscribers", *cdc_subscribers as f64);
+        g(
+            out,
+            "scavenger_cdc_retained_wal_bytes",
+            *cdc_retained_wal_bytes as f64,
+        );
+        g(out, "scavenger_cdc_lag_seqs", *cdc_lag_seqs as f64);
+        g(
+            out,
+            "scavenger_cdc_catchup_reads_total",
+            *cdc_catchup_reads as f64,
+        );
+        g(out, "scavenger_pinned_bytes", *pinned_bytes as f64);
     }
 }
 

@@ -523,6 +523,7 @@ impl Coordinator {
         let opts = WriteOptions {
             sync: true,
             disable_throttle: true,
+            txn_id: Some(p.txn_id),
         };
         for part in &p.parts {
             let db = shards.get(part.shard).ok_or_else(|| {
@@ -597,6 +598,7 @@ impl Coordinator {
         let shard_opts = WriteOptions {
             sync: true,
             disable_throttle: opts.disable_throttle,
+            txn_id: Some(txn_id),
         };
         let mut seq = 0;
         let mut group_len = 0;

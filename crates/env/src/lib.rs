@@ -16,6 +16,10 @@
 //! * [`MeteredEnv`] — a transparent wrapper charging all I/O through it
 //!   to a private counter set; the sharded engine uses one per shard so
 //!   I/O can be attributed shard-by-shard instead of env-globally.
+//! * [`UsageEnv`] — a transparent wrapper maintaining a live
+//!   [`SpaceTracker`] byte counter per file prefix, so the §III-D space
+//!   throttle admits writes with one atomic load instead of an O(files)
+//!   directory walk.
 //!
 //! The trait surface is deliberately small (append-only writable files,
 //! positional reads, whole-file reads, rename/remove/list) — exactly what
@@ -27,6 +31,7 @@ pub mod fs;
 pub mod io_stats;
 pub mod mem;
 pub mod metered;
+pub mod usage;
 
 use bytes::Bytes;
 use scavenger_util::Result;
@@ -38,6 +43,7 @@ pub use fs::FsEnv;
 pub use io_stats::{IoClass, IoStats, IoStatsSnapshot};
 pub use mem::MemEnv;
 pub use metered::MeteredEnv;
+pub use usage::{SpaceTracker, UsageEnv};
 
 /// An append-only file being written (WAL, SST under construction, manifest).
 pub trait WritableFile: Send {

@@ -1,0 +1,304 @@
+//! Incremental space-usage accounting: an [`Env`] wrapper that keeps a
+//! live byte counter for every file under a prefix.
+//!
+//! The §III-D space throttle admits every write against the store's
+//! total on-disk footprint. Computing that footprint with
+//! [`Env::total_file_bytes`] walks the directory — O(files) per write
+//! admission, and the file count grows with the store. A [`UsageEnv`]
+//! replaces the walk with bookkeeping at the mutation points the trait
+//! already funnels through: file creation, appends, removal, and rename
+//! each adjust a per-file size map and a running total, so
+//! [`SpaceTracker::total`] is a single atomic load.
+//!
+//! The tracker is seeded with one walk at wrap time (reopen of an
+//! existing store) and stays exact afterwards for everything written
+//! *through* the wrapper — which is every file the engine creates,
+//! including WAL segments retained for change-data-capture catch-up.
+//! `exclude` sub-prefixes let a sharded store's root wrapper skip the
+//! shard directories that carry their own trackers.
+
+use crate::io_stats::{IoClass, IoStats};
+use crate::{Env, EnvRef, RandomAccessFile, WritableFile};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use scavenger_util::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live byte accounting for the files under one prefix. Shared between
+/// the [`UsageEnv`] that maintains it and the engine that reads it on
+/// every write admission.
+pub struct SpaceTracker {
+    prefix: String,
+    exclude: Vec<String>,
+    total: AtomicU64,
+    files: Mutex<HashMap<String, u64>>,
+}
+
+impl SpaceTracker {
+    /// Current total bytes across tracked files — O(1), no directory
+    /// walk.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Number of files currently tracked.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    fn tracked(&self, path: &str) -> bool {
+        path.starts_with(&self.prefix) && !self.exclude.iter().any(|e| path.starts_with(e))
+    }
+
+    fn set(&self, path: &str, len: u64) {
+        let mut files = self.files.lock();
+        let old = files.insert(path.to_string(), len).unwrap_or(0);
+        if len >= old {
+            self.total.fetch_add(len - old, Ordering::Relaxed);
+        } else {
+            self.total.fetch_sub(old - len, Ordering::Relaxed);
+        }
+    }
+
+    fn add(&self, path: &str, delta: u64) {
+        let mut files = self.files.lock();
+        *files.entry(path.to_string()).or_insert(0) += delta;
+        self.total.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn remove(&self, path: &str) {
+        if let Some(old) = self.files.lock().remove(path) {
+            self.total.fetch_sub(old, Ordering::Relaxed);
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str, to_tracked: bool) {
+        let mut files = self.files.lock();
+        let moved = files.remove(from);
+        if let Some(len) = moved {
+            if to_tracked {
+                let old = files.insert(to.to_string(), len).unwrap_or(0);
+                self.total.fetch_sub(old, Ordering::Relaxed);
+            } else {
+                self.total.fetch_sub(len, Ordering::Relaxed);
+            }
+        } else if to_tracked {
+            // Renamed in from outside the tracked set: size unknown
+            // until re-stated; record zero so removal stays balanced.
+            let old = files.insert(to.to_string(), 0).unwrap_or(0);
+            self.total.fetch_sub(old, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An [`Env`] wrapper maintaining a [`SpaceTracker`] for one prefix.
+pub struct UsageEnv {
+    inner: EnvRef,
+    tracker: Arc<SpaceTracker>,
+}
+
+impl UsageEnv {
+    /// Wrap `inner`, tracking every file under `prefix`. Seeds the
+    /// counter with one directory walk (the last one the store will
+    /// ever do on its admission path).
+    pub fn wrap(inner: EnvRef, prefix: &str) -> Result<(EnvRef, Arc<SpaceTracker>)> {
+        Self::wrap_excluding(inner, prefix, Vec::new())
+    }
+
+    /// Like [`UsageEnv::wrap`], but paths under any of `exclude` are
+    /// ignored — used by a sharded store's root env so shard
+    /// directories stay with their own per-shard trackers.
+    pub fn wrap_excluding(
+        inner: EnvRef,
+        prefix: &str,
+        exclude: Vec<String>,
+    ) -> Result<(EnvRef, Arc<SpaceTracker>)> {
+        let tracker = Arc::new(SpaceTracker {
+            prefix: prefix.to_string(),
+            exclude,
+            total: AtomicU64::new(0),
+            files: Mutex::new(HashMap::new()),
+        });
+        for path in inner.list_prefix(prefix)? {
+            if !tracker.tracked(&path) {
+                continue;
+            }
+            let len = inner.file_size(&path).unwrap_or(0);
+            tracker.set(&path, len);
+        }
+        let env: EnvRef = Arc::new(UsageEnv {
+            inner,
+            tracker: tracker.clone(),
+        });
+        Ok((env, tracker))
+    }
+
+    /// The tracker maintained by this wrapper.
+    pub fn tracker(&self) -> Arc<SpaceTracker> {
+        self.tracker.clone()
+    }
+}
+
+struct TrackedWritable {
+    inner: Box<dyn WritableFile>,
+    tracker: Arc<SpaceTracker>,
+    path: String,
+}
+
+impl WritableFile for TrackedWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.inner.append(data)?;
+        self.tracker.add(&self.path, data.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for UsageEnv {
+    fn new_writable(&self, path: &str, class: IoClass) -> Result<Box<dyn WritableFile>> {
+        let inner = self.inner.new_writable(path, class)?;
+        if !self.tracker.tracked(path) {
+            return Ok(inner);
+        }
+        // Creation truncates: any prior contents are gone.
+        self.tracker.set(path, 0);
+        Ok(Box::new(TrackedWritable {
+            inner,
+            tracker: self.tracker.clone(),
+            path: path.to_string(),
+        }))
+    }
+
+    fn open_random_access(&self, path: &str, class: IoClass) -> Result<Arc<dyn RandomAccessFile>> {
+        self.inner.open_random_access(path, class)
+    }
+
+    fn read_file(&self, path: &str, class: IoClass) -> Result<Bytes> {
+        self.inner.read_file(path, class)
+    }
+
+    fn remove_file(&self, path: &str) -> Result<()> {
+        self.inner.remove_file(path)?;
+        if self.tracker.tracked(path) {
+            self.tracker.remove(path);
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)?;
+        let from_tracked = self.tracker.tracked(from);
+        let to_tracked = self.tracker.tracked(to);
+        if from_tracked || to_tracked {
+            self.tracker.rename(from, to, to_tracked);
+            if to_tracked && !from_tracked {
+                // Size unknown from bookkeeping alone; one stat call.
+                let len = self.inner.file_size(to).unwrap_or(0);
+                self.tracker.set(to, len);
+            }
+        }
+        Ok(())
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        self.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list_prefix(prefix)
+    }
+
+    fn create_dir_all(&self, path: &str) -> Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        self.inner.io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemEnv;
+
+    fn write(env: &EnvRef, path: &str, n: usize) {
+        let mut f = env.new_writable(path, IoClass::Flush).unwrap();
+        f.append(&vec![7u8; n]).unwrap();
+        f.sync().unwrap();
+    }
+
+    #[test]
+    fn counter_tracks_create_append_remove_rename() {
+        let base = MemEnv::shared();
+        let (env, t) = UsageEnv::wrap(base.clone(), "db").unwrap();
+        assert_eq!(t.total(), 0);
+
+        write(&env, "db/000001.sst", 100);
+        write(&env, "db/000002.log", 40);
+        assert_eq!(t.total(), 140);
+        assert_eq!(t.total(), env.total_file_bytes("db").unwrap());
+
+        env.remove_file("db/000001.sst").unwrap();
+        assert_eq!(t.total(), 40);
+
+        write(&env, "db/MANIFEST-tmp", 9);
+        env.rename("db/MANIFEST-tmp", "db/CURRENT").unwrap();
+        assert_eq!(t.total(), 49);
+        assert_eq!(t.total(), env.total_file_bytes("db").unwrap());
+
+        // Recreating a file truncates: the old size must not leak.
+        write(&env, "db/000002.log", 10);
+        assert_eq!(t.total(), 19);
+        assert_eq!(t.total(), env.total_file_bytes("db").unwrap());
+    }
+
+    #[test]
+    fn untracked_prefixes_pass_through() {
+        let base = MemEnv::shared();
+        let (env, t) = UsageEnv::wrap(base.clone(), "db").unwrap();
+        write(&env, "elsewhere/file", 64);
+        assert_eq!(t.total(), 0);
+        assert_eq!(env.total_file_bytes("elsewhere").unwrap(), 64);
+    }
+
+    #[test]
+    fn wrap_seeds_from_existing_files() {
+        let base = MemEnv::shared();
+        {
+            let e: EnvRef = base.clone();
+            write(&e, "db/pre-existing", 77);
+        }
+        let (_env, t) = UsageEnv::wrap(base.clone(), "db").unwrap();
+        assert_eq!(t.total(), 77);
+    }
+
+    #[test]
+    fn exclusions_are_left_to_their_own_trackers() {
+        let base = MemEnv::shared();
+        {
+            let e: EnvRef = base.clone();
+            write(&e, "root/shard-0/f", 50);
+            write(&e, "root/SHARDS", 8);
+        }
+        let (env, t) =
+            UsageEnv::wrap_excluding(base.clone(), "root", vec!["root/shard-0".into()]).unwrap();
+        assert_eq!(t.total(), 8);
+        write(&env, "root/shard-0/g", 30);
+        write(&env, "root/COORDLOG-1", 12);
+        assert_eq!(t.total(), 20);
+    }
+}

@@ -44,6 +44,12 @@ pub struct WriteOptions {
     /// Ignored below the engine facade (the LSM layer has no throttle).
     /// Default `false`.
     pub disable_throttle: bool,
+    /// Transaction id to attach to this batch's change-stream events.
+    /// The 2PC coordinator tags each shard's slice of a multi-shard
+    /// commit with the transaction's id so change subscribers can
+    /// regroup the slices. Purely observational: it never affects what
+    /// is written. Default `None`.
+    pub txn_id: Option<u64>,
 }
 
 impl Default for WriteOptions {
@@ -51,6 +57,7 @@ impl Default for WriteOptions {
         WriteOptions {
             sync: true,
             disable_throttle: false,
+            txn_id: None,
         }
     }
 }

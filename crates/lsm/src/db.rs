@@ -77,14 +77,18 @@ struct WriterState {
 struct GroupMember {
     batch: Mutex<Option<WriteBatch>>,
     sync: bool,
+    /// Change-stream transaction tag carried through from
+    /// [`WriteOptions::txn_id`].
+    txn_id: Option<u64>,
     result: Mutex<Option<Result<WriteReceipt>>>,
 }
 
 impl GroupMember {
-    fn new(batch: WriteBatch, sync: bool) -> GroupMember {
+    fn new(batch: WriteBatch, sync: bool, txn_id: Option<u64>) -> GroupMember {
         GroupMember {
             batch: Mutex::new(Some(batch)),
             sync,
+            txn_id,
             result: Mutex::new(None),
         }
     }
@@ -208,6 +212,9 @@ struct Inner {
     /// Key-SST files replaced by compactions, awaiting deletion once no
     /// in-flight reader's version references them.
     pending_deletions: Mutex<Vec<u64>>,
+    /// Change-data-capture hub: publication ring, retained-WAL catalog,
+    /// and subscriber registry (see [`crate::changelog`]).
+    cdc: Arc<crate::changelog::ChangeLog>,
     closed: AtomicBool,
 }
 
@@ -253,8 +260,17 @@ impl Lsm {
             .unwrap_or_else(|| Arc::new(BlockCache::with_capacity(opts.block_cache_bytes)));
         let tcache = Arc::new(TableCache::new(&opts, block_cache));
 
+        let cdc = crate::changelog::ChangeLog::new(
+            env.clone(),
+            opts.dir.clone(),
+            seq.clone(),
+            opts.cdc_retention,
+            opts.cdc_ring_bytes,
+        );
+
         let inner = Arc::new(Inner {
             tcache,
+            cdc,
             writer: Mutex::new(WriterState {
                 wal: None,
                 wal_number: 0,
@@ -306,6 +322,13 @@ impl Lsm {
     /// The engine options.
     pub fn options(&self) -> &LsmOptions {
         &self.inner.opts
+    }
+
+    /// The change-data-capture hub: subscribe with
+    /// [`ChangeLog::subscribe_from`](crate::changelog::ChangeLog) and
+    /// friends; committed groups are published here in commit order.
+    pub fn change_log(&self) -> Arc<crate::changelog::ChangeLog> {
+        self.inner.cdc.clone()
     }
 
     /// Shared block cache.
@@ -492,7 +515,7 @@ impl Lsm {
         }
         self.check_bg_error()?;
         self.maybe_stall();
-        let member = Arc::new(GroupMember::new(batch, opts.sync));
+        let member = Arc::new(GroupMember::new(batch, opts.sync, opts.txn_id));
         let mut st = self.inner.group.lock();
         st.queue.push(member.clone());
         loop {
@@ -517,7 +540,8 @@ impl Lsm {
             let mut ws = self.inner.writer.lock();
             let batches: Vec<WriteBatch> = members.iter().map(|m| m.take_batch()).collect();
             let syncs: Vec<bool> = members.iter().map(|m| m.sync).collect();
-            self.commit_group(&mut ws, batches, &syncs)
+            let txn_ids: Vec<Option<u64>> = members.iter().map(|m| m.txn_id).collect();
+            self.commit_group(&mut ws, batches, &syncs, &txn_ids)
         };
         match outcome {
             Ok(receipts) => {
@@ -583,7 +607,7 @@ impl Lsm {
             }
             applied = batch.count();
             if applied > 0 {
-                self.commit_group(&mut ws, vec![batch], &[opts.sync])?;
+                self.commit_group(&mut ws, vec![batch], &[opts.sync], &[opts.txn_id])?;
             }
         }
         if applied > 0 {
@@ -648,7 +672,7 @@ impl Lsm {
                     synced: false,
                 });
             }
-            let receipts = self.commit_group(&mut ws, vec![batch], &[opts.sync])?;
+            let receipts = self.commit_group(&mut ws, vec![batch], &[opts.sync], &[opts.txn_id])?;
             receipt = receipts
                 .into_iter()
                 .next()
@@ -668,8 +692,10 @@ impl Lsm {
         ws: &mut WriterState,
         batches: Vec<WriteBatch>,
         syncs: &[bool],
+        txn_ids: &[Option<u64>],
     ) -> Result<Vec<WriteReceipt>> {
         debug_assert_eq!(batches.len(), syncs.len());
+        debug_assert_eq!(batches.len(), txn_ids.len());
         if batches.is_empty() {
             return Ok(Vec::new());
         }
@@ -707,6 +733,21 @@ impl Lsm {
         self.inner
             .seq
             .store(base + merged.count() as u64 - 1, Ordering::SeqCst);
+
+        // Publish the committed group to the change stream — one
+        // publish per group, in commit order (the writer lock is held),
+        // after the sequence counter advanced so subscribers never see
+        // events past the head. The merged batch is moved, not copied.
+        let marks: Vec<(SeqNo, Option<u64>)> = if txn_ids.iter().any(|t| t.is_some()) {
+            batch_ends
+                .iter()
+                .copied()
+                .zip(txn_ids.iter().copied())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.inner.cdc.publish(base, merged, marks);
 
         let c = &self.inner.counters;
         c.group_commit_groups.fetch_add(1, Ordering::Relaxed);
@@ -770,6 +811,10 @@ impl Lsm {
 
     /// Point the writer at a brand-new WAL file (and clear any poison).
     fn fresh_wal_locked(&self, ws: &mut WriterState) -> Result<()> {
+        let closed = ws
+            .wal
+            .as_ref()
+            .map(|w| (ws.wal_number, w.len(), ws.wal_poisoned));
         let n = self.inner.file_counter.fetch_add(1, Ordering::SeqCst);
         let f = self
             .inner
@@ -779,6 +824,11 @@ impl Lsm {
         ws.wal = Some(LogWriter::new(f));
         ws.wal_number = n;
         ws.wal_poisoned = false;
+        // The old WAL becomes a retained catch-up segment (or is
+        // released for deletion, per retention policy and subscribers).
+        self.inner
+            .cdc
+            .rotate_live(closed, n, self.inner.seq.load(Ordering::SeqCst) + 1);
         Ok(())
     }
 
@@ -1449,15 +1499,18 @@ impl Lsm {
     fn recover_wals(&self) -> Result<()> {
         let opts = &self.inner.opts;
         let min_log = self.inner.vset.lock().log_number;
+        let retain = self.inner.cdc.retains_history();
         let mut wals: Vec<u64> = opts
             .env
             .list_prefix(&format!("{}/", opts.dir))?
             .iter()
             .filter_map(|p| parse_path(&opts.dir, p))
-            .filter(|(k, n)| *k == FileKind::Wal && *n >= min_log)
+            .filter(|(k, n)| *k == FileKind::Wal && (*n >= min_log || retain))
             .map(|(_, n)| n)
             .collect();
         wals.sort_unstable();
+        let mut obsolete = Vec::new();
+        let mut segs: Vec<(u64, SeqNo)> = Vec::new();
         for n in &wals {
             let path = wal_path(&opts.dir, *n);
             let data = opts.env.read_file(&path, IoClass::Wal)?;
@@ -1467,7 +1520,7 @@ impl Lsm {
             while let Some(r) = reader.next_record() {
                 records.push(r);
             }
-            if reader.hit_corruption {
+            if reader.hit_corruption && *n >= min_log {
                 // Torn or corrupt tail: the intact prefix is replayed,
                 // the tail dropped. Count it and log the truncation
                 // offset so operators can tell power-loss truncation
@@ -1484,29 +1537,68 @@ impl Lsm {
                     total - reader.dropped_bytes
                 );
             }
+            // Sequence range of the file — the retained-segment
+            // catalog entry for change-stream catch-up.
+            let mut first_seq = None;
+            let mut last_seq = 0;
+            let replay = *n >= min_log;
             let mem = Memtable::new();
             let mut max_seq = self.inner.seq.load(Ordering::SeqCst);
-            for rec in records {
-                let (base, batch) = WriteBatch::decode(&rec)?;
-                for (i, e) in batch.entries().iter().enumerate() {
-                    mem.insert(&e.key, base + i as u64, e.vtype, e.value.clone());
+            for rec in &records {
+                let (base, batch) = WriteBatch::decode(rec)?;
+                if batch.count() > 0 {
+                    first_seq.get_or_insert(base);
+                    last_seq = last_seq.max(base + batch.count() as u64 - 1);
                 }
-                max_seq = max_seq.max(base + batch.count() as u64 - 1);
+                if replay {
+                    for (i, e) in batch.entries().iter().enumerate() {
+                        mem.insert(&e.key, base + i as u64, e.vtype, e.value.clone());
+                    }
+                    max_seq = max_seq.max(base + batch.count() as u64 - 1);
+                }
             }
-            self.inner.seq.store(max_seq, Ordering::SeqCst);
-            if !mem.is_empty() {
-                self.inner.imms.write().push(ImmEntry {
-                    mem: Arc::new(mem),
-                    wal_number: *n,
-                });
-                // Flush synchronously so recovery is complete when open
-                // returns.
-                self.flush_one_imm()?;
+            // Retained history stays on disk as a catch-up segment so
+            // resumed subscribers can replay across the restart.
+            // Register it *before* replaying: the flush below runs the
+            // obsolete-WAL sweep, which must already see the file
+            // protected.
+            match first_seq {
+                Some(first) if retain => {
+                    self.inner
+                        .cdc
+                        .recovered_segment(*n, first, last_seq + 1, total as u64);
+                    segs.push((*n, first));
+                }
+                _ => obsolete.push(*n),
+            }
+            if replay {
+                self.inner.seq.store(max_seq, Ordering::SeqCst);
+                if !mem.is_empty() {
+                    self.inner.imms.write().push(ImmEntry {
+                        mem: Arc::new(mem),
+                        wal_number: *n,
+                    });
+                    // Flush synchronously so recovery is complete when
+                    // open returns.
+                    self.flush_one_imm()?;
+                }
             }
         }
-        // All recovered WALs are obsolete now.
-        for n in wals {
-            let _ = opts.env.remove_file(&wal_path(&opts.dir, n));
+        // Clamp each segment's exclusive end by its successor's first
+        // sequence: a WAL poisoned by a failed fsync may end in an
+        // intact but never-acknowledged record whose sequences were
+        // reassigned to the successor — the clamp excises it from
+        // served history.
+        for i in 0..segs.len() {
+            if let Some(&(_, next_first)) = segs.get(i + 1) {
+                self.inner.cdc.clamp_segment(segs[i].0, next_first);
+            }
+        }
+        // WALs that were neither retained nor protected are obsolete.
+        for n in obsolete {
+            if !self.inner.cdc.protects(n) {
+                let _ = opts.env.remove_file(&wal_path(&opts.dir, n));
+            }
         }
         Ok(())
     }
@@ -1524,6 +1616,9 @@ impl Lsm {
         let mut ws = self.inner.writer.lock();
         ws.wal = Some(LogWriter::new(f));
         ws.wal_number = n;
+        self.inner
+            .cdc
+            .rotate_live(None, n, self.inner.seq.load(Ordering::SeqCst) + 1);
         // Record in the manifest that older WALs are obsolete.
         let edit = VersionEdit {
             log_number: Some(n),
@@ -1538,7 +1633,11 @@ impl Lsm {
         let min_log = self.inner.vset.lock().log_number;
         for p in opts.env.list_prefix(&format!("{}/", opts.dir))? {
             if let Some((FileKind::Wal, n)) = parse_path(&opts.dir, &p) {
-                if n < min_log {
+                // A WAL below the recovery floor may still be a
+                // retained change-stream segment: the catalog pins it
+                // (for a registered subscriber or within the retention
+                // budget) until the change log releases it.
+                if n < min_log && !self.inner.cdc.protects(n) {
                     let _ = opts.env.remove_file(&p);
                 }
             }

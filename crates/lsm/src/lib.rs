@@ -21,6 +21,7 @@
 //!   dropped keys feed the DropCache's hotness signal (paper §III-B3).
 
 pub mod batch;
+pub mod changelog;
 pub mod compaction;
 pub mod db;
 pub mod filename;
@@ -34,6 +35,7 @@ pub mod view;
 pub mod wal;
 
 pub use batch::{WriteBatch, WriteOptions, WriteReceipt};
+pub use changelog::{ChangeCursor, ChangeEvent, ChangeLog, ChangeLogStats};
 pub use db::{GuardedWrite, Lsm, LsmReadResult};
 pub use hooks::{
     DropCause, FileNumAlloc, JobKind, NewValueFile, ValueEditBundle, ValueHook, ValueSession,

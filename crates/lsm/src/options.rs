@@ -89,6 +89,19 @@ pub struct LsmOptions {
     /// `false` selects the full-rebuild reference path (kept for
     /// equivalence tests and the install-cost microbench).
     pub cow_superversion: bool,
+    /// Change-data-capture WAL retention budget, in bytes. Closed WAL
+    /// segments are catalogued for subscriber catch-up instead of
+    /// deleted, up to this many bytes of *speculative* history (history
+    /// a registered subscriber still needs is always retained and
+    /// accounted as pinned bytes instead). `0` disables speculative
+    /// retention: WAL files are reclaimed exactly as before unless a
+    /// live subscriber pins them.
+    pub cdc_retention: u64,
+    /// Byte budget for the in-memory change-event publication ring.
+    /// Tailing subscribers are served from the ring; a cursor that
+    /// falls below the ring's floor catches up from retained WAL
+    /// segments.
+    pub cdc_ring_bytes: u64,
 }
 
 impl LsmOptions {
@@ -117,6 +130,8 @@ impl LsmOptions {
             bg_retry_base: std::time::Duration::from_millis(10),
             value_hook: None,
             cow_superversion: true,
+            cdc_retention: 0,
+            cdc_ring_bytes: 1024 * 1024,
         }
     }
 

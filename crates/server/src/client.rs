@@ -10,7 +10,8 @@
 //! observe group-commit amortization through `group_len`) end to end.
 
 use crate::protocol::{
-    read_frame, write_frame, BatchOp, Request, Response, WireCode, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, BatchOp, Request, Response, SubscribeSpec, WireChange, WireCode,
+    DEFAULT_MAX_FRAME,
 };
 use scavenger::WriteReceipt;
 use scavenger_util::{Error, Result};
@@ -293,6 +294,76 @@ impl Client {
         let resp = self.request(&Request::TxnRollback { txn })?;
         Self::expect_done(resp)
     }
+
+    // ---------------- change streams ----------------
+
+    /// Open a server-side change stream; returns its id. The stream
+    /// follows snapshot TTL rules: left unpolled past the server's
+    /// `pin_ttl` it expires (releasing its pinned WAL history) and
+    /// further polls report `PIN_EXPIRED` — re-subscribe with the last
+    /// resume token to continue without loss.
+    pub fn subscribe_changes(&mut self, from: SubscribeSpec) -> Result<u64> {
+        match self.request(&Request::SubscribeChanges { from })? {
+            Response::StreamId { id } => Ok(id),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::internal(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Drain pending changes from a stream, collecting the chunked
+    /// frames into one [`ChangeBatch`]. `max = 0` means the server
+    /// default (deliver until caught up). An empty batch means the
+    /// stream is caught up, not ended.
+    pub fn poll_changes(&mut self, stream: u64, max: u32) -> Result<ChangeBatch> {
+        write_frame(
+            &mut self.stream,
+            &Request::PollChanges { stream, max }.encode(),
+        )?;
+        let mut batch = ChangeBatch {
+            events: Vec::new(),
+            resume: Vec::new(),
+            lag: 0,
+        };
+        loop {
+            match self.read_response()? {
+                Response::ChangeChunk {
+                    events,
+                    resume,
+                    lag,
+                    last,
+                } => {
+                    batch.events.extend(events);
+                    batch.resume = resume;
+                    batch.lag = lag;
+                    if last {
+                        return Ok(batch);
+                    }
+                }
+                Response::Err { code, message } => return Err(code.to_error(&message)),
+                other => {
+                    return Err(Error::internal(format!("unexpected response {other:?}")));
+                }
+            }
+        }
+    }
+
+    /// Close a change stream, releasing its pinned WAL history.
+    pub fn close_stream(&mut self, stream: u64) -> Result<()> {
+        let resp = self.request(&Request::CloseStream { stream })?;
+        Self::expect_done(resp)
+    }
+}
+
+/// One `poll_changes` reply: the delivered events plus the position to
+/// resume from if the connection (or the stream's TTL) is lost.
+#[derive(Debug, Clone)]
+pub struct ChangeBatch {
+    /// Committed change events, in stream order.
+    pub events: Vec<WireChange>,
+    /// Encoded resume token for the position after the last event.
+    pub resume: Vec<u8>,
+    /// Sequence numbers still trailing the commit head after this poll.
+    pub lag: u64,
 }
 
 /// True if `err` is a rate-limit rejection from the server.

@@ -33,9 +33,9 @@ pub mod protocol;
 pub mod rate_limit;
 pub mod service;
 
-pub use client::{is_pin_expired, is_rate_limited, Client};
+pub use client::{is_pin_expired, is_rate_limited, ChangeBatch, Client};
 pub use metrics::{render_metrics, ServerMetrics};
 pub use pins::PinTable;
-pub use protocol::{BatchOp, Request, Response, WireCode};
+pub use protocol::{BatchOp, Request, Response, SubscribeSpec, WireChange, WireCode};
 pub use rate_limit::TokenBucket;
 pub use service::{scrape_metrics, ServeEngine, Server, ServerConfig, ServerHandle};

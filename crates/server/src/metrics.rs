@@ -39,6 +39,8 @@ pub struct ServerMetrics {
     pub requests_err: AtomicU64,
     /// Pinned-read requests that named an unknown/expired snapshot id.
     pub pin_misses: AtomicU64,
+    /// Change events delivered in `ChangeChunk` frames.
+    pub cdc_events_streamed: AtomicU64,
     /// Per-op latency histograms (microseconds), indexed like
     /// [`OP_LABELS`].
     latency_us: [Mutex<Histogram>; 5],
@@ -68,7 +70,7 @@ impl ServerMetrics {
     }
 
     /// Append the service-layer series to a Prometheus page.
-    pub fn render(&self, out: &mut String, pinned: usize) {
+    pub fn render(&self, out: &mut String, pinned: usize, change_streams: usize) {
         prom_header(
             out,
             "scavenger_server_connections_total",
@@ -166,6 +168,30 @@ impl ServerMetrics {
             "Snapshots currently held in the server pin table.",
         );
         prom_line(out, "scavenger_server_pinned_snapshots", "", pinned as f64);
+        prom_header(
+            out,
+            "scavenger_server_change_streams",
+            "gauge",
+            "Change streams currently held in the server stream table.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_change_streams",
+            "",
+            change_streams as f64,
+        );
+        prom_header(
+            out,
+            "scavenger_server_cdc_events_streamed_total",
+            "counter",
+            "Change events delivered in ChangeChunk frames.",
+        );
+        prom_line(
+            out,
+            "scavenger_server_cdc_events_streamed_total",
+            "",
+            self.cdc_events_streamed.load(Ordering::Relaxed) as f64,
+        );
 
         prom_header(
             out,
@@ -208,6 +234,7 @@ pub fn render_metrics<E: Maintenance>(
     engine: &E,
     metrics: &ServerMetrics,
     pinned: usize,
+    change_streams: usize,
 ) -> String {
     let mut out = String::new();
     let stats: DbStats = engine.stats();
@@ -228,7 +255,7 @@ pub fn render_metrics<E: Maintenance>(
         render_io_prometheus(&mut out, &s.io, &format!("shard=\"{i}\""));
     }
 
-    metrics.render(&mut out, pinned);
+    metrics.render(&mut out, pinned, change_streams);
     out
 }
 
@@ -243,11 +270,14 @@ mod tests {
         m.rate_limited.store(2, Ordering::Relaxed);
         m.record_latency("get", Duration::from_micros(100));
         m.record_latency("get", Duration::from_micros(300));
+        m.cdc_events_streamed.store(7, Ordering::Relaxed);
         let mut out = String::new();
-        m.render(&mut out, 3);
+        m.render(&mut out, 3, 2);
         assert!(out.contains("scavenger_server_connections_total 5\n"));
         assert!(out.contains("scavenger_server_rate_limited_total 2\n"));
         assert!(out.contains("scavenger_server_pinned_snapshots 3\n"));
+        assert!(out.contains("scavenger_server_change_streams 2\n"));
+        assert!(out.contains("scavenger_server_cdc_events_streamed_total 7\n"));
         assert!(out.contains("op=\"get\",quantile=\"0.99\""));
         assert!(out.contains("scavenger_server_op_latency_us_count{op=\"get\"} 2\n"));
         // Ops never recorded are omitted rather than emitting zeros.

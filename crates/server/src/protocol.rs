@@ -300,6 +300,59 @@ pub enum Request {
         /// Id from [`Response::TxnId`].
         txn: u64,
     },
+    /// Open a server-side change stream; answered with
+    /// [`Response::StreamId`]. The stream lives in the server's pin
+    /// table until closed or TTL-expired, and pins the WAL history its
+    /// cursor still needs.
+    SubscribeChanges {
+        /// Where the subscription starts.
+        from: SubscribeSpec,
+    },
+    /// Deliver pending changes from a stream, as chunked
+    /// [`Response::ChangeChunk`] frames (the last one has
+    /// `last = true`). An empty final chunk means the stream is caught
+    /// up, not ended.
+    PollChanges {
+        /// Id from [`Response::StreamId`].
+        stream: u64,
+        /// Maximum events to deliver across all chunks (`0` = server
+        /// default).
+        max: u32,
+    },
+    /// Close a change stream, releasing its pinned WAL history.
+    CloseStream {
+        /// Id from [`Response::StreamId`].
+        stream: u64,
+    },
+}
+
+/// Where a [`Request::SubscribeChanges`] starts — the wire form of
+/// [`scavenger::SubscribeFrom`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeSpec {
+    /// The oldest retained change.
+    Oldest,
+    /// The current commit head (only future changes).
+    Latest,
+    /// An encoded [`scavenger::ResumeToken`]
+    /// captured from an earlier stream's chunks.
+    Token(Vec<u8>),
+}
+
+/// One committed change event on the wire — the serialized form of
+/// [`scavenger::ChangeRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireChange {
+    /// Shard the write committed on (0 on a single-`Db` server).
+    pub shard: u32,
+    /// Sequence number in the shard's commit order.
+    pub seq: u64,
+    /// User key.
+    pub key: Vec<u8>,
+    /// `Some(value)` for a put, `None` for a delete.
+    pub value: Option<Vec<u8>>,
+    /// 2PC transaction id when the write was a multi-shard commit.
+    pub txn: Option<u64>,
 }
 
 /// A server response frame.
@@ -359,6 +412,24 @@ pub enum Response {
         /// Garbage bytes reclaimed.
         bytes_reclaimed: u64,
     },
+    /// Reply to [`Request::SubscribeChanges`].
+    StreamId {
+        /// Server-side change-stream id for subsequent polls.
+        id: u64,
+    },
+    /// One chunk of a streamed [`Request::PollChanges`] reply.
+    ChangeChunk {
+        /// Committed change events, in stream order.
+        events: Vec<WireChange>,
+        /// Resume token capturing the stream position *after* this
+        /// chunk — persist it to survive disconnects.
+        resume: Vec<u8>,
+        /// How far the stream still trails the commit head, in
+        /// sequence numbers.
+        lag: u64,
+        /// True on the final chunk of this poll.
+        last: bool,
+    },
     /// Typed failure.
     Err {
         /// The wire code.
@@ -406,6 +477,9 @@ const OP_TXN_PUT: u8 = 0x0f;
 const OP_TXN_DELETE: u8 = 0x10;
 const OP_TXN_COMMIT: u8 = 0x11;
 const OP_TXN_ROLLBACK: u8 = 0x12;
+const OP_SUB_CHANGES: u8 = 0x13;
+const OP_POLL_CHANGES: u8 = 0x14;
+const OP_CLOSE_STREAM: u8 = 0x15;
 
 const OP_PONG: u8 = 0x81;
 const OP_VALUE: u8 = 0x82;
@@ -416,7 +490,13 @@ const OP_STATS_TEXT: u8 = 0x86;
 const OP_GC_DONE: u8 = 0x87;
 const OP_WRITTEN: u8 = 0x88;
 const OP_TXN_ID: u8 = 0x89;
+const OP_STREAM_ID: u8 = 0x8a;
+const OP_CHANGE_CHUNK: u8 = 0x8b;
 const OP_ERR: u8 = 0xff;
+
+const SUB_OLDEST: u8 = 0;
+const SUB_LATEST: u8 = 1;
+const SUB_TOKEN: u8 = 2;
 
 const BATCH_PUT: u8 = 0;
 const BATCH_DELETE: u8 = 1;
@@ -561,6 +641,26 @@ impl Request {
                 out.push(OP_TXN_ROLLBACK);
                 put_fixed64(&mut out, *txn);
             }
+            Request::SubscribeChanges { from } => {
+                out.push(OP_SUB_CHANGES);
+                match from {
+                    SubscribeSpec::Oldest => out.push(SUB_OLDEST),
+                    SubscribeSpec::Latest => out.push(SUB_LATEST),
+                    SubscribeSpec::Token(t) => {
+                        out.push(SUB_TOKEN);
+                        put_length_prefixed_slice(&mut out, t);
+                    }
+                }
+            }
+            Request::PollChanges { stream, max } => {
+                out.push(OP_POLL_CHANGES);
+                put_fixed64(&mut out, *stream);
+                put_varint32(&mut out, *max);
+            }
+            Request::CloseStream { stream } => {
+                out.push(OP_CLOSE_STREAM);
+                put_fixed64(&mut out, *stream);
+            }
         }
         out
     }
@@ -647,6 +747,23 @@ impl Request {
             OP_TXN_ROLLBACK => Request::TxnRollback {
                 txn: get_fixed64(&mut src)?,
             },
+            OP_SUB_CHANGES => Request::SubscribeChanges {
+                from: match get_u8(&mut src)? {
+                    SUB_OLDEST => SubscribeSpec::Oldest,
+                    SUB_LATEST => SubscribeSpec::Latest,
+                    SUB_TOKEN => {
+                        SubscribeSpec::Token(get_length_prefixed_slice(&mut src)?.to_vec())
+                    }
+                    t => return Err(perr(format!("bad subscribe tag {t}"))),
+                },
+            },
+            OP_POLL_CHANGES => Request::PollChanges {
+                stream: get_fixed64(&mut src)?,
+                max: get_varint32(&mut src)?,
+            },
+            OP_CLOSE_STREAM => Request::CloseStream {
+                stream: get_fixed64(&mut src)?,
+            },
             op => return Err(perr(format!("unknown request opcode {op:#04x}"))),
         };
         if !src.is_empty() {
@@ -676,6 +793,9 @@ impl Request {
             Request::TxnDelete { .. } => "txn_delete",
             Request::TxnCommit { .. } => "txn_commit",
             Request::TxnRollback { .. } => "txn_rollback",
+            Request::SubscribeChanges { .. } => "subscribe_changes",
+            Request::PollChanges { .. } => "poll_changes",
+            Request::CloseStream { .. } => "close_stream",
         }
     }
 }
@@ -734,6 +854,29 @@ impl Response {
                 put_varint64(&mut out, *records_rewritten);
                 put_varint64(&mut out, *bytes_reclaimed);
             }
+            Response::StreamId { id } => {
+                out.push(OP_STREAM_ID);
+                put_fixed64(&mut out, *id);
+            }
+            Response::ChangeChunk {
+                events,
+                resume,
+                lag,
+                last,
+            } => {
+                out.push(OP_CHANGE_CHUNK);
+                out.push(u8::from(*last));
+                put_varint64(&mut out, *lag);
+                put_length_prefixed_slice(&mut out, resume);
+                put_varint32(&mut out, events.len() as u32);
+                for e in events {
+                    put_varint32(&mut out, e.shard);
+                    put_varint64(&mut out, e.seq);
+                    put_length_prefixed_slice(&mut out, &e.key);
+                    put_opt_slice(&mut out, &e.value);
+                    put_opt_u64(&mut out, &e.txn);
+                }
+            }
             Response::Err { code, message } => {
                 out.push(OP_ERR);
                 out.push(*code as u8);
@@ -785,6 +928,31 @@ impl Response {
                 records_rewritten: get_varint64(&mut src)?,
                 bytes_reclaimed: get_varint64(&mut src)?,
             },
+            OP_STREAM_ID => Response::StreamId {
+                id: get_fixed64(&mut src)?,
+            },
+            OP_CHANGE_CHUNK => {
+                let last = get_bool(&mut src)?;
+                let lag = get_varint64(&mut src)?;
+                let resume = get_length_prefixed_slice(&mut src)?.to_vec();
+                let n = get_varint32(&mut src)?;
+                let mut events = Vec::with_capacity((n as usize).min(src.len()));
+                for _ in 0..n {
+                    events.push(WireChange {
+                        shard: get_varint32(&mut src)?,
+                        seq: get_varint64(&mut src)?,
+                        key: get_length_prefixed_slice(&mut src)?.to_vec(),
+                        value: get_opt_slice(&mut src)?,
+                        txn: get_opt_u64(&mut src)?,
+                    });
+                }
+                Response::ChangeChunk {
+                    events,
+                    resume,
+                    lag,
+                    last,
+                }
+            }
             OP_ERR => {
                 let code_byte = get_u8(&mut src)?;
                 let code = WireCode::from_u8(code_byte)
@@ -1095,6 +1263,24 @@ mod tests {
             )
                 .prop_map(|(txn, sync)| Request::TxnCommit { txn, sync }),
             proptest::strategy::any::<u64>().prop_map(|txn| Request::TxnRollback { txn }),
+            (proptest::strategy::any::<u8>(), bytes_strategy()).prop_map(|(tag, token)| {
+                Request::SubscribeChanges {
+                    from: match tag % 3 {
+                        0 => SubscribeSpec::Oldest,
+                        1 => SubscribeSpec::Latest,
+                        _ => SubscribeSpec::Token(token),
+                    },
+                }
+            }),
+            (
+                proptest::strategy::any::<u64>(),
+                proptest::strategy::any::<u32>()
+            )
+                .prop_map(|(stream, max)| Request::PollChanges {
+                    stream,
+                    max: max % 100_000,
+                }),
+            proptest::strategy::any::<u64>().prop_map(|stream| Request::CloseStream { stream }),
         ]
     }
 
@@ -1136,6 +1322,37 @@ mod tests {
             bytes_strategy().prop_map(|m| Response::Stats {
                 text: String::from_utf8_lossy(&m).into_owned(),
             }),
+            proptest::strategy::any::<u64>().prop_map(|id| Response::StreamId { id }),
+            (
+                proptest::strategy::any::<bool>(),
+                proptest::strategy::any::<u64>(),
+                bytes_strategy(),
+                proptest::collection::vec(
+                    (
+                        proptest::strategy::any::<u32>(),
+                        proptest::strategy::any::<u64>(),
+                        bytes_strategy(),
+                        proptest::option::of(bytes_strategy()),
+                        proptest::option::of(proptest::strategy::any::<u64>()),
+                    ),
+                    0..8
+                )
+            )
+                .prop_map(|(last, lag, resume, raw)| Response::ChangeChunk {
+                    events: raw
+                        .into_iter()
+                        .map(|(shard, seq, key, value, txn)| WireChange {
+                            shard: shard % 256,
+                            seq,
+                            key,
+                            value,
+                            txn,
+                        })
+                        .collect(),
+                    resume,
+                    lag,
+                    last,
+                }),
             (proptest::strategy::any::<u8>(), bytes_strategy()).prop_map(|(c, m)| Response::Err {
                 code: ALL_WIRE_CODES[c as usize % ALL_WIRE_CODES.len()],
                 message: String::from_utf8_lossy(&m).into_owned(),

@@ -28,11 +28,15 @@
 
 use crate::metrics::{render_metrics, ServerMetrics};
 use crate::pins::PinTable;
-use crate::protocol::{write_frame, FrameBuffer, Request, Response, WireCode, DEFAULT_MAX_FRAME};
+use crate::protocol::{
+    write_frame, FrameBuffer, Request, Response, SubscribeSpec, WireChange, WireCode,
+    DEFAULT_MAX_FRAME,
+};
 use crate::rate_limit::TokenBucket;
 use parking_lot::Mutex;
 use scavenger::{
-    Bytes, Engine, PinnedReader, Transaction, Transactional, WriteBatch, WriteOptions, WriteReceipt,
+    Bytes, ChangeOp, ChangeRecord, ChangeStream, ChangeSubscriber, Engine, PinnedReader,
+    ResumeToken, SubscribeFrom, Transaction, Transactional, WriteBatch, WriteOptions, WriteReceipt,
 };
 use scavenger_util::{Error, Result};
 use std::io::{ErrorKind, Read, Write};
@@ -43,10 +47,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Engines the server can host: the full [`Engine`] surface plus
-/// optimistic transactions ([`Transactional`]), cloneable across
-/// connection threads, with snapshots and transaction views that may
-/// live in the shared pin/transaction tables.
-pub trait ServeEngine: Engine + Transactional + Clone + Send + Sync + 'static
+/// optimistic transactions ([`Transactional`]) and change streams
+/// ([`ChangeSubscriber`]), cloneable across connection threads, with
+/// snapshots, transaction views, and change streams that may live in
+/// the shared pin tables.
+pub trait ServeEngine:
+    Engine + Transactional + ChangeSubscriber + Clone + Send + Sync + 'static
 where
     Self::Snap: Send + Sync,
     Self::View: Send,
@@ -55,7 +61,7 @@ where
 
 impl<E> ServeEngine for E
 where
-    E: Engine + Transactional + Clone + Send + Sync + 'static,
+    E: Engine + Transactional + ChangeSubscriber + Clone + Send + Sync + 'static,
     E::Snap: Send + Sync,
     E::View: Send,
 {
@@ -126,6 +132,10 @@ where
     /// out while other requests still resolve the id to a typed error
     /// instead of a race.
     txns: PinTable<Mutex<Option<Transaction<E>>>>,
+    /// Server-side change streams, keyed like snapshots. Each live
+    /// stream pins retained WAL history in the engine, so the same TTL
+    /// sweep that bounds abandoned snapshots bounds abandoned streams.
+    streams: PinTable<Mutex<E::Stream>>,
     global_bucket: TokenBucket,
     shutdown: Arc<AtomicBool>,
 }
@@ -228,6 +238,7 @@ impl Server {
             global_bucket: TokenBucket::new(cfg.global_rate, cfg.global_burst),
             pins: PinTable::new(cfg.pin_ttl),
             txns: PinTable::new(cfg.pin_ttl),
+            streams: PinTable::new(cfg.pin_ttl),
             engine,
             metrics: metrics.clone(),
             shutdown: shutdown.clone(),
@@ -316,12 +327,13 @@ where
     for j in workers {
         let _ = j.join();
     }
-    // All GC read points held on behalf of clients are released before
-    // the final flush — including uncommitted transactions, whose
-    // buffered writes are discarded (a client that never committed has
-    // nothing durable to lose).
+    // All GC read points and pinned WAL history held on behalf of
+    // clients are released before the final flush — including
+    // uncommitted transactions, whose buffered writes are discarded (a
+    // client that never committed has nothing durable to lose).
     shared.pins.clear();
     shared.txns.clear();
+    shared.streams.clear();
     if let Err(e) = shared.engine.flush() {
         eprintln!("scavenger-server: flush on shutdown failed: {e}");
     }
@@ -427,7 +439,21 @@ fn is_data_op(req: &Request) -> bool {
             | Request::TxnPut { .. }
             | Request::TxnDelete { .. }
             | Request::TxnCommit { .. }
+            | Request::SubscribeChanges { .. }
+            | Request::PollChanges { .. }
     )
+}
+
+/// Charge one streamed-chunk frame against both buckets. The request's
+/// own admission token covers the first chunk; every further `ScanChunk`
+/// or `ChangeChunk` frame pays separately, so a single request cannot
+/// smuggle an unbounded reply past the rate limiter.
+fn take_chunk_token<E: ServeEngine>(shared: &Shared<E>, conn_bucket: &TokenBucket) -> bool
+where
+    E::Snap: Send + Sync,
+    E::View: Send,
+{
+    shared.global_bucket.try_take() && conn_bucket.try_take()
 }
 
 /// Handle one request; returns `false` when the connection should
@@ -456,7 +482,7 @@ where
     let label = req.label();
     let key_bytes = request_key_bytes(&req);
     let start = Instant::now();
-    let keep_open = dispatch(stream, shared, req);
+    let keep_open = dispatch(stream, shared, conn_bucket, req);
     let elapsed = start.elapsed();
 
     m.record_latency(label, elapsed);
@@ -492,7 +518,12 @@ fn request_key_bytes(req: &Request) -> usize {
     }
 }
 
-fn dispatch<E: ServeEngine>(stream: &mut TcpStream, shared: &Shared<E>, req: Request) -> bool
+fn dispatch<E: ServeEngine>(
+    stream: &mut TcpStream,
+    shared: &Shared<E>,
+    conn_bucket: &TokenBucket,
+    req: Request,
+) -> bool
 where
     E::Snap: Send + Sync,
     E::View: Send,
@@ -594,7 +625,7 @@ where
                 Ok(it) => it,
                 Err(e) => return ok(Response::from_error(&e), stream),
             };
-            stream_scan(stream, shared, iter, limit)
+            stream_scan(stream, shared, conn_bucket, iter, limit)
         }
         Request::SnapOpen => {
             let id = shared.pins.open(shared.engine.snapshot());
@@ -635,7 +666,12 @@ where
             ok(resp, stream)
         }
         Request::Stats => {
-            let text = render_metrics(&shared.engine, &shared.metrics, shared.pins.len());
+            let text = render_metrics(
+                &shared.engine,
+                &shared.metrics,
+                shared.pins.len(),
+                shared.streams.len(),
+            );
             ok(Response::Stats { text }, stream)
         }
         Request::Shutdown => {
@@ -719,6 +755,48 @@ where
             };
             ok(resp, stream)
         }
+        Request::SubscribeChanges { from } => {
+            let from = match from {
+                SubscribeSpec::Oldest => SubscribeFrom::Oldest,
+                SubscribeSpec::Latest => SubscribeFrom::Latest,
+                SubscribeSpec::Token(raw) => match ResumeToken::decode(&raw) {
+                    Ok(t) => SubscribeFrom::Token(t),
+                    Err(e) => return ok(Response::from_error(&e), stream),
+                },
+            };
+            let resp = match shared.engine.subscribe_changes(from) {
+                Ok(s) => Response::StreamId {
+                    id: shared.streams.open(Mutex::new(s)),
+                },
+                Err(e) => Response::from_error(&e),
+            };
+            ok(resp, stream)
+        }
+        Request::PollChanges { stream: sid, max } => match shared.streams.get(sid) {
+            Some(cell) => stream_changes(stream, shared, conn_bucket, &cell, max),
+            None => {
+                m.pin_misses.fetch_add(1, Ordering::Relaxed);
+                ok(
+                    Response::error(
+                        WireCode::PinExpired,
+                        format!("change stream {sid} unknown or expired"),
+                    ),
+                    stream,
+                )
+            }
+        },
+        Request::CloseStream { stream: sid } => {
+            let resp = if shared.streams.close(sid) {
+                Response::Done
+            } else {
+                m.pin_misses.fetch_add(1, Ordering::Relaxed);
+                Response::error(
+                    WireCode::PinExpired,
+                    format!("change stream {sid} unknown or expired"),
+                )
+            };
+            ok(resp, stream)
+        }
     }
 }
 
@@ -734,10 +812,13 @@ fn txn_gone(m: &ServerMetrics, id: u64) -> Response {
 
 /// Stream a scan as chunked frames; the final chunk carries
 /// `last = true`. An iterator error mid-stream is sent as a trailing
-/// error frame (clients treat it as terminating the scan).
+/// error frame (clients treat it as terminating the scan). Every chunk
+/// after the first takes a fresh rate-limit token; exhaustion ends the
+/// scan with a `RATE_LIMITED` error frame.
 fn stream_scan<E: ServeEngine>(
     stream: &mut TcpStream,
     shared: &Shared<E>,
+    conn_bucket: &TokenBucket,
     iter: E::Iter,
     limit: u32,
 ) -> bool
@@ -749,6 +830,7 @@ where
     let chunk_cap = shared.cfg.scan_chunk.max(1);
     let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
     let mut remaining = if limit == 0 { u64::MAX } else { limit as u64 };
+    let mut first_chunk = true;
     for entry in iter {
         if remaining == 0 {
             break;
@@ -758,6 +840,16 @@ where
                 entries.push((e.key, e.value.as_ref().to_vec()));
                 remaining -= 1;
                 if entries.len() >= chunk_cap {
+                    if !first_chunk && !take_chunk_token(shared, conn_bucket) {
+                        m.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        m.requests_err.fetch_add(1, Ordering::Relaxed);
+                        return send(
+                            stream,
+                            &Response::error(WireCode::RateLimited, "rate limit exceeded mid-scan"),
+                        )
+                        .is_ok();
+                    }
+                    first_chunk = false;
                     let chunk = Response::ScanChunk {
                         entries: std::mem::take(&mut entries),
                         last: false,
@@ -773,6 +865,15 @@ where
             }
         }
     }
+    if !first_chunk && !take_chunk_token(shared, conn_bucket) {
+        m.rate_limited.fetch_add(1, Ordering::Relaxed);
+        m.requests_err.fetch_add(1, Ordering::Relaxed);
+        return send(
+            stream,
+            &Response::error(WireCode::RateLimited, "rate limit exceeded mid-scan"),
+        )
+        .is_ok();
+    }
     m.requests_ok.fetch_add(1, Ordering::Relaxed);
     send(
         stream,
@@ -782,6 +883,94 @@ where
         },
     )
     .is_ok()
+}
+
+/// Put one committed change event on the wire.
+fn wire_change(r: ChangeRecord) -> WireChange {
+    WireChange {
+        shard: r.shard as u32,
+        seq: r.seq,
+        key: r.key,
+        value: match r.op {
+            ChangeOp::Put(v) => Some(v.as_ref().to_vec()),
+            ChangeOp::Delete => None,
+        },
+        txn: r.txn_id,
+    }
+}
+
+/// Deliver pending changes from a stream as chunked `ChangeChunk`
+/// frames. Each chunk carries a resume token for the position *after*
+/// it, so a client that disconnects mid-poll can re-subscribe without
+/// loss. A short chunk means the stream is caught up (`last = true`,
+/// possibly with zero events). Like scans, every chunk after the first
+/// pays a rate-limit token; exhaustion truncates the poll with an early
+/// `last = true` chunk rather than an error frame — the chunk's `lag`
+/// tells the client there is more, and because the bucket is charged
+/// *before* events leave the cursor, a throttled poll can never drop
+/// history (unlike a scan, a change stream is a position, not a
+/// request-scoped iterator, so truncation is lossless).
+fn stream_changes<E: ServeEngine>(
+    stream: &mut TcpStream,
+    shared: &Shared<E>,
+    conn_bucket: &TokenBucket,
+    cell: &Mutex<E::Stream>,
+    max: u32,
+) -> bool
+where
+    E::Snap: Send + Sync,
+    E::View: Send,
+{
+    let m = &shared.metrics;
+    let chunk_cap = shared.cfg.scan_chunk.max(1);
+    let mut remaining = if max == 0 { u64::MAX } else { max as u64 };
+    let mut s = cell.lock();
+    let mut first_chunk = true;
+    loop {
+        // Charge *before* polling: a rejected chunk must not consume
+        // events from the stream's cursor, or they would be lost — the
+        // stream keeps its position and the client re-polls later.
+        if !first_chunk && !take_chunk_token(shared, conn_bucket) {
+            m.rate_limited.fetch_add(1, Ordering::Relaxed);
+            let trunc = Response::ChangeChunk {
+                events: Vec::new(),
+                resume: s.resume_token().encode(),
+                lag: s.lag(),
+                last: true,
+            };
+            if send(stream, &trunc).is_err() {
+                return false;
+            }
+            break;
+        }
+        first_chunk = false;
+        let take = chunk_cap.min(remaining.min(usize::MAX as u64) as usize);
+        let events = match s.poll_changes(take) {
+            Ok(v) => v,
+            Err(e) => {
+                m.requests_err.fetch_add(1, Ordering::Relaxed);
+                return send(stream, &Response::from_error(&e)).is_ok();
+            }
+        };
+        remaining -= events.len() as u64;
+        let last = events.len() < take || remaining == 0;
+        m.cdc_events_streamed
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        let chunk = Response::ChangeChunk {
+            events: events.into_iter().map(wire_change).collect(),
+            resume: s.resume_token().encode(),
+            lag: s.lag(),
+            last,
+        };
+        if send(stream, &chunk).is_err() {
+            return false;
+        }
+        if last {
+            break;
+        }
+    }
+    m.requests_ok.fetch_add(1, Ordering::Relaxed);
+    true
 }
 
 // ---------------- metrics endpoint ----------------
@@ -827,7 +1016,12 @@ where
     let (status, body) = if first_line.starts_with(b"GET /metrics") {
         (
             "200 OK",
-            render_metrics(&shared.engine, &shared.metrics, shared.pins.len()),
+            render_metrics(
+                &shared.engine,
+                &shared.metrics,
+                shared.pins.len(),
+                shared.streams.len(),
+            ),
         )
     } else {
         ("404 Not Found", "only GET /metrics is served\n".to_string())

@@ -1,0 +1,328 @@
+//! Follower workload: one writer, N change-stream subscribers.
+//!
+//! YCSB-D's "read latest" pattern, restated for CDC: a writer appends
+//! fresh records while followers tail the change stream, and the
+//! interesting numbers are how fast a cold follower catches up on a
+//! backlog and how far live followers trail the commit head. Three
+//! phases:
+//!
+//! 1. **Preload** — the writer commits a backlog before any follower
+//!    exists (timed: baseline write throughput).
+//! 2. **Catch-up** — every follower subscribes from the oldest change
+//!    and drains the backlog in parallel (timed per follower: replay
+//!    throughput).
+//! 3. **Live tail** — the writer commits a second batch while the
+//!    followers poll; each poll samples the stream's reported lag into
+//!    a histogram (lag distribution + tail throughput).
+//!
+//! The driver is engine-agnostic: the writer is a closure and each
+//! follower is a [`ChangeTail`], so the bench adapts an in-process
+//! engine stream or a wire client without this crate depending on
+//! either.
+
+use scavenger_util::hist::Histogram;
+use scavenger_util::Result;
+
+/// One follower's view of the change feed.
+pub trait ChangeTail: Send {
+    /// Poll up to `max` events; returns `(delivered, lag_after_poll)`.
+    fn poll_tail(&mut self, max: usize) -> Result<(u64, u64)>;
+}
+
+/// Shape of one follower run.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Backlog committed before any follower subscribes.
+    pub preload_ops: u64,
+    /// Ops committed while the followers tail live.
+    pub live_ops: u64,
+    /// Concurrent followers.
+    pub subscribers: usize,
+    /// Events requested per poll.
+    pub poll_chunk: usize,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> FollowerConfig {
+        FollowerConfig {
+            preload_ops: 30_000,
+            live_ops: 30_000,
+            subscribers: 4,
+            poll_chunk: 512,
+        }
+    }
+}
+
+/// Per-follower outcome.
+#[derive(Debug)]
+pub struct SubscriberReport {
+    /// Backlog events replayed in phase 2.
+    pub catchup_events: u64,
+    /// Phase-2 wall time.
+    pub catchup_secs: f64,
+    /// Live events observed in phase 3.
+    pub tail_events: u64,
+    /// Phase-3 wall time (writer + drain).
+    pub tail_secs: f64,
+    /// Stream-reported lag sampled after every live poll.
+    pub lag: Histogram,
+}
+
+/// Whole-run outcome.
+#[derive(Debug)]
+pub struct FollowerReport {
+    /// Ops the writer committed (both phases).
+    pub write_ops: u64,
+    /// Phase-1 wall time (uncontended writes).
+    pub preload_secs: f64,
+    /// One report per follower.
+    pub subs: Vec<SubscriberReport>,
+}
+
+impl FollowerReport {
+    /// Slowest follower's catch-up throughput, events/s — the number
+    /// that bounds how fast a rebuilt replica becomes serviceable.
+    pub fn catchup_floor_events_s(&self) -> f64 {
+        self.subs
+            .iter()
+            .map(|s| s.catchup_events as f64 / s.catchup_secs.max(1e-9))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst p99 lag (in sequence numbers) any follower reported while
+    /// tailing live.
+    pub fn worst_lag_p99(&self) -> f64 {
+        self.subs
+            .iter()
+            .filter(|s| s.lag.count() > 0)
+            .map(|s| s.lag.percentile(99.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Writer throughput during the uncontended preload, ops/s.
+    pub fn preload_ops_s(&self) -> f64 {
+        (self.write_ops / 2).max(1) as f64 / self.preload_secs.max(1e-9)
+    }
+}
+
+/// Consecutive empty polls before a follower declares the stream
+/// stalled (at 1 ms per empty poll, ~30 s of silence).
+const STALL_POLLS: u32 = 30_000;
+
+/// Deterministic follower-workload key (fresh key per op, YCSB-D's
+/// insert stream).
+pub fn follower_key(op: u64) -> Vec<u8> {
+    format!("follow{op:012}").into_bytes()
+}
+
+/// Deterministic payload for `op`, `len` bytes.
+pub fn follower_value(op: u64, len: usize) -> Vec<u8> {
+    let mut v = op.to_le_bytes().to_vec();
+    v.resize(len.max(8), (op % 251) as u8);
+    v
+}
+
+/// Run the three phases. `write(op)` commits one record; `make_tail()`
+/// subscribes one follower from the oldest change (called once per
+/// follower, after the preload).
+pub fn run_follower<T, W, F>(
+    cfg: &FollowerConfig,
+    mut write: W,
+    mut make_tail: F,
+) -> Result<FollowerReport>
+where
+    T: ChangeTail,
+    W: FnMut(u64) -> Result<()> + Send,
+    F: FnMut() -> Result<T>,
+{
+    use std::time::Instant;
+
+    // Phase 1: preload backlog, no subscribers registered.
+    let t0 = Instant::now();
+    for op in 0..cfg.preload_ops {
+        write(op)?;
+    }
+    let preload_secs = t0.elapsed().as_secs_f64();
+
+    let mut tails = Vec::with_capacity(cfg.subscribers);
+    for _ in 0..cfg.subscribers {
+        tails.push(make_tail()?);
+    }
+
+    // Phase 2: parallel catch-up on the backlog.
+    let backlog = cfg.preload_ops;
+    let chunk = cfg.poll_chunk.max(1);
+    let catchups: Vec<Result<(u64, f64, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tails
+            .into_iter()
+            .map(|mut tail| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut seen = 0u64;
+                    let mut empty_polls = 0u32;
+                    while seen < backlog {
+                        let (n, _lag) = tail.poll_tail(chunk)?;
+                        seen += n;
+                        if n == 0 {
+                            // The writer is done, so an empty poll can
+                            // only mean lost history — fail instead of
+                            // spinning forever (e.g. the subscriber was
+                            // created after retention reclaimed the
+                            // backlog's WAL segments).
+                            empty_polls += 1;
+                            if empty_polls > STALL_POLLS {
+                                return Err(scavenger_util::Error::internal(format!(
+                                    "follower stalled catching up: {seen}/{backlog} events"
+                                )));
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        } else {
+                            empty_polls = 0;
+                        }
+                    }
+                    Ok((seen, start.elapsed().as_secs_f64(), tail))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("catch-up follower panicked"))
+            .collect()
+    });
+    let mut tails = Vec::with_capacity(cfg.subscribers);
+    let mut subs = Vec::with_capacity(cfg.subscribers);
+    for c in catchups {
+        let (events, secs, tail) = c?;
+        tails.push(tail);
+        subs.push(SubscriberReport {
+            catchup_events: events,
+            catchup_secs: secs,
+            tail_events: 0,
+            tail_secs: 0.0,
+            lag: Histogram::new(),
+        });
+    }
+
+    // Phase 3: live tail — writer and followers run concurrently.
+    let live = cfg.live_ops;
+    let tail_runs: Vec<Result<(u64, f64, Histogram)>> = std::thread::scope(|scope| -> Result<_> {
+        let writer = scope.spawn(move || -> Result<()> {
+            for op in 0..live {
+                write(cfg.preload_ops + op)?;
+            }
+            Ok(())
+        });
+        let handles: Vec<_> = tails
+            .into_iter()
+            .map(|mut tail| {
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut seen = 0u64;
+                    let mut empty_polls = 0u32;
+                    let mut lag_hist = Histogram::new();
+                    while seen < live {
+                        let (n, lag) = tail.poll_tail(chunk)?;
+                        seen += n;
+                        lag_hist.record(lag);
+                        if n == 0 {
+                            empty_polls += 1;
+                            if empty_polls > STALL_POLLS {
+                                return Err(scavenger_util::Error::internal(format!(
+                                    "follower stalled tailing: {seen}/{live} events"
+                                )));
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        } else {
+                            empty_polls = 0;
+                        }
+                    }
+                    Ok((seen, start.elapsed().as_secs_f64(), lag_hist))
+                })
+            })
+            .collect();
+        writer.join().expect("writer panicked")?;
+        Ok(handles
+            .into_iter()
+            .map(|h| h.join().expect("live follower panicked"))
+            .collect::<Vec<_>>())
+    })?;
+    for (sub, run) in subs.iter_mut().zip(tail_runs) {
+        let (events, secs, lag) = run?;
+        sub.tail_events = events;
+        sub.tail_secs = secs;
+        sub.lag = lag;
+    }
+
+    Ok(FollowerReport {
+        write_ops: cfg.preload_ops + cfg.live_ops,
+        preload_secs,
+        subs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// In-memory "change log": the writer pushes op ids, tails consume
+    /// from their own cursor.
+    struct FakeTail {
+        log: Arc<Mutex<Vec<u64>>>,
+        pos: usize,
+    }
+
+    impl ChangeTail for FakeTail {
+        fn poll_tail(&mut self, max: usize) -> Result<(u64, u64)> {
+            let log = self.log.lock();
+            let n = (log.len() - self.pos).min(max);
+            self.pos += n;
+            Ok((n as u64, (log.len() - self.pos) as u64))
+        }
+    }
+
+    #[test]
+    fn phases_account_every_event_exactly_once() {
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let cfg = FollowerConfig {
+            preload_ops: 500,
+            live_ops: 700,
+            subscribers: 3,
+            poll_chunk: 64,
+        };
+        let wlog = log.clone();
+        let report = run_follower(
+            &cfg,
+            move |op| {
+                wlog.lock().push(op);
+                Ok(())
+            },
+            || {
+                Ok(FakeTail {
+                    log: log.clone(),
+                    pos: 0,
+                })
+            },
+        )
+        .unwrap();
+        assert_eq!(report.write_ops, 1200);
+        assert_eq!(report.subs.len(), 3);
+        for sub in &report.subs {
+            assert_eq!(sub.catchup_events, 500);
+            assert_eq!(sub.tail_events, 700);
+            assert!(sub.lag.count() > 0);
+        }
+        assert!(report.catchup_floor_events_s() > 0.0);
+        assert!(report.preload_ops_s() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_keys_and_values() {
+        assert_eq!(follower_key(7), b"follow000000000007".to_vec());
+        let v = follower_value(9, 64);
+        assert_eq!(v.len(), 64);
+        assert_eq!(&v[..8], &9u64.to_le_bytes());
+        assert_eq!(follower_value(9, 64), v);
+    }
+}

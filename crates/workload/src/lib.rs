@@ -15,6 +15,7 @@
 
 pub mod crash;
 pub mod dist;
+pub mod follower;
 pub mod keys;
 pub mod ops;
 pub mod runner;

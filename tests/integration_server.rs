@@ -10,9 +10,10 @@
 //! connection cap, and the `/metrics` endpoint (including per-shard
 //! I/O attribution).
 
-use scavenger::{Db, DbShards, EngineMode, MemEnv, Options, ShardedOptions};
+use scavenger::{Bytes, Db, DbShards, EngineMode, MemEnv, Options, ShardedOptions, WriteOptions};
 use scavenger_server::{
     is_pin_expired, is_rate_limited, scrape_metrics, Client, ServeEngine, Server, ServerConfig,
+    SubscribeSpec, WireChange,
 };
 use scavenger_workload::ops::{AckOracle, ClientOp, OpMix, OpStream};
 use std::time::Duration;
@@ -282,6 +283,229 @@ where
     handle.shutdown_and_wait();
 }
 
+// ---------------- change streams ----------------
+
+/// Per-shard sequence numbers must be strictly increasing across the
+/// delivered events (the wire contract: gap-free, ordered history).
+fn assert_shard_ordered(events: &[WireChange]) {
+    let mut last: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for e in events {
+        if let Some(prev) = last.insert(e.shard, e.seq) {
+            assert!(
+                e.seq > prev,
+                "shard {} went backwards: {} after {}",
+                e.shard,
+                e.seq,
+                prev
+            );
+        }
+    }
+}
+
+/// Subscribe-from-oldest replays exactly the committed history, a
+/// subsequent poll tails only new writes, and a closed stream id
+/// answers PIN_EXPIRED.
+fn change_stream_over_the_wire<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+    E::View: Send,
+{
+    let opts = WriteOptions::default();
+    for i in 0..40u32 {
+        engine
+            .put_with(
+                &opts,
+                format!("cdc{i:03}").as_bytes(),
+                Bytes::from(vec![i as u8; 8]),
+            )
+            .unwrap();
+    }
+    engine.delete_with(&opts, b"cdc000").unwrap();
+
+    let handle = Server::start(engine.clone(), small_cfg()).expect("start server");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stream = client.subscribe_changes(SubscribeSpec::Oldest).unwrap();
+    let batch = client.poll_changes(stream, 0).unwrap();
+    assert_eq!(batch.events.len(), 41, "full history: 40 puts + 1 delete");
+    assert_eq!(batch.lag, 0, "drained stream should report zero lag");
+    assert_shard_ordered(&batch.events);
+    let puts: Vec<_> = batch.events.iter().filter(|e| e.value.is_some()).collect();
+    let dels: Vec<_> = batch.events.iter().filter(|e| e.value.is_none()).collect();
+    assert_eq!(puts.len(), 40);
+    assert_eq!(dels.len(), 1);
+    assert_eq!(dels[0].key, b"cdc000");
+    for e in &puts {
+        let i: u8 = String::from_utf8_lossy(&e.key[3..]).parse::<u32>().unwrap() as u8;
+        assert_eq!(e.value.as_deref(), Some(&[i; 8][..]));
+    }
+
+    // Caught up: an idle poll returns an empty batch, not an error.
+    assert!(client.poll_changes(stream, 0).unwrap().events.is_empty());
+
+    // Tail live writes through the server.
+    client.put(b"cdc-live", b"tail").unwrap();
+    let live = client.poll_changes(stream, 0).unwrap();
+    assert_eq!(live.events.len(), 1);
+    assert_eq!(live.events[0].key, b"cdc-live");
+    assert_eq!(live.events[0].value.as_deref(), Some(&b"tail"[..]));
+
+    client.close_stream(stream).unwrap();
+    let err = client.poll_changes(stream, 0).unwrap_err();
+    assert!(is_pin_expired(&err), "closed stream should be gone: {err}");
+    handle.shutdown_and_wait();
+}
+
+/// A client that disconnects mid-stream resumes from its last chunk's
+/// token on a brand-new connection without losing or repeating events.
+fn change_stream_resumes_via_token<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+    E::View: Send,
+{
+    let opts = WriteOptions::default();
+    for i in 0..60u32 {
+        engine
+            .put_with(
+                &opts,
+                format!("res{i:03}").as_bytes(),
+                Bytes::from(vec![1u8]),
+            )
+            .unwrap();
+    }
+
+    let handle = Server::start(engine.clone(), small_cfg()).expect("start server");
+
+    // First client: take a bounded bite, keep the resume token.
+    let mut first = Client::connect(handle.addr()).unwrap();
+    let s1 = first.subscribe_changes(SubscribeSpec::Oldest).unwrap();
+    let head = first.poll_changes(s1, 25).unwrap();
+    assert_eq!(head.events.len(), 25);
+    assert!(head.lag > 0, "25 of 60 delivered, lag must be visible");
+    let token = head.resume.clone();
+    drop(first); // connection lost; server-side stream left to its TTL
+
+    // Second client: resume from the token, drain the rest.
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let s2 = second
+        .subscribe_changes(SubscribeSpec::Token(token))
+        .unwrap();
+    let tail = second.poll_changes(s2, 0).unwrap();
+    assert_eq!(
+        head.events.len() + tail.events.len(),
+        60,
+        "resume must neither lose nor repeat"
+    );
+    let mut keys: Vec<Vec<u8>> = head
+        .events
+        .iter()
+        .chain(tail.events.iter())
+        .map(|e| e.key.clone())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), 60, "duplicate or missing keys across resume");
+    assert_shard_ordered(&tail.events);
+
+    // A garbage token is a typed error, not a hung stream.
+    assert!(second
+        .subscribe_changes(SubscribeSpec::Token(vec![9, 9, 9]))
+        .is_err());
+    second.close_stream(s2).unwrap();
+    handle.shutdown_and_wait();
+}
+
+/// Streamed chunks pay rate-limit tokens. A backlogged poll on a
+/// throttled connection is truncated (short batch, `lag > 0`) instead
+/// of erroring — and because chunks are charged *before* events leave
+/// the cursor, patient re-polls still deliver every event exactly
+/// once. Scans pay per chunk too, and trip the usual RATE_LIMITED.
+fn change_chunks_pay_rate_tokens<E: ServeEngine>(engine: E)
+where
+    E::Snap: Send + Sync,
+    E::View: Send,
+{
+    let opts = WriteOptions::default();
+    for i in 0..64u32 {
+        engine
+            .put_with(
+                &opts,
+                format!("tok{i:03}").as_bytes(),
+                Bytes::from(vec![2u8]),
+            )
+            .unwrap();
+    }
+    let cfg = ServerConfig {
+        conn_rate: 4.0,
+        conn_burst: 3.0,
+        scan_chunk: 4,
+        ..small_cfg()
+    };
+    let handle = Server::start(engine.clone(), cfg).expect("start server");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stream = client.subscribe_changes(SubscribeSpec::Oldest).unwrap();
+
+    // 64 events / 4-per-chunk needs 16 chunk tokens; the bucket holds
+    // 3, so the first greedy poll must come back truncated.
+    let first = client.poll_changes(stream, 0).unwrap();
+    assert!(
+        first.events.len() < 64,
+        "a 3-token bucket let {} events through",
+        first.events.len()
+    );
+    assert!(first.lag > 0, "truncated poll must advertise its backlog");
+    assert!(
+        handle
+            .metrics()
+            .rate_limited
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "throttled chunks must be counted"
+    );
+
+    // Patient re-polls drain the rest without loss or duplication.
+    let mut got: Vec<WireChange> = first.events;
+    let mut stalls = 0;
+    while got.len() < 64 && stalls < 100 {
+        match client.poll_changes(stream, 4) {
+            Ok(batch) if batch.events.is_empty() => {
+                stalls += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(batch) => got.extend(batch.events),
+            Err(e) if is_rate_limited(&e) => {
+                stalls += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("unexpected error draining stream: {e}"),
+        }
+    }
+    assert_eq!(got.len(), 64, "throttled polls lost or duplicated events");
+    assert_shard_ordered(&got);
+    let mut keys: Vec<Vec<u8>> = got.iter().map(|e| e.key.clone()).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), 64);
+
+    // Scans pay per chunk too: wide scans on a drained bucket trip the
+    // limiter (scans have no cursor to truncate, so they error).
+    let mut tripped = false;
+    for _ in 0..5 {
+        match client.scan(None, b"tok", None, 0) {
+            Err(e) if is_rate_limited(&e) => {
+                tripped = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        tripped,
+        "64-key scan in 4-entry chunks never hit the bucket"
+    );
+    client.close_stream(stream).unwrap();
+    handle.shutdown_and_wait();
+}
+
 // ---------------- instantiations ----------------
 
 fn open_db(env: scavenger::EnvRef, dir: &str) -> Db {
@@ -355,6 +579,36 @@ fn conn_cap_single_db() {
 #[test]
 fn metrics_single_db() {
     metrics_endpoint_serves(open_db(MemEnv::shared(), "srv-met"), 1);
+}
+
+#[test]
+fn change_stream_single_db() {
+    change_stream_over_the_wire(open_db(MemEnv::shared(), "srv-cdc"));
+}
+
+#[test]
+fn change_stream_sharded() {
+    change_stream_over_the_wire(open_shards(MemEnv::shared(), "srv-cdc-sh"));
+}
+
+#[test]
+fn change_stream_resume_single_db() {
+    change_stream_resumes_via_token(open_db(MemEnv::shared(), "srv-cdc-res"));
+}
+
+#[test]
+fn change_stream_resume_sharded() {
+    change_stream_resumes_via_token(open_shards(MemEnv::shared(), "srv-cdc-res-sh"));
+}
+
+#[test]
+fn change_chunk_rate_limit_single_db() {
+    change_chunks_pay_rate_tokens(open_db(MemEnv::shared(), "srv-cdc-rl"));
+}
+
+#[test]
+fn change_chunk_rate_limit_sharded() {
+    change_chunks_pay_rate_tokens(open_shards(MemEnv::shared(), "srv-cdc-rl-sh"));
 }
 
 #[test]
